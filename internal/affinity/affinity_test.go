@@ -1,0 +1,196 @@
+package affinity
+
+import (
+	"fmt"
+	"testing"
+)
+
+func parts(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%02d", prefix, i+1)
+	}
+	return out
+}
+
+func TestInitialMappingFigure2(t *testing.T) {
+	// Figure 2 top: 12 partitions, 4 nodes, R=3. Primary of group g on
+	// node g+1; copy a on node g+2; copy b on node g+3 (mod 4).
+	workers := []string{"node1", "node2", "node3", "node4"}
+	m := InitialMapping(parts("R", 12), workers, 3)
+	if got := m["R01"]; got[0] != "node1" || got[1] != "node2" || got[2] != "node3" {
+		t.Fatalf("R01 = %v", got)
+	}
+	if got := m["R04"]; got[0] != "node2" || got[1] != "node3" || got[2] != "node4" {
+		t.Fatalf("R04 = %v", got)
+	}
+	if got := m["R10"]; got[0] != "node4" || got[1] != "node1" || got[2] != "node2" {
+		t.Fatalf("R10 = %v", got)
+	}
+	// Every node stores exactly 9 partition copies.
+	count := map[string]int{}
+	for _, locs := range m {
+		for _, n := range locs {
+			count[n]++
+		}
+	}
+	for _, w := range workers {
+		if count[w] != 9 {
+			t.Fatalf("%s stores %d copies, want 9", w, count[w])
+		}
+	}
+}
+
+func TestInitialMappingClampsReplication(t *testing.T) {
+	m := InitialMapping(parts("P", 4), []string{"a", "b"}, 3)
+	for p, locs := range m {
+		if len(locs) != 2 {
+			t.Fatalf("%s has %d replicas on a 2-node cluster", p, len(locs))
+		}
+	}
+}
+
+func locFromMap(m map[string][]string) Locality {
+	return func(part, node string) bool {
+		for _, n := range m[part] {
+			if n == node {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func TestComputeAffinityAfterNodeFailureFigure2(t *testing.T) {
+	// Figure 2 bottom: node4 fails. Each surviving node must pick up
+	// exactly 3 extra partition copies, and all previously-local copies
+	// must stay where they are (cost-0 edges).
+	all := []string{"node1", "node2", "node3", "node4"}
+	survivors := all[:3]
+	ps := parts("R", 12)
+	old := InitialMapping(ps, all, 3)
+	isLocal := func(part, node string) bool {
+		if node == "node4" {
+			return false
+		}
+		return locFromMap(old)(part, node)
+	}
+	next, err := ComputeAffinity(ps, survivors, 3, isLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every partition now has 3 replicas across the 3 survivors.
+	for p, locs := range next {
+		if len(locs) != 3 {
+			t.Fatalf("%s has %d replicas: %v", p, len(locs), locs)
+		}
+		seen := map[string]bool{}
+		for _, n := range locs {
+			if n == "node4" || seen[n] {
+				t.Fatalf("%s placed badly: %v", p, locs)
+			}
+			seen[n] = true
+		}
+	}
+	// Exactly the 9 copies lost with node4 are re-replicated (3 per node).
+	moves := Moves(old, next)
+	if len(moves) != 9 {
+		t.Fatalf("moved %d copies, want 9: %v", len(moves), moves)
+	}
+	gained := map[string]int{}
+	for p, locs := range next {
+		for _, n := range locs {
+			if !isLocal(p, n) {
+				gained[n]++
+			}
+		}
+	}
+	for _, w := range survivors {
+		if gained[w] != 3 {
+			t.Fatalf("%s gained %d copies, want 3 (balanced)", w, gained[w])
+		}
+	}
+}
+
+func TestComputeResponsibilityBalancedAndLocal(t *testing.T) {
+	workers := []string{"node1", "node2", "node3"}
+	ps := parts("R", 12)
+	aff := InitialMapping(ps, workers, 3)
+	resp, err := ComputeResponsibility(ps, workers, locFromMap(aff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for p, w := range resp {
+		count[w]++
+		if !locFromMap(aff)(p, w) {
+			t.Fatalf("responsible node %s for %s is not local", w, p)
+		}
+	}
+	for _, w := range workers {
+		if count[w] != 4 {
+			t.Fatalf("%s responsible for %d partitions, want 4", w, count[w])
+		}
+	}
+}
+
+func TestComputeResponsibilityWithNoLocalityStillBalances(t *testing.T) {
+	workers := []string{"a", "b"}
+	ps := parts("P", 6)
+	resp, err := ComputeResponsibility(ps, workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, w := range resp {
+		count[w]++
+	}
+	if count["a"] != 3 || count["b"] != 3 {
+		t.Fatalf("unbalanced: %v", count)
+	}
+}
+
+func TestComputeAffinityNoWorkers(t *testing.T) {
+	if _, err := ComputeAffinity(parts("P", 2), nil, 3, nil); err == nil {
+		t.Fatal("no workers should fail")
+	}
+	if _, err := ComputeResponsibility(parts("P", 2), nil, nil); err == nil {
+		t.Fatal("no workers should fail")
+	}
+}
+
+func TestComputeAffinitySingleWorker(t *testing.T) {
+	// Shrunk-to-minimum scenario from §4: everything lands on one node.
+	m, err := ComputeAffinity(parts("P", 5), []string{"solo"}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, locs := range m {
+		if len(locs) != 1 || locs[0] != "solo" {
+			t.Fatalf("%s = %v", p, locs)
+		}
+	}
+}
+
+func TestLocalityScore(t *testing.T) {
+	aff := map[string][]string{"P1": {"a"}, "P2": {"a", "b"}, "P3": {"b"}}
+	ps := []string{"P1", "P2", "P3"}
+	if got := LocalityScore(ps, "a", locFromMap(aff)); got != 2 {
+		t.Fatalf("score(a) = %d", got)
+	}
+	if got := LocalityScore(ps, "b", locFromMap(aff)); got != 2 {
+		t.Fatalf("score(b) = %d", got)
+	}
+	if got := LocalityScore(ps, "c", locFromMap(aff)); got != 0 {
+		t.Fatalf("score(c) = %d", got)
+	}
+}
+
+func TestMovesDiff(t *testing.T) {
+	old := map[string][]string{"P1": {"a", "b"}}
+	next := map[string][]string{"P1": {"b", "c"}}
+	moves := Moves(old, next)
+	if len(moves) != 1 || moves[0] != "P1->c" {
+		t.Fatalf("moves = %v", moves)
+	}
+}

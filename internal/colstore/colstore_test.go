@@ -1,0 +1,337 @@
+package colstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"vectorh/internal/hdfs"
+	"vectorh/internal/vector"
+)
+
+func testFS() *hdfs.Cluster {
+	return hdfs.NewCluster([]string{"node1", "node2", "node3"}, hdfs.Config{BlockSize: 1 << 16, Replication: 2})
+}
+
+var testSchema = vector.Schema{
+	{Name: "k", Type: vector.TInt64},
+	{Name: "d", Type: vector.TDate},
+	{Name: "price", Type: vector.TFloat64},
+	{Name: "flag", Type: vector.TString},
+}
+
+// writeRows appends n deterministic rows and returns the generators used.
+func writeRows(t *testing.T, fs *hdfs.Cluster, meta *PartitionMeta, start, n int) {
+	t.Helper()
+	a, err := NewAppender(fs, meta, "node1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := []string{"A", "N", "R"}
+	for off := 0; off < n; off += vector.MaxSize {
+		cnt := n - off
+		if cnt > vector.MaxSize {
+			cnt = vector.MaxSize
+		}
+		b := vector.NewBatchForSchema(testSchema, cnt)
+		for i := 0; i < cnt; i++ {
+			row := start + off + i
+			b.AppendRow(int64(row), int32(row/10), float64(row)*1.5, flags[row%3])
+		}
+		if err := a.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scanAll(t *testing.T, fs *hdfs.Cluster, meta *PartitionMeta, cols []string, ranges []RowRange) [][]any {
+	t.Helper()
+	s, err := NewScanner(fs, meta, "node1", cols, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]any
+	for {
+		b, _, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			return rows
+		}
+		for i := 0; i < b.Len(); i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 5000)
+	if meta.Rows != 5000 {
+		t.Fatalf("Rows = %d", meta.Rows)
+	}
+	rows := scanAll(t, fs, meta, []string{"k", "d", "price", "flag"}, nil)
+	if len(rows) != 5000 {
+		t.Fatalf("scanned %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].(int64) != int64(i) || r[1].(int32) != int32(i/10) ||
+			r[2].(float64) != float64(i)*1.5 || r[3].(string) != []string{"A", "N", "R"}[i%3] {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestMultipleAppendsMergePartialBlocks(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 700)
+	firstGen := meta.PartialGen
+	if firstGen < 0 {
+		t.Fatal("first append should leave a partial chunk")
+	}
+	writeRows(t, fs, meta, 700, 700)
+	if meta.PartialGen == firstGen {
+		t.Fatal("second append should supersede the partial chunk generation")
+	}
+	if fs.Exists(meta.PartialPath(firstGen)) {
+		t.Fatal("old partial chunk file should be deleted")
+	}
+	rows := scanAll(t, fs, meta, []string{"k"}, nil)
+	if len(rows) != 1400 {
+		t.Fatalf("scanned %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].(int64) != int64(i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestProjectionReadsOnlyRequestedColumns(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 3000)
+	fs.ResetStats()
+	scanAll(t, fs, meta, []string{"k"}, nil)
+	one := fs.Stats().LocalBytesRead + fs.Stats().RemoteBytesRead
+	fs.ResetStats()
+	scanAll(t, fs, meta, []string{"k", "d", "price", "flag"}, nil)
+	all := fs.Stats().LocalBytesRead + fs.Stats().RemoteBytesRead
+	if one*2 >= all {
+		t.Fatalf("projection should read far less: 1 col=%dB, 4 cols=%dB", one, all)
+	}
+}
+
+func TestMinMaxSkippingReducesIO(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 2048, BlocksPerChunk: 8, MaxRowsPerBlock: 1024})
+	writeRows(t, fs, meta, 0, 20000) // column k is sorted 0..19999
+	ranges, err := meta.QualifyingRanges("k", Int64RangePred(0, 999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RangesRows(ranges); got < 1000 || got > 4000 {
+		t.Fatalf("qualifying rows = %d, want ~1000 (block granularity)", got)
+	}
+	fs.ResetStats()
+	rows := scanAll(t, fs, meta, []string{"k", "price"}, ranges)
+	skipped := fs.Stats().LocalBytesRead + fs.Stats().RemoteBytesRead
+	found := 0
+	for _, r := range rows {
+		if r[0].(int64) <= 999 {
+			found++
+		}
+	}
+	if found != 1000 {
+		t.Fatalf("found %d qualifying rows", found)
+	}
+	fs.ResetStats()
+	scanAll(t, fs, meta, []string{"k", "price"}, nil)
+	full := fs.Stats().LocalBytesRead + fs.Stats().RemoteBytesRead
+	if skipped*3 >= full {
+		t.Fatalf("skipping should save >3x IO: skipped=%dB full=%dB", skipped, full)
+	}
+}
+
+func TestQualifyingRangesMergesAdjacentBlocks(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 2048, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 10000)
+	ranges, err := meta.QualifyingRanges("k", Int64RangePred(0, 9999999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 1 || ranges[0] != (RowRange{0, 10000}) {
+		t.Fatalf("ranges = %v, want one merged full range", ranges)
+	}
+}
+
+func TestIntersectRanges(t *testing.T) {
+	a := []RowRange{{0, 10}, {20, 30}}
+	b := []RowRange{{5, 25}}
+	got := IntersectRanges(a, b)
+	want := []RowRange{{5, 10}, {20, 25}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("intersect = %v", got)
+	}
+	if out := IntersectRanges(a, nil); out != nil {
+		t.Fatalf("intersect with empty = %v", out)
+	}
+}
+
+func TestMetaMarshalRoundTrip(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 3, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 2500)
+	data, err := meta.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPartitionMeta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != meta.Rows || len(back.Cols) != len(meta.Cols) || back.PartialGen != meta.PartialGen {
+		t.Fatal("meta round trip mismatch")
+	}
+	// And the reloaded meta must drive a correct scan.
+	rows := scanAll(t, fs, back, []string{"k"}, nil)
+	if len(rows) != 2500 {
+		t.Fatalf("scan with reloaded meta: %d rows", len(rows))
+	}
+	if _, err := UnmarshalPartitionMeta([]byte("{")); err == nil {
+		t.Fatal("bad json should fail")
+	}
+}
+
+func TestWidenMinMax(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 2048, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 5000)
+	before, _ := meta.QualifyingRanges("k", Int64RangePred(1000000, 2000000))
+	if RangesRows(before) != 0 {
+		t.Fatal("value range should not qualify before widening")
+	}
+	if err := meta.Widen("k", 2500, 1500000, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := meta.QualifyingRanges("k", Int64RangePred(1000000, 2000000))
+	if RangesRows(after) == 0 {
+		t.Fatal("widened block should qualify")
+	}
+}
+
+func TestScannerUnknownColumn(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 100)
+	if _, err := NewScanner(fs, meta, "node1", []string{"nope"}, nil); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+}
+
+func TestEmptyPartitionScan(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	s, err := NewScanner(fs, meta, "node1", []string{"k"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := s.Next()
+	if err != nil || b != nil {
+		t.Fatalf("empty scan: %v %v", b, err)
+	}
+}
+
+func TestThinColumnOccupiesFewBlocks(t *testing.T) {
+	// The Figure-1 design point: a highly compressible column packs into
+	// very few full blocks rather than being split by row count.
+	fs := testFS()
+	schema := vector.Schema{{Name: "wide", Type: vector.TString}, {Name: "thin", Type: vector.TInt64}}
+	meta := NewPartitionMeta("t", 0, schema, Format{BlockSize: 4096, BlocksPerChunk: 64})
+	a, err := NewAppender(fs, meta, "node1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for off := 0; off < 40000; off += vector.MaxSize {
+		b := vector.NewBatchForSchema(schema, vector.MaxSize)
+		for i := 0; i < vector.MaxSize; i++ {
+			b.AppendRow(fmt.Sprintf("wide-unique-string-%d-%d", off+i, rng.Int()), int64(1))
+		}
+		if err := a.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wide, _ := meta.Col("wide")
+	thin, _ := meta.Col("thin")
+	if len(thin.Blocks)*4 > len(wide.Blocks) {
+		t.Fatalf("thin column has %d blocks vs wide %d; expected far fewer", len(thin.Blocks), len(wide.Blocks))
+	}
+}
+
+func TestChunkFileRotation(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 1024, BlocksPerChunk: 4})
+	writeRows(t, fs, meta, 0, 30000)
+	if len(meta.Chunks) < 2 {
+		t.Fatalf("expected multiple chunk files, got %d", len(meta.Chunks))
+	}
+	for _, c := range meta.Chunks {
+		if c.Slots > 4 {
+			t.Fatalf("chunk %d has %d slots, cap 4", c.ID, c.Slots)
+		}
+		if !fs.Exists(meta.ChunkPath(c.ID)) {
+			t.Fatalf("chunk file %d missing", c.ID)
+		}
+	}
+}
+
+func TestDeleteFiles(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 2000)
+	if len(meta.Files()) == 0 {
+		t.Fatal("no files recorded")
+	}
+	if err := meta.DeleteFiles(fs); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range meta.Files() {
+		if fs.Exists(f) {
+			t.Fatalf("file %s survived DeleteFiles", f)
+		}
+	}
+}
+
+func TestAppenderWritesLandOnWriterNode(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 3000)
+	for _, f := range meta.Files() {
+		locs, err := fs.BlockLocations(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bi, l := range locs {
+			if l[0] != "node1" {
+				t.Fatalf("file %s block %d first replica on %s, want writer node1", f, bi, l[0])
+			}
+		}
+	}
+	// Therefore a scan from node1 is fully short-circuit.
+	fs.ResetStats()
+	scanAll(t, fs, meta, []string{"k", "price"}, nil)
+	if s := fs.Stats(); s.RemoteBytesRead != 0 || s.LocalBytesRead == 0 {
+		t.Fatalf("scan from writer should be fully local: %+v", s)
+	}
+}

@@ -1,0 +1,300 @@
+// Package colstore implements VectorH's columnar table storage over HDFS
+// (§3 of the paper): fixed-compressed-size blocks (512 KB by default) laid
+// out at fixed offsets inside horizontal "block chunk" files of up to 1024
+// blocks, a file-per-partition layout where all columns of a partition share
+// its chunk files, a compact partial-chunk file absorbing the partially
+// filled tail blocks of each append, and per-block MinMax indexes kept
+// outside the data files so scans can skip IO entirely.
+package colstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"vectorh/internal/hdfs"
+	"vectorh/internal/vector"
+)
+
+// Format parameterizes the physical layout.
+type Format struct {
+	BlockSize       int // compressed bytes per block slot; default 512 KiB
+	BlocksPerChunk  int // block slots per chunk file; default 1024
+	MaxRowsPerBlock int // tuple cap per block, bounding MinMax granularity; default 64Ki
+}
+
+// DefaultFormat matches the paper's defaults.
+var DefaultFormat = Format{BlockSize: 512 << 10, BlocksPerChunk: 1024, MaxRowsPerBlock: 64 << 10}
+
+func (f *Format) fill() {
+	if f.BlockSize <= 0 {
+		f.BlockSize = DefaultFormat.BlockSize
+	}
+	if f.BlocksPerChunk <= 0 {
+		f.BlocksPerChunk = DefaultFormat.BlocksPerChunk
+	}
+	if f.MaxRowsPerBlock <= 0 {
+		f.MaxRowsPerBlock = DefaultFormat.MaxRowsPerBlock
+	}
+}
+
+// BlockMeta describes one compressed block of one column: its location
+// (chunk file and slot), the row range it covers, and its MinMax summary.
+type BlockMeta struct {
+	Chunk    int   `json:"chunk"`    // chunk file id; -1 = partial chunk
+	Slot     int   `json:"slot"`     // slot within the chunk (offset = slot*BlockSize)
+	RowStart int64 `json:"rowStart"` // first row covered
+	Rows     int   `json:"rows"`     // rows covered
+	Bytes    int   `json:"bytes"`    // encoded payload length
+
+	// MinMax summary; the fields used depend on the column kind.
+	NumMin   int64   `json:"numMin,omitempty"`
+	NumMax   int64   `json:"numMax,omitempty"`
+	FloatMin float64 `json:"floatMin,omitempty"`
+	FloatMax float64 `json:"floatMax,omitempty"`
+	StrMin   string  `json:"strMin,omitempty"`
+	StrMax   string  `json:"strMax,omitempty"`
+}
+
+// ColumnMeta is the per-column block directory.
+type ColumnMeta struct {
+	Name   string      `json:"name"`
+	Type   vector.Type `json:"type"`
+	Blocks []BlockMeta `json:"blocks"`
+}
+
+// ChunkMeta describes one chunk file.
+type ChunkMeta struct {
+	ID    int `json:"id"`
+	Slots int `json:"slots"` // slots written so far
+}
+
+// PartitionMeta is the full storage metadata of one table partition. It is
+// persisted by the caller (VectorH keeps it in the WAL, not in the data
+// files — "MinMax information is intended to help prevent data accesses,
+// therefore it is better to store it separately from that data").
+type PartitionMeta struct {
+	Table     string       `json:"table"`
+	Partition int          `json:"partition"`
+	Gen       int          `json:"gen"` // bumped by update-propagation rewrites
+	Format    Format       `json:"format"`
+	Rows      int64        `json:"rows"`
+	Chunks    []ChunkMeta  `json:"chunks"`
+	Cols      []ColumnMeta `json:"cols"`
+	// PartialGen names the current partial-chunk file generation
+	// (partial files are rewritten wholesale on each append); -1 = none.
+	PartialGen int `json:"partialGen"`
+}
+
+// NewPartitionMeta returns an empty partition with the given schema.
+func NewPartitionMeta(table string, partition int, schema vector.Schema, f Format) *PartitionMeta {
+	f.fill()
+	m := &PartitionMeta{Table: table, Partition: partition, Format: f, PartialGen: -1}
+	for _, field := range schema {
+		m.Cols = append(m.Cols, ColumnMeta{Name: field.Name, Type: field.Type})
+	}
+	return m
+}
+
+// Schema reconstructs the partition schema.
+func (m *PartitionMeta) Schema() vector.Schema {
+	s := make(vector.Schema, len(m.Cols))
+	for i, c := range m.Cols {
+		s[i] = vector.Field{Name: c.Name, Type: c.Type}
+	}
+	return s
+}
+
+// Col returns the metadata of the named column.
+func (m *PartitionMeta) Col(name string) (*ColumnMeta, error) {
+	for i := range m.Cols {
+		if m.Cols[i].Name == name {
+			return &m.Cols[i], nil
+		}
+	}
+	return nil, fmt.Errorf("colstore: %s.p%d has no column %q", m.Table, m.Partition, name)
+}
+
+// Dir returns the HDFS directory of the partition generation.
+func (m *PartitionMeta) Dir() string {
+	return fmt.Sprintf("/vectorh/%s/p%04d.g%d", m.Table, m.Partition, m.Gen)
+}
+
+// ChunkPath returns the HDFS path of a chunk file.
+func (m *PartitionMeta) ChunkPath(id int) string {
+	return fmt.Sprintf("%s/chunk%06d.dat", m.Dir(), id)
+}
+
+// PartialPath returns the HDFS path of the partial-chunk file generation.
+func (m *PartitionMeta) PartialPath(gen int) string {
+	return fmt.Sprintf("%s/partial%06d.dat", m.Dir(), gen)
+}
+
+// Files lists every live data file of the partition (dbAgent feeds these to
+// the namenode to compute locality).
+func (m *PartitionMeta) Files() []string {
+	var out []string
+	for _, c := range m.Chunks {
+		out = append(out, m.ChunkPath(c.ID))
+	}
+	if m.PartialGen >= 0 {
+		out = append(out, m.PartialPath(m.PartialGen))
+	}
+	return out
+}
+
+// Marshal serializes the metadata (stored in the WAL by the engine).
+func (m *PartitionMeta) Marshal() ([]byte, error) { return json.Marshal(m) }
+
+// UnmarshalPartitionMeta parses serialized metadata.
+func UnmarshalPartitionMeta(data []byte) (*PartitionMeta, error) {
+	var m PartitionMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("colstore: bad partition meta: %w", err)
+	}
+	return &m, nil
+}
+
+// RowRange is a half-open interval of row ids.
+type RowRange struct {
+	Start, End int64
+}
+
+// FullRange covers the whole partition.
+func (m *PartitionMeta) FullRange() []RowRange {
+	if m.Rows == 0 {
+		return nil
+	}
+	return []RowRange{{0, m.Rows}}
+}
+
+// BlockPredicate decides from a block's MinMax summary whether the block may
+// contain qualifying rows.
+type BlockPredicate func(b *BlockMeta) bool
+
+// Int64RangePred returns a predicate for lo <= col <= hi on numeric columns.
+func Int64RangePred(lo, hi int64) BlockPredicate {
+	return func(b *BlockMeta) bool { return b.NumMax >= lo && b.NumMin <= hi }
+}
+
+// QualifyingRanges returns the merged row ranges of the blocks of col whose
+// MinMax summary passes pred — the data-skipping step of every MScan.
+func (m *PartitionMeta) QualifyingRanges(col string, pred BlockPredicate) ([]RowRange, error) {
+	c, err := m.Col(col)
+	if err != nil {
+		return nil, err
+	}
+	var out []RowRange
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		if !pred(b) {
+			continue
+		}
+		r := RowRange{b.RowStart, b.RowStart + int64(b.Rows)}
+		if n := len(out); n > 0 && out[n-1].End >= r.Start {
+			if r.End > out[n-1].End {
+				out[n-1].End = r.End
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// IntersectRanges intersects two sorted range lists (conjunction of
+// predicates on different columns).
+func IntersectRanges(a, b []RowRange) []RowRange {
+	var out []RowRange
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := max64(a[i].Start, b[j].Start)
+		hi := min64(a[i].End, b[j].End)
+		if lo < hi {
+			out = append(out, RowRange{lo, hi})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// RangesRows sums the row count covered by the ranges.
+func RangesRows(rs []RowRange) int64 {
+	var n int64
+	for _, r := range rs {
+		n += r.End - r.Start
+	}
+	return n
+}
+
+// Widen grows the MinMax summary of the block covering row sid with a new
+// value, implementing the paper's cheap maintenance rule: "for inserts and
+// modifies the Min and Max extremes can just be widened using the new
+// values, without need to scan the old values".
+func (m *PartitionMeta) Widen(col string, sid int64, numVal int64, floatVal float64, strVal string) error {
+	c, err := m.Col(col)
+	if err != nil {
+		return err
+	}
+	i := sort.Search(len(c.Blocks), func(i int) bool {
+		return c.Blocks[i].RowStart+int64(c.Blocks[i].Rows) > sid
+	})
+	if i >= len(c.Blocks) || c.Blocks[i].RowStart > sid {
+		return nil // row not in any block (e.g. still PDT-resident)
+	}
+	b := &c.Blocks[i]
+	switch c.Type.Kind {
+	case vector.Int32, vector.Int64:
+		if numVal < b.NumMin {
+			b.NumMin = numVal
+		}
+		if numVal > b.NumMax {
+			b.NumMax = numVal
+		}
+	case vector.Float64:
+		if floatVal < b.FloatMin {
+			b.FloatMin = floatVal
+		}
+		if floatVal > b.FloatMax {
+			b.FloatMax = floatVal
+		}
+	case vector.String:
+		if strVal < b.StrMin {
+			b.StrMin = strVal
+		}
+		if strVal > b.StrMax {
+			b.StrMax = strVal
+		}
+	}
+	return nil
+}
+
+// DeleteFiles removes every data file of the partition from HDFS.
+func (m *PartitionMeta) DeleteFiles(fs *hdfs.Cluster) error {
+	for _, f := range m.Files() {
+		if fs.Exists(f) {
+			if err := fs.Delete(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,624 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vectorh/internal/compress"
+	"vectorh/internal/hdfs"
+	"vectorh/internal/vector"
+)
+
+// Block payload tags (compress reserves 1..4 for its own schemes).
+const tagFloatRaw = 5
+
+// colData holds one decoded column block (one of the slices is used,
+// depending on the column kind).
+type colData struct {
+	i64 []int64
+	f64 []float64
+	str []string
+}
+
+func (d *colData) length(k vector.Kind) int {
+	switch k {
+	case vector.Float64:
+		return len(d.f64)
+	case vector.String:
+		return len(d.str)
+	default:
+		return len(d.i64)
+	}
+}
+
+func (d *colData) slice(k vector.Kind, lo, hi int) colData {
+	switch k {
+	case vector.Float64:
+		return colData{f64: d.f64[lo:hi]}
+	case vector.String:
+		return colData{str: d.str[lo:hi]}
+	default:
+		return colData{i64: d.i64[lo:hi]}
+	}
+}
+
+func (d *colData) appendBatchCol(v *vector.Vec, sel []int32) {
+	switch v.Kind() {
+	case vector.Int32:
+		src := v.Int32s()
+		if sel == nil {
+			for _, x := range src {
+				d.i64 = append(d.i64, int64(x))
+			}
+		} else {
+			for _, i := range sel {
+				d.i64 = append(d.i64, int64(src[i]))
+			}
+		}
+	case vector.Int64:
+		src := v.Int64s()
+		if sel == nil {
+			d.i64 = append(d.i64, src...)
+		} else {
+			for _, i := range sel {
+				d.i64 = append(d.i64, src[i])
+			}
+		}
+	case vector.Float64:
+		src := v.Float64s()
+		if sel == nil {
+			d.f64 = append(d.f64, src...)
+		} else {
+			for _, i := range sel {
+				d.f64 = append(d.f64, src[i])
+			}
+		}
+	case vector.String:
+		src := v.Strings()
+		if sel == nil {
+			d.str = append(d.str, src...)
+		} else {
+			for _, i := range sel {
+				d.str = append(d.str, src[i])
+			}
+		}
+	default:
+		panic(fmt.Sprintf("colstore: unsupported kind %v", v.Kind()))
+	}
+}
+
+// encodeBlock compresses values with the best lightweight scheme for the
+// kind: PFOR vs PFOR-DELTA for integers, PDICT vs raw+LZ for strings, raw
+// bytes for floats (which lightweight schemes do not compress, per Fig. 1).
+func encodeBlock(k vector.Kind, d colData) []byte {
+	switch k {
+	case vector.Float64:
+		out := []byte{tagFloatRaw}
+		out = binary.AppendUvarint(out, uint64(len(d.f64)))
+		for _, f := range d.f64 {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(f))
+		}
+		return out
+	case vector.String:
+		return compress.EncodeStrings(d.str)
+	default:
+		p := compress.PFOREncode(d.i64)
+		pd := compress.PFORDeltaEncode(d.i64)
+		if len(pd) < len(p) {
+			return pd
+		}
+		return p
+	}
+}
+
+// decodeBlock inverts encodeBlock.
+func decodeBlock(k vector.Kind, data []byte) (colData, error) {
+	if len(data) == 0 {
+		return colData{}, compress.ErrCorrupt
+	}
+	switch k {
+	case vector.Float64:
+		if data[0] != tagFloatRaw {
+			return colData{}, fmt.Errorf("colstore: bad float block tag %d", data[0])
+		}
+		body := data[1:]
+		n, sz := binary.Uvarint(body)
+		if sz <= 0 || uint64(len(body)-sz) < n*8 {
+			return colData{}, compress.ErrCorrupt
+		}
+		body = body[sz:]
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+		}
+		return colData{f64: out}, nil
+	case vector.String:
+		str, err := compress.DecodeStrings(data, nil)
+		return colData{str: str}, err
+	default:
+		var (
+			i64 []int64
+			err error
+		)
+		if data[0] == 2 { // tagPFORDelta
+			i64, err = compress.PFORDeltaDecode(data, nil)
+		} else {
+			i64, err = compress.PFORDecode(data, nil)
+		}
+		return colData{i64: i64}, err
+	}
+}
+
+// blockMinMax computes the MinMax summary for a block.
+func blockMinMax(k vector.Kind, d colData, b *BlockMeta) {
+	switch k {
+	case vector.Float64:
+		if len(d.f64) == 0 {
+			return
+		}
+		b.FloatMin, b.FloatMax = d.f64[0], d.f64[0]
+		for _, v := range d.f64 {
+			if v < b.FloatMin {
+				b.FloatMin = v
+			}
+			if v > b.FloatMax {
+				b.FloatMax = v
+			}
+		}
+	case vector.String:
+		if len(d.str) == 0 {
+			return
+		}
+		b.StrMin, b.StrMax = d.str[0], d.str[0]
+		for _, v := range d.str {
+			if v < b.StrMin {
+				b.StrMin = v
+			}
+			if v > b.StrMax {
+				b.StrMax = v
+			}
+		}
+	default:
+		if len(d.i64) == 0 {
+			return
+		}
+		b.NumMin, b.NumMax = d.i64[0], d.i64[0]
+		for _, v := range d.i64 {
+			if v < b.NumMin {
+				b.NumMin = v
+			}
+			if v > b.NumMax {
+				b.NumMax = v
+			}
+		}
+	}
+}
+
+// Appender buffers rows for one partition and writes them as compressed
+// blocks: full blocks land at fixed offsets in chunk files, the final
+// partially filled block of each column goes to a compact partial-chunk
+// file that the next append consumes and replaces (§3 "Original Layout" /
+// "File-per-partition Layout").
+type Appender struct {
+	fs   *hdfs.Cluster
+	meta *PartitionMeta
+	node string // writer node; gets the first HDFS replica
+
+	pend      []colData // per column, pending values not yet in full blocks
+	flushedTo []int64   // per column, rows already covered by full blocks
+}
+
+// NewAppender opens the partition for appending, reading back any partial
+// blocks from the previous append (which are then superseded on Close).
+func NewAppender(fs *hdfs.Cluster, meta *PartitionMeta, node string) (*Appender, error) {
+	a := &Appender{
+		fs:        fs,
+		meta:      meta,
+		node:      node,
+		pend:      make([]colData, len(meta.Cols)),
+		flushedTo: make([]int64, len(meta.Cols)),
+	}
+	for ci := range meta.Cols {
+		c := &meta.Cols[ci]
+		n := len(c.Blocks)
+		if n > 0 && c.Blocks[n-1].Chunk == -1 {
+			// Read the partial block back into the pending buffer.
+			pb := c.Blocks[n-1]
+			data, err := a.readPayload(pb)
+			if err != nil {
+				return nil, fmt.Errorf("colstore: reading partial block of %s: %w", c.Name, err)
+			}
+			d, err := decodeBlock(c.Type.Kind, data)
+			if err != nil {
+				return nil, err
+			}
+			a.pend[ci] = d
+			c.Blocks = c.Blocks[:n-1]
+		}
+		if n := len(c.Blocks); n > 0 {
+			a.flushedTo[ci] = c.Blocks[n-1].RowStart + int64(c.Blocks[n-1].Rows)
+		}
+	}
+	if meta.PartialGen >= 0 {
+		// The old partial file is fully consumed; drop it.
+		path := meta.PartialPath(meta.PartialGen)
+		if fs.Exists(path) {
+			if err := fs.Delete(path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// Append buffers a batch (honoring its selection vector) and flushes any
+// full blocks that have accumulated.
+func (a *Appender) Append(b *vector.Batch) error {
+	if b.NumCols() != len(a.meta.Cols) {
+		return fmt.Errorf("colstore: batch has %d columns, partition %d", b.NumCols(), len(a.meta.Cols))
+	}
+	for ci := range a.meta.Cols {
+		a.pend[ci].appendBatchCol(b.Col(ci), b.Sel)
+	}
+	a.meta.Rows += int64(b.Len())
+	return a.flushFull()
+}
+
+// flushFull writes pending data to full blocks while a comfortable margin of
+// data remains buffered (the remainder becomes the partial block at Close).
+func (a *Appender) flushFull() error {
+	for ci := range a.meta.Cols {
+		c := &a.meta.Cols[ci]
+		for {
+			n := a.pend[ci].length(c.Type.Kind)
+			raw := rawBytesEstimate(c.Type.Kind, a.pend[ci])
+			// Only cut a block when enough raw bytes are buffered to
+			// very likely fill one compressed block; force a cut when
+			// highly compressible data would otherwise buffer without
+			// bound.
+			if raw < 4*a.meta.Format.BlockSize {
+				break
+			}
+			cut, err := a.cutOneBlock(ci, n, raw >= 64*a.meta.Format.BlockSize)
+			if err != nil {
+				return err
+			}
+			if cut == 0 {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+func rawBytesEstimate(k vector.Kind, d colData) int {
+	switch k {
+	case vector.Float64:
+		return len(d.f64) * 8
+	case vector.String:
+		total := 0
+		for _, s := range d.str {
+			total += len(s) + 4
+		}
+		return total
+	default:
+		return len(d.i64) * 8
+	}
+}
+
+// cutOneBlock encodes a prefix of the pending values into one block of at
+// most BlockSize compressed bytes (growing/shrinking the prefix with a
+// doubling search) and writes it to the current chunk file. With force set,
+// it also emits undersized final blocks. It returns the rows consumed.
+func (a *Appender) cutOneBlock(ci, avail int, force bool) (int, error) {
+	c := &a.meta.Cols[ci]
+	bs := a.meta.Format.BlockSize
+	limit := avail
+	if cap := a.meta.Format.MaxRowsPerBlock; limit > cap {
+		limit = cap
+	}
+	if est := bs * 8; limit > est { // lower bound ~1 bit/value
+		limit = est
+	}
+	k := limit
+	d := a.pend[ci]
+	enc := encodeBlock(c.Type.Kind, d.slice(c.Type.Kind, 0, k))
+	for len(enc) > bs && k > 1 {
+		k /= 2
+		enc = encodeBlock(c.Type.Kind, d.slice(c.Type.Kind, 0, k))
+	}
+	for len(enc) <= bs/2 && k < limit {
+		k2 := k * 2
+		if k2 > limit {
+			k2 = limit
+		}
+		enc2 := encodeBlock(c.Type.Kind, d.slice(c.Type.Kind, 0, k2))
+		if len(enc2) > bs {
+			break
+		}
+		k, enc = k2, enc2
+	}
+	if !force && k == avail && len(enc) <= bs/2 {
+		return 0, nil // too little data; keep buffering
+	}
+	slots := (len(enc) + bs - 1) / bs // oversized single values span slots
+	chunk, slot, err := a.allocSlots(slots)
+	if err != nil {
+		return 0, err
+	}
+	if err := a.writePadded(a.meta.ChunkPath(chunk), enc, slots*bs); err != nil {
+		return 0, err
+	}
+	bm := BlockMeta{Chunk: chunk, Slot: slot, RowStart: a.flushedTo[ci], Rows: k, Bytes: len(enc)}
+	blockMinMax(c.Type.Kind, d.slice(c.Type.Kind, 0, k), &bm)
+	c.Blocks = append(c.Blocks, bm)
+	a.flushedTo[ci] += int64(k)
+	a.pend[ci] = d.slice(c.Type.Kind, k, avail)
+	return k, nil
+}
+
+// allocSlots reserves consecutive slots in the open chunk file, opening a
+// new chunk when the current one is full ("only one block chunk file is
+// open for writing at a time").
+func (a *Appender) allocSlots(n int) (chunk, slot int, err error) {
+	m := a.meta
+	if len(m.Chunks) == 0 || m.Chunks[len(m.Chunks)-1].Slots+n > m.Format.BlocksPerChunk {
+		m.Chunks = append(m.Chunks, ChunkMeta{ID: len(m.Chunks)})
+	}
+	cm := &m.Chunks[len(m.Chunks)-1]
+	slot = cm.Slots
+	cm.Slots += n
+	return cm.ID, slot, nil
+}
+
+func (a *Appender) writePadded(path string, enc []byte, padded int) error {
+	w, err := a.fs.Append(path, a.node)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(enc); err != nil {
+		return err
+	}
+	if pad := padded - len(enc); pad > 0 {
+		if _, err := w.Write(make([]byte, pad)); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// Close flushes every remaining pending value: full blocks go to chunk
+// files, the final under-full block of each column goes to a fresh compact
+// partial-chunk file.
+func (a *Appender) Close() error {
+	for ci := range a.meta.Cols {
+		c := &a.meta.Cols[ci]
+		for {
+			n := a.pend[ci].length(c.Type.Kind)
+			if n == 0 || n <= a.meta.Format.MaxRowsPerBlock {
+				if n == 0 {
+					break
+				}
+				enc := encodeBlock(c.Type.Kind, a.pend[ci])
+				if len(enc) <= a.meta.Format.BlockSize {
+					break // remainder fits one (partial) block
+				}
+			}
+			if _, err := a.cutOneBlock(ci, n, true); err != nil {
+				return err
+			}
+		}
+	}
+	// Row-count invariant: every column must cover meta.Rows.
+	for ci := range a.meta.Cols {
+		c := &a.meta.Cols[ci]
+		if covered := a.flushedTo[ci] + int64(a.pend[ci].length(c.Type.Kind)); covered != a.meta.Rows {
+			return fmt.Errorf("colstore: column %s covers %d of %d rows", c.Name, covered, a.meta.Rows)
+		}
+	}
+	// Write the partial-chunk file.
+	anyPartial := false
+	for ci := range a.meta.Cols {
+		if a.pend[ci].length(a.meta.Cols[ci].Type.Kind) > 0 {
+			anyPartial = true
+		}
+	}
+	a.meta.PartialGen++
+	if !anyPartial {
+		a.meta.PartialGen = -1
+		return nil
+	}
+	path := a.meta.PartialPath(a.meta.PartialGen)
+	if a.fs.Exists(path) {
+		if err := a.fs.Delete(path); err != nil {
+			return err
+		}
+	}
+	w, err := a.fs.Create(path, a.node)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for ci := range a.meta.Cols {
+		c := &a.meta.Cols[ci]
+		n := a.pend[ci].length(c.Type.Kind)
+		if n == 0 {
+			continue
+		}
+		enc := encodeBlock(c.Type.Kind, a.pend[ci])
+		// For partial blocks, Slot records the byte offset inside the
+		// compact partial file.
+		bm := BlockMeta{Chunk: -1, Slot: off, RowStart: a.flushedTo[ci], Rows: n, Bytes: len(enc)}
+		blockMinMax(c.Type.Kind, a.pend[ci], &bm)
+		c.Blocks = append(c.Blocks, bm)
+		if _, err := w.Write(enc); err != nil {
+			return err
+		}
+		off += len(enc)
+	}
+	return w.Close()
+}
+
+// readPayload fetches a block's compressed bytes.
+func (a *Appender) readPayload(b BlockMeta) ([]byte, error) {
+	return readPayload(a.fs, a.meta, a.node, b)
+}
+
+func readPayload(fs *hdfs.Cluster, m *PartitionMeta, node string, b BlockMeta) ([]byte, error) {
+	var path string
+	var off int64
+	if b.Chunk >= 0 {
+		path = m.ChunkPath(b.Chunk)
+		off = int64(b.Slot) * int64(m.Format.BlockSize)
+	} else {
+		path = m.PartialPath(m.PartialGen)
+		off = int64(b.Slot)
+	}
+	r, err := fs.Open(path, node)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, b.Bytes)
+	if _, err := r.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Scanner reads a projection of a partition over a set of row ranges,
+// producing vectors of up to vector.MaxSize rows. Blocks outside the ranges
+// are never touched — the IO half of MinMax skipping.
+type Scanner struct {
+	fs     *hdfs.Cluster
+	meta   *PartitionMeta
+	node   string
+	cols   []int
+	kinds  []vector.Kind
+	ranges []RowRange
+
+	ri     int
+	cursor int64
+	cache  []cachedBlock
+}
+
+type cachedBlock struct {
+	lo, hi int64
+	data   colData
+}
+
+// NewScanner opens a scan of the named columns over the given ranges (nil
+// ranges means the full partition).
+func NewScanner(fs *hdfs.Cluster, meta *PartitionMeta, node string, cols []string, ranges []RowRange) (*Scanner, error) {
+	if ranges == nil {
+		ranges = meta.FullRange()
+	}
+	s := &Scanner{fs: fs, meta: meta, node: node, ranges: ranges}
+	for _, name := range cols {
+		found := false
+		for ci := range meta.Cols {
+			if meta.Cols[ci].Name == name {
+				s.cols = append(s.cols, ci)
+				s.kinds = append(s.kinds, meta.Cols[ci].Type.Kind)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("colstore: no column %q in %s.p%d", name, meta.Table, meta.Partition)
+		}
+	}
+	s.cache = make([]cachedBlock, len(s.cols))
+	if len(ranges) > 0 {
+		s.cursor = ranges[0].Start
+	}
+	return s, nil
+}
+
+// Next returns the next batch and the row id of its first tuple, or nil at
+// end of scan.
+func (s *Scanner) Next() (*vector.Batch, int64, error) {
+	for s.ri < len(s.ranges) && s.cursor >= s.ranges[s.ri].End {
+		s.ri++
+		if s.ri < len(s.ranges) {
+			s.cursor = s.ranges[s.ri].Start
+		}
+	}
+	if s.ri >= len(s.ranges) {
+		return nil, 0, nil
+	}
+	n := s.ranges[s.ri].End - s.cursor
+	if n > vector.MaxSize {
+		n = vector.MaxSize
+	}
+	// Clamp n so it stays within one cached block per column.
+	for i := range s.cols {
+		cb, err := s.ensureBlock(i, s.cursor)
+		if err != nil {
+			return nil, 0, err
+		}
+		if avail := cb.hi - s.cursor; avail < n {
+			n = avail
+		}
+	}
+	batch := &vector.Batch{Vecs: make([]*vector.Vec, len(s.cols))}
+	for i, k := range s.kinds {
+		cb := &s.cache[i]
+		lo := int(s.cursor - cb.lo)
+		hi := lo + int(n)
+		switch k {
+		case vector.Float64:
+			batch.Vecs[i] = vector.FromFloat64(cb.data.f64[lo:hi])
+		case vector.String:
+			batch.Vecs[i] = vector.FromString(cb.data.str[lo:hi])
+		case vector.Int32:
+			out := make([]int32, hi-lo)
+			for j, v := range cb.data.i64[lo:hi] {
+				out[j] = int32(v)
+			}
+			batch.Vecs[i] = vector.FromInt32(out)
+		default:
+			batch.Vecs[i] = vector.FromInt64(cb.data.i64[lo:hi])
+		}
+	}
+	start := s.cursor
+	s.cursor += n
+	return batch, start, nil
+}
+
+// ensureBlock loads (and caches) the block of requested column i covering
+// row.
+func (s *Scanner) ensureBlock(i int, row int64) (*cachedBlock, error) {
+	cb := &s.cache[i]
+	if row >= cb.lo && row < cb.hi {
+		return cb, nil
+	}
+	c := &s.meta.Cols[s.cols[i]]
+	// Binary search the block directory.
+	lo, hi := 0, len(c.Blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.Blocks[mid].RowStart+int64(c.Blocks[mid].Rows) <= row {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(c.Blocks) || c.Blocks[lo].RowStart > row {
+		return nil, fmt.Errorf("colstore: row %d not covered by column %s", row, c.Name)
+	}
+	b := c.Blocks[lo]
+	payload, err := readPayload(s.fs, s.meta, s.node, b)
+	if err != nil {
+		return nil, err
+	}
+	d, err := decodeBlock(c.Type.Kind, payload)
+	if err != nil {
+		return nil, err
+	}
+	if got := d.length(c.Type.Kind); got != b.Rows {
+		return nil, fmt.Errorf("colstore: block of %s decoded %d rows, meta says %d", c.Name, got, b.Rows)
+	}
+	cb.lo, cb.hi, cb.data = b.RowStart, b.RowStart+int64(b.Rows), d
+	return cb, nil
+}

@@ -1,0 +1,407 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitPackRoundTrip(t *testing.T) {
+	for _, width := range []int{0, 1, 3, 7, 8, 13, 31, 32, 47, 56, 57, 63, 64} {
+		rng := rand.New(rand.NewSource(int64(width)))
+		vals := make([]uint64, 300)
+		var mask uint64 = ^uint64(0)
+		if width < 64 {
+			mask = uint64(1)<<uint(width) - 1
+		}
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		packed := packBits(nil, vals, width)
+		wantBytes := (len(vals)*width + 7) / 8
+		if len(packed) != wantBytes {
+			t.Fatalf("width %d: packed %d bytes, want %d", width, len(packed), wantBytes)
+		}
+		got := make([]uint64, len(vals))
+		unpackBits(got, packed, len(vals), width)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("width %d: val %d = %d, want %d", width, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, math.MaxUint64: 64}
+	for v, w := range cases {
+		if bitsFor(v) != w {
+			t.Errorf("bitsFor(%d) = %d, want %d", v, bitsFor(v), w)
+		}
+	}
+}
+
+func TestZigzagRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pforRoundTrip(t *testing.T, name string, vals []int64) {
+	t.Helper()
+	enc := PFOREncode(vals)
+	dec, err := PFORDecode(enc, nil)
+	if err != nil {
+		t.Fatalf("%s: decode: %v", name, err)
+	}
+	if len(dec) != len(vals) {
+		t.Fatalf("%s: len %d, want %d", name, len(dec), len(vals))
+	}
+	for i := range vals {
+		if dec[i] != vals[i] {
+			t.Fatalf("%s: [%d] = %d, want %d", name, i, dec[i], vals[i])
+		}
+	}
+}
+
+func TestPFORBasic(t *testing.T) {
+	pforRoundTrip(t, "empty", nil)
+	pforRoundTrip(t, "single", []int64{42})
+	pforRoundTrip(t, "constant", []int64{7, 7, 7, 7, 7})
+	pforRoundTrip(t, "small range", []int64{100, 103, 101, 107, 100})
+	pforRoundTrip(t, "negatives", []int64{-5, -3, 0, 2, -100})
+	pforRoundTrip(t, "extremes", []int64{math.MinInt64, math.MaxInt64, 0})
+}
+
+func TestPFORExceptions(t *testing.T) {
+	// Mostly small values, a few huge outliers: the outliers must become
+	// exceptions, keeping the code width thin.
+	vals := make([]int64, 2000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range vals {
+		vals[i] = int64(rng.Intn(16))
+	}
+	vals[3] = 1 << 40
+	vals[500] = -(1 << 39)
+	vals[1999] = 1 << 50
+	pforRoundTrip(t, "outliers", vals)
+	enc := PFOREncode(vals)
+	if len(enc) > 2000*2 {
+		t.Fatalf("outliers blew up encoding to %d bytes", len(enc))
+	}
+}
+
+func TestPFORForcedExceptions(t *testing.T) {
+	// One early and one very late exception with width 1 forces chain
+	// links every 2 positions.
+	vals := make([]int64, 5000)
+	for i := range vals {
+		vals[i] = int64(i % 2)
+	}
+	vals[0] = 1 << 30
+	vals[4999] = 1 << 31
+	pforRoundTrip(t, "forced chain", vals)
+}
+
+func TestPFORCompressionRatio(t *testing.T) {
+	// Values in [0, 100): ~7 bits/value; encoding must be far below 8
+	// bytes/value and below 1.5 bytes/value.
+	vals := make([]int64, 4096)
+	rng := rand.New(rand.NewSource(2))
+	for i := range vals {
+		vals[i] = int64(rng.Intn(100))
+	}
+	enc := PFOREncode(vals)
+	if len(enc) > len(vals)*3/2 {
+		t.Fatalf("PFOR ratio too poor: %d bytes for %d values", len(enc), len(vals))
+	}
+}
+
+func TestPFORDeltaSorted(t *testing.T) {
+	// Sorted runs (e.g. l_orderkey) should compress dramatically better
+	// with PFOR-DELTA than with plain PFOR.
+	vals := make([]int64, 8192)
+	v := int64(1 << 33)
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		v += int64(rng.Intn(4))
+		vals[i] = v
+	}
+	enc := PFORDeltaEncode(vals)
+	dec, err := PFORDeltaDecode(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if dec[i] != vals[i] {
+			t.Fatalf("[%d] = %d, want %d", i, dec[i], vals[i])
+		}
+	}
+	plain := PFOREncode(vals)
+	if len(enc)*4 > len(plain) {
+		t.Fatalf("PFOR-DELTA (%dB) should beat PFOR (%dB) by >4x on sorted data", len(enc), len(plain))
+	}
+}
+
+func TestPFORDeltaUnsortedAndEmpty(t *testing.T) {
+	for _, vals := range [][]int64{nil, {9}, {5, -10, 30, 2, 2, 100, -1000}} {
+		enc := PFORDeltaEncode(vals)
+		dec, err := PFORDeltaDecode(enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("len %d want %d", len(dec), len(vals))
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				t.Fatalf("[%d] = %d want %d", i, dec[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestPFORRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		dec, err := PFORDecode(PFOREncode(vals), nil)
+		if err != nil || len(dec) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPFORDeltaRoundTripProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		in := make([]int64, len(vals))
+		for i, v := range vals {
+			in[i] = int64(v)
+		}
+		dec, err := PFORDeltaDecode(PFORDeltaEncode(in), nil)
+		if err != nil || len(dec) != len(in) {
+			return false
+		}
+		for i := range in {
+			if dec[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPFORDecodeRejectsGarbage(t *testing.T) {
+	if _, err := PFORDecode([]byte{}, nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+	if _, err := PFORDecode([]byte{tagPDict, 1}, nil); err == nil {
+		t.Fatal("wrong tag should fail")
+	}
+	if _, err := PFORDecode([]byte{tagPFOR, 200, 1, 1}, nil); err == nil {
+		t.Fatal("truncated body should fail")
+	}
+}
+
+func TestPDictBasic(t *testing.T) {
+	vals := []string{"apple", "pear", "apple", "apple", "fig", "pear", "apple"}
+	dec, err := PDictDecode(PDictEncode(vals), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if dec[i] != vals[i] {
+			t.Fatalf("[%d] = %q, want %q", i, dec[i], vals[i])
+		}
+	}
+}
+
+func TestPDictEmptyAndSingleton(t *testing.T) {
+	for _, vals := range [][]string{nil, {""}, {"only"}, {"", "", ""}} {
+		dec, err := PDictDecode(PDictEncode(vals), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("len %d want %d", len(dec), len(vals))
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				t.Fatalf("[%d] = %q want %q", i, dec[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestPDictCompressionOnLowCardinality(t *testing.T) {
+	// Like l_returnflag: 3 distinct single-char values.
+	vals := make([]string, 10000)
+	flags := []string{"A", "N", "R"}
+	rng := rand.New(rand.NewSource(4))
+	for i := range vals {
+		vals[i] = flags[rng.Intn(3)]
+	}
+	enc := PDictEncode(vals)
+	// 2 bits per value plus headers: must be far below 1 byte/value.
+	if len(enc) > len(vals)/2 {
+		t.Fatalf("PDICT too large: %d bytes for %d values", len(enc), len(vals))
+	}
+	dec, err := PDictDecode(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if dec[i] != vals[i] {
+			t.Fatalf("[%d] mismatch", i)
+		}
+	}
+}
+
+func TestEncodeStringsPicksRawForHighCardinality(t *testing.T) {
+	// Unique long strings: dictionary must lose to raw+LZ.
+	vals := make([]string, 500)
+	for i := range vals {
+		vals[i] = strings.Repeat("x", 20) + string(rune('a'+i%26)) + strings.Repeat("y", i%17)
+	}
+	enc := EncodeStrings(vals)
+	dec, err := DecodeStrings(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if dec[i] != vals[i] {
+			t.Fatalf("[%d] mismatch", i)
+		}
+	}
+}
+
+func TestDecodeStringsRejectsGarbage(t *testing.T) {
+	if _, err := DecodeStrings(nil, nil); err == nil {
+		t.Fatal("nil input should fail")
+	}
+	if _, err := DecodeStrings([]byte{99, 0}, nil); err == nil {
+		t.Fatal("unknown tag should fail")
+	}
+}
+
+func TestPDictRoundTripProperty(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		vals := make([]string, len(raw))
+		for i, b := range raw {
+			vals[i] = string(b)
+		}
+		dec, err := DecodeStrings(EncodeStrings(vals), nil)
+		if err != nil || len(dec) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLZRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("abcabcabcabcabcabc"),
+		bytes.Repeat([]byte("hello world "), 1000),
+		{0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	rng := rand.New(rand.NewSource(5))
+	random := make([]byte, 10000)
+	rng.Read(random)
+	cases = append(cases, random)
+	for i, src := range cases {
+		enc := LZCompress(src)
+		dec, err := LZDecompress(enc)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("case %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestLZCompressesRepetitiveData(t *testing.T) {
+	src := bytes.Repeat([]byte("TPCH comment text generation "), 500)
+	enc := LZCompress(src)
+	if len(enc)*10 > len(src) {
+		t.Fatalf("LZ ratio too poor: %d -> %d", len(src), len(enc))
+	}
+}
+
+func TestLZRejectsGarbage(t *testing.T) {
+	if _, err := LZDecompress([]byte{8, 1, 0xff}); err == nil {
+		t.Fatal("bad match offset should fail")
+	}
+	if _, err := LZDecompress(nil); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestLZRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		dec, err := LZDecompress(LZCompress(src))
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPFORPatching(b *testing.B) {
+	// Ablation: decode cost with and without exceptions present.
+	mk := func(excEvery int) []byte {
+		vals := make([]int64, 65536)
+		rng := rand.New(rand.NewSource(6))
+		for i := range vals {
+			vals[i] = int64(rng.Intn(256))
+			if excEvery > 0 && i%excEvery == 0 {
+				vals[i] = int64(rng.Intn(1 << 40))
+			}
+		}
+		return PFOREncode(vals)
+	}
+	for _, tc := range []struct {
+		name string
+		enc  []byte
+	}{
+		{"no-exceptions", mk(0)},
+		{"1pct-exceptions", mk(100)},
+		{"10pct-exceptions", mk(10)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			dst := make([]int64, 0, 65536)
+			b.SetBytes(65536 * 8)
+			for i := 0; i < b.N; i++ {
+				var err error
+				dst, err = PFORDecode(tc.enc, dst[:0])
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package compress
+
+import "encoding/binary"
+
+// LZCompress is a small byte-oriented LZ77 compressor in the spirit of
+// Snappy/LZ4: greedy hash-table matching on 4-byte windows, varint-coded
+// copy offsets, no entropy stage. It stands in for the general-purpose
+// compressors the paper discusses (Snappy in ORC/Parquet, LZ4 in VectorH).
+//
+// Format: uvarint(decompressed length) followed by tokens. A token control
+// byte c encodes a literal run of (c>>1)+1 bytes when c&1 == 0, or a match
+// of length (c>>1)+minMatch with a following uvarint back-offset when
+// c&1 == 1.
+func LZCompress(src []byte) []byte {
+	const (
+		minMatch   = 4
+		maxLiteral = 128
+		maxMatch   = 127 + minMatch
+		hashBits   = 14
+	)
+	out := binary.AppendUvarint(nil, uint64(len(src)))
+	if len(src) == 0 {
+		return out
+	}
+	var table [1 << hashBits]int32
+	for i := range table {
+		table[i] = -1
+	}
+	hash := func(p int) uint32 {
+		v := uint32(src[p]) | uint32(src[p+1])<<8 | uint32(src[p+2])<<16 | uint32(src[p+3])<<24
+		return (v * 2654435761) >> (32 - hashBits)
+	}
+	emitLiterals := func(lo, hi int) {
+		for lo < hi {
+			run := hi - lo
+			if run > maxLiteral {
+				run = maxLiteral
+			}
+			out = append(out, byte((run-1)<<1))
+			out = append(out, src[lo:lo+run]...)
+			lo += run
+		}
+	}
+	litStart := 0
+	i := 0
+	for i+minMatch <= len(src) {
+		h := hash(i)
+		cand := table[h]
+		table[h] = int32(i)
+		if cand < 0 || int(cand)+minMatch > len(src) ||
+			src[cand] != src[i] || src[cand+1] != src[i+1] ||
+			src[cand+2] != src[i+2] || src[cand+3] != src[i+3] {
+			i++
+			continue
+		}
+		// Extend the match.
+		length := minMatch
+		for i+length < len(src) && length < maxMatch && src[int(cand)+length] == src[i+length] {
+			length++
+		}
+		emitLiterals(litStart, i)
+		out = append(out, byte((length-minMatch)<<1|1))
+		out = binary.AppendUvarint(out, uint64(i-int(cand)))
+		i += length
+		litStart = i
+	}
+	emitLiterals(litStart, len(src))
+	return out
+}
+
+// LZDecompress inverts LZCompress.
+func LZDecompress(src []byte) ([]byte, error) {
+	const minMatch = 4
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	src = src[sz:]
+	out := make([]byte, 0, n)
+	for len(src) > 0 {
+		c := src[0]
+		src = src[1:]
+		if c&1 == 0 {
+			run := int(c>>1) + 1
+			if len(src) < run {
+				return nil, ErrCorrupt
+			}
+			out = append(out, src[:run]...)
+			src = src[run:]
+			continue
+		}
+		length := int(c>>1) + minMatch
+		off, sz := binary.Uvarint(src)
+		if sz <= 0 || off == 0 || off > uint64(len(out)) {
+			return nil, ErrCorrupt
+		}
+		src = src[sz:]
+		start := len(out) - int(off)
+		for j := 0; j < length; j++ { // may self-overlap
+			out = append(out, out[start+j])
+		}
+	}
+	if uint64(len(out)) != n {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}

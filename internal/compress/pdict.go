@@ -1,0 +1,240 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// maxDictEntries caps the PDICT dictionary; values beyond the cap (or runs of
+// values too rare to be worth a slot) become patched exceptions.
+const maxDictEntries = 1 << 16
+
+// PDictEncode compresses strings with patched dictionary encoding: frequent
+// values get thin fixed-width dictionary codes, infrequent values are stored
+// verbatim as exceptions threaded through the code stream.
+func PDictEncode(vals []string) []byte {
+	out := []byte{tagPDict}
+	out = binary.AppendUvarint(out, uint64(len(vals)))
+	if len(vals) == 0 {
+		return out
+	}
+
+	// Build the dictionary: distinct values by descending frequency,
+	// ties broken by first occurrence for determinism.
+	type entry struct {
+		s     string
+		freq  int
+		first int
+	}
+	index := make(map[string]int, 64)
+	var entries []entry
+	for i, s := range vals {
+		if j, ok := index[s]; ok {
+			entries[j].freq++
+		} else {
+			index[s] = len(entries)
+			entries = append(entries, entry{s: s, freq: 1, first: i})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].freq != entries[b].freq {
+			return entries[a].freq > entries[b].freq
+		}
+		return entries[a].first < entries[b].first
+	})
+	if len(entries) > maxDictEntries {
+		entries = entries[:maxDictEntries]
+	}
+	dictIdx := make(map[string]uint64, len(entries))
+	for i, e := range entries {
+		dictIdx[e.s] = uint64(i)
+	}
+
+	w := bitsFor(uint64(len(entries) - 1))
+	if w == 0 {
+		w = 1
+	}
+	sentinel := uint64(1) << uint(w)
+
+	codes := make([]uint64, len(vals))
+	for i, s := range vals {
+		if c, ok := dictIdx[s]; ok {
+			codes[i] = c
+		} else {
+			codes[i] = sentinel
+		}
+	}
+	plan := exceptionPlan(codes, w)
+
+	out = binary.AppendUvarint(out, uint64(len(entries)))
+	for _, e := range entries {
+		out = binary.AppendUvarint(out, uint64(len(e.s)))
+		out = append(out, e.s...)
+	}
+	out = append(out, byte(w))
+	firstExc := len(vals)
+	if len(plan) > 0 {
+		firstExc = plan[0]
+	}
+	out = binary.AppendUvarint(out, uint64(firstExc))
+	out = binary.AppendUvarint(out, uint64(len(plan)))
+
+	packed := make([]uint64, len(codes))
+	copy(packed, codes)
+	for j, p := range plan {
+		gap := uint64(1)
+		if j+1 < len(plan) {
+			gap = uint64(plan[j+1] - p)
+		}
+		packed[p] = gap - 1
+	}
+	out = packBits(out, packed, w)
+	for _, p := range plan {
+		out = binary.AppendUvarint(out, uint64(len(vals[p])))
+		out = append(out, vals[p]...)
+	}
+	return out
+}
+
+// PDictDecode decompresses a PDictEncode block, appending to dst.
+func PDictDecode(data []byte, dst []string) ([]string, error) {
+	if len(data) < 2 || data[0] != tagPDict {
+		return nil, fmt.Errorf("%w: expected PDICT", ErrCorrupt)
+	}
+	body := data[1:]
+	n, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	if n == 0 {
+		return dst, nil
+	}
+	dn, sz := binary.Uvarint(body)
+	if sz <= 0 || dn > maxDictEntries {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	dict := make([]string, dn)
+	for i := range dict {
+		l, sz := binary.Uvarint(body)
+		if sz <= 0 || uint64(len(body)-sz) < l {
+			return nil, ErrCorrupt
+		}
+		body = body[sz:]
+		dict[i] = string(body[:l])
+		body = body[l:]
+	}
+	if len(body) < 1 {
+		return nil, ErrCorrupt
+	}
+	w := int(body[0])
+	body = body[1:]
+	fe, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	ne, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	need := (int(n)*w + 7) / 8
+	if w > 64 || len(body) < need {
+		return nil, ErrCorrupt
+	}
+	codes := make([]uint64, n)
+	unpackBits(codes, body[:need], int(n), w)
+	body = body[need:]
+
+	base := len(dst)
+	// Phase 1: inflate dictionary codes. Exception slots hold chain links
+	// which may collide with valid indexes; they are overwritten in phase 2.
+	for _, c := range codes {
+		if c < uint64(len(dict)) {
+			dst = append(dst, dict[c])
+		} else {
+			dst = append(dst, "")
+		}
+	}
+	// Phase 2: hop the chain, patching verbatim values.
+	cur := int(fe)
+	for i := uint64(0); i < ne; i++ {
+		l, sz := binary.Uvarint(body)
+		if sz <= 0 || uint64(len(body)-sz) < l {
+			return nil, ErrCorrupt
+		}
+		body = body[sz:]
+		if cur >= int(n) {
+			return nil, ErrCorrupt
+		}
+		dst[base+cur] = string(body[:l])
+		body = body[l:]
+		cur += int(codes[cur]) + 1
+	}
+	return dst, nil
+}
+
+// EncodeStrings picks between PDICT and raw+LZ for a string column chunk,
+// whichever is smaller — mirroring VectorH, which dictionary-compresses
+// repetitive strings and falls back to LZ4 for the rest.
+func EncodeStrings(vals []string) []byte {
+	dict := PDictEncode(vals)
+	raw := rawStringEncode(vals)
+	if len(dict) <= len(raw) {
+		return dict
+	}
+	return raw
+}
+
+// DecodeStrings decodes either string scheme, appending to dst.
+func DecodeStrings(data []byte, dst []string) ([]string, error) {
+	if len(data) == 0 {
+		return nil, ErrCorrupt
+	}
+	switch data[0] {
+	case tagPDict:
+		return PDictDecode(data, dst)
+	case tagRawString:
+		return rawStringDecode(data, dst)
+	default:
+		return nil, fmt.Errorf("%w: unknown string scheme %d", ErrCorrupt, data[0])
+	}
+}
+
+func rawStringEncode(vals []string) []byte {
+	var body []byte
+	for _, s := range vals {
+		body = binary.AppendUvarint(body, uint64(len(s)))
+		body = append(body, s...)
+	}
+	lz := LZCompress(body)
+	out := []byte{tagRawString}
+	out = binary.AppendUvarint(out, uint64(len(vals)))
+	out = append(out, lz...)
+	return out
+}
+
+func rawStringDecode(data []byte, dst []string) ([]string, error) {
+	body := data[1:]
+	n, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	raw, err := LZDecompress(body[sz:])
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(raw)
+		if sz <= 0 || uint64(len(raw)-sz) < l {
+			return nil, ErrCorrupt
+		}
+		raw = raw[sz:]
+		dst = append(dst, string(raw[:l]))
+		raw = raw[l:]
+	}
+	return dst, nil
+}

@@ -1,0 +1,272 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Scheme tags stored as the first byte of every encoded block.
+const (
+	tagPFOR      = 1
+	tagPFORDelta = 2
+	tagPDict     = 3
+	tagRawString = 4
+)
+
+// ErrCorrupt reports an undecodable compressed block.
+var ErrCorrupt = errors.New("compress: corrupt block")
+
+// maxExcBytes is the amortized cost estimate of one exception (chain slot
+// wasted + varint value) used when choosing the code width.
+const maxExcBytes = 6
+
+// PFOREncode compresses integers with Patched Frame-Of-Reference: values are
+// coded as fixed-width offsets from a block-dependent base; outliers on
+// either side of the frame become patched exceptions. Arithmetic is modulo
+// 2^64, so any int64 round-trips exactly.
+func PFOREncode(vals []int64) []byte {
+	out := []byte{tagPFOR}
+	out = binary.AppendUvarint(out, uint64(len(vals)))
+	if len(vals) == 0 {
+		return out
+	}
+	return appendPatched(out, vals)
+}
+
+// PFORDecode decompresses a PFOREncode block, appending to dst.
+func PFORDecode(data []byte, dst []int64) ([]int64, error) {
+	if len(data) < 2 || data[0] != tagPFOR {
+		return nil, fmt.Errorf("%w: expected PFOR", ErrCorrupt)
+	}
+	body := data[1:]
+	n, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	if n == 0 {
+		return dst, nil
+	}
+	return decodePatched(body[sz:], int(n), dst)
+}
+
+// PFORDeltaEncode compresses integers by delta-encoding consecutive values
+// and applying the patched FOR machinery to the deltas; sorted or
+// near-sorted runs (keys, dates) become dramatically cheaper. This is the
+// scheme Lucene adopted for its inverted index.
+func PFORDeltaEncode(vals []int64) []byte {
+	out := []byte{tagPFORDelta}
+	out = binary.AppendUvarint(out, uint64(len(vals)))
+	if len(vals) == 0 {
+		return out
+	}
+	out = binary.AppendVarint(out, vals[0])
+	deltas := make([]int64, len(vals))
+	prev := vals[0]
+	for i := 1; i < len(vals); i++ {
+		deltas[i] = vals[i] - prev // wrapping; decode wraps identically
+		prev = vals[i]
+	}
+	return appendPatched(out, deltas)
+}
+
+// PFORDeltaDecode decompresses a PFORDeltaEncode block, appending to dst.
+func PFORDeltaDecode(data []byte, dst []int64) ([]int64, error) {
+	if len(data) < 2 || data[0] != tagPFORDelta {
+		return nil, fmt.Errorf("%w: expected PFOR-DELTA", ErrCorrupt)
+	}
+	body := data[1:]
+	n, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	if n == 0 {
+		return dst, nil
+	}
+	first, sz := binary.Varint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	deltas, err := decodePatched(body[sz:], int(n), make([]int64, 0, n))
+	if err != nil {
+		return nil, err
+	}
+	base := len(dst)
+	dst = append(dst, first)
+	for i := 1; i < int(n); i++ {
+		dst = append(dst, dst[base+i-1]+deltas[i])
+	}
+	return dst, nil
+}
+
+// chooseRefWidth picks the frame base and code width minimizing the
+// estimated encoded size. For every width it slides a window of 2^w over the
+// sorted values to maximize the number of in-frame values; everything
+// outside the frame is an exception.
+func chooseRefWidth(vals []int64) (ref int64, width int) {
+	sorted := make([]int64, len(vals))
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	n := len(vals)
+	bestCost := n*9 + 1
+	ref, width = sorted[0], 64
+	for w := 0; w <= 64; w++ {
+		var limit uint64
+		all := w == 64
+		if !all {
+			limit = uint64(1) << uint(w)
+		}
+		// Two-pointer max-coverage window [sorted[i], sorted[i]+2^w).
+		maxIn, bestLo := 0, sorted[0]
+		j := 0
+		for i := 0; i < n; i++ {
+			if j < i {
+				j = i
+			}
+			for j < n && (all || uint64(sorted[j])-uint64(sorted[i]) < limit) {
+				j++
+			}
+			if j-i > maxIn {
+				maxIn, bestLo = j-i, sorted[i]
+			}
+			if j == n {
+				break
+			}
+		}
+		cost := (n*w+7)/8 + (n-maxIn)*maxExcBytes
+		if cost < bestCost {
+			bestCost, ref, width = cost, bestLo, w
+		}
+	}
+	return ref, width
+}
+
+// exceptionPlan returns the ordered exception positions for the given codes
+// and width, inserting forced exceptions so that consecutive chain gaps stay
+// representable in w bits (gap ∈ [1, 2^w]).
+func exceptionPlan(codes []uint64, w int) []int {
+	if w >= 64 {
+		return nil
+	}
+	limit := uint64(1) << uint(w)
+	var real []int
+	for i, c := range codes {
+		if c >= limit {
+			real = append(real, i)
+		}
+	}
+	if len(real) == 0 || w == 0 {
+		// w == 0 cannot thread a chain; caller bumps the width.
+		return real
+	}
+	maxGap := int(limit)
+	plan := make([]int, 0, len(real))
+	prev := real[0]
+	plan = append(plan, prev)
+	for _, p := range real[1:] {
+		for p-prev > maxGap {
+			prev += maxGap
+			plan = append(plan, prev) // forced exception
+		}
+		plan = append(plan, p)
+		prev = p
+	}
+	return plan
+}
+
+// appendPatched writes ref, width, the exception chain header, packed codes
+// and exception values for the given int64 symbols.
+func appendPatched(out []byte, vals []int64) []byte {
+	ref, w := chooseRefWidth(vals)
+	codes := make([]uint64, len(vals))
+	for i, v := range vals {
+		codes[i] = uint64(v) - uint64(ref)
+	}
+	plan := exceptionPlan(codes, w)
+	if w == 0 && len(plan) > 0 {
+		w = 1
+		plan = exceptionPlan(codes, w)
+	}
+
+	packed := make([]uint64, len(codes))
+	copy(packed, codes)
+	firstExc := len(vals)
+	if len(plan) > 0 {
+		firstExc = plan[0]
+		for j, p := range plan {
+			gap := uint64(1)
+			if j+1 < len(plan) {
+				gap = uint64(plan[j+1] - p)
+			}
+			packed[p] = gap - 1
+		}
+	}
+	out = binary.AppendVarint(out, ref)
+	out = append(out, byte(w))
+	out = binary.AppendUvarint(out, uint64(firstExc))
+	out = binary.AppendUvarint(out, uint64(len(plan)))
+	out = packBits(out, packed, w)
+	for _, p := range plan {
+		out = binary.AppendVarint(out, vals[p])
+	}
+	return out
+}
+
+// decodePatched performs two-phase patched decompression of n symbols.
+func decodePatched(body []byte, n int, dst []int64) ([]int64, error) {
+	ref, sz := binary.Varint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	if len(body) < 1 {
+		return nil, ErrCorrupt
+	}
+	w := int(body[0])
+	body = body[1:]
+	fe, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	ne, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	if w > 64 || fe > uint64(n) {
+		return nil, ErrCorrupt
+	}
+	need := (n*w + 7) / 8
+	if len(body) < need {
+		return nil, ErrCorrupt
+	}
+	codes := make([]uint64, n)
+	unpackBits(codes, body[:need], n, w)
+	body = body[need:]
+
+	// Phase 1: branch-free inflate.
+	base := len(dst)
+	for _, c := range codes {
+		dst = append(dst, int64(uint64(ref)+c))
+	}
+	// Phase 2: hop the exception chain and patch.
+	cur := int(fe)
+	out := dst[base:]
+	for i := uint64(0); i < ne; i++ {
+		v, sz := binary.Varint(body)
+		if sz <= 0 {
+			return nil, ErrCorrupt
+		}
+		body = body[sz:]
+		if cur >= n {
+			return nil, ErrCorrupt
+		}
+		out[cur] = v
+		cur += int(codes[cur]) + 1
+	}
+	return dst, nil
+}

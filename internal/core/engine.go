@@ -1,0 +1,430 @@
+// Package core assembles the VectorH engine: a simulated Hadoop cluster
+// (HDFS + YARN) hosting N worker processes, a session master coordinating
+// transactions and parallel query optimization, column-store partitions with
+// instrumented block placement, PDT-based trickle updates, and the
+// distributed execution runtime. It is the integration point of every
+// substrate package and the implementation behind the public vectorh API.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vectorh/internal/affinity"
+	"vectorh/internal/colstore"
+	"vectorh/internal/hdfs"
+	"vectorh/internal/mpi"
+	"vectorh/internal/mpp"
+	"vectorh/internal/pdt"
+	"vectorh/internal/rewriter"
+	"vectorh/internal/txn"
+	"vectorh/internal/vector"
+	"vectorh/internal/wal"
+	"vectorh/internal/yarn"
+)
+
+// Config parameterizes an engine.
+type Config struct {
+	Nodes          []string        // datanode/worker names; default 3 nodes
+	ThreadsPerNode int             // exchange consumer threads; default 2
+	Replication    int             // HDFS replication degree; default 3
+	BlockSize      int             // HDFS block size; default 1 MiB
+	Format         colstore.Format // column store format
+	Mode           mpp.Mode        // DXchg fan-out strategy
+	MsgBytes       int             // exchange message size
+	PDTFlushBytes  int             // update-propagation trigger; default 8 MiB
+	NodeResources  yarn.Resource   // per-node capacity; default 16GB/16c
+}
+
+func (c *Config) fill() {
+	if len(c.Nodes) == 0 {
+		c.Nodes = []string{"node1", "node2", "node3"}
+	}
+	if c.ThreadsPerNode <= 0 {
+		c.ThreadsPerNode = 2
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 1 << 20
+	}
+	if c.PDTFlushBytes <= 0 {
+		c.PDTFlushBytes = 8 << 20
+	}
+	if c.NodeResources == (yarn.Resource{}) {
+		c.NodeResources = yarn.Resource{MemoryMB: 16 << 10, VCores: 16}
+	}
+}
+
+// Table is one catalog entry.
+type Table struct {
+	Info  rewriter.TableInfo
+	Parts []*Partition
+}
+
+// Replicated reports whether the table is stored replicated on every node.
+func (t *Table) Replicated() bool { return t.Info.PartitionKey == "" }
+
+// Partition is one table partition's storage and delta state.
+type Partition struct {
+	Meta        *colstore.PartitionMeta
+	Key         txn.PartKey
+	Responsible string // node owning the partition's WAL and PDTs
+}
+
+// Engine is the running system: cluster substrate plus catalog and
+// transaction state. One Engine simulates the whole VectorH deployment; the
+// session master is Nodes()[0] unless failures move it.
+type Engine struct {
+	mu  sync.Mutex
+	cfg Config
+
+	fs     *hdfs.Cluster
+	rm     *yarn.ResourceManager
+	agent  *yarn.DBAgent
+	net    *mpi.Network
+	policy *placementPolicy
+	mgr    *txn.Manager
+
+	active []string // current worker set, in node-index order
+	tables map[string]*Table
+
+	// ShippedEntries counts log-shipping deliveries for replicated tables
+	// (§6 "Log Shipping").
+	ShippedEntries int64
+}
+
+// New creates and starts an engine: it brings up the simulated HDFS and
+// YARN, negotiates the worker set through the dbAgent, and initializes the
+// transaction manager with a global WAL.
+func New(cfg Config) (*Engine, error) {
+	cfg.fill()
+	e := &Engine{cfg: cfg, tables: make(map[string]*Table)}
+	e.policy = &placementPolicy{targets: make(map[string][]string), fallback: hdfs.NewDefaultPolicy(7)}
+	e.fs = hdfs.NewCluster(cfg.Nodes, hdfs.Config{
+		BlockSize:   cfg.BlockSize,
+		Replication: cfg.Replication,
+		Policy:      e.policy,
+	})
+	e.rm = yarn.NewResourceManager()
+	for _, n := range cfg.Nodes {
+		e.rm.AddNode(n, cfg.NodeResources)
+	}
+	slice := yarn.Resource{MemoryMB: cfg.NodeResources.MemoryMB / 4, VCores: cfg.NodeResources.VCores / 4}
+	if slice.VCores == 0 {
+		slice = cfg.NodeResources
+	}
+	e.agent = yarn.NewDBAgent(e.rm, 5, slice, cfg.NodeResources, slice)
+	workers, err := e.agent.SelectWorkers(cfg.Nodes, len(cfg.Nodes), nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.agent.Start(workers); err != nil {
+		return nil, err
+	}
+	e.active = workers
+	e.net = mpi.NewNetwork(len(workers))
+	e.mgr = txn.NewManager(wal.Open(e.fs, "/wal/global", e.master()))
+	e.mgr.OnCommit = func(part txn.PartKey, entries []pdt.Entry, epoch int64) {
+		// Log shipping: replicated-table commits are broadcast to every
+		// worker so their cached PDT images stay current. In this
+		// single-process simulation all workers share the master PDT
+		// state, so shipping reduces to accounting.
+		table := strings.SplitN(string(part), "/", 2)[0]
+		e.mu.Lock()
+		if t, ok := e.tables[table]; ok && t.Replicated() {
+			e.ShippedEntries += int64(len(entries)) * int64(len(e.active)-1)
+		}
+		e.mu.Unlock()
+	}
+	return e, nil
+}
+
+// master returns the session-master node name.
+func (e *Engine) master() string { return e.active[0] }
+
+// Nodes returns the current worker set.
+func (e *Engine) Nodes() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.active...)
+}
+
+// FS exposes the simulated HDFS (benchmarks read its IO counters).
+func (e *Engine) FS() *hdfs.Cluster { return e.fs }
+
+// Net exposes the simulated network fabric.
+func (e *Engine) Net() *mpi.Network { return e.net }
+
+// Agent exposes the YARN dbAgent.
+func (e *Engine) Agent() *yarn.DBAgent { return e.agent }
+
+// RM exposes the YARN resource manager (for tenant simulation in tests).
+func (e *Engine) RM() *yarn.ResourceManager { return e.rm }
+
+// Manager exposes the transaction manager.
+func (e *Engine) Manager() *txn.Manager { return e.mgr }
+
+// Table returns catalog metadata, satisfying rewriter.Catalog.
+func (e *Engine) Table(name string) (rewriter.TableInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return rewriter.TableInfo{}, fmt.Errorf("core: unknown table %q", name)
+	}
+	return t.Info, nil
+}
+
+// TableSchema satisfies plan.Catalog.
+func (e *Engine) TableSchema(name string) (vector.Schema, error) {
+	info, err := e.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return info.Schema, nil
+}
+
+// partKey names the txn partition of a table partition.
+func partKey(table string, part int) txn.PartKey {
+	return txn.PartKey(fmt.Sprintf("%s/%d", table, part))
+}
+
+// CreateTable registers a table: partition metadata, affinity-steered HDFS
+// placement, per-partition WALs at the responsible nodes, and empty PDTs.
+// A PartitionKey of "" creates a replicated table (stored once, replicated
+// to every node).
+func (e *Engine) CreateTable(info rewriter.TableInfo) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.tables[info.Name]; dup {
+		return fmt.Errorf("core: table %q exists", info.Name)
+	}
+	if info.PartitionKey == "" {
+		info.Partitions = 1
+	} else if info.Partitions <= 0 {
+		info.Partitions = len(e.active)
+	}
+	if info.PartitionKey != "" {
+		f, err := info.Schema.Field(info.PartitionKey)
+		if err != nil {
+			return err
+		}
+		if f.Type.Kind != vector.Int32 && f.Type.Kind != vector.Int64 {
+			return fmt.Errorf("core: partition key %q must be an integer column", info.PartitionKey)
+		}
+	}
+	t := &Table{Info: info}
+
+	// Affinity mapping: identical for every table of the same partition
+	// count, which co-locates matching partitions (Figure 2's R/S pairs).
+	var partNames []string
+	for p := 0; p < info.Partitions; p++ {
+		partNames = append(partNames, fmt.Sprintf("p%04d", p))
+	}
+	var aff map[string][]string
+	if info.PartitionKey == "" {
+		// Replicated: one partition stored at every node.
+		aff = map[string][]string{"p0000": append([]string(nil), e.active...)}
+	} else {
+		aff = affinity.InitialMapping(partNames, e.active, e.cfg.Replication)
+	}
+	for p := 0; p < info.Partitions; p++ {
+		meta := colstore.NewPartitionMeta(info.Name, p, info.Schema, e.cfg.Format)
+		locs := aff[partNames[p]]
+		resp := locs[0]
+		e.policy.set(meta.Dir(), locs)
+		part := &Partition{Meta: meta, Key: partKey(info.Name, p), Responsible: resp}
+		walPath := fmt.Sprintf("/wal/%s/p%04d", info.Name, p)
+		e.mgr.AddPartition(part.Key, 0, wal.Open(e.fs, walPath, resp))
+		t.Parts = append(t.Parts, part)
+	}
+	e.tables[info.Name] = t
+	return nil
+}
+
+// TableRows returns the visible row count of a table.
+func (e *Engine) TableRows(name string) (int64, error) {
+	e.mu.Lock()
+	t, ok := e.tables[name]
+	e.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("core: unknown table %q", name)
+	}
+	var total int64
+	for _, p := range t.Parts {
+		part, err := e.mgr.Part(p.Key)
+		if err != nil {
+			return 0, err
+		}
+		total += part.Size()
+	}
+	return total, nil
+}
+
+// nodeIndex maps a node name to its index in the active worker set.
+func (e *Engine) nodeIndex(name string) int {
+	for i, n := range e.active {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// KillNode simulates a worker/datanode failure: the dead node leaves the
+// worker set, the affinity mapping is recomputed with the min-cost flow of
+// Figure 3, HDFS re-replicates lost blocks under the updated placement
+// policy, and partition responsibilities move to surviving local nodes.
+func (e *Engine) KillNode(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idx := e.nodeIndex(name)
+	if idx < 0 {
+		return fmt.Errorf("core: %s not in worker set", name)
+	}
+	e.fs.KillNode(name)
+	e.rm.RemoveNode(name)
+	e.active = append(e.active[:idx], e.active[idx+1:]...)
+	if len(e.active) == 0 {
+		return fmt.Errorf("core: no workers left")
+	}
+	e.net = mpi.NewNetwork(len(e.active))
+
+	for _, t := range e.tables {
+		var partNames []string
+		isLocal := func(part, node string) bool {
+			p := t.Parts[partIndex(part)]
+			for _, f := range p.Meta.Files() {
+				r, err := e.fs.Open(f, node)
+				if err != nil {
+					continue
+				}
+				sz, _ := e.fs.Size(f)
+				if sz > 0 && !r.IsLocal(node, 0, sz) {
+					return false
+				}
+			}
+			// A partition with no files yet counts as local to its
+			// assigned targets.
+			locs := e.policy.get(p.Meta.Dir())
+			for _, l := range locs {
+				if l == node {
+					return true
+				}
+			}
+			return len(p.Meta.Files()) > 0
+		}
+		for p := range t.Parts {
+			partNames = append(partNames, fmt.Sprintf("p%04d", p))
+		}
+		r := e.cfg.Replication
+		if t.Replicated() {
+			r = len(e.active)
+		}
+		aff, err := affinity.ComputeAffinity(partNames, e.active, r, func(part, node string) bool {
+			return isLocal(part, node)
+		})
+		if err != nil {
+			return err
+		}
+		resp, err := affinity.ComputeResponsibility(partNames, e.active, func(part, node string) bool {
+			return isLocal(part, node)
+		})
+		if err != nil {
+			return err
+		}
+		for p, part := range t.Parts {
+			pn := partNames[p]
+			e.policy.set(part.Meta.Dir(), aff[pn])
+			part.Responsible = resp[pn]
+		}
+	}
+	e.fs.ReReplicate()
+	return nil
+}
+
+func partIndex(partName string) int {
+	var p int
+	fmt.Sscanf(partName, "p%04d", &p)
+	return p
+}
+
+// placementPolicy is the instrumented HDFS BlockPlacementPolicy of §3: it
+// pins every file under a partition directory to the partition's affinity
+// nodes, so locality survives re-replication and rebalancing.
+type placementPolicy struct {
+	mu       sync.Mutex
+	targets  map[string][]string // partition dir -> replica nodes
+	fallback hdfs.BlockPlacementPolicy
+}
+
+func (p *placementPolicy) set(dir string, nodes []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.targets[dir] = append([]string(nil), nodes...)
+}
+
+func (p *placementPolicy) get(dir string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.targets[dir]
+}
+
+// ChooseTarget implements hdfs.BlockPlacementPolicy.
+func (p *placementPolicy) ChooseTarget(path, writer string, replicas int, exclude, alive []string) []string {
+	p.mu.Lock()
+	var want []string
+	for dir, nodes := range p.targets {
+		if strings.HasPrefix(path, dir+"/") {
+			want = nodes
+			break
+		}
+	}
+	p.mu.Unlock()
+	if want == nil {
+		return p.fallback.ChooseTarget(path, writer, replicas, exclude, alive)
+	}
+	aliveSet := make(map[string]bool, len(alive))
+	for _, a := range alive {
+		aliveSet[a] = true
+	}
+	excluded := make(map[string]bool, len(exclude))
+	for _, x := range exclude {
+		excluded[x] = true
+	}
+	var out []string
+	for _, n := range want {
+		if len(out) < replicas && aliveSet[n] && !excluded[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// PartitionMetaForTest exposes a partition's storage metadata for benchmarks
+// and reports (e.g. the Figure-1 compressed-size chart).
+func (e *Engine) PartitionMetaForTest(table string, part int) *colstore.PartitionMeta {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[table]
+	if !ok || part >= len(t.Parts) {
+		return nil
+	}
+	return t.Parts[part].Meta
+}
+
+// SortedTables lists catalog tables (stable order, for reports).
+func (e *Engine) SortedTables() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var names []string
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

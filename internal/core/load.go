@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vectorh/internal/colstore"
+	"vectorh/internal/exec"
+	"vectorh/internal/expr"
+	"vectorh/internal/pdt"
+	"vectorh/internal/plan"
+	"vectorh/internal/vector"
+)
+
+// partitionOf returns the hash partition a key belongs to (all tables use
+// the same function, so equal partition counts mean co-located joins). It
+// uses the high bits of the key hash while exchanges route on the low bits,
+// so a repartitioning exchange never degenerates into a no-op whose routing
+// accidentally matches the table partitioning.
+func partitionOf(key int64, parts int) int {
+	return int((exec.HashInt64(key) >> 32) % uint64(parts))
+}
+
+// Load bulk-appends batches into a table's stable storage, bypassing PDTs
+// (the vwload path). Partitioned tables are hash-partitioned on the
+// partition key; clustered tables are sorted on the clustered column per
+// partition. Appends are issued from each partition's responsible node, so
+// the first HDFS replica lands locally.
+func (e *Engine) Load(table string, batches []*vector.Batch) error {
+	e.mu.Lock()
+	t, ok := e.tables[table]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", table)
+	}
+	schema := t.Info.Schema
+	nparts := len(t.Parts)
+
+	// Split rows per partition (replicated tables have one partition).
+	perPart := make([]*vector.Batch, nparts)
+	for i := range perPart {
+		perPart[i] = vector.NewBatchForSchema(schema, 0)
+	}
+	keyIdx := -1
+	if t.Info.PartitionKey != "" {
+		keyIdx = schema.Index(t.Info.PartitionKey)
+	}
+	for _, b := range batches {
+		c := b.Compact()
+		for r := 0; r < c.Len(); r++ {
+			p := 0
+			if keyIdx >= 0 {
+				p = partitionOf(int64At(c.Col(keyIdx), r), nparts)
+			}
+			for ci := range schema {
+				perPart[p].Vecs[ci].AppendFrom(c.Col(ci), r)
+			}
+		}
+	}
+	for pi, part := range t.Parts {
+		pb := perPart[pi]
+		if pb.Len() == 0 {
+			continue
+		}
+		if t.Info.ClusteredOn != "" {
+			ci := schema.Index(t.Info.ClusteredOn)
+			perm := sortPermBy(pb, ci)
+			pb = &vector.Batch{Vecs: pb.Vecs, Sel: perm}
+		}
+		if err := e.appendStable(t, part, pb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func int64At(v *vector.Vec, r int) int64 {
+	if v.Kind() == vector.Int32 {
+		return int64(v.Int32s()[r])
+	}
+	return v.Int64s()[r]
+}
+
+func sortPermBy(b *vector.Batch, col int) []int32 {
+	perm := make([]int32, b.Len())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	v := b.Col(col)
+	sort.SliceStable(perm, func(x, y int) bool {
+		return int64At(v, int(perm[x])) < int64At(v, int(perm[y]))
+	})
+	return perm
+}
+
+// appendStable writes rows to a partition's column store and refreshes its
+// transaction state to the new stable row count (bulk load happens outside
+// transactions, as in vwload).
+func (e *Engine) appendStable(t *Table, part *Partition, b *vector.Batch) error {
+	a, err := colstore.NewAppender(e.fs, part.Meta, part.Responsible)
+	if err != nil {
+		return err
+	}
+	// Feed in vector-sized batches to bound appender encode granularity.
+	c := b.Compact()
+	for off := 0; off < c.Len(); off += vector.MaxSize {
+		hi := off + vector.MaxSize
+		if hi > c.Len() {
+			hi = c.Len()
+		}
+		sub := &vector.Batch{Vecs: make([]*vector.Vec, len(c.Vecs))}
+		for i, v := range c.Vecs {
+			sub.Vecs[i] = v.Slice(off, hi)
+		}
+		if err := a.Append(sub); err != nil {
+			return err
+		}
+	}
+	if err := a.Close(); err != nil {
+		return err
+	}
+	if t.Replicated() {
+		// Replicated tables carry one replica per worker.
+		for _, f := range part.Meta.Files() {
+			if err := e.fs.SetReplication(f, len(e.active)); err != nil {
+				return err
+			}
+		}
+		e.fs.ReReplicate()
+	}
+	if err := e.mgr.ResetAfterFlush(part.Key, part.Meta.Rows); err != nil {
+		return err
+	}
+	e.bumpRows(t)
+	return nil
+}
+
+func (e *Engine) bumpRows(t *Table) {
+	var total int64
+	for _, p := range t.Parts {
+		if st, err := e.mgr.Part(p.Key); err == nil {
+			total += st.Size()
+		} else {
+			total += p.Meta.Rows
+		}
+	}
+	t.Info.Rows = total
+	e.mu.Lock()
+	e.tables[t.Info.Name] = t
+	e.mu.Unlock()
+}
+
+// InsertRows trickle-inserts rows through PDTs in one transaction (the RF1
+// path). Rows land in the Write-PDT as tail inserts; queries see them
+// immediately after commit, and query performance stays unaffected (§8
+// "Impact of Updates").
+func (e *Engine) InsertRows(table string, b *vector.Batch) error {
+	e.mu.Lock()
+	t, ok := e.tables[table]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", table)
+	}
+	schema := t.Info.Schema
+	keyIdx := -1
+	if t.Info.PartitionKey != "" {
+		keyIdx = schema.Index(t.Info.PartitionKey)
+	}
+	tx := e.mgr.Begin()
+	c := b.Compact()
+	for r := 0; r < c.Len(); r++ {
+		p := 0
+		if keyIdx >= 0 {
+			p = partitionOf(int64At(c.Col(keyIdx), r), len(t.Parts))
+		}
+		if err := tx.Append(t.Parts[p].Key, c.Row(r)); err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	e.bumpRows(t)
+	e.maybePropagate(t)
+	return nil
+}
+
+// DeleteWhere trickle-deletes all rows matching pred, returning the count.
+// Deletes are recorded positionally in the PDTs (compact for contiguous
+// ranges) at each partition's responsible node.
+func (e *Engine) DeleteWhere(table string, pred plan.Expr) (int64, error) {
+	return e.updateWhere(table, pred, nil, nil)
+}
+
+// UpdateWhere trickle-modifies the named columns of matching rows with
+// values computed by the given expressions (over the full table schema).
+func (e *Engine) UpdateWhere(table string, pred plan.Expr, setCols []string, setExprs []plan.Expr) (int64, error) {
+	if len(setCols) == 0 {
+		return 0, fmt.Errorf("core: UpdateWhere without SET columns")
+	}
+	return e.updateWhere(table, pred, setCols, setExprs)
+}
+
+func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, setExprs []plan.Expr) (int64, error) {
+	e.mu.Lock()
+	t, ok := e.tables[table]
+	nodeOf := map[string]int{}
+	for i, n := range e.active {
+		nodeOf[n] = i
+	}
+	e.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("core: unknown table %q", table)
+	}
+	schema := t.Info.Schema
+	bound, err := pred.Bind(schema)
+	if err != nil {
+		return 0, err
+	}
+	var setIdx []int
+	var setBound []expr.Expr
+	for i, cname := range setCols {
+		ci := schema.Index(cname)
+		if ci < 0 {
+			return 0, fmt.Errorf("core: no column %q", cname)
+		}
+		setIdx = append(setIdx, ci)
+		be, err := setExprs[i].Bind(schema)
+		if err != nil {
+			return 0, err
+		}
+		setBound = append(setBound, be)
+	}
+
+	tx := e.mgr.Begin()
+	var total int64
+	for _, part := range t.Parts {
+		// Scan the partition at its responsible node, tracking RIDs.
+		node := nodeOf[part.Responsible]
+		scan, err := e.PartitionScan(table, part.Meta.Partition, schema.Names(), nil, node)
+		if err != nil {
+			tx.Abort()
+			return 0, err
+		}
+		if err := scan.Open(); err != nil {
+			tx.Abort()
+			return 0, err
+		}
+		type hit struct {
+			rid  int64
+			vals []any
+		}
+		var hits []hit
+		rid := int64(0)
+		for {
+			b, err := scan.Next()
+			if err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			if b == nil {
+				break
+			}
+			pv, err := bound.Eval(b)
+			if err != nil {
+				tx.Abort()
+				return 0, err
+			}
+			var setVals []*vector.Vec
+			for _, se := range setBound {
+				v, err := se.Eval(b)
+				if err != nil {
+					tx.Abort()
+					return 0, err
+				}
+				setVals = append(setVals, v)
+			}
+			for r, match := range pv.Bools() {
+				if !match {
+					continue
+				}
+				h := hit{rid: rid + int64(r)}
+				for _, v := range setVals {
+					h.vals = append(h.vals, v.Get(r))
+				}
+				hits = append(hits, h)
+			}
+			rid += int64(b.Len())
+		}
+		scan.Close()
+		if setCols == nil {
+			// Delete descending so earlier RIDs stay valid.
+			for i := len(hits) - 1; i >= 0; i-- {
+				if err := tx.Delete(part.Key, hits[i].rid); err != nil {
+					tx.Abort()
+					return 0, err
+				}
+			}
+		} else {
+			for _, h := range hits {
+				if err := tx.Modify(part.Key, h.rid, setIdx, h.vals); err != nil {
+					tx.Abort()
+					return 0, err
+				}
+				// Widen MinMax so block skipping stays correct (§6).
+				e.widenFor(part, setIdx, h.vals)
+			}
+		}
+		total += int64(len(hits))
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	e.bumpRows(t)
+	e.maybePropagate(t)
+	return total, nil
+}
+
+func (e *Engine) widenFor(part *Partition, cols []int, vals []any) {
+	schema := part.Meta.Schema()
+	for i, ci := range cols {
+		f := schema[ci]
+		switch f.Type.Kind {
+		case vector.Int32:
+			// Widen every block conservatively: modifies address rows by
+			// RID, whose SID is unknown here; widening all blocks of the
+			// column keeps skipping sound.
+			if x, ok := vals[i].(int32); ok {
+				widenAll(part.Meta, f.Name, int64(x), 0, "")
+			}
+		case vector.Int64:
+			if x, ok := vals[i].(int64); ok {
+				widenAll(part.Meta, f.Name, x, 0, "")
+			}
+		case vector.Float64:
+			if x, ok := vals[i].(float64); ok {
+				widenAll(part.Meta, f.Name, 0, x, "")
+			}
+		case vector.String:
+			if x, ok := vals[i].(string); ok {
+				widenAll(part.Meta, f.Name, 0, 0, x)
+			}
+		}
+	}
+}
+
+func widenAll(m *colstore.PartitionMeta, col string, n int64, f float64, s string) {
+	c, err := m.Col(col)
+	if err != nil {
+		return
+	}
+	for i := range c.Blocks {
+		b := &c.Blocks[i]
+		m.Widen(col, b.RowStart, n, f, s)
+	}
+}
+
+// maybePropagate runs update propagation for partitions whose Write-PDT
+// exceeds the flush threshold.
+func (e *Engine) maybePropagate(t *Table) {
+	for _, part := range t.Parts {
+		st, err := e.mgr.Part(part.Key)
+		if err != nil {
+			continue
+		}
+		if st.Write.MemBytes()+st.Read.MemBytes() >= e.cfg.PDTFlushBytes {
+			e.PropagatePartition(t.Info.Name, part.Meta.Partition)
+		}
+	}
+}
+
+// PropagatePartition flushes a partition's PDTs into the column store: tail
+// inserts append new blocks (the cheap path of §6), anything else rewrites
+// the partition into a new generation of chunk files.
+func (e *Engine) PropagatePartition(table string, partIdx int) error {
+	e.mu.Lock()
+	t, ok := e.tables[table]
+	nodeOf := map[string]int{}
+	for i, n := range e.active {
+		nodeOf[n] = i
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", table)
+	}
+	part := t.Parts[partIdx]
+	if err := e.mgr.PropagateWriteToRead(part.Key); err != nil {
+		return err
+	}
+	st, err := e.mgr.Part(part.Key)
+	if err != nil {
+		return err
+	}
+	ins, del, mod := st.Read.Counts()
+	if ins+del+mod == 0 {
+		return nil
+	}
+	schema := t.Info.Schema
+
+	if st.Read.IsTailInsertOnly() {
+		// Tail-insert separation: append new blocks only.
+		merger := pdt.NewMerger(st.Read, schema, identityCols(len(schema)))
+		tail, _ := merger.Tail()
+		if tail != nil {
+			if err := e.appendStable(t, part, tail); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Full rewrite into a new partition generation.
+	node := nodeOf[part.Responsible]
+	scan, err := e.PartitionScan(table, partIdx, schema.Names(), nil, node)
+	if err != nil {
+		return err
+	}
+	newMeta := colstore.NewPartitionMeta(table, partIdx, schema, e.cfg.Format)
+	newMeta.Gen = part.Meta.Gen + 1
+	e.policy.set(newMeta.Dir(), e.policy.get(part.Meta.Dir()))
+	a, err := colstore.NewAppender(e.fs, newMeta, part.Responsible)
+	if err != nil {
+		return err
+	}
+	if err := scan.Open(); err != nil {
+		return err
+	}
+	for {
+		b, err := scan.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if err := a.Append(b.Compact()); err != nil {
+			return err
+		}
+	}
+	scan.Close()
+	if err := a.Close(); err != nil {
+		return err
+	}
+	oldMeta := part.Meta
+	part.Meta = newMeta
+	if err := oldMeta.DeleteFiles(e.fs); err != nil {
+		return err
+	}
+	if t.Replicated() {
+		for _, f := range newMeta.Files() {
+			if err := e.fs.SetReplication(f, len(e.active)); err != nil {
+				return err
+			}
+		}
+		e.fs.ReReplicate()
+	}
+	return e.mgr.ResetAfterFlush(part.Key, newMeta.Rows)
+}
+
+func identityCols(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"vectorh/internal/exec"
+	"vectorh/internal/mpp"
+	"vectorh/internal/plan"
+	"vectorh/internal/rewriter"
+)
+
+// QueryOptions tune one query execution (rule ablation, profiling).
+type QueryOptions struct {
+	// Rule flags; nil means all rules enabled.
+	LocalJoin      *bool
+	ReplicateBuild *bool
+	PartialAgg     *bool
+	// Profile enables the per-operator profile of the Appendix.
+	Profile bool
+}
+
+// QueryResult carries rows plus execution metadata.
+type QueryResult struct {
+	Rows    [][]any
+	Explain string
+	Elapsed time.Duration
+	Profile []ProfileEntry
+}
+
+// ProfileEntry is one operator's measurements (time and cum tuples), the
+// shape of the Appendix profile.
+type ProfileEntry struct {
+	Operator string
+	Nanos    int64
+	Tuples   int64
+}
+
+// Query plans, parallelizes and executes a logical plan, returning all
+// result rows (the session master is the single consumer).
+func (e *Engine) Query(q plan.Node) ([][]any, error) {
+	res, err := e.QueryOpts(q, QueryOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// QueryOpts runs a query with explicit options.
+func (e *Engine) QueryOpts(q plan.Node, qo QueryOptions) (*QueryResult, error) {
+	e.mu.Lock()
+	nodes := len(e.active)
+	net := e.net
+	e.mu.Unlock()
+
+	opts := rewriter.DefaultOptions(nodes, e.cfg.ThreadsPerNode)
+	if qo.LocalJoin != nil {
+		opts.LocalJoin = *qo.LocalJoin
+	}
+	if qo.ReplicateBuild != nil {
+		opts.ReplicateBuild = *qo.ReplicateBuild
+	}
+	if qo.PartialAgg != nil {
+		opts.PartialAgg = *qo.PartialAgg
+	}
+	phys, err := rewriter.Rewrite(q, e, opts)
+	if err != nil {
+		return nil, err
+	}
+	env := &rewriter.Env{
+		Net:      net,
+		Provider: e,
+		Nodes:    nodes,
+		Threads:  e.cfg.ThreadsPerNode,
+		Mode:     e.cfg.Mode,
+		MsgBytes: e.cfg.MsgBytes,
+	}
+	if qo.Profile {
+		env.Profile = make(map[string]*exec.Profiled)
+	}
+	streams, err := rewriter.Instantiate(phys, env)
+	if err != nil {
+		return nil, fmt.Errorf("core: instantiate: %w\n%s", err, rewriter.Explain(phys))
+	}
+	var root exec.Operator
+	count := 0
+	for n := range streams {
+		for _, s := range streams[n] {
+			root = s
+			count++
+		}
+	}
+	if count != 1 {
+		return nil, fmt.Errorf("core: plan root has %d streams\n%s", count, rewriter.Explain(phys))
+	}
+	start := time.Now()
+	rows, err := exec.Collect(root)
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{Rows: rows, Explain: rewriter.Explain(phys), Elapsed: time.Since(start)}
+	if qo.Profile {
+		for name, p := range env.Profile {
+			res.Profile = append(res.Profile, ProfileEntry{Operator: name, Nanos: p.NanosSelf, Tuples: p.TuplesOut})
+		}
+		sort.Slice(res.Profile, func(i, j int) bool { return res.Profile[i].Nanos > res.Profile[j].Nanos })
+	}
+	return res, nil
+}
+
+// Explain returns the distributed physical plan without executing it.
+func (e *Engine) Explain(q plan.Node) (string, error) {
+	e.mu.Lock()
+	nodes := len(e.active)
+	e.mu.Unlock()
+	phys, err := rewriter.Rewrite(q, e, rewriter.DefaultOptions(nodes, e.cfg.ThreadsPerNode))
+	if err != nil {
+		return "", err
+	}
+	return rewriter.Explain(phys), nil
+}
+
+// FormatProfile renders a profile like the Appendix figure: per operator,
+// self time and produced tuples, heaviest first.
+func FormatProfile(entries []ProfileEntry, topN int) string {
+	var sb strings.Builder
+	for i, p := range entries {
+		if i >= topN {
+			break
+		}
+		fmt.Fprintf(&sb, "%-60s time=%10.3fms  out=%d tuples\n",
+			p.Operator, float64(p.Nanos)/1e6, p.Tuples)
+	}
+	return sb.String()
+}
+
+// ExchangeMode returns the engine's DXchg fan-out strategy (for reports).
+func (e *Engine) ExchangeMode() mpp.Mode { return e.cfg.Mode }

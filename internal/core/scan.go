@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+
+	"vectorh/internal/colstore"
+	"vectorh/internal/exec"
+	"vectorh/internal/pdt"
+	"vectorh/internal/rewriter"
+	"vectorh/internal/vector"
+)
+
+// The engine implements rewriter.ScanProvider: MScan operators read
+// compressed column blocks (with MinMax skipping) and merge the partition's
+// PDT layers positionally — every query sees the latest committed state
+// without the scan touching keys (§6).
+
+// ResponsibleParts implements rewriter.ScanProvider.
+func (e *Engine) ResponsibleParts(table string, node int) []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[table]
+	if !ok || node >= len(e.active) {
+		return nil
+	}
+	name := e.active[node]
+	var out []int
+	for p, part := range t.Parts {
+		if part.Responsible == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PartitionScan implements rewriter.ScanProvider.
+func (e *Engine) PartitionScan(table string, partIdx int, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+	e.mu.Lock()
+	t, ok := e.tables[table]
+	var nodeName string
+	if node < len(e.active) {
+		nodeName = e.active[node]
+	}
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", table)
+	}
+	if partIdx >= len(t.Parts) {
+		return nil, fmt.Errorf("core: %s has no partition %d", table, partIdx)
+	}
+	return e.newMScan(t, t.Parts[partIdx], cols, pred, nodeName)
+}
+
+// ReplicatedScan implements rewriter.ScanProvider.
+func (e *Engine) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+	e.mu.Lock()
+	t, ok := e.tables[table]
+	var nodeName string
+	if node < len(e.active) {
+		nodeName = e.active[node]
+	}
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", table)
+	}
+	return e.newMScan(t, t.Parts[0], cols, pred, nodeName)
+}
+
+// mscan streams one partition: column blocks merged through the Read- and
+// Write-PDT layers, with MinMax-skipped ranges and the PDT tail inserts.
+type mscan struct {
+	eng      *Engine
+	meta     *colstore.PartitionMeta
+	node     string
+	cols     []string
+	colIdx   []int
+	pred     *rewriter.ScanPred
+	readPDT  *pdt.PDT
+	writePDT *pdt.PDT
+
+	sc      *colstore.Scanner
+	readM   *pdt.Merger
+	writeM  *pdt.Merger
+	stage   int // 0=blocks, 1=read tail, 2=write tail, 3=done
+	started bool
+}
+
+func (e *Engine) newMScan(t *Table, part *Partition, cols []string, pred *rewriter.ScanPred, node string) (exec.Operator, error) {
+	state, err := e.mgr.Part(part.Key)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Info.Schema
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		colIdx[i] = schema.Index(c)
+		if colIdx[i] < 0 {
+			return nil, fmt.Errorf("core: no column %q in %s", c, t.Info.Name)
+		}
+	}
+	m := &mscan{
+		eng: e, meta: part.Meta, node: node, cols: cols, colIdx: colIdx, pred: pred,
+		// Snapshot the PDT layers: commits replace masters copy-on-write,
+		// so a running scan keeps a stable image.
+		readPDT:  state.Read,
+		writePDT: state.Write,
+	}
+	return m, nil
+}
+
+// Open implements exec.Operator.
+func (m *mscan) Open() error {
+	ranges := m.meta.FullRange()
+	if m.pred != nil {
+		c, err := m.meta.Col(m.pred.Col)
+		if err == nil && (c.Type.Kind == vector.Int32 || c.Type.Kind == vector.Int64) {
+			qr, err := m.meta.QualifyingRanges(m.pred.Col, colstore.Int64RangePred(m.pred.Lo, m.pred.Hi))
+			if err != nil {
+				return err
+			}
+			ranges = colstore.IntersectRanges(ranges, qr)
+		}
+	}
+	sc, err := colstore.NewScanner(m.eng.fs, m.meta, m.node, m.cols, ranges)
+	if err != nil {
+		return err
+	}
+	m.sc = sc
+	schema := m.meta.Schema()
+	m.readM = pdt.NewMerger(m.readPDT, schema, m.colIdx)
+	m.writeM = pdt.NewMerger(m.writePDT, schema, m.colIdx)
+	m.stage = 0
+	m.started = true
+	return nil
+}
+
+// Next implements exec.Operator.
+func (m *mscan) Next() (*vector.Batch, error) {
+	for {
+		switch m.stage {
+		case 0:
+			b, sid, err := m.sc.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				m.stage = 1
+				continue
+			}
+			if !m.readM.HasDeltas() && !m.writeM.HasDeltas() {
+				return b, nil // fast path: never-updated partition
+			}
+			b1, rid1, err := m.readM.MergeRange(b, sid)
+			if err != nil {
+				return nil, err
+			}
+			if b1.Len() == 0 {
+				continue
+			}
+			b2, _, err := m.writeM.MergeRange(b1, rid1)
+			if err != nil {
+				return nil, err
+			}
+			if b2.Len() == 0 {
+				continue
+			}
+			return b2, nil
+		case 1:
+			m.stage = 2
+			if tail, rid := m.readM.Tail(); tail != nil {
+				b2, _, err := m.writeM.MergeRange(tail, rid)
+				if err != nil {
+					return nil, err
+				}
+				if b2.Len() > 0 {
+					return b2, nil
+				}
+			}
+		case 2:
+			m.stage = 3
+			if tail, _ := m.writeM.Tail(); tail != nil && tail.Len() > 0 {
+				return tail, nil
+			}
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// Close implements exec.Operator.
+func (m *mscan) Close() error { return nil }

@@ -1,0 +1,306 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vectorh/internal/expr"
+	"vectorh/internal/vector"
+)
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions. Avg is decomposed by the planner into Sum/Count for
+// distributed plans but supported directly for local ones.
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggCountStar
+	AggMin
+	AggMax
+	AggAvg
+	AggCountDistinct
+)
+
+// AggSpec is one aggregate: a function over an argument expression (nil for
+// COUNT(*)).
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr
+}
+
+// resultKind returns the output kind of the aggregate.
+func (a AggSpec) resultKind() vector.Kind {
+	switch a.Func {
+	case AggCount, AggCountStar, AggCountDistinct:
+		return vector.Int64
+	case AggAvg:
+		return vector.Float64
+	default:
+		if a.Arg == nil {
+			return vector.Int64
+		}
+		k := a.Arg.Kind()
+		if k == vector.Int32 {
+			return vector.Int64 // sums/mins widen int32
+		}
+		return k
+	}
+}
+
+// aggState is one group's accumulator for one aggregate.
+type aggState struct {
+	i64      int64
+	f64      float64
+	str      string
+	seen     bool
+	count    int64
+	distinct map[string]struct{}
+}
+
+// HashAggr performs hash group-by aggregation. It consumes the child fully
+// on the first Next, then emits result batches: key columns followed by one
+// column per aggregate. With no keys it emits exactly one global row.
+type HashAggr struct {
+	Child Operator
+	Keys  []expr.Expr
+	Aggs  []AggSpec
+
+	groups   map[string]int
+	keyVecs  []*vector.Vec
+	states   [][]aggState
+	emitted  int
+	consumed bool
+}
+
+// Open implements Operator.
+func (h *HashAggr) Open() error {
+	h.groups = make(map[string]int)
+	h.states = nil
+	h.keyVecs = nil
+	h.emitted = 0
+	h.consumed = false
+	return h.Child.Open()
+}
+
+// Close implements Operator.
+func (h *HashAggr) Close() error { return h.Child.Close() }
+
+// Next implements Operator.
+func (h *HashAggr) Next() (*vector.Batch, error) {
+	if !h.consumed {
+		if err := h.consume(); err != nil {
+			return nil, err
+		}
+		h.consumed = true
+	}
+	n := len(h.states)
+	if h.emitted >= n {
+		return nil, nil
+	}
+	lo := h.emitted
+	hi := lo + vector.MaxSize
+	if hi > n {
+		hi = n
+	}
+	h.emitted = hi
+	out := &vector.Batch{Vecs: make([]*vector.Vec, len(h.Keys)+len(h.Aggs))}
+	for i := range h.Keys {
+		out.Vecs[i] = h.keyVecs[i].Slice(lo, hi)
+	}
+	for ai, spec := range h.Aggs {
+		v := vector.New(spec.resultKind(), hi-lo)
+		for g := lo; g < hi; g++ {
+			st := &h.states[g][ai]
+			switch spec.Func {
+			case AggCount, AggCountStar:
+				v.AppendInt64(st.count)
+			case AggCountDistinct:
+				v.AppendInt64(int64(len(st.distinct)))
+			case AggAvg:
+				if st.count == 0 {
+					v.AppendFloat64(0)
+				} else {
+					v.AppendFloat64(st.f64 / float64(st.count))
+				}
+			case AggSum, AggMin, AggMax:
+				switch spec.resultKind() {
+				case vector.Float64:
+					v.AppendFloat64(st.f64)
+				case vector.String:
+					v.AppendString(st.str)
+				default:
+					v.AppendInt64(st.i64)
+				}
+			}
+		}
+		out.Vecs[len(h.Keys)+ai] = v
+	}
+	return out, nil
+}
+
+func (h *HashAggr) consume() error {
+	var keyBuf []byte
+	for {
+		b, err := h.Child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		// Evaluate key and argument expressions once per batch.
+		keyCols := make([]*vector.Vec, len(h.Keys))
+		for i, k := range h.Keys {
+			if keyCols[i], err = k.Eval(b); err != nil {
+				return err
+			}
+		}
+		argCols := make([]*vector.Vec, len(h.Aggs))
+		for i, a := range h.Aggs {
+			if a.Arg != nil {
+				if argCols[i], err = a.Arg.Eval(b); err != nil {
+					return err
+				}
+			}
+		}
+		for r := 0; r < n; r++ {
+			keyBuf = keyBuf[:0]
+			for _, kc := range keyCols {
+				keyBuf = appendKeyValue(keyBuf, kc, r)
+			}
+			g, ok := h.groups[string(keyBuf)]
+			if !ok {
+				g = len(h.states)
+				h.groups[string(keyBuf)] = g
+				h.states = append(h.states, make([]aggState, len(h.Aggs)))
+				if h.keyVecs == nil {
+					h.keyVecs = make([]*vector.Vec, len(h.Keys))
+					for i, kc := range keyCols {
+						h.keyVecs[i] = vector.New(kc.Kind(), 64)
+					}
+				}
+				for i, kc := range keyCols {
+					h.keyVecs[i].AppendFrom(kc, r)
+				}
+			}
+			for ai, spec := range h.Aggs {
+				updateAgg(&h.states[g][ai], spec, argCols[ai], r)
+			}
+		}
+	}
+	// Global aggregates emit one row even for empty input.
+	if len(h.Keys) == 0 && len(h.states) == 0 {
+		h.states = append(h.states, make([]aggState, len(h.Aggs)))
+	}
+	return nil
+}
+
+func updateAgg(st *aggState, spec AggSpec, arg *vector.Vec, r int) {
+	switch spec.Func {
+	case AggCountStar:
+		st.count++
+		return
+	case AggCount:
+		st.count++
+		return
+	case AggCountDistinct:
+		if st.distinct == nil {
+			st.distinct = make(map[string]struct{})
+		}
+		st.distinct[string(appendKeyValue(nil, arg, r))] = struct{}{}
+		return
+	case AggAvg:
+		f, _ := floatAt(arg, r)
+		st.f64 += f
+		st.count++
+		return
+	}
+	switch arg.Kind() {
+	case vector.Float64:
+		f := arg.Float64s()[r]
+		switch spec.Func {
+		case AggSum:
+			st.f64 += f
+		case AggMin:
+			if !st.seen || f < st.f64 {
+				st.f64 = f
+			}
+		case AggMax:
+			if !st.seen || f > st.f64 {
+				st.f64 = f
+			}
+		}
+	case vector.String:
+		s := arg.Strings()[r]
+		switch spec.Func {
+		case AggMin:
+			if !st.seen || s < st.str {
+				st.str = s
+			}
+		case AggMax:
+			if !st.seen || s > st.str {
+				st.str = s
+			}
+		}
+	default:
+		var x int64
+		if arg.Kind() == vector.Int32 {
+			x = int64(arg.Int32s()[r])
+		} else {
+			x = arg.Int64s()[r]
+		}
+		switch spec.Func {
+		case AggSum:
+			st.i64 += x
+		case AggMin:
+			if !st.seen || x < st.i64 {
+				st.i64 = x
+			}
+		case AggMax:
+			if !st.seen || x > st.i64 {
+				st.i64 = x
+			}
+		}
+	}
+	st.seen = true
+}
+
+func floatAt(v *vector.Vec, r int) (float64, bool) {
+	switch v.Kind() {
+	case vector.Float64:
+		return v.Float64s()[r], true
+	case vector.Int64:
+		return float64(v.Int64s()[r]), true
+	case vector.Int32:
+		return float64(v.Int32s()[r]), true
+	default:
+		return 0, false
+	}
+}
+
+// appendKeyValue serializes one value of a vector for group/join keying.
+func appendKeyValue(dst []byte, v *vector.Vec, r int) []byte {
+	switch v.Kind() {
+	case vector.Int64:
+		return binary.LittleEndian.AppendUint64(dst, uint64(v.Int64s()[r]))
+	case vector.Int32:
+		return binary.LittleEndian.AppendUint32(dst, uint32(v.Int32s()[r]))
+	case vector.Float64:
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float64s()[r]))
+	case vector.String:
+		s := v.Strings()[r]
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	case vector.Bool:
+		if v.Bools()[r] {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	default:
+		panic(fmt.Sprintf("exec: key of kind %v", v.Kind()))
+	}
+}

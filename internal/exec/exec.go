@@ -1,0 +1,237 @@
+// Package exec implements the vectorized query operators of the engine
+// (§2, §5 of the paper): Select with selection vectors, Project, hash
+// aggregation (partial and final), hash joins (inner, left outer, semi,
+// anti), merge join for co-ordered clustered tables, sort, top-N, and the
+// local Xchg operator family that encapsulates multi-core parallelism so
+// every other operator can stay parallelism-unaware (the Volcano model the
+// paper builds its MPP parallelism on).
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"vectorh/internal/expr"
+	"vectorh/internal/vector"
+)
+
+// Operator is the Volcano iterator contract: Open, repeated Next until a nil
+// batch, Close.
+type Operator interface {
+	Open() error
+	Next() (*vector.Batch, error)
+	Close() error
+}
+
+// --- sources ---
+
+// BatchSource replays a fixed list of batches (tests, PDT tails, receiver
+// buffers).
+type BatchSource struct {
+	Batches []*vector.Batch
+	pos     int
+}
+
+// Open implements Operator.
+func (s *BatchSource) Open() error { s.pos = 0; return nil }
+
+// Next implements Operator.
+func (s *BatchSource) Next() (*vector.Batch, error) {
+	for s.pos < len(s.Batches) {
+		b := s.Batches[s.pos]
+		s.pos++
+		if b != nil && b.Len() > 0 {
+			return b, nil
+		}
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (s *BatchSource) Close() error { return nil }
+
+// FuncSource adapts a pull function to an Operator.
+type FuncSource struct {
+	NextFn  func() (*vector.Batch, error)
+	CloseFn func() error
+}
+
+// Open implements Operator.
+func (s *FuncSource) Open() error { return nil }
+
+// Next implements Operator.
+func (s *FuncSource) Next() (*vector.Batch, error) { return s.NextFn() }
+
+// Close implements Operator.
+func (s *FuncSource) Close() error {
+	if s.CloseFn != nil {
+		return s.CloseFn()
+	}
+	return nil
+}
+
+// --- select ---
+
+// Select filters its child with a boolean predicate, producing selection
+// vectors instead of copying data.
+type Select struct {
+	Child Operator
+	Pred  expr.Expr
+}
+
+// Open implements Operator.
+func (s *Select) Open() error { return s.Child.Open() }
+
+// Next implements Operator.
+func (s *Select) Next() (*vector.Batch, error) {
+	for {
+		b, err := s.Child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		v, err := s.Pred.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind() != vector.Bool {
+			return nil, fmt.Errorf("exec: select predicate is %v", v.Kind())
+		}
+		sel := expr.SelFromBool(v, b)
+		if len(sel) == 0 {
+			continue
+		}
+		if len(sel) == b.Len() && b.Sel == nil {
+			return b, nil // everything qualifies: pass through
+		}
+		return &vector.Batch{Vecs: b.Vecs, Sel: sel}, nil
+	}
+}
+
+// Close implements Operator.
+func (s *Select) Close() error { return s.Child.Close() }
+
+// --- project ---
+
+// Project evaluates expressions into a dense output batch.
+type Project struct {
+	Child Operator
+	Exprs []expr.Expr
+}
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.Child.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (*vector.Batch, error) {
+	b, err := p.Child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	out := &vector.Batch{Vecs: make([]*vector.Vec, len(p.Exprs))}
+	for i, e := range p.Exprs {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		out.Vecs[i] = v
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// --- limit ---
+
+// Limit passes through the first N rows.
+type Limit struct {
+	Child Operator
+	N     int64
+
+	seen int64
+}
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen = 0; return l.Child.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (*vector.Batch, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	b, err := l.Child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if l.seen+int64(b.Len()) <= l.N {
+		l.seen += int64(b.Len())
+		return b, nil
+	}
+	take := int(l.N - l.seen)
+	l.seen = l.N
+	c := b.Compact()
+	out := &vector.Batch{Vecs: make([]*vector.Vec, len(c.Vecs))}
+	for i, v := range c.Vecs {
+		out.Vecs[i] = v.Slice(0, take)
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// --- profiling wrapper (the Appendix profile of the paper) ---
+
+// Profiled wraps an operator, measuring wall time spent inside it and the
+// tuples it produced; used to regenerate the Appendix per-operator profile.
+type Profiled struct {
+	Name  string
+	Child Operator
+
+	NanosSelf int64
+	TuplesOut int64
+}
+
+// Open implements Operator.
+func (p *Profiled) Open() error {
+	t0 := time.Now()
+	err := p.Child.Open()
+	atomic.AddInt64(&p.NanosSelf, int64(time.Since(t0)))
+	return err
+}
+
+// Next implements Operator.
+func (p *Profiled) Next() (*vector.Batch, error) {
+	t0 := time.Now()
+	b, err := p.Child.Next()
+	atomic.AddInt64(&p.NanosSelf, int64(time.Since(t0)))
+	if b != nil {
+		atomic.AddInt64(&p.TuplesOut, int64(b.Len()))
+	}
+	return b, err
+}
+
+// Close implements Operator.
+func (p *Profiled) Close() error { return p.Child.Close() }
+
+// Collect drains an operator into a row list (test/result helper).
+func Collect(op Operator) ([][]any, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows [][]any
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		for i := 0; i < b.Len(); i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+}

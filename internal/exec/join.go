@@ -1,0 +1,313 @@
+package exec
+
+import (
+	"vectorh/internal/expr"
+	"vectorh/internal/vector"
+)
+
+// JoinType enumerates the supported join semantics. The probe side is always
+// preserved for LeftOuter; Semi and Anti emit probe rows only.
+type JoinType uint8
+
+// Join types.
+const (
+	Inner JoinType = iota
+	LeftOuter
+	Semi
+	Anti
+)
+
+// HashJoin builds a hash table on the build child and streams the probe
+// child through it. Output columns are the probe columns followed by the
+// build columns (Inner/LeftOuter); LeftOuter appends a trailing Bool
+// "matched" column and pads unmatched build columns with zero values (the
+// engine has no NULLs; aggregation over outer joins tests the matched flag,
+// which is how Q13 counts empty groups).
+type HashJoin struct {
+	Build     Operator
+	Probe     Operator
+	BuildKeys []expr.Expr
+	ProbeKeys []expr.Expr
+	Type      JoinType
+
+	built     bool
+	table     map[string][]int32
+	buildCols []*vector.Vec
+	pending   []*vector.Batch
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open() error {
+	j.built = false
+	j.table = nil
+	j.buildCols = nil
+	j.pending = nil
+	if err := j.Build.Open(); err != nil {
+		return err
+	}
+	return j.Probe.Open()
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	err1 := j.Build.Close()
+	err2 := j.Probe.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (j *HashJoin) buildTable() error {
+	j.table = make(map[string][]int32)
+	var keyBuf []byte
+	total := 0
+	for {
+		b, err := j.Build.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		c := b.Compact()
+		if j.buildCols == nil {
+			j.buildCols = make([]*vector.Vec, len(c.Vecs))
+			for i, v := range c.Vecs {
+				j.buildCols[i] = vector.New(v.Kind(), c.Len())
+			}
+		}
+		keyCols := make([]*vector.Vec, len(j.BuildKeys))
+		for i, k := range j.BuildKeys {
+			if keyCols[i], err = k.Eval(c); err != nil {
+				return err
+			}
+		}
+		for r := 0; r < c.Len(); r++ {
+			keyBuf = keyBuf[:0]
+			for _, kc := range keyCols {
+				keyBuf = appendKeyValue(keyBuf, kc, r)
+			}
+			j.table[string(keyBuf)] = append(j.table[string(keyBuf)], int32(total))
+			for i, v := range c.Vecs {
+				j.buildCols[i].AppendFrom(v, r)
+			}
+			total++
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*vector.Batch, error) {
+	if !j.built {
+		if err := j.buildTable(); err != nil {
+			return nil, err
+		}
+		j.built = true
+	}
+	var keyBuf []byte
+	for {
+		b, err := j.Probe.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		c := b.Compact()
+		keyCols := make([]*vector.Vec, len(j.ProbeKeys))
+		for i, k := range j.ProbeKeys {
+			if keyCols[i], err = k.Eval(c); err != nil {
+				return nil, err
+			}
+		}
+		var probeSel, buildSel []int32
+		var matched []bool
+		for r := 0; r < c.Len(); r++ {
+			keyBuf = keyBuf[:0]
+			for _, kc := range keyCols {
+				keyBuf = appendKeyValue(keyBuf, kc, r)
+			}
+			rows := j.table[string(keyBuf)]
+			switch j.Type {
+			case Inner:
+				for _, br := range rows {
+					probeSel = append(probeSel, int32(r))
+					buildSel = append(buildSel, br)
+				}
+			case LeftOuter:
+				if len(rows) == 0 {
+					probeSel = append(probeSel, int32(r))
+					buildSel = append(buildSel, -1)
+					matched = append(matched, false)
+				} else {
+					for _, br := range rows {
+						probeSel = append(probeSel, int32(r))
+						buildSel = append(buildSel, br)
+						matched = append(matched, true)
+					}
+				}
+			case Semi:
+				if len(rows) > 0 {
+					probeSel = append(probeSel, int32(r))
+				}
+			case Anti:
+				if len(rows) == 0 {
+					probeSel = append(probeSel, int32(r))
+				}
+			}
+		}
+		if len(probeSel) == 0 {
+			continue
+		}
+		out := &vector.Batch{}
+		for _, v := range c.Vecs {
+			out.Vecs = append(out.Vecs, v.Gather(probeSel, len(probeSel)))
+		}
+		if j.Type == Inner || j.Type == LeftOuter {
+			for _, bv := range j.buildCols {
+				g := vector.New(bv.Kind(), len(buildSel))
+				for _, br := range buildSel {
+					if br < 0 {
+						g.AppendZero()
+					} else {
+						g.AppendFrom(bv, int(br))
+					}
+				}
+				out.Vecs = append(out.Vecs, g)
+			}
+		}
+		if j.Type == LeftOuter {
+			out.Vecs = append(out.Vecs, vector.FromBool(matched))
+		}
+		return out, nil
+	}
+}
+
+// NumBuildCols reports the build side's column count after the build phase;
+// planners use the static schema instead, this is a testing aid.
+func (j *HashJoin) NumBuildCols() int { return len(j.buildCols) }
+
+// MergeJoin joins two inputs ordered on an int64 key, where the right
+// (referenced) side has unique keys — the co-ordered clustered-index case
+// of §2 (lineitem⋈orders, partsupp⋈part) that needs no hash table and no
+// network when partitions are co-located. Output: left columns then right
+// columns.
+type MergeJoin struct {
+	Left     Operator
+	Right    Operator
+	LeftKey  int // column index of the (possibly duplicated) foreign key
+	RightKey int // column index of the unique key
+
+	lb, rb *vector.Batch
+	lpos   int
+	rpos   int
+	ldone  bool
+	rdone  bool
+}
+
+// Open implements Operator.
+func (m *MergeJoin) Open() error {
+	m.lb, m.rb = nil, nil
+	m.lpos, m.rpos = 0, 0
+	m.ldone, m.rdone = false, false
+	if err := m.Left.Open(); err != nil {
+		return err
+	}
+	return m.Right.Open()
+}
+
+// Close implements Operator.
+func (m *MergeJoin) Close() error {
+	err1 := m.Left.Close()
+	err2 := m.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (m *MergeJoin) fillLeft() error {
+	for !m.ldone && (m.lb == nil || m.lpos >= m.lb.Len()) {
+		b, err := m.Left.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			m.ldone = true
+			m.lb = nil
+			return nil
+		}
+		m.lb, m.lpos = b.Compact(), 0
+	}
+	return nil
+}
+
+func (m *MergeJoin) fillRight() error {
+	for !m.rdone && (m.rb == nil || m.rpos >= m.rb.Len()) {
+		b, err := m.Right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			m.rdone = true
+			m.rb = nil
+			return nil
+		}
+		m.rb, m.rpos = b.Compact(), 0
+	}
+	return nil
+}
+
+func int64At(v *vector.Vec, i int) int64 {
+	if v.Kind() == vector.Int32 {
+		return int64(v.Int32s()[i])
+	}
+	return v.Int64s()[i]
+}
+
+// Next implements Operator.
+func (m *MergeJoin) Next() (*vector.Batch, error) {
+	var out *vector.Batch
+	emitted := 0
+	for emitted < vector.MaxSize {
+		if err := m.fillLeft(); err != nil {
+			return nil, err
+		}
+		if err := m.fillRight(); err != nil {
+			return nil, err
+		}
+		if m.lb == nil || m.rb == nil {
+			break
+		}
+		lk := int64At(m.lb.Col(m.LeftKey), m.lpos)
+		rk := int64At(m.rb.Col(m.RightKey), m.rpos)
+		switch {
+		case lk < rk:
+			m.lpos++
+		case lk > rk:
+			m.rpos++
+		default:
+			if out == nil {
+				out = &vector.Batch{}
+				for _, v := range m.lb.Vecs {
+					out.Vecs = append(out.Vecs, vector.New(v.Kind(), vector.MaxSize))
+				}
+				for _, v := range m.rb.Vecs {
+					out.Vecs = append(out.Vecs, vector.New(v.Kind(), vector.MaxSize))
+				}
+			}
+			nl := len(m.lb.Vecs)
+			for i, v := range m.lb.Vecs {
+				out.Vecs[i].AppendFrom(v, m.lpos)
+			}
+			for i, v := range m.rb.Vecs {
+				out.Vecs[nl+i].AppendFrom(v, m.rpos)
+			}
+			emitted++
+			m.lpos++ // right side unique: advance left only
+		}
+	}
+	if out == nil || out.Len() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}

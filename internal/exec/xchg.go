@@ -1,0 +1,429 @@
+package exec
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"vectorh/internal/expr"
+	"vectorh/internal/vector"
+)
+
+// The local Xchg operator family (§5, after Graefe's Volcano): an Xchg never
+// modifies data, it only redistributes streams between producer and consumer
+// threads, encapsulating parallelism so all other operators stay
+// parallelism-unaware. Producers run in goroutines started at Open.
+
+// item is one unit on an exchange channel.
+type item struct {
+	b   *vector.Batch
+	err error
+}
+
+// xchgCore runs producers and fans their output to consumer channels using
+// a routing function.
+type xchgCore struct {
+	producers []Operator
+	outs      []chan item
+	route     func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error
+	quit      chan struct{}
+	startOnce sync.Once
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+func newXchgCore(producers []Operator, consumers int,
+	route func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error) *xchgCore {
+	x := &xchgCore{producers: producers, route: route, quit: make(chan struct{})}
+	x.outs = make([]chan item, consumers)
+	for i := range x.outs {
+		x.outs[i] = make(chan item, 4)
+	}
+	return x
+}
+
+func (x *xchgCore) start() {
+	x.startOnce.Do(func() {
+		x.wg.Add(len(x.producers))
+		for _, p := range x.producers {
+			go func(p Operator) {
+				defer x.wg.Done()
+				if err := p.Open(); err != nil {
+					x.fanErr(err)
+					return
+				}
+				defer p.Close()
+				for {
+					b, err := p.Next()
+					if err != nil {
+						x.fanErr(err)
+						return
+					}
+					if b == nil {
+						return
+					}
+					if err := x.route(b, x.outs, x.quit); err != nil {
+						return
+					}
+				}
+			}(p)
+		}
+		go func() {
+			x.wg.Wait()
+			for _, ch := range x.outs {
+				close(ch)
+			}
+		}()
+	})
+}
+
+func (x *xchgCore) fanErr(err error) {
+	for _, ch := range x.outs {
+		select {
+		case ch <- item{err: err}:
+		case <-x.quit:
+		}
+	}
+}
+
+func (x *xchgCore) stop() {
+	x.closeOnce.Do(func() { close(x.quit) })
+}
+
+// port is one consumer endpoint of an exchange.
+type port struct {
+	x   *xchgCore
+	idx int
+}
+
+// Open implements Operator.
+func (p *port) Open() error { p.x.start(); return nil }
+
+// Next implements Operator.
+func (p *port) Next() (*vector.Batch, error) {
+	it, ok := <-p.x.outs[p.idx]
+	if !ok {
+		return nil, nil
+	}
+	return it.b, it.err
+}
+
+// Close implements Operator.
+func (p *port) Close() error { p.x.stop(); return nil }
+
+func send(ch chan item, b *vector.Batch, quit <-chan struct{}) error {
+	select {
+	case ch <- item{b: b}:
+		return nil
+	case <-quit:
+		return errQuit
+	}
+}
+
+type quitError struct{}
+
+func (quitError) Error() string { return "exec: exchange canceled" }
+
+var errQuit = quitError{}
+
+// XchgUnion merges n producer streams into one consumer stream.
+func XchgUnion(producers []Operator) Operator {
+	x := newXchgCore(producers, 1, func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error {
+		return send(outs[0], b, quit)
+	})
+	return &port{x: x}
+}
+
+// XchgHashSplit hash-partitions n producer streams into m consumer streams
+// on the given key expressions. It returns the m consumer ports.
+func XchgHashSplit(producers []Operator, keys []expr.Expr, m int) []Operator {
+	route := func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error {
+		hashes, err := HashRows(b, keys)
+		if err != nil {
+			// Deliver the error to consumer 0.
+			select {
+			case outs[0] <- item{err: err}:
+			case <-quit:
+			}
+			return err
+		}
+		sels := make([][]int32, m)
+		for r, h := range hashes {
+			d := int(h % uint64(m))
+			phys := int32(r)
+			if b.Sel != nil {
+				phys = b.Sel[r]
+			}
+			sels[d] = append(sels[d], phys)
+		}
+		for d, sel := range sels {
+			if len(sel) == 0 {
+				continue
+			}
+			if err := send(outs[d], &vector.Batch{Vecs: b.Vecs, Sel: sel}, quit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	x := newXchgCore(producers, m, route)
+	ports := make([]Operator, m)
+	for i := range ports {
+		ports[i] = &port{x: x, idx: i}
+	}
+	return ports
+}
+
+// XchgBroadcast replicates every producer batch to all m consumer streams
+// (used to build replicated join sides).
+func XchgBroadcast(producers []Operator, m int) []Operator {
+	route := func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error {
+		for _, ch := range outs {
+			if err := send(ch, b, quit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	x := newXchgCore(producers, m, route)
+	ports := make([]Operator, m)
+	for i := range ports {
+		ports[i] = &port{x: x, idx: i}
+	}
+	return ports
+}
+
+// XchgRangeSplit routes rows to consumers by comparing an int64 key against
+// ascending boundaries: consumer i receives keys in (bounds[i-1], bounds[i]]
+// with the last consumer unbounded.
+func XchgRangeSplit(producers []Operator, key expr.Expr, bounds []int64) []Operator {
+	m := len(bounds) + 1
+	route := func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error {
+		kv, err := key.Eval(b)
+		if err != nil {
+			select {
+			case outs[0] <- item{err: err}:
+			case <-quit:
+			}
+			return err
+		}
+		sels := make([][]int32, m)
+		for r := 0; r < b.Len(); r++ {
+			x := int64At(kv, r)
+			d := 0
+			for d < len(bounds) && x > bounds[d] {
+				d++
+			}
+			phys := int32(r)
+			if b.Sel != nil {
+				phys = b.Sel[r]
+			}
+			sels[d] = append(sels[d], phys)
+		}
+		for d, sel := range sels {
+			if len(sel) == 0 {
+				continue
+			}
+			if err := send(outs[d], &vector.Batch{Vecs: b.Vecs, Sel: sel}, quit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	x := newXchgCore(producers, m, route)
+	ports := make([]Operator, m)
+	for i := range ports {
+		ports[i] = &port{x: x, idx: i}
+	}
+	return ports
+}
+
+// XchgMergeUnion merges producer streams that are each sorted on the keys
+// into one globally sorted consumer stream.
+func XchgMergeUnion(producers []Operator, keys []SortKey) Operator {
+	return &mergeUnion{producers: producers, keys: keys}
+}
+
+type mergeUnion struct {
+	producers []Operator
+	keys      []SortKey
+
+	bufs  []*vector.Batch
+	pos   []int
+	done  []bool
+	open  bool
+	kvecs [][]*vector.Vec
+}
+
+// Open implements Operator.
+func (m *mergeUnion) Open() error {
+	m.bufs = make([]*vector.Batch, len(m.producers))
+	m.pos = make([]int, len(m.producers))
+	m.done = make([]bool, len(m.producers))
+	m.kvecs = make([][]*vector.Vec, len(m.producers))
+	for _, p := range m.producers {
+		if err := p.Open(); err != nil {
+			return err
+		}
+	}
+	m.open = true
+	return nil
+}
+
+// Close implements Operator.
+func (m *mergeUnion) Close() error {
+	var first error
+	for _, p := range m.producers {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (m *mergeUnion) fill(i int) error {
+	for !m.done[i] && (m.bufs[i] == nil || m.pos[i] >= m.bufs[i].Len()) {
+		b, err := m.producers[i].Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			m.done[i] = true
+			m.bufs[i] = nil
+			return nil
+		}
+		c := b.Compact()
+		m.bufs[i], m.pos[i] = c, 0
+		m.kvecs[i] = make([]*vector.Vec, len(m.keys))
+		for ki, k := range m.keys {
+			kv, err := k.Expr.Eval(c)
+			if err != nil {
+				return err
+			}
+			m.kvecs[i][ki] = kv
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (m *mergeUnion) Next() (*vector.Batch, error) {
+	var out *vector.Batch
+	for n := 0; n < vector.MaxSize; n++ {
+		best := -1
+		for i := range m.producers {
+			if err := m.fill(i); err != nil {
+				return nil, err
+			}
+			if m.bufs[i] == nil {
+				continue
+			}
+			if best == -1 || m.less(i, best) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		src := m.bufs[best]
+		if out == nil {
+			out = &vector.Batch{Vecs: make([]*vector.Vec, len(src.Vecs))}
+			for i, v := range src.Vecs {
+				out.Vecs[i] = vector.New(v.Kind(), vector.MaxSize)
+			}
+		}
+		for i, v := range src.Vecs {
+			out.Vecs[i].AppendFrom(v, m.pos[best])
+		}
+		m.pos[best]++
+	}
+	if out == nil {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// less orders producer heads i vs j by the sort keys.
+func (m *mergeUnion) less(i, j int) bool {
+	for ki, k := range m.keys {
+		c := compareAt2(m.kvecs[i][ki], m.pos[i], m.kvecs[j][ki], m.pos[j])
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+func compareAt2(a *vector.Vec, x int, b *vector.Vec, y int) int {
+	switch a.Kind() {
+	case vector.Int64:
+		return cmpOrdered(a.Int64s()[x], b.Int64s()[y])
+	case vector.Int32:
+		return cmpOrdered(a.Int32s()[x], b.Int32s()[y])
+	case vector.Float64:
+		return cmpOrdered(a.Float64s()[x], b.Float64s()[y])
+	case vector.String:
+		return cmpOrdered(a.Strings()[x], b.Strings()[y])
+	}
+	return 0
+}
+
+// HashRows computes a 64-bit hash of the key expressions for every live row
+// of a batch; exchanges and distributed exchanges share it so that local
+// and remote partitioning agree.
+func HashRows(b *vector.Batch, keys []expr.Expr) ([]uint64, error) {
+	n := b.Len()
+	hashes := make([]uint64, n)
+	for i := range hashes {
+		hashes[i] = 14695981039346656037 // FNV offset basis
+	}
+	var buf [8]byte
+	for _, k := range keys {
+		kv, err := k.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		switch kv.Kind() {
+		case vector.Int64:
+			for r, x := range kv.Int64s() {
+				hashes[r] = mix(hashes[r], uint64(x), &buf)
+			}
+		case vector.Int32:
+			for r, x := range kv.Int32s() {
+				hashes[r] = mix(hashes[r], uint64(uint32(x)), &buf)
+			}
+		case vector.Float64:
+			for r, x := range kv.Float64s() {
+				hashes[r] = mix(hashes[r], uint64(int64(x)), &buf)
+			}
+		case vector.String:
+			for r, s := range kv.Strings() {
+				h := fnv.New64a()
+				h.Write([]byte(s))
+				hashes[r] = hashes[r]*1099511628211 ^ h.Sum64()
+			}
+		default:
+			for r := 0; r < n; r++ {
+				hashes[r] = mix(hashes[r], 0, &buf)
+			}
+		}
+	}
+	return hashes, nil
+}
+
+func mix(h, x uint64, _ *[8]byte) uint64 {
+	x *= 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return (h ^ x) * 1099511628211
+}
+
+// HashInt64 hashes a single integer key with the same function HashRows
+// uses, so table partitioning (hash of the partition key) and exchange
+// partitioning agree everywhere in the engine.
+func HashInt64(x int64) uint64 {
+	var buf [8]byte
+	return mix(14695981039346656037, uint64(x), &buf)
+}

@@ -1,0 +1,698 @@
+// Package expr implements the vectorized expression interpreter of the
+// engine: every expression evaluates over a whole batch at a time (honoring
+// its selection vector) and produces a dense result vector, keeping the
+// per-tuple interpretation overhead amortized over ~1024 values (§2 of the
+// paper).
+//
+// Columns are referenced by position; the planner binds names to positions.
+// Decimal columns are stored as scaled int64 and explicitly converted with
+// Scaled for arithmetic, mirroring how a real engine separates storage and
+// computation types.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"vectorh/internal/vector"
+)
+
+// Expr is a vectorized expression.
+type Expr interface {
+	// Eval returns a dense vector of length b.Len().
+	Eval(b *vector.Batch) (*vector.Vec, error)
+	// Kind is the result kind.
+	Kind() vector.Kind
+	String() string
+}
+
+// --- column references and constants ---
+
+type colExpr struct {
+	idx  int
+	kind vector.Kind
+}
+
+// Col references input column idx with the given kind.
+func Col(idx int, kind vector.Kind) Expr { return &colExpr{idx, kind} }
+
+func (c *colExpr) Kind() vector.Kind { return c.kind }
+func (c *colExpr) String() string    { return fmt.Sprintf("$%d", c.idx) }
+
+func (c *colExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	if c.idx >= len(b.Vecs) {
+		return nil, fmt.Errorf("expr: column $%d out of range (%d cols)", c.idx, len(b.Vecs))
+	}
+	v := b.Vecs[c.idx]
+	if v.Kind() != c.kind {
+		return nil, fmt.Errorf("expr: column $%d is %v, expected %v", c.idx, v.Kind(), c.kind)
+	}
+	if b.Sel == nil {
+		return v, nil
+	}
+	return v.Gather(b.Sel, len(b.Sel)), nil
+}
+
+type constExpr struct {
+	kind vector.Kind
+	val  any
+}
+
+// ConstInt64 is an int64 literal.
+func ConstInt64(v int64) Expr { return &constExpr{vector.Int64, v} }
+
+// ConstInt32 is an int32 literal (also used for date literals).
+func ConstInt32(v int32) Expr { return &constExpr{vector.Int32, v} }
+
+// ConstFloat is a float64 literal.
+func ConstFloat(v float64) Expr { return &constExpr{vector.Float64, v} }
+
+// ConstStr is a string literal.
+func ConstStr(v string) Expr { return &constExpr{vector.String, v} }
+
+// ConstBool is a boolean literal.
+func ConstBool(v bool) Expr { return &constExpr{vector.Bool, v} }
+
+func (c *constExpr) Kind() vector.Kind { return c.kind }
+func (c *constExpr) String() string    { return fmt.Sprintf("%v", c.val) }
+
+func (c *constExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	return vector.Const(c.kind, c.val, b.Len()), nil
+}
+
+// --- numeric promotion helpers ---
+
+// asInt64 produces an []int64 view of an int32/int64 vector.
+func asInt64(v *vector.Vec) ([]int64, bool) {
+	switch v.Kind() {
+	case vector.Int64:
+		return v.Int64s(), true
+	case vector.Int32:
+		src := v.Int32s()
+		out := make([]int64, len(src))
+		for i, x := range src {
+			out[i] = int64(x)
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+// asFloat produces an []float64 view of any numeric vector.
+func asFloat(v *vector.Vec) ([]float64, bool) {
+	switch v.Kind() {
+	case vector.Float64:
+		return v.Float64s(), true
+	case vector.Int64:
+		src := v.Int64s()
+		out := make([]float64, len(src))
+		for i, x := range src {
+			out[i] = float64(x)
+		}
+		return out, true
+	case vector.Int32:
+		src := v.Int32s()
+		out := make([]float64, len(src))
+		for i, x := range src {
+			out[i] = float64(x)
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+func isNumeric(k vector.Kind) bool {
+	return k == vector.Int32 || k == vector.Int64 || k == vector.Float64
+}
+
+// --- arithmetic ---
+
+type arithOp uint8
+
+const (
+	opAdd arithOp = iota
+	opSub
+	opMul
+	opDiv
+)
+
+type arithExpr struct {
+	op   arithOp
+	l, r Expr
+	kind vector.Kind
+}
+
+func arith(op arithOp, l, r Expr) Expr {
+	kind := vector.Int64
+	if l.Kind() == vector.Float64 || r.Kind() == vector.Float64 || op == opDiv {
+		kind = vector.Float64
+	}
+	return &arithExpr{op: op, l: l, r: r, kind: kind}
+}
+
+// Add returns l + r (int64 unless either side is float, then float64).
+func Add(l, r Expr) Expr { return arith(opAdd, l, r) }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return arith(opSub, l, r) }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return arith(opMul, l, r) }
+
+// Div returns l / r as float64.
+func Div(l, r Expr) Expr { return arith(opDiv, l, r) }
+
+func (e *arithExpr) Kind() vector.Kind { return e.kind }
+
+func (e *arithExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.l, [...]string{"+", "-", "*", "/"}[e.op], e.r)
+}
+
+func (e *arithExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	lv, err := e.l.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.r.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if !isNumeric(lv.Kind()) || !isNumeric(rv.Kind()) {
+		return nil, fmt.Errorf("expr: arithmetic on %v/%v", lv.Kind(), rv.Kind())
+	}
+	if e.kind == vector.Float64 {
+		l, _ := asFloat(lv)
+		r, _ := asFloat(rv)
+		out := make([]float64, len(l))
+		switch e.op {
+		case opAdd:
+			for i := range l {
+				out[i] = l[i] + r[i]
+			}
+		case opSub:
+			for i := range l {
+				out[i] = l[i] - r[i]
+			}
+		case opMul:
+			for i := range l {
+				out[i] = l[i] * r[i]
+			}
+		case opDiv:
+			for i := range l {
+				out[i] = l[i] / r[i]
+			}
+		}
+		return vector.FromFloat64(out), nil
+	}
+	l, _ := asInt64(lv)
+	r, _ := asInt64(rv)
+	out := make([]int64, len(l))
+	switch e.op {
+	case opAdd:
+		for i := range l {
+			out[i] = l[i] + r[i]
+		}
+	case opSub:
+		for i := range l {
+			out[i] = l[i] - r[i]
+		}
+	case opMul:
+		for i := range l {
+			out[i] = l[i] * r[i]
+		}
+	}
+	return vector.FromInt64(out), nil
+}
+
+// Scaled converts a scaled-int64 decimal column to float64 (factor is the
+// inverse scale, e.g. 0.01 for two decimal digits).
+func Scaled(e Expr, factor float64) Expr { return &scaledExpr{e, factor} }
+
+type scaledExpr struct {
+	e      Expr
+	factor float64
+}
+
+func (s *scaledExpr) Kind() vector.Kind { return vector.Float64 }
+func (s *scaledExpr) String() string    { return fmt.Sprintf("scaled(%s,%g)", s.e, s.factor) }
+
+func (s *scaledExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	v, err := s.e.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := asFloat(v)
+	if !ok {
+		return nil, fmt.Errorf("expr: scaled() on %v", v.Kind())
+	}
+	out := make([]float64, len(f))
+	for i, x := range f {
+		out[i] = x * s.factor
+	}
+	return vector.FromFloat64(out), nil
+}
+
+// --- comparisons ---
+
+type cmpOp uint8
+
+const (
+	opLT cmpOp = iota
+	opLE
+	opGT
+	opGE
+	opEQ
+	opNE
+)
+
+type cmpExpr struct {
+	op   cmpOp
+	l, r Expr
+}
+
+// LT returns l < r.
+func LT(l, r Expr) Expr { return &cmpExpr{opLT, l, r} }
+
+// LE returns l <= r.
+func LE(l, r Expr) Expr { return &cmpExpr{opLE, l, r} }
+
+// GT returns l > r.
+func GT(l, r Expr) Expr { return &cmpExpr{opGT, l, r} }
+
+// GE returns l >= r.
+func GE(l, r Expr) Expr { return &cmpExpr{opGE, l, r} }
+
+// EQ returns l == r.
+func EQ(l, r Expr) Expr { return &cmpExpr{opEQ, l, r} }
+
+// NE returns l != r.
+func NE(l, r Expr) Expr { return &cmpExpr{opNE, l, r} }
+
+func (e *cmpExpr) Kind() vector.Kind { return vector.Bool }
+
+func (e *cmpExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.l, [...]string{"<", "<=", ">", ">=", "=", "<>"}[e.op], e.r)
+}
+
+func cmpSlice[T int64 | float64 | string](op cmpOp, l, r []T) []bool {
+	out := make([]bool, len(l))
+	switch op {
+	case opLT:
+		for i := range l {
+			out[i] = l[i] < r[i]
+		}
+	case opLE:
+		for i := range l {
+			out[i] = l[i] <= r[i]
+		}
+	case opGT:
+		for i := range l {
+			out[i] = l[i] > r[i]
+		}
+	case opGE:
+		for i := range l {
+			out[i] = l[i] >= r[i]
+		}
+	case opEQ:
+		for i := range l {
+			out[i] = l[i] == r[i]
+		}
+	case opNE:
+		for i := range l {
+			out[i] = l[i] != r[i]
+		}
+	}
+	return out
+}
+
+func (e *cmpExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	lv, err := e.l.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.r.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case lv.Kind() == vector.String && rv.Kind() == vector.String:
+		return vector.FromBool(cmpSlice(e.op, lv.Strings(), rv.Strings())), nil
+	case lv.Kind() == vector.Float64 || rv.Kind() == vector.Float64:
+		l, ok1 := asFloat(lv)
+		r, ok2 := asFloat(rv)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("expr: compare %v with %v", lv.Kind(), rv.Kind())
+		}
+		return vector.FromBool(cmpSlice(e.op, l, r)), nil
+	default:
+		l, ok1 := asInt64(lv)
+		r, ok2 := asInt64(rv)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("expr: compare %v with %v", lv.Kind(), rv.Kind())
+		}
+		return vector.FromBool(cmpSlice(e.op, l, r)), nil
+	}
+}
+
+// Between returns lo <= e AND e <= hi.
+func Between(e, lo, hi Expr) Expr { return And(GE(e, lo), LE(e, hi)) }
+
+// --- boolean connectives ---
+
+type boolOp uint8
+
+const (
+	opAnd boolOp = iota
+	opOr
+	opNot
+)
+
+type boolExpr struct {
+	op   boolOp
+	l, r Expr
+}
+
+// And returns l AND r.
+func And(l, r Expr) Expr { return &boolExpr{opAnd, l, r} }
+
+// Or returns l OR r.
+func Or(l, r Expr) Expr { return &boolExpr{opOr, l, r} }
+
+// Not returns NOT l.
+func Not(l Expr) Expr { return &boolExpr{opNot, l, nil} }
+
+func (e *boolExpr) Kind() vector.Kind { return vector.Bool }
+
+func (e *boolExpr) String() string {
+	if e.op == opNot {
+		return fmt.Sprintf("not(%s)", e.l)
+	}
+	return fmt.Sprintf("(%s %s %s)", e.l, [...]string{"and", "or"}[e.op], e.r)
+}
+
+func (e *boolExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	lv, err := e.l.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if lv.Kind() != vector.Bool {
+		return nil, fmt.Errorf("expr: boolean op on %v", lv.Kind())
+	}
+	l := lv.Bools()
+	if e.op == opNot {
+		out := make([]bool, len(l))
+		for i := range l {
+			out[i] = !l[i]
+		}
+		return vector.FromBool(out), nil
+	}
+	rv, err := e.r.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if rv.Kind() != vector.Bool {
+		return nil, fmt.Errorf("expr: boolean op on %v", rv.Kind())
+	}
+	r := rv.Bools()
+	out := make([]bool, len(l))
+	if e.op == opAnd {
+		for i := range l {
+			out[i] = l[i] && r[i]
+		}
+	} else {
+		for i := range l {
+			out[i] = l[i] || r[i]
+		}
+	}
+	return vector.FromBool(out), nil
+}
+
+// --- string predicates ---
+
+type likeExpr struct {
+	e       Expr
+	pattern string
+	negate  bool
+}
+
+// Like implements SQL LIKE with % wildcards (the _ wildcard is not needed by
+// TPC-H and unsupported).
+func Like(e Expr, pattern string) Expr { return &likeExpr{e, pattern, false} }
+
+// NotLike is the negation of Like.
+func NotLike(e Expr, pattern string) Expr { return &likeExpr{e, pattern, true} }
+
+func (e *likeExpr) Kind() vector.Kind { return vector.Bool }
+func (e *likeExpr) String() string    { return fmt.Sprintf("like(%s,%q)", e.e, e.pattern) }
+
+func (e *likeExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	v, err := e.e.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind() != vector.String {
+		return nil, fmt.Errorf("expr: LIKE on %v", v.Kind())
+	}
+	parts := strings.Split(e.pattern, "%")
+	anchoredL := !strings.HasPrefix(e.pattern, "%")
+	anchoredR := !strings.HasSuffix(e.pattern, "%")
+	var pieces []string
+	for _, p := range parts {
+		if p != "" {
+			pieces = append(pieces, p)
+		}
+	}
+	src := v.Strings()
+	out := make([]bool, len(src))
+	for i, s := range src {
+		out[i] = likeMatch(s, pieces, anchoredL, anchoredR) != e.negate
+	}
+	return vector.FromBool(out), nil
+}
+
+func likeMatch(s string, pieces []string, anchoredL, anchoredR bool) bool {
+	if len(pieces) == 0 {
+		return true
+	}
+	if anchoredL {
+		if !strings.HasPrefix(s, pieces[0]) {
+			return false
+		}
+		s = s[len(pieces[0]):]
+		pieces = pieces[1:]
+		if len(pieces) == 0 && anchoredR {
+			// No wildcard between the anchors: exact match required.
+			return s == ""
+		}
+	}
+	var last string
+	if anchoredR && len(pieces) > 0 {
+		last = pieces[len(pieces)-1]
+		pieces = pieces[:len(pieces)-1]
+	}
+	for _, p := range pieces {
+		idx := strings.Index(s, p)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(p):]
+	}
+	if last != "" {
+		return strings.HasSuffix(s, last)
+	}
+	return true
+}
+
+// InStr tests membership in a string list.
+func InStr(e Expr, vals ...string) Expr { return &inStrExpr{e, vals} }
+
+type inStrExpr struct {
+	e    Expr
+	vals []string
+}
+
+func (e *inStrExpr) Kind() vector.Kind { return vector.Bool }
+func (e *inStrExpr) String() string    { return fmt.Sprintf("in(%s,%v)", e.e, e.vals) }
+
+func (e *inStrExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	v, err := e.e.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind() != vector.String {
+		return nil, fmt.Errorf("expr: IN strings on %v", v.Kind())
+	}
+	set := make(map[string]bool, len(e.vals))
+	for _, s := range e.vals {
+		set[s] = true
+	}
+	src := v.Strings()
+	out := make([]bool, len(src))
+	for i, s := range src {
+		out[i] = set[s]
+	}
+	return vector.FromBool(out), nil
+}
+
+// InInt64 tests membership in an integer list.
+func InInt64(e Expr, vals ...int64) Expr { return &inIntExpr{e, vals} }
+
+type inIntExpr struct {
+	e    Expr
+	vals []int64
+}
+
+func (e *inIntExpr) Kind() vector.Kind { return vector.Bool }
+func (e *inIntExpr) String() string    { return fmt.Sprintf("in(%s,%v)", e.e, e.vals) }
+
+func (e *inIntExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	v, err := e.e.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	src, ok := asInt64(v)
+	if !ok {
+		return nil, fmt.Errorf("expr: IN ints on %v", v.Kind())
+	}
+	set := make(map[int64]bool, len(e.vals))
+	for _, x := range e.vals {
+		set[x] = true
+	}
+	out := make([]bool, len(src))
+	for i, x := range src {
+		out[i] = set[x]
+	}
+	return vector.FromBool(out), nil
+}
+
+// Substr returns the 1-based substring of fixed length (SQL SUBSTRING(e FROM
+// start FOR length)).
+func Substr(e Expr, start, length int) Expr { return &substrExpr{e, start, length} }
+
+type substrExpr struct {
+	e             Expr
+	start, length int
+}
+
+func (e *substrExpr) Kind() vector.Kind { return vector.String }
+func (e *substrExpr) String() string    { return fmt.Sprintf("substr(%s,%d,%d)", e.e, e.start, e.length) }
+
+func (e *substrExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	v, err := e.e.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind() != vector.String {
+		return nil, fmt.Errorf("expr: SUBSTRING on %v", v.Kind())
+	}
+	src := v.Strings()
+	out := make([]string, len(src))
+	for i, s := range src {
+		lo := e.start - 1
+		if lo > len(s) {
+			lo = len(s)
+		}
+		hi := lo + e.length
+		if hi > len(s) {
+			hi = len(s)
+		}
+		out[i] = s[lo:hi]
+	}
+	return vector.FromString(out), nil
+}
+
+// --- dates ---
+
+// Year extracts the civil year of a date column (int32 days since epoch).
+func Year(e Expr) Expr { return &yearExpr{e} }
+
+type yearExpr struct{ e Expr }
+
+func (e *yearExpr) Kind() vector.Kind { return vector.Int32 }
+func (e *yearExpr) String() string    { return fmt.Sprintf("year(%s)", e.e) }
+
+func (e *yearExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	v, err := e.e.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind() != vector.Int32 {
+		return nil, fmt.Errorf("expr: YEAR on %v", v.Kind())
+	}
+	src := v.Int32s()
+	out := make([]int32, len(src))
+	for i, d := range src {
+		out[i] = vector.YearOf(d)
+	}
+	return vector.FromInt32(out), nil
+}
+
+// --- CASE WHEN ---
+
+// Case returns then where when is true, otherwise els. then and els must
+// have the same kind.
+func Case(when, then, els Expr) Expr { return &caseExpr{when, then, els} }
+
+type caseExpr struct {
+	when, then, els Expr
+}
+
+func (e *caseExpr) Kind() vector.Kind { return e.then.Kind() }
+func (e *caseExpr) String() string {
+	return fmt.Sprintf("case(%s,%s,%s)", e.when, e.then, e.els)
+}
+
+func (e *caseExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	wv, err := e.when.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if wv.Kind() != vector.Bool {
+		return nil, fmt.Errorf("expr: CASE condition is %v", wv.Kind())
+	}
+	tv, err := e.then.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := e.els.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if tv.Kind() != ev.Kind() {
+		return nil, fmt.Errorf("expr: CASE branches %v vs %v", tv.Kind(), ev.Kind())
+	}
+	w := wv.Bools()
+	out := vector.New(tv.Kind(), len(w))
+	for i, cond := range w {
+		if cond {
+			out.AppendFrom(tv, i)
+		} else {
+			out.AppendFrom(ev, i)
+		}
+	}
+	return out, nil
+}
+
+// SelFromBool converts a dense boolean vector into a selection vector over
+// the batch it was computed from (composing with the batch's existing
+// selection).
+func SelFromBool(v *vector.Vec, b *vector.Batch) []int32 {
+	bits := v.Bools()
+	out := make([]int32, 0, len(bits))
+	if b.Sel == nil {
+		for i, ok := range bits {
+			if ok {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for i, ok := range bits {
+		if ok {
+			out = append(out, b.Sel[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package flownet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMinCostSimplePath(t *testing.T) {
+	// s -> a -> t, capacity 5, costs 1+2.
+	g := New(4)
+	const s, a, tt = 0, 1, 2
+	e1 := g.AddEdge(s, a, 5, 1)
+	e2 := g.AddEdge(a, tt, 5, 2)
+	flow, cost := g.MinCostMaxFlow(s, tt)
+	if flow != 5 || cost != 15 {
+		t.Fatalf("flow=%d cost=%d, want 5/15", flow, cost)
+	}
+	if g.Flow(e1) != 5 || g.Flow(e2) != 5 {
+		t.Fatalf("edge flows %d/%d", g.Flow(e1), g.Flow(e2))
+	}
+}
+
+func TestMinCostPrefersCheapPath(t *testing.T) {
+	// Two parallel paths: cheap capacity 3 cost 1, expensive capacity 3
+	// cost 10. Demand 4 must use 3 cheap + 1 expensive.
+	g := New(4)
+	const s, a, b, tt = 0, 1, 2, 3
+	g.AddEdge(s, a, 3, 0)
+	cheap := g.AddEdge(a, tt, 3, 1)
+	g.AddEdge(s, b, 10, 0)
+	exp := g.AddEdge(b, tt, 10, 10)
+	// Limit total demand with a bottleneck source edge arrangement:
+	// rebuild with a super source.
+	g2 := New(6)
+	const S = 4
+	g2.AddEdge(S, s, 4, 0)
+	g2.AddEdge(s, a, 3, 0)
+	cheap = g2.AddEdge(a, tt, 3, 1)
+	g2.AddEdge(s, b, 10, 0)
+	exp = g2.AddEdge(b, tt, 10, 10)
+	flow, cost := g2.MinCostMaxFlow(S, tt)
+	if flow != 4 || cost != 3*1+1*10 {
+		t.Fatalf("flow=%d cost=%d, want 4/13", flow, cost)
+	}
+	if g2.Flow(cheap) != 3 || g2.Flow(exp) != 1 {
+		t.Fatalf("cheap=%d exp=%d", g2.Flow(cheap), g2.Flow(exp))
+	}
+	_ = g
+}
+
+func TestMinCostDisconnected(t *testing.T) {
+	g := New(2)
+	flow, cost := g.MinCostMaxFlow(0, 1)
+	if flow != 0 || cost != 0 {
+		t.Fatalf("flow=%d cost=%d on empty graph", flow, cost)
+	}
+}
+
+func TestMinCostAssignmentProblem(t *testing.T) {
+	// Classic 3x3 assignment: cost matrix with known optimum 1+2+1 = 4.
+	costs := [3][3]int{{1, 5, 7}, {4, 2, 9}, {8, 6, 1}}
+	g := New(8)
+	s, tt := 6, 7
+	var asn [3][3]int
+	for i := 0; i < 3; i++ {
+		g.AddEdge(s, i, 1, 0)
+		g.AddEdge(3+i, tt, 1, 0)
+		for j := 0; j < 3; j++ {
+			asn[i][j] = g.AddEdge(i, 3+j, 1, costs[i][j])
+		}
+	}
+	flow, cost := g.MinCostMaxFlow(s, tt)
+	if flow != 3 || cost != 4 {
+		t.Fatalf("flow=%d cost=%d, want 3/4", flow, cost)
+	}
+	for i := 0; i < 3; i++ {
+		total := 0
+		for j := 0; j < 3; j++ {
+			total += g.Flow(asn[i][j])
+		}
+		if total != 1 {
+			t.Fatalf("row %d assigned %d times", i, total)
+		}
+	}
+}
+
+func TestMinCostRespectsCapacities(t *testing.T) {
+	// Randomized: verify flow conservation and capacity limits.
+	rng := rand.New(rand.NewSource(7))
+	n := 12
+	g := New(n)
+	type ed struct{ id, u, v, c int }
+	var es []ed
+	for i := 0; i < 40; i++ {
+		u, v := rng.Intn(n-1), 1+rng.Intn(n-1)
+		if u == v {
+			continue
+		}
+		c := 1 + rng.Intn(5)
+		es = append(es, ed{g.AddEdge(u, v, c, rng.Intn(4)), u, v, c})
+	}
+	flow, _ := g.MinCostMaxFlow(0, n-1)
+	net := make([]int, n)
+	for _, e := range es {
+		f := g.Flow(e.id)
+		if f < 0 || f > e.c {
+			t.Fatalf("edge %d->%d flow %d out of [0,%d]", e.u, e.v, f, e.c)
+		}
+		net[e.u] -= f
+		net[e.v] += f
+	}
+	if net[0] != -flow || net[n-1] != flow {
+		t.Fatalf("imbalance at terminals: %d/%d vs flow %d", net[0], net[n-1], flow)
+	}
+	for i := 1; i < n-1; i++ {
+		if net[i] != 0 {
+			t.Fatalf("conservation violated at node %d: %d", i, net[i])
+		}
+	}
+}
+
+func TestHopcroftKarpPerfectMatching(t *testing.T) {
+	adj := [][]int{{0, 1}, {0}, {2}}
+	matchL, size := HopcroftKarp(3, 3, adj)
+	if size != 3 {
+		t.Fatalf("size = %d, want 3", size)
+	}
+	if matchL[1] != 0 || matchL[0] != 1 || matchL[2] != 2 {
+		t.Fatalf("matchL = %v", matchL)
+	}
+}
+
+func TestHopcroftKarpPartialMatching(t *testing.T) {
+	// Two left vertices compete for one right vertex.
+	adj := [][]int{{0}, {0}}
+	_, size := HopcroftKarp(2, 1, adj)
+	if size != 1 {
+		t.Fatalf("size = %d, want 1", size)
+	}
+}
+
+func TestHopcroftKarpEmpty(t *testing.T) {
+	matchL, size := HopcroftKarp(2, 2, [][]int{nil, nil})
+	if size != 0 || matchL[0] != -1 || matchL[1] != -1 {
+		t.Fatalf("empty adj matched: %v %d", matchL, size)
+	}
+}
+
+func TestHopcroftKarpAgainstBruteForce(t *testing.T) {
+	// Random small graphs vs exhaustive matching size.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		nl, nr := 1+rng.Intn(5), 1+rng.Intn(5)
+		adj := make([][]int, nl)
+		for l := range adj {
+			for r := 0; r < nr; r++ {
+				if rng.Intn(3) == 0 {
+					adj[l] = append(adj[l], r)
+				}
+			}
+		}
+		_, size := HopcroftKarp(nl, nr, adj)
+		if want := bruteMatch(nl, nr, adj); size != want {
+			t.Fatalf("trial %d: size %d, want %d (adj %v)", trial, size, want, adj)
+		}
+	}
+}
+
+func bruteMatch(nl, nr int, adj [][]int) int {
+	usedR := make([]bool, nr)
+	var rec func(l int) int
+	rec = func(l int) int {
+		if l == nl {
+			return 0
+		}
+		best := rec(l + 1) // skip l
+		for _, r := range adj[l] {
+			if !usedR[r] {
+				usedR[r] = true
+				if v := 1 + rec(l+1); v > best {
+					best = v
+				}
+				usedR[r] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}

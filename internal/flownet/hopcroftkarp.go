@@ -1,0 +1,72 @@
+package flownet
+
+// HopcroftKarp computes a maximum matching in the bipartite graph where the
+// left side has nLeft vertices, the right side nRight, and adj[l] lists the
+// right vertices adjacent to left vertex l. It returns matchL (matchL[l] =
+// matched right vertex or -1) and the matching size.
+//
+// VectorH uses this shape of matching to map Spark input-RDD partitions
+// (left) to ExternalScan operators (right) while respecting HDFS block
+// affinity (§7, Figure 6).
+func HopcroftKarp(nLeft, nRight int, adj [][]int) (matchL []int, size int) {
+	const inf = int(^uint(0) >> 1)
+	matchL = make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < nLeft; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range adj[l] {
+				nl := matchR[r]
+				if nl == -1 {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range adj[l] {
+			nl := matchR[r]
+			if nl == -1 || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		for l := 0; l < nLeft; l++ {
+			if matchL[l] == -1 && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}

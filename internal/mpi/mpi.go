@@ -1,0 +1,258 @@
+// Package mpi simulates the message-passing transport underneath the
+// distributed exchange operators (§5, Figure 4 of the paper): fixed-size
+// framed messages (≥256 KB for good throughput in the paper; configurable
+// here), per-rank inboxes with capacity two — the double-buffering that
+// overlaps communication with processing — byte accounting for the network
+// cost model, and the intra-node optimization of passing batch pointers
+// instead of serialized buffers ("for intra-node communication we only send
+// pointers to sender-side buffers").
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"vectorh/internal/vector"
+)
+
+// DefaultMsgBytes is the paper's minimum message size for good MPI
+// throughput.
+const DefaultMsgBytes = 256 << 10
+
+// Stats aggregates transport traffic.
+type Stats struct {
+	RemoteBytes   int64 // serialized bytes crossing node boundaries
+	RemoteMsgs    int64
+	LocalHandoffs int64 // intra-node pointer passes (no serialization)
+}
+
+// Network is the cluster-wide transport fabric: it carries accounting shared
+// by all communicators.
+type Network struct {
+	nodes       int
+	remoteBytes atomic.Int64
+	remoteMsgs  atomic.Int64
+	localPasses atomic.Int64
+}
+
+// NewNetwork returns a fabric connecting n nodes.
+func NewNetwork(n int) *Network { return &Network{nodes: n} }
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		RemoteBytes:   n.remoteBytes.Load(),
+		RemoteMsgs:    n.remoteMsgs.Load(),
+		LocalHandoffs: n.localPasses.Load(),
+	}
+}
+
+// Reset zeroes the counters.
+func (n *Network) Reset() {
+	n.remoteBytes.Store(0)
+	n.remoteMsgs.Store(0)
+	n.localPasses.Store(0)
+}
+
+// Message is one delivery: either serialized Data (remote) or a pointer-
+// passed Local batch (intra-node).
+type Message struct {
+	From  int
+	Data  []byte
+	Local *vector.Batch
+}
+
+// Comm is one communicator (one per distributed exchange): per-destination-
+// rank inboxes with a fixed number of senders. Ranks are nodes for
+// thread-to-node exchanges and streams for thread-to-thread exchanges.
+type Comm struct {
+	net     *Network
+	rankOf  func(rank int) int // rank -> node (identity for node ranks)
+	inboxes []chan Message
+	senders int32
+	once    sync.Once
+}
+
+// NewComm creates a communicator with the given number of destination ranks
+// and total senders. rankNode maps a rank to its physical node (used to
+// decide local vs remote); pass nil when ranks are nodes.
+func (n *Network) NewComm(ranks, senders int, rankNode func(int) int) *Comm {
+	if rankNode == nil {
+		rankNode = func(r int) int { return r }
+	}
+	c := &Comm{net: n, rankOf: rankNode, senders: int32(senders)}
+	c.inboxes = make([]chan Message, ranks)
+	for i := range c.inboxes {
+		// Capacity 2: the double-buffering of Figure 4.
+		c.inboxes[i] = make(chan Message, 2)
+	}
+	return c
+}
+
+// Send delivers a batch from a sender residing on fromNode to a rank. Local
+// destinations receive the batch pointer; remote destinations receive the
+// serialized buffer (accounted as network traffic). Serialization happens
+// here, so callers pass the batch either way.
+func (c *Comm) Send(fromNode, toRank int, b *vector.Batch) {
+	if c.rankOf(toRank) == fromNode {
+		c.net.localPasses.Add(1)
+		c.inboxes[toRank] <- Message{From: fromNode, Local: b}
+		return
+	}
+	data := EncodeBatch(b)
+	c.net.remoteBytes.Add(int64(len(data)))
+	c.net.remoteMsgs.Add(1)
+	c.inboxes[toRank] <- Message{From: fromNode, Data: data}
+}
+
+// DoneSending signals one sender finished; when the last sender is done all
+// inboxes close.
+func (c *Comm) DoneSending() {
+	if atomic.AddInt32(&c.senders, -1) == 0 {
+		c.once.Do(func() {
+			for _, ch := range c.inboxes {
+				close(ch)
+			}
+		})
+	}
+}
+
+// Recv receives the next message for rank; ok is false when all senders are
+// done and the inbox is drained.
+func (c *Comm) Recv(rank int) (Message, bool) {
+	m, ok := <-c.inboxes[rank]
+	return m, ok
+}
+
+// Batch returns the message payload as a batch, decoding if it was remote.
+func (m *Message) Batch() (*vector.Batch, error) {
+	if m.Local != nil {
+		return m.Local, nil
+	}
+	return DecodeBatch(m.Data)
+}
+
+// EncodeBatch serializes a batch in a PAX-like layout: per column a kind
+// byte, a row count and the packed values, "such that Receivers can return
+// vectors directly out of these buffers".
+func EncodeBatch(b *vector.Batch) []byte {
+	c := b.Compact()
+	out := binary.AppendUvarint(nil, uint64(len(c.Vecs)))
+	out = binary.AppendUvarint(out, uint64(c.Len()))
+	for _, v := range c.Vecs {
+		out = append(out, byte(v.Kind()))
+		switch v.Kind() {
+		case vector.Int64:
+			for _, x := range v.Int64s() {
+				out = binary.LittleEndian.AppendUint64(out, uint64(x))
+			}
+		case vector.Int32:
+			for _, x := range v.Int32s() {
+				out = binary.LittleEndian.AppendUint32(out, uint32(x))
+			}
+		case vector.Float64:
+			for _, x := range v.Float64s() {
+				out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+			}
+		case vector.String:
+			for _, s := range v.Strings() {
+				out = binary.AppendUvarint(out, uint64(len(s)))
+				out = append(out, s...)
+			}
+		case vector.Bool:
+			for _, x := range v.Bools() {
+				if x {
+					out = append(out, 1)
+				} else {
+					out = append(out, 0)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DecodeBatch inverts EncodeBatch.
+func DecodeBatch(data []byte) (*vector.Batch, error) {
+	nc, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("mpi: bad batch header")
+	}
+	data = data[sz:]
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("mpi: bad batch header")
+	}
+	data = data[sz:]
+	b := &vector.Batch{Vecs: make([]*vector.Vec, nc)}
+	for ci := uint64(0); ci < nc; ci++ {
+		if len(data) < 1 {
+			return nil, fmt.Errorf("mpi: truncated batch")
+		}
+		kind := vector.Kind(data[0])
+		data = data[1:]
+		switch kind {
+		case vector.Int64:
+			if uint64(len(data)) < n*8 {
+				return nil, fmt.Errorf("mpi: truncated int64 column")
+			}
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+			}
+			data = data[n*8:]
+			b.Vecs[ci] = vector.FromInt64(vals)
+		case vector.Int32:
+			if uint64(len(data)) < n*4 {
+				return nil, fmt.Errorf("mpi: truncated int32 column")
+			}
+			vals := make([]int32, n)
+			for i := range vals {
+				vals[i] = int32(binary.LittleEndian.Uint32(data[i*4:]))
+			}
+			data = data[n*4:]
+			b.Vecs[ci] = vector.FromInt32(vals)
+		case vector.Float64:
+			if uint64(len(data)) < n*8 {
+				return nil, fmt.Errorf("mpi: truncated float column")
+			}
+			vals := make([]float64, n)
+			for i := range vals {
+				vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+			}
+			data = data[n*8:]
+			b.Vecs[ci] = vector.FromFloat64(vals)
+		case vector.String:
+			vals := make([]string, n)
+			for i := range vals {
+				l, sz := binary.Uvarint(data)
+				if sz <= 0 || uint64(len(data)-sz) < l {
+					return nil, fmt.Errorf("mpi: truncated string column")
+				}
+				data = data[sz:]
+				vals[i] = string(data[:l])
+				data = data[l:]
+			}
+			b.Vecs[ci] = vector.FromString(vals)
+		case vector.Bool:
+			if uint64(len(data)) < n {
+				return nil, fmt.Errorf("mpi: truncated bool column")
+			}
+			vals := make([]bool, n)
+			for i := range vals {
+				vals[i] = data[i] != 0
+			}
+			data = data[n:]
+			b.Vecs[ci] = vector.FromBool(vals)
+		default:
+			return nil, fmt.Errorf("mpi: unknown column kind %d", kind)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,538 @@
+// Package mpp implements the distributed exchange (DXchg) operators of §5:
+// DXchgHashSplit, DXchgRangeSplit, DXchgBroadcast and DXchgUnion, in both
+// fan-out strategies the paper describes —
+//
+//   - thread-to-thread: every sender partitions straight to every consumer
+//     stream (fanout N·C, per-node buffering 2·N·C²·msg), fastest on small
+//     clusters;
+//   - thread-to-node: senders partition per node (fanout N, buffering
+//     2·N·C·msg) and tag each tuple with a receiver-thread column; a
+//     per-node dispatcher lets consumer threads selectively consume, which
+//     is what keeps VectorH scalable to ~100 nodes.
+//
+// Exchanges ride on the mpi package: remote sends serialize into ≥MsgBytes
+// buffers, intra-node sends pass pointers.
+package mpp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"vectorh/internal/exec"
+	"vectorh/internal/expr"
+	"vectorh/internal/mpi"
+	"vectorh/internal/vector"
+)
+
+// Mode selects the fan-out strategy.
+type Mode int
+
+// Fan-out strategies.
+const (
+	ThreadToThread Mode = iota
+	ThreadToNode
+)
+
+// Config parameterizes one distributed exchange.
+type Config struct {
+	Net      *mpi.Network
+	Mode     Mode
+	MsgBytes int // flush threshold; default mpi.DefaultMsgBytes
+}
+
+func (c Config) msgBytes() int {
+	if c.MsgBytes > 0 {
+		return c.MsgBytes
+	}
+	return mpi.DefaultMsgBytes
+}
+
+// Stats reports one exchange's buffering behavior (the §5 scalability
+// argument for thread-to-node).
+type Stats struct {
+	Fanout          int   // per-sender destination buffer count
+	PeakBufferBytes int64 // peak total sender-side buffered bytes
+}
+
+// Exchange tracks shared exchange state; the concrete operators embed it.
+type Exchange struct {
+	cfg     Config
+	fanout  int
+	curBuf  atomic.Int64
+	peakBuf atomic.Int64
+}
+
+// Stats returns buffering statistics after the exchange ran.
+func (e *Exchange) Stats() Stats {
+	return Stats{Fanout: e.fanout, PeakBufferBytes: e.peakBuf.Load()}
+}
+
+func (e *Exchange) bufDelta(d int) {
+	cur := e.curBuf.Add(int64(d))
+	for {
+		peak := e.peakBuf.Load()
+		if cur <= peak || e.peakBuf.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// sendBuffer accumulates rows destined for one rank until flush.
+type sendBuffer struct {
+	vecs  []*vector.Vec
+	bytes int
+}
+
+func (sb *sendBuffer) add(e *Exchange, src *vector.Batch, phys int32, extra int32, withExtra bool) {
+	if sb.vecs == nil {
+		for _, v := range src.Vecs {
+			sb.vecs = append(sb.vecs, vector.New(v.Kind(), 256))
+		}
+		if withExtra {
+			sb.vecs = append(sb.vecs, vector.New(vector.Int32, 256))
+		}
+	}
+	before := sb.bytes
+	for i, v := range src.Vecs {
+		sb.vecs[i].AppendFrom(v, int(phys))
+	}
+	if withExtra {
+		// The receiver-thread column (one byte per tuple in the paper;
+		// an int32 here — the accounting difference is noted in
+		// DESIGN.md).
+		sb.vecs[len(sb.vecs)-1].AppendInt32(extra)
+	}
+	sb.bytes = 0
+	for _, v := range sb.vecs {
+		sb.bytes += v.Bytes()
+	}
+	e.bufDelta(sb.bytes - before)
+}
+
+func (sb *sendBuffer) take(e *Exchange) *vector.Batch {
+	if sb.vecs == nil || sb.vecs[0].Len() == 0 {
+		return nil
+	}
+	b := &vector.Batch{Vecs: sb.vecs}
+	e.bufDelta(-sb.bytes)
+	sb.vecs, sb.bytes = nil, 0
+	return b
+}
+
+// recvPort is a consumer stream endpoint fed by a channel.
+type recvPort struct {
+	ch   chan portItem
+	stop func()
+}
+
+type portItem struct {
+	b   *vector.Batch
+	err error
+}
+
+func (p *recvPort) Open() error { return nil }
+
+func (p *recvPort) Next() (*vector.Batch, error) {
+	it, ok := <-p.ch
+	if !ok {
+		return nil, nil
+	}
+	return it.b, it.err
+}
+
+func (p *recvPort) Close() error {
+	if p.stop != nil {
+		p.stop()
+	}
+	return nil
+}
+
+// flatten maps (node, thread) to a global stream id.
+func flatten(consumersPerNode []int) (total int, streamNode []int) {
+	for n, c := range consumersPerNode {
+		for t := 0; t < c; t++ {
+			streamNode = append(streamNode, n)
+		}
+		total += c
+	}
+	return
+}
+
+// DXchgHashSplit hash-partitions producer streams (grouped by node) across
+// consumer threads on every node. It returns consumer ports indexed
+// [node][thread].
+func DXchgHashSplit(cfg Config, producers [][]exec.Operator, keys []expr.Expr, consumersPerNode []int) ([][]exec.Operator, *Exchange) {
+	return newSplit(cfg, producers, consumersPerNode, func(b *vector.Batch) ([]uint64, error) {
+		return exec.HashRows(b, keys)
+	})
+}
+
+// DXchgRangeSplit partitions by comparing an int64 key against ascending
+// boundaries; consumer stream i gets keys ≤ bounds[i] (last unbounded).
+func DXchgRangeSplit(cfg Config, producers [][]exec.Operator, key expr.Expr, bounds []int64, consumersPerNode []int) ([][]exec.Operator, *Exchange) {
+	return newSplit(cfg, producers, consumersPerNode, func(b *vector.Batch) ([]uint64, error) {
+		kv, err := key.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]uint64, b.Len())
+		for r := range out {
+			var x int64
+			if kv.Kind() == vector.Int32 {
+				x = int64(kv.Int32s()[r])
+			} else {
+				x = kv.Int64s()[r]
+			}
+			d := 0
+			for d < len(bounds) && x > bounds[d] {
+				d++
+			}
+			out[r] = uint64(d)
+		}
+		return out, nil
+	})
+}
+
+// newSplit builds a partitioning exchange; route returns one routing value
+// per live row (hash, or direct stream index for range split — both are
+// reduced modulo the stream count).
+func newSplit(cfg Config, producers [][]exec.Operator, consumersPerNode []int,
+	route func(*vector.Batch) ([]uint64, error)) ([][]exec.Operator, *Exchange) {
+
+	totalStreams, streamNode := flatten(consumersPerNode)
+	ex := &Exchange{cfg: cfg}
+	nSenders := 0
+	for _, ps := range producers {
+		nSenders += len(ps)
+	}
+
+	var comm *mpi.Comm
+	var queues []chan portItem // per consumer stream
+	queues = make([]chan portItem, totalStreams)
+	for i := range queues {
+		queues[i] = make(chan portItem, 4)
+	}
+
+	if cfg.Mode == ThreadToThread {
+		ex.fanout = totalStreams
+		comm = cfg.Net.NewComm(totalStreams, nSenders, func(r int) int { return streamNode[r] })
+	} else {
+		ex.fanout = len(consumersPerNode)
+		comm = cfg.Net.NewComm(len(consumersPerNode), nSenders, nil)
+	}
+
+	// Sender goroutines.
+	for pn, ps := range producers {
+		for _, p := range ps {
+			go runSplitSender(ex, comm, pn, p, totalStreams, streamNode, consumersPerNode, route)
+		}
+	}
+
+	// Receiver side.
+	if cfg.Mode == ThreadToThread {
+		for s := 0; s < totalStreams; s++ {
+			go func(s int) {
+				defer close(queues[s])
+				for {
+					m, ok := comm.Recv(s)
+					if !ok {
+						return
+					}
+					forward(queues[s], m)
+				}
+			}(s)
+		}
+	} else {
+		// Per-node dispatcher: splits incoming buffers by the
+		// receiver-thread column so consumer threads selectively
+		// consume.
+		streamBase := make([]int, len(consumersPerNode))
+		base := 0
+		for n, c := range consumersPerNode {
+			streamBase[n] = base
+			base += c
+		}
+		var wg sync.WaitGroup
+		for n := range consumersPerNode {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for {
+					m, ok := comm.Recv(n)
+					if !ok {
+						return
+					}
+					b, err := m.Batch()
+					if err != nil {
+						queues[streamBase[n]] <- portItem{err: err}
+						continue
+					}
+					dispatchByThreadCol(b, queues, streamBase[n], consumersPerNode[n])
+				}
+			}(n)
+		}
+		go func() {
+			wg.Wait()
+			for _, q := range queues {
+				close(q)
+			}
+		}()
+	}
+
+	ports := make([][]exec.Operator, len(consumersPerNode))
+	s := 0
+	for n, c := range consumersPerNode {
+		for t := 0; t < c; t++ {
+			ports[n] = append(ports[n], &recvPort{ch: queues[s]})
+			s++
+		}
+	}
+	return ports, ex
+}
+
+func runSplitSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator,
+	totalStreams int, streamNode []int, consumersPerNode []int,
+	route func(*vector.Batch) ([]uint64, error)) {
+
+	defer comm.DoneSending()
+	t2t := ex.cfg.Mode == ThreadToThread
+	var bufs []sendBuffer
+	if t2t {
+		bufs = make([]sendBuffer, totalStreams)
+	} else {
+		bufs = make([]sendBuffer, len(consumersPerNode))
+	}
+	fail := func(err error) {
+		// Deliver the error through rank 0 so some consumer sees it.
+		comm.Send(node, 0, errBatch(err))
+	}
+	if err := p.Open(); err != nil {
+		fail(err)
+		return
+	}
+	defer p.Close()
+	for {
+		b, err := p.Next()
+		if err != nil {
+			fail(err)
+			return
+		}
+		if b == nil {
+			break
+		}
+		rvals, err := route(b)
+		if err != nil {
+			fail(err)
+			return
+		}
+		for r := 0; r < b.Len(); r++ {
+			stream := int(rvals[r] % uint64(totalStreams))
+			phys := int32(r)
+			if b.Sel != nil {
+				phys = b.Sel[r]
+			}
+			if t2t {
+				bufs[stream].add(ex, b, phys, 0, false)
+				if bufs[stream].bytes >= ex.cfg.msgBytes() {
+					comm.Send(node, stream, bufs[stream].take(ex))
+				}
+			} else {
+				dn := streamNode[stream]
+				thread := int32(stream - firstStreamOf(dn, consumersPerNode))
+				bufs[dn].add(ex, b, phys, thread, true)
+				if bufs[dn].bytes >= ex.cfg.msgBytes() {
+					comm.Send(node, dn, bufs[dn].take(ex))
+				}
+			}
+		}
+	}
+	for d := range bufs {
+		if b := bufs[d].take(ex); b != nil {
+			comm.Send(node, d, b)
+		}
+	}
+}
+
+func firstStreamOf(node int, consumersPerNode []int) int {
+	s := 0
+	for n := 0; n < node; n++ {
+		s += consumersPerNode[n]
+	}
+	return s
+}
+
+// dispatchByThreadCol splits a thread-tagged batch to per-thread queues,
+// stripping the tag column.
+func dispatchByThreadCol(b *vector.Batch, queues []chan portItem, base, threads int) {
+	tcol := b.Vecs[len(b.Vecs)-1].Int32s()
+	data := &vector.Batch{Vecs: b.Vecs[:len(b.Vecs)-1]}
+	sels := make([][]int32, threads)
+	for r, t := range tcol {
+		sels[t] = append(sels[t], int32(r))
+	}
+	for t, sel := range sels {
+		if len(sel) == 0 {
+			continue
+		}
+		queues[base+t] <- portItem{b: &vector.Batch{Vecs: data.Vecs, Sel: sel}}
+	}
+}
+
+func forward(q chan portItem, m mpi.Message) {
+	b, err := m.Batch()
+	if err != nil {
+		q <- portItem{err: err}
+		return
+	}
+	if eb := asErrBatch(b); eb != nil {
+		q <- portItem{err: eb}
+		return
+	}
+	q <- portItem{b: b}
+}
+
+// DXchgUnion funnels every producer stream to a single consumer stream on
+// the given node (the 180:1 DXchgUnion of the Appendix Q1 plan).
+func DXchgUnion(cfg Config, producers [][]exec.Operator, consumerNode int) (exec.Operator, *Exchange) {
+	ex := &Exchange{cfg: cfg, fanout: 1}
+	nSenders := 0
+	for _, ps := range producers {
+		nSenders += len(ps)
+	}
+	comm := cfg.Net.NewComm(1, nSenders, func(int) int { return consumerNode })
+	for pn, ps := range producers {
+		for _, p := range ps {
+			go runForwardSender(ex, comm, pn, p, []int{0})
+		}
+	}
+	q := make(chan portItem, 4)
+	go func() {
+		defer close(q)
+		for {
+			m, ok := comm.Recv(0)
+			if !ok {
+				return
+			}
+			forward(q, m)
+		}
+	}()
+	return &recvPort{ch: q}, ex
+}
+
+// DXchgBroadcast replicates every producer row to every consumer thread on
+// every node (used to build replicated join sides).
+func DXchgBroadcast(cfg Config, producers [][]exec.Operator, consumersPerNode []int) ([][]exec.Operator, *Exchange) {
+	ex := &Exchange{cfg: cfg, fanout: len(consumersPerNode)}
+	nSenders := 0
+	for _, ps := range producers {
+		nSenders += len(ps)
+	}
+	comm := cfg.Net.NewComm(len(consumersPerNode), nSenders, nil)
+	dests := make([]int, len(consumersPerNode))
+	for i := range dests {
+		dests[i] = i
+	}
+	for pn, ps := range producers {
+		for _, p := range ps {
+			go runForwardSender(ex, comm, pn, p, dests)
+		}
+	}
+	queues := make([]chan portItem, 0)
+	ports := make([][]exec.Operator, len(consumersPerNode))
+	for n, c := range consumersPerNode {
+		nodeQueues := make([]chan portItem, c)
+		for t := 0; t < c; t++ {
+			q := make(chan portItem, 4)
+			nodeQueues[t] = q
+			queues = append(queues, q)
+			ports[n] = append(ports[n], &recvPort{ch: q})
+		}
+		go func(n int, nodeQueues []chan portItem) {
+			defer func() {
+				for _, q := range nodeQueues {
+					close(q)
+				}
+			}()
+			for {
+				m, ok := comm.Recv(n)
+				if !ok {
+					return
+				}
+				b, err := m.Batch()
+				for _, q := range nodeQueues {
+					if err != nil {
+						q <- portItem{err: err}
+					} else if eb := asErrBatch(b); eb != nil {
+						q <- portItem{err: eb}
+					} else {
+						q <- portItem{b: b}
+					}
+				}
+			}
+		}(n, nodeQueues)
+	}
+	_ = queues
+	return ports, ex
+}
+
+// runForwardSender buffers batches and sends them whole to a list of
+// destination ranks (union: one; broadcast: all).
+func runForwardSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator, dests []int) {
+	defer comm.DoneSending()
+	var buf sendBuffer
+	if err := p.Open(); err != nil {
+		comm.Send(node, dests[0], errBatch(err))
+		return
+	}
+	defer p.Close()
+	for {
+		b, err := p.Next()
+		if err != nil {
+			comm.Send(node, dests[0], errBatch(err))
+			return
+		}
+		if b == nil {
+			break
+		}
+		for r := 0; r < b.Len(); r++ {
+			phys := int32(r)
+			if b.Sel != nil {
+				phys = b.Sel[r]
+			}
+			buf.add(ex, b, phys, 0, false)
+		}
+		if buf.bytes >= ex.cfg.msgBytes() {
+			out := buf.take(ex)
+			for _, d := range dests {
+				comm.Send(node, d, out)
+			}
+		}
+	}
+	if out := buf.take(ex); out != nil {
+		for _, d := range dests {
+			comm.Send(node, d, out)
+		}
+	}
+}
+
+// Error transport: errors are encoded as a one-column batch with a sentinel
+// schema so they survive serialization.
+const errSentinel = "\x00dxchg-error\x00"
+
+func errBatch(err error) *vector.Batch {
+	return vector.NewBatch(vector.FromString([]string{errSentinel, err.Error()}))
+}
+
+func asErrBatch(b *vector.Batch) error {
+	if len(b.Vecs) == 1 && b.Vecs[0].Kind() == vector.String && b.Len() == 2 {
+		s := b.Vecs[0].Strings()
+		if s[0] == errSentinel {
+			return &exchangeError{s[1]}
+		}
+	}
+	return nil
+}
+
+type exchangeError struct{ msg string }
+
+func (e *exchangeError) Error() string { return "mpp: exchange producer failed: " + e.msg }

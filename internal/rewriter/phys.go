@@ -1,0 +1,424 @@
+// Package rewriter implements the Parallel Rewriter of §5: it turns logical
+// plans into distributed physical plans built from per-node parallel
+// fragments connected by (D)Xchg operators, applying the paper's rewrite
+// rules — local join detection over co-located partitions, replicated build
+// sides, partial aggregation before exchanges — under a cost model that
+// makes network exchanges expensive.
+package rewriter
+
+import (
+	"fmt"
+	"strings"
+
+	"vectorh/internal/exec"
+	"vectorh/internal/expr"
+	"vectorh/internal/mpi"
+	"vectorh/internal/mpp"
+	"vectorh/internal/vector"
+)
+
+// ScanPred is a single-column range usable for MinMax skipping.
+type ScanPred struct {
+	Col    string
+	Lo, Hi int64
+}
+
+// ScanProvider supplies storage-backed scan streams; the engine implements
+// it, tests can fake it.
+type ScanProvider interface {
+	// PartitionScan scans one partition of a partitioned table at a node.
+	PartitionScan(table string, part int, cols []string, pred *ScanPred, node int) (exec.Operator, error)
+	// ReplicatedScan scans a replicated table at a node.
+	ReplicatedScan(table string, cols []string, pred *ScanPred, node int) (exec.Operator, error)
+	// ResponsibleParts lists the partitions a node is responsible for,
+	// in ascending order (co-partitioned tables agree on this mapping).
+	ResponsibleParts(table string, node int) []int
+}
+
+// Env is the instantiation context of one query execution.
+type Env struct {
+	Net      *mpi.Network
+	Provider ScanProvider
+	Nodes    int
+	Threads  int // consumer threads per node for exchanges
+	Mode     mpp.Mode
+	MsgBytes int
+	Profile  map[string]*exec.Profiled // filled when non-nil (Appendix profile)
+
+	memo map[Phys][][]exec.Operator
+}
+
+func (e *Env) instantiate(p Phys) ([][]exec.Operator, error) {
+	if e.memo == nil {
+		e.memo = make(map[Phys][][]exec.Operator)
+	}
+	if got, ok := e.memo[p]; ok {
+		return got, nil
+	}
+	streams, err := p.instantiate(e)
+	if err != nil {
+		return nil, err
+	}
+	if e.Profile != nil {
+		for n := range streams {
+			for s := range streams[n] {
+				key := fmt.Sprintf("%s@n%d.%d", p.label(), n, s)
+				prof := &exec.Profiled{Name: key, Child: streams[n][s]}
+				e.Profile[key] = prof
+				streams[n][s] = prof
+			}
+		}
+	}
+	e.memo[p] = streams
+	return streams, nil
+}
+
+// Instantiate builds the operator streams of a physical plan.
+func Instantiate(p Phys, env *Env) ([][]exec.Operator, error) { return env.instantiate(p) }
+
+// Phys is a node of the distributed physical plan.
+type Phys interface {
+	OutSchema() vector.Schema
+	label() string
+	children() []Phys
+	instantiate(e *Env) ([][]exec.Operator, error)
+}
+
+// Explain renders the physical plan tree.
+func Explain(p Phys) string {
+	var sb strings.Builder
+	var rec func(p Phys, depth int)
+	rec = func(p Phys, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(p.label())
+		sb.WriteByte('\n')
+		for _, c := range p.children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(p, 0)
+	return sb.String()
+}
+
+// --- scans ---
+
+type physScan struct {
+	table      string
+	cols       []string
+	pred       *ScanPred
+	replicated bool
+	schema     vector.Schema
+}
+
+func (p *physScan) OutSchema() vector.Schema { return p.schema }
+func (p *physScan) children() []Phys         { return nil }
+
+func (p *physScan) label() string {
+	kind := "partitioned"
+	if p.replicated {
+		kind = "replicated"
+	}
+	s := fmt.Sprintf("MScan[%s] (%s)", p.table, kind)
+	if p.pred != nil {
+		s += fmt.Sprintf(" skip(%s in [%d,%d])", p.pred.Col, p.pred.Lo, p.pred.Hi)
+	}
+	return s
+}
+
+func (p *physScan) instantiate(e *Env) ([][]exec.Operator, error) {
+	out := make([][]exec.Operator, e.Nodes)
+	for n := 0; n < e.Nodes; n++ {
+		if p.replicated {
+			op, err := e.Provider.ReplicatedScan(p.table, p.cols, p.pred, n)
+			if err != nil {
+				return nil, err
+			}
+			out[n] = []exec.Operator{op}
+			continue
+		}
+		for _, part := range e.Provider.ResponsibleParts(p.table, n) {
+			op, err := e.Provider.PartitionScan(p.table, part, p.cols, p.pred, n)
+			if err != nil {
+				return nil, err
+			}
+			out[n] = append(out[n], op)
+		}
+	}
+	return out, nil
+}
+
+// --- per-stream wrappers ---
+
+type physFilter struct {
+	child Phys
+	pred  expr.Expr
+}
+
+func (p *physFilter) OutSchema() vector.Schema { return p.child.OutSchema() }
+func (p *physFilter) children() []Phys         { return []Phys{p.child} }
+func (p *physFilter) label() string            { return fmt.Sprintf("Select[%s]", p.pred) }
+
+func (p *physFilter) instantiate(e *Env) ([][]exec.Operator, error) {
+	in, err := e.instantiate(p.child)
+	if err != nil {
+		return nil, err
+	}
+	return mapStreams(in, func(op exec.Operator) exec.Operator {
+		return &exec.Select{Child: op, Pred: p.pred}
+	}), nil
+}
+
+type physProject struct {
+	child  Phys
+	exprs  []expr.Expr
+	schema vector.Schema
+}
+
+func (p *physProject) OutSchema() vector.Schema { return p.schema }
+func (p *physProject) children() []Phys         { return []Phys{p.child} }
+func (p *physProject) label() string            { return fmt.Sprintf("Project[%d exprs]", len(p.exprs)) }
+
+func (p *physProject) instantiate(e *Env) ([][]exec.Operator, error) {
+	in, err := e.instantiate(p.child)
+	if err != nil {
+		return nil, err
+	}
+	return mapStreams(in, func(op exec.Operator) exec.Operator {
+		return &exec.Project{Child: op, Exprs: p.exprs}
+	}), nil
+}
+
+func mapStreams(in [][]exec.Operator, f func(exec.Operator) exec.Operator) [][]exec.Operator {
+	out := make([][]exec.Operator, len(in))
+	for n, streams := range in {
+		for _, s := range streams {
+			out[n] = append(out[n], f(s))
+		}
+	}
+	return out
+}
+
+// --- joins ---
+
+type physHashJoin struct {
+	build, probe Phys
+	buildKeys    []expr.Expr
+	probeKeys    []expr.Expr
+	jt           exec.JoinType
+	schema       vector.Schema
+	// broadcastBuild: the build side has one stream per node that must be
+	// locally replicated to every probe stream (replicated build rule).
+	broadcastBuild bool
+}
+
+func (p *physHashJoin) OutSchema() vector.Schema { return p.schema }
+func (p *physHashJoin) children() []Phys         { return []Phys{p.probe, p.build} }
+
+func (p *physHashJoin) label() string {
+	mode := "paired"
+	if p.broadcastBuild {
+		mode = "replicated-build"
+	}
+	return fmt.Sprintf("HashJoin[%v,%s]", p.jt, mode)
+}
+
+func (p *physHashJoin) instantiate(e *Env) ([][]exec.Operator, error) {
+	probe, err := e.instantiate(p.probe)
+	if err != nil {
+		return nil, err
+	}
+	build, err := e.instantiate(p.build)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]exec.Operator, e.Nodes)
+	for n := 0; n < e.Nodes; n++ {
+		bstreams := build[n]
+		if p.broadcastBuild {
+			if len(bstreams) != 1 {
+				return nil, fmt.Errorf("rewriter: replicated build expects 1 stream, got %d", len(bstreams))
+			}
+			if len(probe[n]) == 0 {
+				continue
+			}
+			bstreams = exec.XchgBroadcast(bstreams, len(probe[n]))
+		}
+		if len(bstreams) != len(probe[n]) {
+			return nil, fmt.Errorf("rewriter: join stream mismatch on node %d: build %d vs probe %d",
+				n, len(bstreams), len(probe[n]))
+		}
+		for s := range probe[n] {
+			out[n] = append(out[n], &exec.HashJoin{
+				Build: bstreams[s], Probe: probe[n][s],
+				BuildKeys: p.buildKeys, ProbeKeys: p.probeKeys, Type: p.jt,
+			})
+		}
+	}
+	return out, nil
+}
+
+type physMergeJoin struct {
+	left, right Phys
+	lkey, rkey  int
+	schema      vector.Schema
+}
+
+func (p *physMergeJoin) OutSchema() vector.Schema { return p.schema }
+func (p *physMergeJoin) children() []Phys         { return []Phys{p.left, p.right} }
+func (p *physMergeJoin) label() string            { return "MergeJoin[co-located]" }
+
+func (p *physMergeJoin) instantiate(e *Env) ([][]exec.Operator, error) {
+	left, err := e.instantiate(p.left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.instantiate(p.right)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]exec.Operator, e.Nodes)
+	for n := 0; n < e.Nodes; n++ {
+		if len(left[n]) != len(right[n]) {
+			return nil, fmt.Errorf("rewriter: merge join stream mismatch on node %d", n)
+		}
+		for s := range left[n] {
+			out[n] = append(out[n], &exec.MergeJoin{
+				Left: left[n][s], Right: right[n][s], LeftKey: p.lkey, RightKey: p.rkey,
+			})
+		}
+	}
+	return out, nil
+}
+
+// --- aggregation ---
+
+type physAggr struct {
+	child  Phys
+	keys   []expr.Expr
+	aggs   []exec.AggSpec
+	schema vector.Schema
+	kind   string // "partial", "final", "direct"
+}
+
+func (p *physAggr) OutSchema() vector.Schema { return p.schema }
+func (p *physAggr) children() []Phys         { return []Phys{p.child} }
+func (p *physAggr) label() string {
+	return fmt.Sprintf("Aggr(%s)[%d keys,%d aggs]", p.kind, len(p.keys), len(p.aggs))
+}
+
+func (p *physAggr) instantiate(e *Env) ([][]exec.Operator, error) {
+	in, err := e.instantiate(p.child)
+	if err != nil {
+		return nil, err
+	}
+	return mapStreams(in, func(op exec.Operator) exec.Operator {
+		return &exec.HashAggr{Child: op, Keys: p.keys, Aggs: p.aggs}
+	}), nil
+}
+
+// --- exchanges ---
+
+type physDXchgHash struct {
+	child Phys
+	keys  []expr.Expr
+}
+
+func (p *physDXchgHash) OutSchema() vector.Schema { return p.child.OutSchema() }
+func (p *physDXchgHash) children() []Phys         { return []Phys{p.child} }
+func (p *physDXchgHash) label() string            { return "DXchgHashSplit" }
+
+func (p *physDXchgHash) instantiate(e *Env) ([][]exec.Operator, error) {
+	in, err := e.instantiate(p.child)
+	if err != nil {
+		return nil, err
+	}
+	consumers := make([]int, e.Nodes)
+	for i := range consumers {
+		consumers[i] = e.Threads
+	}
+	ports, _ := mpp.DXchgHashSplit(mpp.Config{Net: e.Net, Mode: e.Mode, MsgBytes: e.MsgBytes},
+		in, p.keys, consumers)
+	return ports, nil
+}
+
+type physDXchgUnion struct {
+	child Phys
+	node  int
+}
+
+func (p *physDXchgUnion) OutSchema() vector.Schema { return p.child.OutSchema() }
+func (p *physDXchgUnion) children() []Phys         { return []Phys{p.child} }
+func (p *physDXchgUnion) label() string            { return fmt.Sprintf("DXchgUnion->n%d", p.node) }
+
+func (p *physDXchgUnion) instantiate(e *Env) ([][]exec.Operator, error) {
+	in, err := e.instantiate(p.child)
+	if err != nil {
+		return nil, err
+	}
+	union, _ := mpp.DXchgUnion(mpp.Config{Net: e.Net, Mode: e.Mode, MsgBytes: e.MsgBytes}, in, p.node)
+	out := make([][]exec.Operator, e.Nodes)
+	out[p.node] = []exec.Operator{union}
+	return out, nil
+}
+
+// --- per-stream sorts and limits (always on a single master stream or as
+// partial top-N before a union) ---
+
+type physTopN struct {
+	child Phys
+	keys  []exec.SortKey
+	n     int64
+	kind  string // "partial" or "final"
+}
+
+func (p *physTopN) OutSchema() vector.Schema { return p.child.OutSchema() }
+func (p *physTopN) children() []Phys         { return []Phys{p.child} }
+func (p *physTopN) label() string            { return fmt.Sprintf("TopN(%s)[%d]", p.kind, p.n) }
+
+func (p *physTopN) instantiate(e *Env) ([][]exec.Operator, error) {
+	in, err := e.instantiate(p.child)
+	if err != nil {
+		return nil, err
+	}
+	return mapStreams(in, func(op exec.Operator) exec.Operator {
+		return &exec.TopN{Child: op, Keys: p.keys, N: int(p.n)}
+	}), nil
+}
+
+type physSort struct {
+	child Phys
+	keys  []exec.SortKey
+}
+
+func (p *physSort) OutSchema() vector.Schema { return p.child.OutSchema() }
+func (p *physSort) children() []Phys         { return []Phys{p.child} }
+func (p *physSort) label() string            { return "Sort" }
+
+func (p *physSort) instantiate(e *Env) ([][]exec.Operator, error) {
+	in, err := e.instantiate(p.child)
+	if err != nil {
+		return nil, err
+	}
+	return mapStreams(in, func(op exec.Operator) exec.Operator {
+		return &exec.Sort{Child: op, Keys: p.keys}
+	}), nil
+}
+
+type physLimit struct {
+	child Phys
+	n     int64
+}
+
+func (p *physLimit) OutSchema() vector.Schema { return p.child.OutSchema() }
+func (p *physLimit) children() []Phys         { return []Phys{p.child} }
+func (p *physLimit) label() string            { return fmt.Sprintf("Limit[%d]", p.n) }
+
+func (p *physLimit) instantiate(e *Env) ([][]exec.Operator, error) {
+	in, err := e.instantiate(p.child)
+	if err != nil {
+		return nil, err
+	}
+	return mapStreams(in, func(op exec.Operator) exec.Operator {
+		return &exec.Limit{Child: op, N: p.n}
+	}), nil
+}

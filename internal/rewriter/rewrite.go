@@ -1,0 +1,727 @@
+package rewriter
+
+import (
+	"fmt"
+
+	"vectorh/internal/exec"
+	"vectorh/internal/expr"
+	"vectorh/internal/plan"
+	"vectorh/internal/vector"
+)
+
+// TableInfo is the physical-design metadata the rewriter consults.
+type TableInfo struct {
+	Name         string
+	Schema       vector.Schema
+	Rows         int64  // cardinality estimate for costing
+	PartitionKey string // "" = replicated (non-partitioned)
+	Partitions   int
+	ClusteredOn  string // clustered-index column ("" = unordered)
+}
+
+// Catalog resolves physical table metadata.
+type Catalog interface {
+	Table(name string) (TableInfo, error)
+}
+
+// Options hold the topology and the rule flags whose ablation §5 reports
+// (5.02s with everything on; 26.14s with everything off).
+type Options struct {
+	Nodes   int
+	Threads int // exchange consumer threads per node
+	Master  int // session-master node (final gather target)
+
+	LocalJoin      bool // detect co-located partition-pair joins
+	ReplicateBuild bool // build join hash tables from replicated tables locally
+	PartialAgg     bool // aggregate locally before exchanging
+}
+
+// DefaultOptions enables every rewrite rule.
+func DefaultOptions(nodes, threads int) Options {
+	return Options{Nodes: nodes, Threads: threads, LocalJoin: true, ReplicateBuild: true, PartialAgg: true}
+}
+
+// result carries a physical subtree plus its structural properties — the
+// (partitioning, replication, gathered) properties of the paper's DP state.
+type result struct {
+	phys   Phys
+	schema vector.Schema
+
+	partitionedBy []string // output columns the streams are partitioned on
+	coPart        bool     // streams are table partitions (alignable 1:1)
+	partCount     int      // partition count for coPart alignment
+	replicated    bool     // every node holds a full copy (1 stream/node)
+	gathered      bool     // single stream at the master
+	orderedBy     string   // streams ordered on this column ("" = no)
+	rows          int64    // cardinality estimate
+}
+
+type rewriteCtx struct {
+	cat  Catalog
+	opts Options
+}
+
+// Rewrite lowers a logical plan to a distributed physical plan whose root
+// produces a single stream at the master node.
+func Rewrite(n plan.Node, cat Catalog, opts Options) (Phys, error) {
+	ctx := &rewriteCtx{cat: cat, opts: opts}
+	r, err := ctx.rec(n)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.gather(r).phys, nil
+}
+
+// gather funnels a distributed result into one master stream.
+func (c *rewriteCtx) gather(r result) result {
+	if r.gathered {
+		return r
+	}
+	if r.replicated {
+		r.phys = &physOneNode{child: r.phys, node: c.opts.Master}
+		r.replicated = false
+		r.gathered = true
+		return r
+	}
+	r.phys = &physDXchgUnion{child: r.phys, node: c.opts.Master}
+	r.gathered = true
+	r.partitionedBy = nil
+	r.coPart = false
+	return r
+}
+
+func (c *rewriteCtx) rec(n plan.Node) (result, error) {
+	switch n := n.(type) {
+	case *plan.ScanNode:
+		return c.recScan(n)
+	case *plan.FilterNode:
+		return c.recFilter(n)
+	case *plan.ProjectNode:
+		return c.recProject(n)
+	case *plan.JoinNode:
+		return c.recJoin(n)
+	case *plan.AggregateNode:
+		return c.recAggregate(n)
+	case *plan.OrderByNode:
+		return c.recOrderBy(n)
+	case *plan.LimitNode:
+		child, err := c.rec(n.Child)
+		if err != nil {
+			return result{}, err
+		}
+		g := c.gather(child)
+		g.phys = &physLimit{child: g.phys, n: n.N}
+		if g.rows > n.N {
+			g.rows = n.N
+		}
+		return g, nil
+	default:
+		return result{}, fmt.Errorf("rewriter: unsupported node %T", n)
+	}
+}
+
+func (c *rewriteCtx) recScan(n *plan.ScanNode) (result, error) {
+	info, err := c.cat.Table(n.Table)
+	if err != nil {
+		return result{}, err
+	}
+	cols := n.Cols
+	if cols == nil {
+		cols = info.Schema.Names()
+	}
+	schema := make(vector.Schema, 0, len(cols))
+	for _, col := range cols {
+		f, err := info.Schema.Field(col)
+		if err != nil {
+			return result{}, err
+		}
+		schema = append(schema, f)
+	}
+	r := result{
+		phys:   &physScan{table: n.Table, cols: cols, replicated: info.PartitionKey == "", schema: schema},
+		schema: schema,
+		rows:   info.Rows,
+	}
+	if info.PartitionKey == "" {
+		r.replicated = true
+	} else {
+		r.coPart = true
+		r.partCount = info.Partitions
+		if schema.Index(info.PartitionKey) >= 0 {
+			r.partitionedBy = []string{info.PartitionKey}
+		}
+	}
+	if info.ClusteredOn != "" && schema.Index(info.ClusteredOn) >= 0 {
+		r.orderedBy = info.ClusteredOn
+	}
+	return r, nil
+}
+
+func (c *rewriteCtx) recFilter(n *plan.FilterNode) (result, error) {
+	child, err := c.rec(n.Child)
+	if err != nil {
+		return result{}, err
+	}
+	bound, err := n.Pred.Bind(child.schema)
+	if err != nil {
+		return result{}, err
+	}
+	// Push the MinMax skip hint into the scan (the "derive scan ranges"
+	// rule visible in the Appendix rewriter profile).
+	if scan, ok := child.phys.(*physScan); ok && n.SkipCol != "" && scan.pred == nil {
+		scan.pred = &ScanPred{Col: n.SkipCol, Lo: n.SkipLo, Hi: n.SkipHi}
+	}
+	child.phys = &physFilter{child: child.phys, pred: bound}
+	child.rows = child.rows/3 + 1
+	return child, nil
+}
+
+func (c *rewriteCtx) recProject(n *plan.ProjectNode) (result, error) {
+	child, err := c.rec(n.Child)
+	if err != nil {
+		return result{}, err
+	}
+	exprs := make([]expr.Expr, len(n.Exprs))
+	schema := make(vector.Schema, len(n.Exprs))
+	for i, ne := range n.Exprs {
+		if exprs[i], err = ne.Expr.Bind(child.schema); err != nil {
+			return result{}, err
+		}
+		t, err := ne.Expr.Type(child.schema)
+		if err != nil {
+			return result{}, err
+		}
+		schema[i] = vector.Field{Name: ne.Name, Type: t}
+	}
+	// Partitioning survives only for pass-through bare columns.
+	var newPart []string
+	for _, pc := range child.partitionedBy {
+		for _, ne := range n.Exprs {
+			if ne.Expr.Name == pc {
+				newPart = append(newPart, ne.Name)
+				break
+			}
+		}
+	}
+	if len(newPart) != len(child.partitionedBy) {
+		newPart = nil
+	}
+	ordered := ""
+	if child.orderedBy != "" {
+		for _, ne := range n.Exprs {
+			if ne.Expr.Name == child.orderedBy {
+				ordered = ne.Name
+			}
+		}
+	}
+	child.phys = &physProject{child: child.phys, exprs: exprs, schema: schema}
+	child.schema = schema
+	child.partitionedBy = newPart
+	child.orderedBy = ordered
+	return child, nil
+}
+
+// keyAligned reports whether the join keys pair the two sides' partition
+// keys at the same position, making partition-pair joins correct.
+func keyAligned(lKeys, rKeys, lPart, rPart []string) bool {
+	if len(lPart) != 1 || len(rPart) != 1 {
+		return false
+	}
+	for i := range lKeys {
+		if lKeys[i] == lPart[0] && rKeys[i] == rPart[0] {
+			return true
+		}
+	}
+	return false
+}
+
+func bindAll(names []string, s vector.Schema) ([]expr.Expr, error) {
+	out := make([]expr.Expr, len(names))
+	for i, name := range names {
+		idx := s.Index(name)
+		if idx < 0 {
+			return nil, fmt.Errorf("rewriter: unknown key column %q", name)
+		}
+		out[i] = expr.Col(idx, s[idx].Type.Kind)
+	}
+	return out, nil
+}
+
+func (c *rewriteCtx) recJoin(n *plan.JoinNode) (result, error) {
+	left, err := c.rec(n.Left)
+	if err != nil {
+		return result{}, err
+	}
+	right, err := c.rec(n.Right)
+	if err != nil {
+		return result{}, err
+	}
+	var jt exec.JoinType
+	switch n.Kind {
+	case plan.InnerJoin:
+		jt = exec.Inner
+	case plan.LeftOuterJoin:
+		jt = exec.LeftOuter
+	case plan.SemiJoin:
+		jt = exec.Semi
+	case plan.AntiJoin:
+		jt = exec.Anti
+	}
+
+	outSchema := left.schema.Clone()
+	if jt == exec.Inner || jt == exec.LeftOuter {
+		outSchema = append(outSchema, right.schema...)
+	}
+	if jt == exec.LeftOuter {
+		outSchema = append(outSchema, vector.Field{Name: plan.MatchedCol, Type: vector.TBool})
+	}
+
+	out := result{schema: outSchema, rows: maxI64(left.rows, right.rows)}
+	switch {
+	// Rule: local join over co-located partitions.
+	case c.opts.LocalJoin && left.coPart && right.coPart &&
+		left.partCount == right.partCount &&
+		keyAligned(n.LeftKeys, n.RightKeys, left.partitionedBy, right.partitionedBy):
+		// Co-ordered clustered tables merge-join without hashing.
+		if jt == exec.Inner && len(n.LeftKeys) == 1 &&
+			left.orderedBy == n.LeftKeys[0] && right.orderedBy == n.RightKeys[0] {
+			out.phys = &physMergeJoin{
+				left: left.phys, right: right.phys,
+				lkey: left.schema.Index(n.LeftKeys[0]), rkey: right.schema.Index(n.RightKeys[0]),
+				schema: outSchema,
+			}
+			out.orderedBy = left.orderedBy
+		} else {
+			bk, err := bindAll(n.RightKeys, right.schema)
+			if err != nil {
+				return result{}, err
+			}
+			pk, err := bindAll(n.LeftKeys, left.schema)
+			if err != nil {
+				return result{}, err
+			}
+			out.phys = &physHashJoin{build: right.phys, probe: left.phys,
+				buildKeys: bk, probeKeys: pk, jt: jt, schema: outSchema}
+		}
+		out.coPart, out.partCount = true, left.partCount
+		out.partitionedBy = left.partitionedBy
+
+	// Both sides replicated: join locally on every node, result stays
+	// replicated (no flag — it is never worse).
+	case left.replicated && right.replicated:
+		bk, err := bindAll(n.RightKeys, right.schema)
+		if err != nil {
+			return result{}, err
+		}
+		pk, err := bindAll(n.LeftKeys, left.schema)
+		if err != nil {
+			return result{}, err
+		}
+		out.phys = &physHashJoin{build: right.phys, probe: left.phys,
+			buildKeys: bk, probeKeys: pk, jt: jt, schema: outSchema}
+		out.replicated = true
+
+	// Rule: replicated build side — build the hash table from the local
+	// replica on every node, splitting only between local threads.
+	case c.opts.ReplicateBuild && right.replicated && !left.gathered:
+		bk, err := bindAll(n.RightKeys, right.schema)
+		if err != nil {
+			return result{}, err
+		}
+		pk, err := bindAll(n.LeftKeys, left.schema)
+		if err != nil {
+			return result{}, err
+		}
+		out.phys = &physHashJoin{build: right.phys, probe: left.phys,
+			buildKeys: bk, probeKeys: pk, jt: jt, schema: outSchema,
+			broadcastBuild: true}
+		out.partitionedBy = left.partitionedBy
+		out.coPart, out.partCount = left.coPart, left.partCount
+		out.orderedBy = left.orderedBy
+
+	// Fallback: repartition both sides across the cluster on the join
+	// keys (the expensive DXchg path the cost model tries to avoid).
+	default:
+		exL, err := c.exchangeOn(left, n.LeftKeys)
+		if err != nil {
+			return result{}, err
+		}
+		exR, err := c.exchangeOn(right, n.RightKeys)
+		if err != nil {
+			return result{}, err
+		}
+		bk, err := bindAll(n.RightKeys, exR.schema)
+		if err != nil {
+			return result{}, err
+		}
+		pk, err := bindAll(n.LeftKeys, exL.schema)
+		if err != nil {
+			return result{}, err
+		}
+		out.phys = &physHashJoin{build: exR.phys, probe: exL.phys,
+			buildKeys: bk, probeKeys: pk, jt: jt, schema: outSchema}
+		out.partitionedBy = n.LeftKeys
+	}
+
+	if jt == exec.Semi || jt == exec.Anti {
+		out.rows = left.rows/2 + 1
+	}
+	if n.ExtraPred != nil {
+		bound, err := n.ExtraPred.Bind(outSchema)
+		if err != nil {
+			return result{}, err
+		}
+		out.phys = &physFilter{child: out.phys, pred: bound}
+		out.rows = out.rows/3 + 1
+	}
+	return out, nil
+}
+
+// exchangeOn hash-repartitions a result on the named keys. Replicated inputs
+// are first restricted to a single node so rows are not duplicated.
+func (c *rewriteCtx) exchangeOn(r result, keys []string) (result, error) {
+	bound, err := bindAll(keys, r.schema)
+	if err != nil {
+		return result{}, err
+	}
+	phys := r.phys
+	if r.replicated {
+		phys = &physOneNode{child: phys, node: c.opts.Master}
+	}
+	r.phys = &physDXchgHash{child: phys, keys: bound}
+	r.partitionedBy = keys
+	r.coPart = false
+	r.replicated = false
+	r.gathered = false
+	r.orderedBy = ""
+	return r, nil
+}
+
+func subset(sub, super []string) bool {
+	for _, s := range sub {
+		found := false
+		for _, t := range super {
+			if s == t {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *rewriteCtx) recAggregate(n *plan.AggregateNode) (result, error) {
+	child, err := c.rec(n.Child)
+	if err != nil {
+		return result{}, err
+	}
+	outSchema, err := n.Schema(catAdapter{c.cat})
+	if err != nil {
+		return result{}, err
+	}
+
+	// Grouping is stream-local when the stream partitioning keys are a
+	// subset of the GROUP BY (every group confined to one stream), when
+	// the data is replicated, or when already gathered.
+	local := child.gathered || child.replicated ||
+		(len(child.partitionedBy) > 0 && subset(child.partitionedBy, n.GroupBy))
+
+	if local {
+		keys, aggs, err := directAggs(n, child.schema)
+		if err != nil {
+			return result{}, err
+		}
+		child.phys = &physAggr{child: child.phys, keys: keys, aggs: aggs, schema: outSchema, kind: "direct"}
+		child.schema = outSchema
+		child.rows = groupEstimate(child.rows)
+		child.orderedBy = ""
+		// Partitioning property: group keys retain the partition cols.
+		return child, nil
+	}
+
+	hasDistinct := false
+	for _, a := range n.Aggs {
+		if a.Func == plan.CountDistinct {
+			hasDistinct = true
+		}
+	}
+
+	if !c.opts.PartialAgg || hasDistinct {
+		// Exchange raw rows, aggregate once at the consumers.
+		var ex result
+		if len(n.GroupBy) == 0 {
+			ex = c.gather(child)
+		} else {
+			if ex, err = c.exchangeOn(child, n.GroupBy); err != nil {
+				return result{}, err
+			}
+		}
+		keys, aggs, err := directAggs(n, ex.schema)
+		if err != nil {
+			return result{}, err
+		}
+		ex.phys = &physAggr{child: ex.phys, keys: keys, aggs: aggs, schema: outSchema, kind: "direct"}
+		ex.schema = outSchema
+		ex.rows = groupEstimate(child.rows)
+		ex.partitionedBy = n.GroupBy
+		return ex, nil
+	}
+
+	// Rule: partial aggregation before the exchange.
+	partialSchema, pKeys, pAggs, finAggs, finProj, err := decomposeAggs(n, child.schema, outSchema)
+	if err != nil {
+		return result{}, err
+	}
+	child.phys = &physAggr{child: child.phys, keys: pKeys, aggs: pAggs, schema: partialSchema, kind: "partial"}
+	child.schema = partialSchema
+	child.orderedBy = ""
+
+	var ex result
+	if len(n.GroupBy) == 0 {
+		ex = c.gather(child)
+	} else {
+		if ex, err = c.exchangeOn(child, n.GroupBy); err != nil {
+			return result{}, err
+		}
+	}
+	// Final combine: keys are the leading partial columns.
+	fKeys := make([]expr.Expr, len(n.GroupBy))
+	for i := range n.GroupBy {
+		fKeys[i] = expr.Col(i, partialSchema[i].Type.Kind)
+	}
+	combinedSchema := partialSchema // same column layout after combine
+	ex.phys = &physAggr{child: ex.phys, keys: fKeys, aggs: finAggs, schema: combinedSchema, kind: "final"}
+	ex.phys = &physProject{child: ex.phys, exprs: finProj, schema: outSchema}
+	ex.schema = outSchema
+	ex.rows = groupEstimate(child.rows)
+	ex.partitionedBy = n.GroupBy
+	return ex, nil
+}
+
+func groupEstimate(rows int64) int64 {
+	g := rows/10 + 1
+	if g > 100000 {
+		g = 100000
+	}
+	return g
+}
+
+// directAggs binds the logical aggregates for single-phase execution.
+func directAggs(n *plan.AggregateNode, s vector.Schema) ([]expr.Expr, []exec.AggSpec, error) {
+	keys, err := bindAll(n.GroupBy, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	aggs := make([]exec.AggSpec, len(n.Aggs))
+	for i, a := range n.Aggs {
+		spec := exec.AggSpec{}
+		switch a.Func {
+		case plan.Sum:
+			spec.Func = exec.AggSum
+		case plan.Count:
+			spec.Func = exec.AggCount
+		case plan.CountStar:
+			spec.Func = exec.AggCountStar
+		case plan.Min:
+			spec.Func = exec.AggMin
+		case plan.Max:
+			spec.Func = exec.AggMax
+		case plan.Avg:
+			spec.Func = exec.AggAvg
+		case plan.CountDistinct:
+			spec.Func = exec.AggCountDistinct
+		default:
+			return nil, nil, fmt.Errorf("rewriter: unknown aggregate %q", a.Func)
+		}
+		if a.Func != plan.CountStar {
+			if spec.Arg, err = a.Arg.Bind(s); err != nil {
+				return nil, nil, err
+			}
+		}
+		aggs[i] = spec
+	}
+	return keys, aggs, nil
+}
+
+// decomposeAggs lowers logical aggregates into a partial phase, a combining
+// final phase and a projection restoring the logical output.
+func decomposeAggs(n *plan.AggregateNode, childSchema, outSchema vector.Schema) (
+	partialSchema vector.Schema, pKeys []expr.Expr, pAggs []exec.AggSpec,
+	finAggs []exec.AggSpec, finProj []expr.Expr, err error) {
+
+	pKeys, err = bindAll(n.GroupBy, childSchema)
+	if err != nil {
+		return
+	}
+	partialSchema = make(vector.Schema, 0, len(n.GroupBy)+len(n.Aggs)+2)
+	for _, g := range n.GroupBy {
+		f, ferr := childSchema.Field(g)
+		if ferr != nil {
+			err = ferr
+			return
+		}
+		partialSchema = append(partialSchema, f)
+	}
+	// For each logical agg: its partial columns, the combine spec(s), and
+	// the projection expression over the combined schema.
+	type slot struct {
+		cols []int // positions in partialSchema
+		fn   plan.AggFuncName
+	}
+	var slots []slot
+	addPartial := func(name string, t vector.Type, spec exec.AggSpec, fin exec.AggSpec) int {
+		pos := len(partialSchema)
+		partialSchema = append(partialSchema, vector.Field{Name: name, Type: t})
+		pAggs = append(pAggs, spec)
+		finAggs = append(finAggs, fin)
+		return pos
+	}
+	for i, a := range n.Aggs {
+		var arg expr.Expr
+		if a.Func != plan.CountStar {
+			if arg, err = a.Arg.Bind(childSchema); err != nil {
+				return
+			}
+		}
+		switch a.Func {
+		case plan.Sum:
+			t := outSchema[len(n.GroupBy)+i].Type
+			pos := addPartial(a.Name, t,
+				exec.AggSpec{Func: exec.AggSum, Arg: arg},
+				exec.AggSpec{Func: exec.AggSum})
+			slots = append(slots, slot{cols: []int{pos}, fn: plan.Sum})
+		case plan.Count, plan.CountStar:
+			pos := addPartial(a.Name, vector.TInt64,
+				exec.AggSpec{Func: exec.AggCountStar},
+				exec.AggSpec{Func: exec.AggSum})
+			slots = append(slots, slot{cols: []int{pos}, fn: plan.Count})
+		case plan.Min:
+			t := outSchema[len(n.GroupBy)+i].Type
+			pos := addPartial(a.Name, t,
+				exec.AggSpec{Func: exec.AggMin, Arg: arg},
+				exec.AggSpec{Func: exec.AggMin})
+			slots = append(slots, slot{cols: []int{pos}, fn: plan.Min})
+		case plan.Max:
+			t := outSchema[len(n.GroupBy)+i].Type
+			pos := addPartial(a.Name, t,
+				exec.AggSpec{Func: exec.AggMax, Arg: arg},
+				exec.AggSpec{Func: exec.AggMax})
+			slots = append(slots, slot{cols: []int{pos}, fn: plan.Max})
+		case plan.Avg:
+			sumPos := addPartial(a.Name+"$sum", vector.TFloat64,
+				exec.AggSpec{Func: exec.AggSum, Arg: toFloat(arg)},
+				exec.AggSpec{Func: exec.AggSum})
+			cntPos := addPartial(a.Name+"$cnt", vector.TInt64,
+				exec.AggSpec{Func: exec.AggCountStar},
+				exec.AggSpec{Func: exec.AggSum})
+			slots = append(slots, slot{cols: []int{sumPos, cntPos}, fn: plan.Avg})
+		default:
+			err = fmt.Errorf("rewriter: aggregate %q cannot be decomposed", a.Func)
+			return
+		}
+	}
+	// Combine-phase argument binding: finAggs[j] aggregates partial column
+	// (len(groupBy)+j) of the exchanged partial rows.
+	for j := range finAggs {
+		pos := len(n.GroupBy) + j
+		finAggs[j].Arg = expr.Col(pos, partialSchema[pos].Type.Kind)
+	}
+	// Final projection to the logical schema.
+	for i := range n.GroupBy {
+		finProj = append(finProj, expr.Col(i, partialSchema[i].Type.Kind))
+	}
+	for _, sl := range slots {
+		if sl.fn == plan.Avg {
+			finProj = append(finProj, expr.Div(
+				expr.Col(sl.cols[0], vector.Float64),
+				expr.Col(sl.cols[1], vector.Int64)))
+		} else {
+			finProj = append(finProj, expr.Col(sl.cols[0], partialSchema[sl.cols[0]].Type.Kind))
+		}
+	}
+	return
+}
+
+// toFloat widens an argument for float partial sums.
+func toFloat(e expr.Expr) expr.Expr {
+	if e.Kind() == vector.Float64 {
+		return e
+	}
+	return expr.Scaled(e, 1)
+}
+
+func (c *rewriteCtx) recOrderBy(n *plan.OrderByNode) (result, error) {
+	child, err := c.rec(n.Child)
+	if err != nil {
+		return result{}, err
+	}
+	keys := make([]exec.SortKey, len(n.Keys))
+	for i, k := range n.Keys {
+		bound, err := k.Expr.Bind(child.schema)
+		if err != nil {
+			return result{}, err
+		}
+		keys[i] = exec.SortKey{Expr: bound, Desc: k.Desc}
+	}
+	if !child.gathered && n.Limit > 0 {
+		// Partial top-N per stream before the union (the TopN(partial) /
+		// TopN(final) pair of Figure 5).
+		child.phys = &physTopN{child: child.phys, keys: keys, n: n.Limit, kind: "partial"}
+	}
+	g := c.gather(child)
+	if n.Limit > 0 {
+		g.phys = &physTopN{child: g.phys, keys: keys, n: n.Limit, kind: "final"}
+		g.rows = n.Limit
+	} else {
+		g.phys = &physSort{child: g.phys, keys: keys}
+	}
+	return g, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// catAdapter exposes the rewriter catalog as a plan.Catalog.
+type catAdapter struct{ c Catalog }
+
+// TableSchema implements plan.Catalog.
+func (a catAdapter) TableSchema(name string) (vector.Schema, error) {
+	info, err := a.c.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return info.Schema, nil
+}
+
+// physOneNode restricts a multi-node result to the streams of one node
+// (replicated inputs feeding exchanges or the final gather). Streams on
+// other nodes are never opened, so their scans cost nothing.
+type physOneNode struct {
+	child Phys
+	node  int
+}
+
+func (p *physOneNode) OutSchema() vector.Schema { return p.child.OutSchema() }
+func (p *physOneNode) children() []Phys         { return []Phys{p.child} }
+func (p *physOneNode) label() string            { return fmt.Sprintf("OneNode[n%d]", p.node) }
+
+func (p *physOneNode) instantiate(e *Env) ([][]exec.Operator, error) {
+	in, err := e.instantiate(p.child)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]exec.Operator, e.Nodes)
+	if len(in[p.node]) > 1 {
+		out[p.node] = []exec.Operator{exec.XchgUnion(in[p.node])}
+	} else {
+		out[p.node] = in[p.node]
+	}
+	return out, nil
+}

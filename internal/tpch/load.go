@@ -1,0 +1,31 @@
+package tpch
+
+import (
+	"vectorh/internal/baseline"
+	"vectorh/internal/core"
+	"vectorh/internal/vector"
+)
+
+// LoadIntoEngine creates the §8 physical design on a VectorH engine and bulk
+// loads a generated database.
+func LoadIntoEngine(e *core.Engine, d *Data, partitions int) error {
+	for _, info := range DDL(d.SF, partitions) {
+		if err := e.CreateTable(info); err != nil {
+			return err
+		}
+		if err := e.Load(info.Name, []*vector.Batch{d.Tables[info.Name]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadIntoBaseline loads a generated database into a baseline engine.
+func LoadIntoBaseline(e *baseline.Engine, d *Data) error {
+	for _, info := range DDL(d.SF, 1) {
+		if err := e.Load(info.Name, info.Schema, d.Tables[info.Name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

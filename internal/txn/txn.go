@@ -1,0 +1,471 @@
+// Package txn implements VectorH transaction management (§6): snapshot
+// isolation through stacked PDTs, optimistic concurrency control with
+// write-write conflict detection at commit, two-phase commit records split
+// between per-partition WALs (written by responsible nodes) and a reduced
+// global WAL (written by the session master), log shipping callbacks for
+// replicated tables, and write→read PDT update propagation.
+//
+// Position spaces: each partition has a stable on-disk image, a Read-PDT
+// holding differences against it, and a master Write-PDT holding
+// differences against the Read image. Transactions work on a copy-on-write
+// of the Write-PDT; commit serializes the difference (pdt.Diff) into the
+// current master under a global commit lock, exactly aborting on conflicts.
+package txn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"vectorh/internal/pdt"
+	"vectorh/internal/wal"
+)
+
+// WAL record types.
+const (
+	RecPrepare   uint8 = 1 // partition WAL: {txn, entries}
+	RecCommit    uint8 = 2 // global WAL: {txn, epoch, parts}
+	RecPropagate uint8 = 3 // partition WAL: write→read propagation marker
+)
+
+// Errors.
+var (
+	ErrTxnDone    = errors.New("txn: transaction already finished")
+	ErrNoSuchPart = errors.New("txn: unknown partition")
+)
+
+// PartKey identifies a table partition, e.g. "lineitem/17".
+type PartKey string
+
+// Part is the master delta state of one partition.
+type Part struct {
+	Read  *pdt.PDT
+	Write *pdt.PDT
+	Log   *wal.Log
+}
+
+// Size returns the partition's visible row count (stable + read + write).
+func (p *Part) Size() int64 { return p.Write.Size() }
+
+// Manager is the transaction manager (logically: the session master's
+// coordinator state plus each responsible node's partition state).
+type Manager struct {
+	mu        sync.Mutex
+	epoch     int64
+	nextTxn   int64
+	parts     map[PartKey]*Part
+	globalLog *wal.Log
+
+	// OnCommit, when set, receives each committed partition delta — the
+	// log-shipping hook used for replicated tables (§6 "Log Shipping").
+	OnCommit func(part PartKey, entries []pdt.Entry, epoch int64)
+}
+
+// NewManager returns a manager writing 2PC decisions to globalLog (nil for
+// tests that do not care about durability).
+func NewManager(globalLog *wal.Log) *Manager {
+	return &Manager{parts: make(map[PartKey]*Part), globalLog: globalLog}
+}
+
+// AddPartition registers a partition with stableRows rows on disk and an
+// optional per-partition WAL.
+func (m *Manager) AddPartition(key PartKey, stableRows int64, log *wal.Log) *Part {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := &Part{Read: pdt.New(stableRows), Write: pdt.New(stableRows), Log: log}
+	m.parts[key] = p
+	return p
+}
+
+// Part returns the master state of a partition.
+func (m *Manager) Part(key PartKey) (*Part, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.parts[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchPart, key)
+	}
+	return p, nil
+}
+
+// Epoch returns the current commit epoch.
+func (m *Manager) Epoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Txn is one transaction: a snapshot epoch plus per-partition views.
+type Txn struct {
+	m        *Manager
+	id       int64
+	snapshot int64
+	done     bool
+	views    map[PartKey]*txView
+}
+
+type txView struct {
+	read      *pdt.PDT // master Read at first touch
+	snapWrite *pdt.PDT // master Write at first touch
+	eff       *pdt.PDT // copy-on-write once the txn writes
+}
+
+// Begin starts a transaction at the current epoch.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTxn++
+	return &Txn{m: m, id: m.nextTxn, snapshot: m.epoch, views: make(map[PartKey]*txView)}
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() int64 { return t.id }
+
+func (t *Txn) view(key PartKey) (*txView, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	if v, ok := t.views[key]; ok {
+		return v, nil
+	}
+	t.m.mu.Lock()
+	p, ok := t.m.parts[key]
+	t.m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchPart, key)
+	}
+	v := &txView{read: p.Read, snapWrite: p.Write}
+	t.views[key] = v
+	return v, nil
+}
+
+// View returns the (read, write) PDT pair a scan under this transaction
+// must merge through. The write layer reflects the transaction's own
+// uncommitted changes.
+func (t *Txn) View(key PartKey) (read, write *pdt.PDT, err error) {
+	v, err := t.view(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v.eff != nil {
+		return v.read, v.eff, nil
+	}
+	return v.read, v.snapWrite, nil
+}
+
+func (t *Txn) eff(key PartKey) (*pdt.PDT, error) {
+	v, err := t.view(key)
+	if err != nil {
+		return nil, err
+	}
+	if v.eff == nil {
+		v.eff = v.snapWrite.CopyOnWrite()
+	}
+	return v.eff, nil
+}
+
+// Size returns the partition's row count as seen by this transaction.
+func (t *Txn) Size(key PartKey) (int64, error) {
+	_, w, err := t.View(key)
+	if err != nil {
+		return 0, err
+	}
+	return w.Size(), nil
+}
+
+// Append inserts a row at the end of the partition.
+func (t *Txn) Append(key PartKey, row []any) error {
+	e, err := t.eff(key)
+	if err != nil {
+		return err
+	}
+	e.Append(row)
+	return nil
+}
+
+// Insert places a row at the given visible position.
+func (t *Txn) Insert(key PartKey, rid int64, row []any) error {
+	e, err := t.eff(key)
+	if err != nil {
+		return err
+	}
+	return e.Insert(rid, row)
+}
+
+// Delete removes the row at the given visible position.
+func (t *Txn) Delete(key PartKey, rid int64) error {
+	e, err := t.eff(key)
+	if err != nil {
+		return err
+	}
+	return e.Delete(rid)
+}
+
+// Modify updates columns of the row at the given visible position.
+func (t *Txn) Modify(key PartKey, rid int64, cols []int, vals []any) error {
+	e, err := t.eff(key)
+	if err != nil {
+		return err
+	}
+	return e.Modify(rid, cols, vals)
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() { t.done = true }
+
+// prepared is one partition's serialized delta awaiting the commit decision.
+type prepared struct {
+	key     PartKey
+	part    *Part
+	entries []pdt.Entry
+	next    *pdt.PDT
+}
+
+// Commit serializes every touched partition under the global commit lock
+// (phase 1: validate + write PREPARE to each partition WAL; phase 2: write
+// the COMMIT decision to the global WAL and atomically swap the master
+// Write-PDTs). On write-write conflict it aborts with pdt.ErrConflict.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	commitEpoch := m.epoch + 1
+
+	var preps []prepared
+	for key, v := range t.views {
+		if v.eff == nil {
+			continue // read-only on this partition
+		}
+		entries := pdt.Diff(v.snapWrite, v.eff)
+		if len(entries) == 0 {
+			continue
+		}
+		part := m.parts[key]
+		// Validate and apply against a copy of the *current* master,
+		// which may have advanced past our snapshot.
+		next := part.Write.CopyOnWrite()
+		if err := pdt.ApplyTrans(next, entries, t.snapshot, commitEpoch); err != nil {
+			return err
+		}
+		preps = append(preps, prepared{key: key, part: part, entries: entries, next: next})
+	}
+	if len(preps) == 0 {
+		return nil // read-only transaction
+	}
+	sort.Slice(preps, func(i, j int) bool { return preps[i].key < preps[j].key })
+
+	// Phase 1: PREPARE records on the partitions' WALs.
+	for _, p := range preps {
+		if p.part.Log != nil {
+			rec, err := encodePrepare(t.id, p.entries)
+			if err != nil {
+				return err
+			}
+			if err := p.part.Log.Append(RecPrepare, rec); err != nil {
+				return err
+			}
+		}
+	}
+	// Phase 2: the commit decision on the global WAL.
+	if m.globalLog != nil {
+		rec, err := encodeCommit(t.id, commitEpoch, preps)
+		if err != nil {
+			return err
+		}
+		if err := m.globalLog.Append(RecCommit, rec); err != nil {
+			return err
+		}
+	}
+	// Swap in the new masters (copy-on-write: running scans keep theirs).
+	for _, p := range preps {
+		p.part.Write = p.next
+	}
+	m.epoch = commitEpoch
+	if m.OnCommit != nil {
+		for _, p := range preps {
+			m.OnCommit(p.key, p.entries, commitEpoch)
+		}
+	}
+	return nil
+}
+
+// PropagateWriteToRead moves the partition's Write-PDT contents into its
+// Read-PDT (the RAM-side half of update propagation; flushing Read to the
+// column store is the engine's job). A PROPAGATE marker is logged so
+// recovery can mirror the layering.
+func (m *Manager) PropagateWriteToRead(key PartKey) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.parts[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchPart, key)
+	}
+	newRead := p.Read.CopyOnWrite()
+	if err := pdt.Replay(newRead, p.Write); err != nil {
+		return err
+	}
+	if p.Log != nil {
+		if err := p.Log.Append(RecPropagate, nil); err != nil {
+			return err
+		}
+	}
+	p.Read = newRead
+	p.Write = pdt.New(newRead.Size())
+	return nil
+}
+
+// ResetAfterFlush reinitializes a partition after its deltas were flushed to
+// the column store: empty PDTs over the new stable row count and a truncated
+// WAL (the flush is the checkpoint).
+func (m *Manager) ResetAfterFlush(key PartKey, newStableRows int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.parts[key]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchPart, key)
+	}
+	p.Read = pdt.New(newStableRows)
+	p.Write = pdt.New(newStableRows)
+	if p.Log != nil {
+		if err := p.Log.Truncate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover rebuilds partition state from the WALs: the global WAL determines
+// which transactions committed (2PC decisions), then each partition WAL's
+// PREPARE records for committed transactions are replayed in order,
+// honoring PROPAGATE markers. Uncommitted prepares (coordinator failure
+// before decision) are discarded, which is the correct 2PC presumed-abort
+// outcome.
+func (m *Manager) Recover(keys []PartKey) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	committed := make(map[int64]int64) // txn id -> epoch
+	maxEpoch := int64(0)
+	if m.globalLog != nil {
+		err := m.globalLog.Replay(func(rt uint8, data []byte) error {
+			if rt != RecCommit {
+				return nil
+			}
+			id, epoch, _, err := decodeCommit(data)
+			if err != nil {
+				return err
+			}
+			committed[id] = epoch
+			if epoch > maxEpoch {
+				maxEpoch = epoch
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	for _, key := range keys {
+		p, ok := m.parts[key]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchPart, key)
+		}
+		if p.Log == nil {
+			continue
+		}
+		read := pdt.New(p.Read.StableRows())
+		write := pdt.New(p.Read.StableRows())
+		err := p.Log.Replay(func(rt uint8, data []byte) error {
+			switch rt {
+			case RecPrepare:
+				id, entries, err := decodePrepare(data)
+				if err != nil {
+					return err
+				}
+				epoch, ok := committed[id]
+				if !ok {
+					return nil // presumed abort
+				}
+				return pdt.ApplyTrans(write, entries, epoch-1, epoch)
+			case RecPropagate:
+				if err := pdt.Replay(read, write); err != nil {
+					return err
+				}
+				write = pdt.New(read.Size())
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		p.Read, p.Write = read, write
+	}
+	if maxEpoch > m.epoch {
+		m.epoch = maxEpoch
+	}
+	return nil
+}
+
+// --- WAL record encoding (gob) ---
+
+func init() {
+	gob.Register(int64(0))
+	gob.Register(int32(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+}
+
+type prepareRec struct {
+	Txn     int64
+	Entries []pdt.Entry
+}
+
+type commitRec struct {
+	Txn   int64
+	Epoch int64
+	Parts []string
+}
+
+func encodePrepare(id int64, entries []pdt.Entry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(prepareRec{Txn: id, Entries: entries}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePrepare(data []byte) (int64, []pdt.Entry, error) {
+	var rec prepareRec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return 0, nil, err
+	}
+	return rec.Txn, rec.Entries, nil
+}
+
+func encodeCommit(id, epoch int64, preps []prepared) ([]byte, error) {
+	rec := commitRec{Txn: id, Epoch: epoch}
+	for _, p := range preps {
+		rec.Parts = append(rec.Parts, string(p.key))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCommit(data []byte) (int64, int64, []string, error) {
+	var rec commitRec
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rec); err != nil {
+		return 0, 0, nil, err
+	}
+	return rec.Txn, rec.Epoch, rec.Parts, nil
+}

@@ -1,0 +1,390 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"vectorh/internal/hdfs"
+	"vectorh/internal/pdt"
+	"vectorh/internal/vector"
+	"vectorh/internal/wal"
+)
+
+var schema = vector.Schema{{Name: "k", Type: vector.TInt64}, {Name: "v", Type: vector.TString}}
+
+func testFS() *hdfs.Cluster {
+	return hdfs.NewCluster([]string{"n1", "n2"}, hdfs.Config{BlockSize: 1 << 12, Replication: 2})
+}
+
+func newMgr(fs *hdfs.Cluster) *Manager {
+	return NewManager(wal.Open(fs, "/wal/global", "n1"))
+}
+
+// materialize produces the current image of a partition with stableRows
+// synthetic stable rows (k=i, v="s<i>") merged through read then write.
+func materialize(t *testing.T, read, write *pdt.PDT, stableRows int) [][]any {
+	t.Helper()
+	stable := vector.NewBatchForSchema(schema, stableRows)
+	for i := 0; i < stableRows; i++ {
+		stable.AppendRow(int64(i), "s")
+	}
+	layer := func(p *pdt.PDT, in *vector.Batch) *vector.Batch {
+		m := pdt.NewMerger(p, schema, []int{0, 1})
+		out := vector.NewBatchForSchema(schema, in.Len()+8)
+		if in.Len() > 0 {
+			b, _, err := m.MergeRange(in, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < b.Len(); i++ {
+				out.AppendRow(b.Row(i)...)
+			}
+		}
+		if tail, _ := m.Tail(); tail != nil {
+			for i := 0; i < tail.Len(); i++ {
+				out.AppendRow(tail.Row(i)...)
+			}
+		}
+		return out
+	}
+	merged := layer(write, layer(read, stable))
+	var rows [][]any
+	for i := 0; i < merged.Len(); i++ {
+		rows = append(rows, merged.Row(i))
+	}
+	return rows
+}
+
+func TestCommitMakesChangesVisible(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	m.AddPartition("t/0", 3, wal.Open(fs, "/wal/t0", "n1"))
+
+	tx := m.Begin()
+	if err := tx.Append("t/0", []any{int64(100), "new"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Modify("t/0", 1, []int{1}, []any{"mod"}); err != nil {
+		t.Fatal(err)
+	}
+	// Before commit: master unchanged.
+	p, _ := m.Part("t/0")
+	if p.Size() != 3 {
+		t.Fatalf("master size changed before commit: %d", p.Size())
+	}
+	// The transaction sees its own changes.
+	if sz, _ := tx.Size("t/0"); sz != 4 {
+		t.Fatalf("txn size = %d", sz)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = m.Part("t/0")
+	rows := materialize(t, p.Read, p.Write, 3)
+	if len(rows) != 4 || rows[1][1].(string) != "mod" || rows[3][0].(int64) != 100 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch = %d", m.Epoch())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	m.AddPartition("t/0", 2, nil)
+
+	writer := m.Begin()
+	writer.Append("t/0", []any{int64(50), "w"})
+
+	reader := m.Begin()
+	if sz, _ := reader.Size("t/0"); sz != 2 {
+		t.Fatalf("reader sees uncommitted append: %d", sz)
+	}
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Reader still sees its snapshot.
+	if sz, _ := reader.Size("t/0"); sz != 2 {
+		t.Fatalf("reader snapshot broken: %d", sz)
+	}
+	// A fresh transaction sees the commit.
+	fresh := m.Begin()
+	if sz, _ := fresh.Size("t/0"); sz != 3 {
+		t.Fatalf("fresh txn sees %d rows", sz)
+	}
+}
+
+func TestWriteWriteConflictAborts(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	m.AddPartition("t/0", 5, nil)
+
+	a := m.Begin()
+	b := m.Begin()
+	a.Modify("t/0", 2, []int{1}, []any{"a"})
+	b.Modify("t/0", 2, []int{1}, []any{"b"})
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	err := b.Commit()
+	if !errors.Is(err, pdt.ErrConflict) {
+		t.Fatalf("want conflict, got %v", err)
+	}
+	// Disjoint tuples do not conflict.
+	c := m.Begin()
+	d := m.Begin()
+	c.Modify("t/0", 3, []int{1}, []any{"c"})
+	d.Modify("t/0", 4, []int{1}, []any{"d"})
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppendsBothSurvive(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	m.AddPartition("t/0", 1, nil)
+	a, b := m.Begin(), m.Begin()
+	a.Append("t/0", []any{int64(1), "a"})
+	b.Append("t/0", []any{int64(2), "b"})
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.Part("t/0")
+	if p.Size() != 3 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	rows := materialize(t, p.Read, p.Write, 1)
+	if rows[1][1].(string) != "a" || rows[2][1].(string) != "b" {
+		t.Fatalf("commit order not preserved: %v", rows)
+	}
+}
+
+func TestDeleteOfCommittedInsertAndConflict(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	m.AddPartition("t/0", 1, nil)
+	setup := m.Begin()
+	setup.Append("t/0", []any{int64(9), "ins"})
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Two transactions race to delete the committed insert (rid 1).
+	a, b := m.Begin(), m.Begin()
+	if err := a.Delete("t/0", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Modify("t/0", 1, []int{1}, []any{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Commit(); !errors.Is(err, pdt.ErrConflict) {
+		t.Fatalf("want conflict on deleted insert, got %v", err)
+	}
+	p, _ := m.Part("t/0")
+	if p.Size() != 1 {
+		t.Fatalf("size = %d", p.Size())
+	}
+}
+
+func TestAbortDiscardsChanges(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	m.AddPartition("t/0", 2, nil)
+	tx := m.Begin()
+	tx.Append("t/0", []any{int64(1), "x"})
+	tx.Abort()
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("commit after abort: %v", err)
+	}
+	p, _ := m.Part("t/0")
+	if p.Size() != 2 {
+		t.Fatalf("abort leaked changes: %d", p.Size())
+	}
+}
+
+func TestReadOnlyCommitIsNoop(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	m.AddPartition("t/0", 2, nil)
+	tx := m.Begin()
+	tx.Size("t/0")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 0 {
+		t.Fatalf("read-only commit bumped epoch to %d", m.Epoch())
+	}
+}
+
+func TestLogShippingCallback(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	m.AddPartition("repl/0", 2, nil)
+	var gotPart PartKey
+	var gotEntries int
+	m.OnCommit = func(p PartKey, entries []pdt.Entry, epoch int64) {
+		gotPart, gotEntries = p, len(entries)
+	}
+	tx := m.Begin()
+	tx.Append("repl/0", []any{int64(5), "x"})
+	tx.Delete("repl/0", 0)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if gotPart != "repl/0" || gotEntries != 2 {
+		t.Fatalf("log shipping: part=%s entries=%d", gotPart, gotEntries)
+	}
+}
+
+func TestRecoveryReplaysCommittedOnly(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	key := PartKey("t/0")
+	m.AddPartition(key, 2, wal.Open(fs, "/wal/t0", "n1"))
+
+	t1 := m.Begin()
+	t1.Append(key, []any{int64(7), "committed"})
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a prepared-but-undecided transaction: write a PREPARE
+	// record directly, with no commit decision in the global WAL.
+	orphan, _ := encodePrepare(999, []pdt.Entry{{Sid: 0, Kind: pdt.Del}})
+	p, _ := m.Part(key)
+	if err := p.Log.Append(RecPrepare, orphan); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new manager (fresh process) over the same logs.
+	m2 := newMgr(fs)
+	m2.AddPartition(key, 2, wal.Open(fs, "/wal/t0", "n1"))
+	if err := m2.Recover([]PartKey{key}); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := m2.Part(key)
+	rows := materialize(t, p2.Read, p2.Write, 2)
+	if len(rows) != 3 || rows[2][1].(string) != "committed" {
+		t.Fatalf("recovered rows = %v", rows)
+	}
+	if m2.Epoch() != 1 {
+		t.Fatalf("recovered epoch = %d", m2.Epoch())
+	}
+}
+
+func TestPropagateWriteToReadAndRecovery(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	key := PartKey("t/0")
+	m.AddPartition(key, 3, wal.Open(fs, "/wal/t0", "n1"))
+
+	t1 := m.Begin()
+	t1.Append(key, []any{int64(10), "a"})
+	t1.Delete(key, 0)
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PropagateWriteToRead(key); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.Part(key)
+	ins, del, _ := p.Write.Counts()
+	if ins+del != 0 {
+		t.Fatal("write PDT should be empty after propagation")
+	}
+	rows := materialize(t, p.Read, p.Write, 3)
+	if len(rows) != 3 || rows[2][1].(string) != "a" {
+		t.Fatalf("rows after propagation = %v", rows)
+	}
+	// More updates after propagation, keyed in the new read image.
+	t2 := m.Begin()
+	t2.Modify(key, 0, []int{1}, []any{"patched"})
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery must mirror the layering through the PROPAGATE marker.
+	m2 := newMgr(fs)
+	m2.AddPartition(key, 3, wal.Open(fs, "/wal/t0", "n1"))
+	if err := m2.Recover([]PartKey{key}); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := m2.Part(key)
+	rows2 := materialize(t, p2.Read, p2.Write, 3)
+	if len(rows2) != 3 || rows2[0][1].(string) != "patched" || rows2[2][1].(string) != "a" {
+		t.Fatalf("recovered rows = %v", rows2)
+	}
+}
+
+func TestResetAfterFlush(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	key := PartKey("t/0")
+	m.AddPartition(key, 2, wal.Open(fs, "/wal/t0", "n1"))
+	tx := m.Begin()
+	tx.Append(key, []any{int64(1), "x"})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ResetAfterFlush(key, 3); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := m.Part(key)
+	if p.Size() != 3 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	// The WAL is truncated: recovery yields the clean state.
+	m2 := newMgr(fs)
+	m2.AddPartition(key, 3, wal.Open(fs, "/wal/t0", "n1"))
+	if err := m2.Recover([]PartKey{key}); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := m2.Part(key)
+	ins, del, mod := p2.Write.Counts()
+	if ins+del+mod != 0 {
+		t.Fatal("WAL not truncated by flush")
+	}
+}
+
+func TestUnknownPartitionErrors(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	tx := m.Begin()
+	if err := tx.Append("ghost/0", []any{int64(1)}); !errors.Is(err, ErrNoSuchPart) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.Part("ghost/0"); !errors.Is(err, ErrNoSuchPart) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Recover([]PartKey{"ghost/0"}); !errors.Is(err, ErrNoSuchPart) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTailInsertOnlyDetection(t *testing.T) {
+	fs := testFS()
+	m := newMgr(fs)
+	m.AddPartition("t/0", 2, nil)
+	tx := m.Begin()
+	tx.Append("t/0", []any{int64(1), "x"})
+	tx.Commit()
+	p, _ := m.Part("t/0")
+	if !p.Write.IsTailInsertOnly() {
+		t.Fatal("append-only write PDT should be tail-insert-only")
+	}
+	tx2 := m.Begin()
+	tx2.Delete("t/0", 0)
+	tx2.Commit()
+	p, _ = m.Part("t/0")
+	if p.Write.IsTailInsertOnly() {
+		t.Fatal("delete should break tail-insert-only")
+	}
+}

@@ -1,0 +1,267 @@
+package vector
+
+import "fmt"
+
+// Vec is a typed column vector holding up to MaxSize values (more is allowed
+// for intermediate buffers, but operators produce at most MaxSize). The zero
+// Vec is invalid; use New or one of the From constructors.
+type Vec struct {
+	kind Kind
+	n    int
+
+	b   []bool
+	i32 []int32
+	i64 []int64
+	f64 []float64
+	str []string
+}
+
+// New returns an empty vector of the given kind with capacity for capHint
+// values (MaxSize if capHint <= 0).
+func New(kind Kind, capHint int) *Vec {
+	if capHint <= 0 {
+		capHint = MaxSize
+	}
+	v := &Vec{kind: kind}
+	switch kind {
+	case Bool:
+		v.b = make([]bool, 0, capHint)
+	case Int32:
+		v.i32 = make([]int32, 0, capHint)
+	case Int64:
+		v.i64 = make([]int64, 0, capHint)
+	case Float64:
+		v.f64 = make([]float64, 0, capHint)
+	case String:
+		v.str = make([]string, 0, capHint)
+	default:
+		panic(fmt.Sprintf("vector: New with kind %v", kind))
+	}
+	return v
+}
+
+// FromBool wraps an existing slice without copying.
+func FromBool(vals []bool) *Vec { return &Vec{kind: Bool, n: len(vals), b: vals} }
+
+// FromInt32 wraps an existing slice without copying.
+func FromInt32(vals []int32) *Vec { return &Vec{kind: Int32, n: len(vals), i32: vals} }
+
+// FromInt64 wraps an existing slice without copying.
+func FromInt64(vals []int64) *Vec { return &Vec{kind: Int64, n: len(vals), i64: vals} }
+
+// FromFloat64 wraps an existing slice without copying.
+func FromFloat64(vals []float64) *Vec { return &Vec{kind: Float64, n: len(vals), f64: vals} }
+
+// FromString wraps an existing slice without copying.
+func FromString(vals []string) *Vec { return &Vec{kind: String, n: len(vals), str: vals} }
+
+// Const returns a vector of n copies of the given value (Go value must match
+// the kind: bool, int32, int64, float64 or string).
+func Const(kind Kind, val any, n int) *Vec {
+	v := New(kind, n)
+	for i := 0; i < n; i++ {
+		v.AppendAny(val)
+	}
+	return v
+}
+
+// Kind returns the vector's physical kind.
+func (v *Vec) Kind() Kind { return v.kind }
+
+// Len returns the number of values.
+func (v *Vec) Len() int { return v.n }
+
+// Reset truncates the vector to zero length, keeping capacity.
+func (v *Vec) Reset() {
+	v.n = 0
+	v.b = v.b[:0]
+	v.i32 = v.i32[:0]
+	v.i64 = v.i64[:0]
+	v.f64 = v.f64[:0]
+	v.str = v.str[:0]
+}
+
+// Bools returns the backing slice of a Bool vector.
+func (v *Vec) Bools() []bool { v.check(Bool); return v.b[:v.n] }
+
+// Int32s returns the backing slice of an Int32 vector.
+func (v *Vec) Int32s() []int32 { v.check(Int32); return v.i32[:v.n] }
+
+// Int64s returns the backing slice of an Int64 vector.
+func (v *Vec) Int64s() []int64 { v.check(Int64); return v.i64[:v.n] }
+
+// Float64s returns the backing slice of a Float64 vector.
+func (v *Vec) Float64s() []float64 { v.check(Float64); return v.f64[:v.n] }
+
+// Strings returns the backing slice of a String vector.
+func (v *Vec) Strings() []string { v.check(String); return v.str[:v.n] }
+
+func (v *Vec) check(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("vector: %v access on %v vector", k, v.kind))
+	}
+}
+
+// AppendBool appends to a Bool vector.
+func (v *Vec) AppendBool(x bool) { v.check(Bool); v.b = append(v.b, x); v.n++ }
+
+// AppendInt32 appends to an Int32 vector.
+func (v *Vec) AppendInt32(x int32) { v.check(Int32); v.i32 = append(v.i32, x); v.n++ }
+
+// AppendInt64 appends to an Int64 vector.
+func (v *Vec) AppendInt64(x int64) { v.check(Int64); v.i64 = append(v.i64, x); v.n++ }
+
+// AppendFloat64 appends to a Float64 vector.
+func (v *Vec) AppendFloat64(x float64) { v.check(Float64); v.f64 = append(v.f64, x); v.n++ }
+
+// AppendString appends to a String vector.
+func (v *Vec) AppendString(x string) { v.check(String); v.str = append(v.str, x); v.n++ }
+
+// AppendAny appends a dynamically typed value; the value's Go type must match
+// the vector kind.
+func (v *Vec) AppendAny(x any) {
+	switch v.kind {
+	case Bool:
+		v.AppendBool(x.(bool))
+	case Int32:
+		v.AppendInt32(x.(int32))
+	case Int64:
+		v.AppendInt64(x.(int64))
+	case Float64:
+		v.AppendFloat64(x.(float64))
+	case String:
+		v.AppendString(x.(string))
+	default:
+		panic("vector: AppendAny on invalid vector")
+	}
+}
+
+// Get returns element i as a dynamically typed value.
+func (v *Vec) Get(i int) any {
+	switch v.kind {
+	case Bool:
+		return v.b[i]
+	case Int32:
+		return v.i32[i]
+	case Int64:
+		return v.i64[i]
+	case Float64:
+		return v.f64[i]
+	case String:
+		return v.str[i]
+	default:
+		panic("vector: Get on invalid vector")
+	}
+}
+
+// AppendFrom appends element i of src (which must have the same kind).
+func (v *Vec) AppendFrom(src *Vec, i int) {
+	switch v.kind {
+	case Bool:
+		v.AppendBool(src.b[i])
+	case Int32:
+		v.AppendInt32(src.i32[i])
+	case Int64:
+		v.AppendInt64(src.i64[i])
+	case Float64:
+		v.AppendFloat64(src.f64[i])
+	case String:
+		v.AppendString(src.str[i])
+	default:
+		panic("vector: AppendFrom on invalid vector")
+	}
+}
+
+// AppendZero appends the kind's zero value.
+func (v *Vec) AppendZero() {
+	switch v.kind {
+	case Bool:
+		v.AppendBool(false)
+	case Int32:
+		v.AppendInt32(0)
+	case Int64:
+		v.AppendInt64(0)
+	case Float64:
+		v.AppendFloat64(0)
+	case String:
+		v.AppendString("")
+	default:
+		panic("vector: AppendZero on invalid vector")
+	}
+}
+
+// Gather returns a new dense vector with the values at the given positions.
+// A nil sel returns a copy of the first n values.
+func (v *Vec) Gather(sel []int32, n int) *Vec {
+	out := New(v.kind, n)
+	if sel == nil {
+		switch v.kind {
+		case Bool:
+			out.b = append(out.b, v.b[:n]...)
+		case Int32:
+			out.i32 = append(out.i32, v.i32[:n]...)
+		case Int64:
+			out.i64 = append(out.i64, v.i64[:n]...)
+		case Float64:
+			out.f64 = append(out.f64, v.f64[:n]...)
+		case String:
+			out.str = append(out.str, v.str[:n]...)
+		}
+		out.n = n
+		return out
+	}
+	switch v.kind {
+	case Bool:
+		for _, i := range sel {
+			out.b = append(out.b, v.b[i])
+		}
+	case Int32:
+		for _, i := range sel {
+			out.i32 = append(out.i32, v.i32[i])
+		}
+	case Int64:
+		for _, i := range sel {
+			out.i64 = append(out.i64, v.i64[i])
+		}
+	case Float64:
+		for _, i := range sel {
+			out.f64 = append(out.f64, v.f64[i])
+		}
+	case String:
+		for _, i := range sel {
+			out.str = append(out.str, v.str[i])
+		}
+	}
+	out.n = len(sel)
+	return out
+}
+
+// Slice returns a view of elements [lo, hi) without copying.
+func (v *Vec) Slice(lo, hi int) *Vec {
+	out := &Vec{kind: v.kind, n: hi - lo}
+	switch v.kind {
+	case Bool:
+		out.b = v.b[lo:hi]
+	case Int32:
+		out.i32 = v.i32[lo:hi]
+	case Int64:
+		out.i64 = v.i64[lo:hi]
+	case Float64:
+		out.f64 = v.f64[lo:hi]
+	case String:
+		out.str = v.str[lo:hi]
+	}
+	return out
+}
+
+// Bytes returns an estimate of the in-memory payload size.
+func (v *Vec) Bytes() int {
+	if v.kind == String {
+		total := 0
+		for _, s := range v.str[:v.n] {
+			total += len(s)
+		}
+		return total + v.n*16
+	}
+	return v.n * v.kind.Width()
+}

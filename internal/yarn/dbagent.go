@@ -1,0 +1,212 @@
+package yarn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DBAgent is VectorH's out-of-band YARN client (§4): it negotiates resource
+// slices for the worker set via dummy containers, grows back toward the
+// configured target after preemption, and notifies the session master (via
+// OnFootprintChange) whenever the per-node footprint changes so workload
+// management can adapt cores/memory.
+type DBAgent struct {
+	rm  *ResourceManager
+	app *Application
+
+	mu sync.Mutex
+	// Per-node slice configuration.
+	slice      Resource // granularity of one dummy container
+	target     Resource // desired per-node footprint
+	minimum    Resource // below this, the node (and startup) fails
+	workers    []string
+	containers map[string][]*Container
+
+	// OnFootprintChange is invoked (outside the agent lock) with the node
+	// and its new granted footprint after any growth or preemption.
+	OnFootprintChange func(node string, granted Resource)
+}
+
+// NewDBAgent registers the VectorH application with the RM at the given
+// priority and returns the agent. Slice is the container granularity;
+// target and minimum are per-node footprints.
+func NewDBAgent(rm *ResourceManager, priority int, slice, target, minimum Resource) *DBAgent {
+	return &DBAgent{
+		rm:         rm,
+		app:        rm.Submit("vectorh", priority),
+		slice:      slice,
+		target:     target,
+		minimum:    minimum,
+		containers: make(map[string][]*Container),
+	}
+}
+
+// SelectWorkers picks the n viable nodes with the highest locality score
+// (ties broken by name) that can currently fit at least the minimum
+// footprint. It is the resource-availability half of worker-set selection;
+// data locality scores come from the affinity package.
+func (a *DBAgent) SelectWorkers(viable []string, n int, localityScore func(node string) int) ([]string, error) {
+	reports := a.rm.NodeReports()
+	avail := make(map[string]Resource, len(reports))
+	for _, r := range reports {
+		avail[r.Name] = r.Available
+	}
+	type cand struct {
+		name  string
+		score int
+	}
+	var cands []cand
+	for _, v := range viable {
+		if res, ok := avail[v]; ok && a.minimum.Fits(res) {
+			score := 0
+			if localityScore != nil {
+				score = localityScore(v)
+			}
+			cands = append(cands, cand{v, score})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].name < cands[j].name
+	})
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("yarn: no viable node can fit the minimum footprint %s", a.minimum)
+	}
+	if len(cands) < n {
+		n = len(cands) // worker set shrinks, as in Figure 2
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = cands[i].name
+	}
+	return out, nil
+}
+
+// Start acquires at least the minimum footprint on every worker and then
+// grows toward the target. It fails if any worker cannot grant the minimum.
+func (a *DBAgent) Start(workers []string) error {
+	a.mu.Lock()
+	a.workers = append([]string(nil), workers...)
+	a.mu.Unlock()
+	for _, w := range workers {
+		if granted := a.GrowToTarget(w); !a.minimum.Fits(granted) {
+			return fmt.Errorf("yarn: node %s granted only %s, below minimum %s", w, granted, a.minimum)
+		}
+	}
+	return nil
+}
+
+// GrowToTarget allocates additional slices on the node until the target
+// footprint (or the RM's limit) is reached, returning the granted footprint.
+// VectorH calls this periodically to climb back after preemption.
+func (a *DBAgent) GrowToTarget(node string) Resource {
+	for {
+		a.mu.Lock()
+		roomForSlice := a.footprintLocked(node).Add(a.slice).Fits(a.target)
+		a.mu.Unlock()
+		if !roomForSlice {
+			break
+		}
+		c, err := a.rm.Allocate(a.app, node, a.slice)
+		if err != nil {
+			break
+		}
+		c.OnKill = a.onPreempt
+		a.mu.Lock()
+		a.containers[node] = append(a.containers[node], c)
+		a.mu.Unlock()
+	}
+	granted := a.Footprint(node)
+	a.notify(node, granted)
+	return granted
+}
+
+// Footprint returns the currently granted footprint on a node.
+func (a *DBAgent) Footprint(node string) Resource {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.footprintLocked(node)
+}
+
+func (a *DBAgent) footprintLocked(node string) Resource {
+	var total Resource
+	for _, c := range a.containers[node] {
+		if !c.Killed() {
+			total = total.Add(c.Res)
+		}
+	}
+	return total
+}
+
+// ShrinkTo voluntarily releases slices on a node down to the given footprint
+// (VectorH's automatic-footprint self-regulation).
+func (a *DBAgent) ShrinkTo(node string, want Resource) Resource {
+	a.mu.Lock()
+	var keep []*Container
+	var have Resource
+	var toRelease []*Container
+	for _, c := range a.containers[node] {
+		if c.Killed() {
+			continue
+		}
+		if have.Add(c.Res).Fits(want) {
+			have = have.Add(c.Res)
+			keep = append(keep, c)
+		} else {
+			toRelease = append(toRelease, c)
+		}
+	}
+	a.containers[node] = keep
+	a.mu.Unlock()
+	for _, c := range toRelease {
+		a.rm.Release(c)
+	}
+	a.notify(node, have)
+	return have
+}
+
+// Workers returns the current worker set.
+func (a *DBAgent) Workers() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.workers...)
+}
+
+// onPreempt is the dummy-container kill callback: it prunes the container
+// and tells the session master about the reduced footprint.
+func (a *DBAgent) onPreempt(victim *Container) {
+	a.mu.Lock()
+	cs := a.containers[victim.Node]
+	for i, c := range cs {
+		if c.ID == victim.ID {
+			a.containers[victim.Node] = append(cs[:i], cs[i+1:]...)
+			break
+		}
+	}
+	granted := a.footprintLocked(victim.Node)
+	a.mu.Unlock()
+	a.notify(victim.Node, granted)
+}
+
+func (a *DBAgent) notify(node string, granted Resource) {
+	if a.OnFootprintChange != nil {
+		a.OnFootprintChange(node, granted)
+	}
+}
+
+// Stop releases every container.
+func (a *DBAgent) Stop() {
+	a.mu.Lock()
+	var all []*Container
+	for _, cs := range a.containers {
+		all = append(all, cs...)
+	}
+	a.containers = make(map[string][]*Container)
+	a.mu.Unlock()
+	for _, c := range all {
+		a.rm.Release(c)
+	}
+}

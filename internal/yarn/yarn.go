@@ -1,0 +1,287 @@
+// Package yarn simulates the slice of Hadoop YARN that VectorH negotiates
+// with (§4 of the paper): a ResourceManager tracking per-node memory and
+// core budgets, applications holding containers, and priority-based
+// preemption. VectorH itself runs *out-of-band*: real server processes stay
+// outside the containers, which are dummies whose only job is to reserve
+// resources and report liveness — the dbAgent in this package reproduces
+// that arrangement.
+package yarn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Resource is a YARN resource vector.
+type Resource struct {
+	MemoryMB int
+	VCores   int
+}
+
+// Add returns r + o.
+func (r Resource) Add(o Resource) Resource {
+	return Resource{r.MemoryMB + o.MemoryMB, r.VCores + o.VCores}
+}
+
+// Sub returns r - o.
+func (r Resource) Sub(o Resource) Resource {
+	return Resource{r.MemoryMB - o.MemoryMB, r.VCores - o.VCores}
+}
+
+// Fits reports whether r fits within budget.
+func (r Resource) Fits(budget Resource) bool {
+	return r.MemoryMB <= budget.MemoryMB && r.VCores <= budget.VCores
+}
+
+// Zero reports whether the resource is empty.
+func (r Resource) Zero() bool { return r.MemoryMB <= 0 && r.VCores <= 0 }
+
+// String renders like "4096MB/8c".
+func (r Resource) String() string { return fmt.Sprintf("%dMB/%dc", r.MemoryMB, r.VCores) }
+
+// AppID identifies an application.
+type AppID int
+
+// ContainerID identifies a container.
+type ContainerID int
+
+// Container is an allocated resource slice on one node. VectorH containers
+// are dummies; OnKill lets the owner (dbAgent) observe preemption.
+type Container struct {
+	ID     ContainerID
+	App    AppID
+	Node   string
+	Res    Resource
+	OnKill func(*Container)
+
+	killed bool
+}
+
+// Killed reports whether the container was preempted or released.
+func (c *Container) Killed() bool { return c.killed }
+
+// Application groups containers under one priority.
+type Application struct {
+	ID       AppID
+	Name     string
+	Priority int // higher preempts lower
+
+	containers map[ContainerID]*Container
+}
+
+// Containers lists the application's live containers.
+func (a *Application) Containers() []*Container {
+	var out []*Container
+	for _, c := range a.containers {
+		out = append(out, c)
+	}
+	return out
+}
+
+// NodeReport is the cluster node information dbAgent asks the RM for.
+type NodeReport struct {
+	Name      string
+	Total     Resource
+	Used      Resource
+	Available Resource
+}
+
+type nodeState struct {
+	name  string
+	total Resource
+	used  Resource
+}
+
+// ResourceManager is the simulated YARN RM.
+type ResourceManager struct {
+	mu      sync.Mutex
+	nodes   map[string]*nodeState
+	order   []string
+	apps    map[AppID]*Application
+	nextApp AppID
+	nextCtr ContainerID
+}
+
+// Errors returned by the resource manager.
+var (
+	ErrNoNode       = errors.New("yarn: unknown node")
+	ErrInsufficient = errors.New("yarn: insufficient resources")
+)
+
+// NewResourceManager returns an empty RM.
+func NewResourceManager() *ResourceManager {
+	return &ResourceManager{nodes: make(map[string]*nodeState), apps: make(map[AppID]*Application)}
+}
+
+// AddNode registers a NodeManager with its total capacity.
+func (rm *ResourceManager) AddNode(name string, total Resource) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	if _, ok := rm.nodes[name]; !ok {
+		rm.order = append(rm.order, name)
+	}
+	rm.nodes[name] = &nodeState{name: name, total: total}
+}
+
+// RemoveNode drops a node, killing every container on it.
+func (rm *ResourceManager) RemoveNode(name string) {
+	rm.mu.Lock()
+	victims := rm.containersOnLocked(name)
+	delete(rm.nodes, name)
+	for i, n := range rm.order {
+		if n == name {
+			rm.order = append(rm.order[:i], rm.order[i+1:]...)
+			break
+		}
+	}
+	rm.mu.Unlock()
+	for _, c := range victims {
+		rm.kill(c)
+	}
+}
+
+func (rm *ResourceManager) containersOnLocked(node string) []*Container {
+	var out []*Container
+	for _, app := range rm.apps {
+		for _, c := range app.containers {
+			if c.Node == node && !c.killed {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// NodeReports returns the per-node capacity snapshot.
+func (rm *ResourceManager) NodeReports() []NodeReport {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	out := make([]NodeReport, 0, len(rm.order))
+	for _, name := range rm.order {
+		ns := rm.nodes[name]
+		out = append(out, NodeReport{
+			Name:      name,
+			Total:     ns.total,
+			Used:      ns.used,
+			Available: ns.total.Sub(ns.used),
+		})
+	}
+	return out
+}
+
+// Submit registers an application (the AM) with a scheduling priority.
+func (rm *ResourceManager) Submit(name string, priority int) *Application {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	rm.nextApp++
+	app := &Application{ID: rm.nextApp, Name: name, Priority: priority, containers: make(map[ContainerID]*Container)}
+	rm.apps[app.ID] = app
+	return app
+}
+
+// Allocate grants a container of res on node, or ErrInsufficient.
+func (rm *ResourceManager) Allocate(app *Application, node string, res Resource) (*Container, error) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	ns, ok := rm.nodes[node]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoNode, node)
+	}
+	if !res.Fits(ns.total.Sub(ns.used)) {
+		return nil, fmt.Errorf("%w: %s on %s (avail %s)", ErrInsufficient, res, node, ns.total.Sub(ns.used))
+	}
+	rm.nextCtr++
+	c := &Container{ID: rm.nextCtr, App: app.ID, Node: node, Res: res}
+	ns.used = ns.used.Add(res)
+	app.containers[c.ID] = c
+	return c, nil
+}
+
+// Release returns a container's resources voluntarily (no OnKill callback).
+func (rm *ResourceManager) Release(c *Container) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	rm.releaseLocked(c)
+}
+
+func (rm *ResourceManager) releaseLocked(c *Container) {
+	if c.killed {
+		return
+	}
+	c.killed = true
+	if ns, ok := rm.nodes[c.Node]; ok {
+		ns.used = ns.used.Sub(c.Res)
+	}
+	if app, ok := rm.apps[c.App]; ok {
+		delete(app.containers, c.ID)
+	}
+}
+
+func (rm *ResourceManager) kill(c *Container) {
+	rm.mu.Lock()
+	rm.releaseLocked(c)
+	cb := c.OnKill
+	rm.mu.Unlock()
+	if cb != nil {
+		cb(c)
+	}
+}
+
+// AllocateWithPreemption grants a container for a high-priority application,
+// preempting lower-priority containers on the node (lowest priority, then
+// newest first) until the request fits. It returns the container and the
+// victims killed.
+func (rm *ResourceManager) AllocateWithPreemption(app *Application, node string, res Resource) (*Container, []*Container, error) {
+	rm.mu.Lock()
+	ns, ok := rm.nodes[node]
+	if !ok {
+		rm.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoNode, node)
+	}
+	var victims []*Container
+	if !res.Fits(ns.total.Sub(ns.used)) {
+		candidates := rm.containersOnLocked(node)
+		sort.Slice(candidates, func(i, j int) bool {
+			pi := rm.apps[candidates[i].App].Priority
+			pj := rm.apps[candidates[j].App].Priority
+			if pi != pj {
+				return pi < pj
+			}
+			return candidates[i].ID > candidates[j].ID
+		})
+		for _, victim := range candidates {
+			if rm.apps[victim.App].Priority >= app.Priority {
+				break
+			}
+			victims = append(victims, victim)
+			rm.releaseLocked(victim)
+			if res.Fits(ns.total.Sub(ns.used)) {
+				break
+			}
+		}
+	}
+	if !res.Fits(ns.total.Sub(ns.used)) {
+		rm.mu.Unlock()
+		// Re-kill already released victims' callbacks anyway: YARN has
+		// no un-preempt; they were killed.
+		for _, v := range victims {
+			if v.OnKill != nil {
+				v.OnKill(v)
+			}
+		}
+		return nil, victims, fmt.Errorf("%w even after preemption: %s on %s", ErrInsufficient, res, node)
+	}
+	rm.nextCtr++
+	c := &Container{ID: rm.nextCtr, App: app.ID, Node: node, Res: res}
+	ns.used = ns.used.Add(res)
+	app.containers[c.ID] = c
+	rm.mu.Unlock()
+	for _, v := range victims {
+		if v.OnKill != nil {
+			v.OnKill(v)
+		}
+	}
+	return c, victims, nil
+}

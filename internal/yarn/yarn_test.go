@@ -1,0 +1,246 @@
+package yarn
+
+import (
+	"fmt"
+	"testing"
+)
+
+func newRM(nodes int, total Resource) *ResourceManager {
+	rm := NewResourceManager()
+	for i := 0; i < nodes; i++ {
+		rm.AddNode(fmt.Sprintf("node%d", i+1), total)
+	}
+	return rm
+}
+
+func TestResourceArithmetic(t *testing.T) {
+	a := Resource{1000, 4}
+	b := Resource{400, 2}
+	if got := a.Add(b); got != (Resource{1400, 6}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Resource{600, 2}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if !b.Fits(a) || a.Fits(b) {
+		t.Fatal("Fits broken")
+	}
+	if !(Resource{}).Zero() || a.Zero() {
+		t.Fatal("Zero broken")
+	}
+	if a.String() != "1000MB/4c" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestAllocateAndRelease(t *testing.T) {
+	rm := newRM(2, Resource{1000, 10})
+	app := rm.Submit("job", 1)
+	c, err := rm.Allocate(app, "node1", Resource{400, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := rm.NodeReports()
+	if reports[0].Used != (Resource{400, 4}) || reports[0].Available != (Resource{600, 6}) {
+		t.Fatalf("reports = %+v", reports[0])
+	}
+	rm.Release(c)
+	if rm.NodeReports()[0].Used != (Resource{}) {
+		t.Fatal("release did not return resources")
+	}
+	if !c.Killed() {
+		t.Fatal("released container should be marked killed")
+	}
+}
+
+func TestAllocateInsufficientFails(t *testing.T) {
+	rm := newRM(1, Resource{100, 1})
+	app := rm.Submit("job", 1)
+	if _, err := rm.Allocate(app, "node1", Resource{200, 1}); err == nil {
+		t.Fatal("oversized allocation should fail")
+	}
+	if _, err := rm.Allocate(app, "ghost", Resource{1, 1}); err == nil {
+		t.Fatal("unknown node should fail")
+	}
+}
+
+func TestPreemptionKillsLowestPriorityFirst(t *testing.T) {
+	rm := newRM(1, Resource{1000, 10})
+	low := rm.Submit("low", 1)
+	mid := rm.Submit("mid", 5)
+	hi := rm.Submit("hi", 9)
+
+	killedIDs := map[ContainerID]bool{}
+	mk := func(app *Application, res Resource) *Container {
+		c, err := rm.Allocate(app, "node1", res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.OnKill = func(v *Container) { killedIDs[v.ID] = true }
+		return c
+	}
+	cl := mk(low, Resource{400, 4})
+	cm := mk(mid, Resource{400, 4})
+
+	// hi wants 700MB: must kill low (freeing 400) and then mid.
+	_, victims, err := rm.AllocateWithPreemption(hi, "node1", Resource{700, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(victims) != 2 || victims[0].ID != cl.ID || victims[1].ID != cm.ID {
+		t.Fatalf("victims = %v", victims)
+	}
+	if !killedIDs[cl.ID] || !killedIDs[cm.ID] {
+		t.Fatal("OnKill not invoked")
+	}
+}
+
+func TestPreemptionWillNotKillEqualPriority(t *testing.T) {
+	rm := newRM(1, Resource{100, 1})
+	a := rm.Submit("a", 5)
+	b := rm.Submit("b", 5)
+	if _, err := rm.Allocate(a, "node1", Resource{100, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rm.AllocateWithPreemption(b, "node1", Resource{50, 1}); err == nil {
+		t.Fatal("equal priority should not be preempted")
+	}
+}
+
+func TestRemoveNodeKillsContainers(t *testing.T) {
+	rm := newRM(2, Resource{100, 2})
+	app := rm.Submit("job", 1)
+	c, _ := rm.Allocate(app, "node1", Resource{50, 1})
+	killed := false
+	c.OnKill = func(*Container) { killed = true }
+	rm.RemoveNode("node1")
+	if !killed {
+		t.Fatal("container on removed node should be killed")
+	}
+	if len(rm.NodeReports()) != 1 {
+		t.Fatal("node report still lists removed node")
+	}
+}
+
+func TestDBAgentStartAndGrow(t *testing.T) {
+	rm := newRM(3, Resource{1600, 16})
+	slice := Resource{400, 4}
+	agent := NewDBAgent(rm, 5, slice, Resource{1600, 16}, Resource{400, 4})
+	workers, err := agent.SelectWorkers([]string{"node1", "node2", "node3"}, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 2 {
+		t.Fatalf("workers = %v", workers)
+	}
+	if err := agent.Start(workers); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workers {
+		if got := agent.Footprint(w); got != (Resource{1600, 16}) {
+			t.Fatalf("footprint on %s = %v", w, got)
+		}
+	}
+}
+
+func TestDBAgentSelectWorkersByLocality(t *testing.T) {
+	rm := newRM(4, Resource{1000, 8})
+	agent := NewDBAgent(rm, 5, Resource{250, 2}, Resource{1000, 8}, Resource{250, 2})
+	score := map[string]int{"node1": 1, "node2": 9, "node3": 5, "node4": 9}
+	workers, err := agent.SelectWorkers([]string{"node1", "node2", "node3", "node4"}, 3,
+		func(n string) int { return score[n] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"node2", "node4", "node3"}
+	for i := range want {
+		if workers[i] != want[i] {
+			t.Fatalf("workers = %v, want %v", workers, want)
+		}
+	}
+}
+
+func TestDBAgentWorkerSetShrinksWhenNodesBusy(t *testing.T) {
+	rm := newRM(3, Resource{1000, 8})
+	other := rm.Submit("tenant", 9)
+	// Fill node2 and node3 completely.
+	rm.Allocate(other, "node2", Resource{1000, 8})
+	rm.Allocate(other, "node3", Resource{1000, 8})
+	agent := NewDBAgent(rm, 5, Resource{500, 4}, Resource{1000, 8}, Resource{500, 4})
+	workers, err := agent.SelectWorkers([]string{"node1", "node2", "node3"}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 1 || workers[0] != "node1" {
+		t.Fatalf("workers = %v, want [node1]", workers)
+	}
+}
+
+func TestDBAgentPreemptionAndRegrow(t *testing.T) {
+	rm := newRM(1, Resource{1000, 8})
+	slice := Resource{250, 2}
+	agent := NewDBAgent(rm, 2, slice, Resource{1000, 8}, slice)
+	var lastNode string
+	var lastGrant Resource
+	agent.OnFootprintChange = func(n string, r Resource) { lastNode, lastGrant = n, r }
+	if err := agent.Start([]string{"node1"}); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Footprint("node1") != (Resource{1000, 8}) {
+		t.Fatal("did not reach target")
+	}
+
+	// A higher-priority tenant takes half the node.
+	tenant := rm.Submit("etl", 9)
+	if _, _, err := rm.AllocateWithPreemption(tenant, "node1", Resource{500, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := agent.Footprint("node1"); got != (Resource{500, 4}) {
+		t.Fatalf("footprint after preemption = %v", got)
+	}
+	if lastNode != "node1" || lastGrant != (Resource{500, 4}) {
+		t.Fatalf("session master not notified: %s %v", lastNode, lastGrant)
+	}
+
+	// Tenant leaves; the periodic re-negotiation climbs back to target.
+	for _, c := range collectContainers(tenant) {
+		rm.Release(c)
+	}
+	if got := agent.GrowToTarget("node1"); got != (Resource{1000, 8}) {
+		t.Fatalf("regrow footprint = %v", got)
+	}
+}
+
+func collectContainers(app *Application) []*Container {
+	var out []*Container
+	for _, c := range app.containers {
+		out = append(out, c)
+	}
+	return out
+}
+
+func TestDBAgentShrinkTo(t *testing.T) {
+	rm := newRM(1, Resource{800, 8})
+	slice := Resource{200, 2}
+	agent := NewDBAgent(rm, 5, slice, Resource{800, 8}, slice)
+	agent.Start([]string{"node1"})
+	got := agent.ShrinkTo("node1", Resource{400, 4})
+	if got != (Resource{400, 4}) {
+		t.Fatalf("shrink = %v", got)
+	}
+	if rm.NodeReports()[0].Used != (Resource{400, 4}) {
+		t.Fatal("RM did not get resources back")
+	}
+	agent.Stop()
+	if rm.NodeReports()[0].Used != (Resource{}) {
+		t.Fatal("Stop did not release everything")
+	}
+}
+
+func TestDBAgentStartFailsBelowMinimum(t *testing.T) {
+	rm := newRM(1, Resource{100, 1})
+	agent := NewDBAgent(rm, 5, Resource{200, 2}, Resource{400, 4}, Resource{200, 2})
+	if err := agent.Start([]string{"node1"}); err == nil {
+		t.Fatal("start below minimum should fail")
+	}
+}

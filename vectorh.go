@@ -1,0 +1,66 @@
+// Package vectorh is the public façade of the VectorH reproduction: a
+// vectorized, columnar, updatable MPP SQL engine over a simulated Hadoop
+// substrate (HDFS with instrumented block placement, YARN elasticity, MPI
+// exchanges), faithfully following "VectorH: Taking SQL-on-Hadoop to the
+// Next Level" (SIGMOD 2016).
+//
+// Quick start:
+//
+//	db, _ := vectorh.Open(vectorh.Config{Nodes: []string{"n1", "n2", "n3"}})
+//	db.CreateTable(vectorh.TableInfo{Name: "t", Schema: schema,
+//	        PartitionKey: "k", Partitions: 6})
+//	db.Load("t", batches)
+//	rows, _ := db.Query(plan.Top(plan.Scan("t"), 10, plan.Desc(plan.Col("k"))))
+//
+// Logical plans are built with the vectorh/internal/plan package; see
+// examples/ for complete programs and internal/tpch for the full TPC-H
+// workload expressed against this API.
+package vectorh
+
+import (
+	"vectorh/internal/core"
+	"vectorh/internal/rewriter"
+	"vectorh/internal/vector"
+)
+
+// Config parameterizes a database instance; the zero value yields a 3-node
+// in-process cluster with paper-like defaults.
+type Config = core.Config
+
+// TableInfo declares a table: schema, optional hash partitioning
+// (PartitionKey + Partitions) and optional clustered index (ClusteredOn).
+// Tables without a partition key are replicated to every node.
+type TableInfo = rewriter.TableInfo
+
+// Schema and Field describe table columns.
+type (
+	// Schema is an ordered column list.
+	Schema = vector.Schema
+	// Field is one column.
+	Field = vector.Field
+)
+
+// Column types.
+var (
+	TInt32   = vector.TInt32
+	TInt64   = vector.TInt64
+	TFloat64 = vector.TFloat64
+	TString  = vector.TString
+	TDate    = vector.TDate
+	TDecimal = vector.TDecimal
+)
+
+// DB is a running VectorH instance (an in-process simulation of the whole
+// cluster: workers, session master, HDFS, YARN).
+type DB struct {
+	*core.Engine
+}
+
+// Open starts a database.
+func Open(cfg Config) (*DB, error) {
+	e, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{Engine: e}, nil
+}
