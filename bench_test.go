@@ -1,6 +1,7 @@
 // Benchmarks regenerating the paper's evaluation artifacts; each testing.B
-// target corresponds to one table or figure (see DESIGN.md's experiment
-// index and EXPERIMENTS.md for measured-vs-paper shapes). Run with:
+// target corresponds to one table or figure — EXPERIMENTS.md maps every
+// benchmark to its paper artifact and explains which measured shapes are
+// expected to match. Run with:
 //
 //	go test -bench=. -benchmem .
 package vectorh

@@ -1,0 +1,233 @@
+// Command vectorh-sql is an interactive SQL shell over an in-process
+// VectorH cluster preloaded with TPC-H data. Statements end with ';'.
+//
+//	$ go run ./cmd/vectorh-sql -sf 0.01 -nodes 3
+//	vectorh> select count(*) from lineitem;
+//	vectorh> explain select n_name, sum(l_extendedprice) from lineitem ...;
+//	vectorh> \d          -- list tables
+//	vectorh> \q 6        -- run the TPC-H Q6 SQL text
+//	vectorh> \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"vectorh"
+	"vectorh/internal/colstore"
+	"vectorh/internal/sql"
+	"vectorh/internal/tpch"
+	"vectorh/internal/vector"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to preload")
+	nodes := flag.Int("nodes", 3, "simulated cluster size")
+	partitions := flag.Int("partitions", 6, "table partition count")
+	threads := flag.Int("threads", 2, "exchange threads per node")
+	query := flag.String("q", "", "run one statement and exit")
+	flag.Parse()
+
+	names := make([]string, *nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i+1)
+	}
+	db, err := vectorh.Open(vectorh.Config{
+		Nodes:          names,
+		ThreadsPerNode: *threads,
+		BlockSize:      1 << 18,
+		Format:         colstore.Format{BlockSize: 16 << 10, BlocksPerChunk: 64, MaxRowsPerBlock: 2048},
+		MsgBytes:       16 << 10,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loading TPC-H sf=%g onto %d nodes...\n", *sf, *nodes)
+	start := time.Now()
+	d := tpch.Generate(*sf, 42)
+	if err := tpch.LoadIntoEngine(db.Engine, d, *partitions); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded in %v; statements end with ';', \\quit exits\n", time.Since(start).Round(time.Millisecond))
+
+	if *query != "" {
+		run(db, *query)
+		return
+	}
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "vectorh> "
+	for {
+		fmt.Print(prompt)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if meta(db, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			run(db, buf.String())
+			buf.Reset()
+			prompt = "vectorh> "
+		} else if buf.Len() > 0 {
+			prompt = "      -> "
+		}
+	}
+}
+
+// meta handles backslash commands; it reports whether the REPL should exit.
+func meta(db *vectorh.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\exit":
+		return true
+	case "\\d":
+		for _, t := range db.SortedTables() {
+			s, _ := db.TableSchema(t)
+			rows, _ := db.TableRows(t)
+			fmt.Printf("%-10s %8d rows\n", t, rows)
+			for _, f := range s {
+				fmt.Printf("    %-16s %s\n", f.Name, f.Type)
+			}
+		}
+	case "\\q":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\q N  (run the TPC-H query N SQL text)")
+			return false
+		}
+		n, err := strconv.Atoi(fields[1])
+		text, ok := tpch.SQLQueries[n]
+		if err != nil || !ok {
+			var avail []int
+			for q := range tpch.SQLQueries {
+				avail = append(avail, q)
+			}
+			sort.Ints(avail)
+			fmt.Printf("no SQL text for %q; available: %v\n", fields[1], avail)
+			return false
+		}
+		fmt.Println(text)
+		run(db, text)
+	default:
+		fmt.Printf("unknown command %s (try \\d, \\q N, \\quit)\n", fields[0])
+	}
+	return false
+}
+
+// run executes one statement (EXPLAIN prefix shows the distributed plan).
+func run(db *vectorh.DB, stmt string) {
+	stmt = strings.TrimSuffix(strings.TrimSpace(stmt), ";")
+	if stmt == "" {
+		return
+	}
+	lower := strings.ToLower(stmt)
+	if strings.HasPrefix(lower, "explain") {
+		plan, err := db.ExplainSQL(stmt[len("explain"):])
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Print(plan)
+		return
+	}
+	n, err := sql.Compile(stmt, db.Engine)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	schema, err := n.Schema(db.Engine)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	start := time.Now()
+	rows, err := db.Query(n)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	printResult(schema, rows)
+	fmt.Printf("(%d rows, %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
+}
+
+// printResult renders rows as an aligned table, formatting dates and
+// decimals per the output schema.
+func printResult(schema vectorh.Schema, rows [][]any) {
+	cells := make([][]string, len(rows)+1)
+	cells[0] = make([]string, len(schema))
+	widths := make([]int, len(schema))
+	for c, f := range schema {
+		cells[0][c] = f.Name
+		widths[c] = len(f.Name)
+	}
+	for r, row := range rows {
+		cells[r+1] = make([]string, len(schema))
+		for c, v := range row {
+			s := format(schema[c].Type, v)
+			cells[r+1][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	for r, row := range cells {
+		for c, s := range row {
+			if c > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Printf("%-*s", widths[c], s)
+		}
+		fmt.Println()
+		if r == 0 {
+			for c, w := range widths {
+				if c > 0 {
+					fmt.Print("-+-")
+				}
+				fmt.Print(strings.Repeat("-", w))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+// format renders one value according to its logical column type.
+func format(t vector.Type, v any) string {
+	switch t.Logical {
+	case vector.Date:
+		if d, ok := v.(int32); ok {
+			return vector.FormatDate(d)
+		}
+	case vector.Decimal:
+		if i, ok := v.(int64); ok {
+			sign := ""
+			if i < 0 {
+				sign, i = "-", -i
+			}
+			return fmt.Sprintf("%s%d.%02d", sign, i/100, i%100)
+		}
+	}
+	if f, ok := v.(float64); ok {
+		return fmt.Sprintf("%.4f", f)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module vectorh
+
+go 1.24

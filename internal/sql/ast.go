@@ -1,0 +1,280 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Items   []SelectItem
+	Star    bool // SELECT *
+	From    []FromItem
+	Where   Expr // nil when absent
+	GroupBy []GroupItem
+	OrderBy []OrderItem
+	Limit   int64 // -1 when absent
+}
+
+// SelectItem is one projected expression, optionally aliased.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // "" when unaliased
+}
+
+// FromItem is a base table reference; items after the first carry the join
+// condition that connects them to the tables to their left.
+type FromItem struct {
+	Table string
+	Alias string // defaults to Table
+	On    Expr   // nil for the first item
+	Pos   Pos
+}
+
+// GroupItem is one GROUP BY term: a source column or a select-list alias.
+type GroupItem struct {
+	Name string
+	Pos  Pos
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a parsed scalar expression.
+type Expr interface {
+	fmt.Stringer
+	pos() Pos
+}
+
+// ColRef references a column, optionally qualified by a table alias.
+type ColRef struct {
+	Table string // "" when unqualified
+	Name  string
+	P     Pos
+}
+
+func (e *ColRef) pos() Pos { return e.P }
+func (e *ColRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	V int64
+	P Pos
+}
+
+func (e *IntLit) pos() Pos       { return e.P }
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.V) }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	V float64
+	P Pos
+}
+
+func (e *FloatLit) pos() Pos       { return e.P }
+func (e *FloatLit) String() string { return fmt.Sprintf("%g", e.V) }
+
+// StrLit is a string literal.
+type StrLit struct {
+	V string
+	P Pos
+}
+
+func (e *StrLit) pos() Pos       { return e.P }
+func (e *StrLit) String() string { return "'" + strings.ReplaceAll(e.V, "'", "''") + "'" }
+
+// DateLit is DATE 'YYYY-MM-DD', optionally shifted by whole months
+// (+/- INTERVAL 'n' MONTH, folded at parse time).
+type DateLit struct {
+	V      string
+	Months int
+	P      Pos
+}
+
+func (e *DateLit) pos() Pos { return e.P }
+func (e *DateLit) String() string {
+	s := "date '" + e.V + "'"
+	switch {
+	case e.Months > 0:
+		s += fmt.Sprintf(" + interval '%d' month", e.Months)
+	case e.Months < 0:
+		s += fmt.Sprintf(" - interval '%d' month", -e.Months)
+	}
+	return s
+}
+
+// BinExpr is a binary operation: arithmetic, comparison, AND, OR.
+type BinExpr struct {
+	Op   string // + - * / = <> < <= > >= and or
+	L, R Expr
+	P    Pos
+}
+
+func (e *BinExpr) pos() Pos { return e.P }
+func (e *BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+}
+
+// NotExpr is NOT e.
+type NotExpr struct {
+	E Expr
+	P Pos
+}
+
+func (e *NotExpr) pos() Pos       { return e.P }
+func (e *NotExpr) String() string { return fmt.Sprintf("(not %s)", e.E) }
+
+// FuncCall is a function application: an aggregate (sum, min, max, avg,
+// count) or the scalar year().
+type FuncCall struct {
+	Name     string
+	Arg      Expr // nil for count(*)
+	Star     bool // count(*)
+	Distinct bool // count(distinct x)
+	P        Pos
+}
+
+func (e *FuncCall) pos() Pos { return e.P }
+func (e *FuncCall) String() string {
+	switch {
+	case e.Star:
+		return e.Name + "(*)"
+	case e.Distinct:
+		return fmt.Sprintf("%s(distinct %s)", e.Name, e.Arg)
+	default:
+		return fmt.Sprintf("%s(%s)", e.Name, e.Arg)
+	}
+}
+
+// LikeExpr is e [NOT] LIKE 'pattern'.
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Not     bool
+	P       Pos
+}
+
+func (e *LikeExpr) pos() Pos { return e.P }
+func (e *LikeExpr) String() string {
+	op := "like"
+	if e.Not {
+		op = "not like"
+	}
+	return fmt.Sprintf("(%s %s '%s')", e.E, op, e.Pattern)
+}
+
+// InExpr is e [NOT] IN (list) over a homogeneous literal list.
+type InExpr struct {
+	E    Expr
+	Strs []string // one of Strs/Ints is set
+	Ints []int64
+	Not  bool
+	P    Pos
+}
+
+func (e *InExpr) pos() Pos { return e.P }
+func (e *InExpr) String() string {
+	var parts []string
+	for _, s := range e.Strs {
+		parts = append(parts, "'"+s+"'")
+	}
+	for _, v := range e.Ints {
+		parts = append(parts, fmt.Sprintf("%d", v))
+	}
+	op := "in"
+	if e.Not {
+		op = "not in"
+	}
+	return fmt.Sprintf("(%s %s (%s))", e.E, op, strings.Join(parts, ", "))
+}
+
+// BetweenExpr is e BETWEEN lo AND hi.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	P         Pos
+}
+
+func (e *BetweenExpr) pos() Pos { return e.P }
+func (e *BetweenExpr) String() string {
+	return fmt.Sprintf("(%s between %s and %s)", e.E, e.Lo, e.Hi)
+}
+
+// CaseExpr is CASE WHEN cond THEN a [ELSE b] END; a missing ELSE defaults
+// to the integer 0.
+type CaseExpr struct {
+	When, Then, Else Expr
+	P                Pos
+}
+
+func (e *CaseExpr) pos() Pos { return e.P }
+func (e *CaseExpr) String() string {
+	return fmt.Sprintf("case when %s then %s else %s end", e.When, e.Then, e.Else)
+}
+
+// String renders the statement in a canonical single-line form (used by the
+// golden parser tests and the REPL's \parse command).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("select ")
+	if s.Star {
+		sb.WriteString("*")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			sb.WriteString(" as " + it.Alias)
+		}
+	}
+	sb.WriteString(" from ")
+	for i, f := range s.From {
+		if i > 0 {
+			sb.WriteString(" join ")
+		}
+		sb.WriteString(f.Table)
+		if f.Alias != f.Table {
+			sb.WriteString(" " + f.Alias)
+		}
+		if f.On != nil {
+			sb.WriteString(" on " + f.On.String())
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" where " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" group by ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.Name)
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" order by ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" desc")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " limit %d", s.Limit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,180 @@
+// Package sql is the text front-end of the engine: a hand-written lexer, a
+// recursive-descent parser for a pragmatic SELECT subset, and a binder that
+// resolves names against the engine catalog and lowers statements onto the
+// logical plan.Node/plan.Expr trees consumed by the Parallel Rewriter. The
+// whole existing pipeline — rewrite rules, Xchg parallelism, MinMax skipping
+// — applies to SQL-born plans unchanged.
+//
+// Supported grammar (keywords are case-insensitive):
+//
+//	SELECT item [, item...]
+//	FROM table [alias] [JOIN table [alias] ON cond [AND cond...]]...
+//	[WHERE pred] [GROUP BY col|alias, ...]
+//	[ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//
+// with comparison/AND/OR/NOT, + - * /, LIKE, IN, BETWEEN, CASE WHEN, date
+// literals (DATE 'YYYY-MM-DD' [+ INTERVAL 'n' MONTH]), YEAR(), and the
+// aggregates sum/min/max/avg/count(*)/count(distinct).
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a 1-based source location.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned front-end error (lexing, parsing or binding).
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: %s: %s", e.Pos, e.Msg) }
+
+func errf(p Pos, format string, args ...any) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+// tokKind enumerates token categories.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tKeyword
+	tInt
+	tFloat
+	tString // single-quoted literal
+	tSymbol // punctuation and operators
+)
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string // keywords lower-cased; symbols canonical
+	pos  Pos
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "join": true, "on": true,
+	"group": true, "by": true, "order": true, "asc": true, "desc": true,
+	"limit": true, "and": true, "or": true, "not": true, "as": true,
+	"in": true, "like": true, "between": true, "case": true, "when": true,
+	"then": true, "else": true, "end": true, "date": true, "interval": true,
+	"month": true, "distinct": true, "inner": true, "explain": true,
+}
+
+// lex tokenizes a statement, reporting the position of any bad input.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for ; n > 0; n-- {
+			if src[i] == '\n' {
+				line, col = line+1, 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-': // line comment
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case isIdentStart(c):
+			p := Pos{line, col}
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			lower := strings.ToLower(word)
+			kind := tIdent
+			if keywords[lower] {
+				kind = tKeyword
+			}
+			toks = append(toks, token{kind, lower, p})
+			adv(j - i)
+		case c >= '0' && c <= '9':
+			p := Pos{line, col}
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			kind := tInt
+			if j < len(src) && src[j] == '.' {
+				kind = tFloat
+				j++
+				for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			toks = append(toks, token{kind, src[i:j], p})
+			adv(j - i)
+		case c == '\'':
+			p := Pos{line, col}
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(src) {
+					return nil, errf(p, "unterminated string literal")
+				}
+				if src[j] == '\'' {
+					if j+1 < len(src) && src[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{tString, sb.String(), p})
+			adv(j + 1 - i)
+		default:
+			p := Pos{line, col}
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				if two == "!=" {
+					two = "<>"
+				}
+				toks = append(toks, token{tSymbol, two, p})
+				adv(2)
+				continue
+			}
+			switch c {
+			case ',', '(', ')', '.', '*', '+', '-', '/', '=', '<', '>', ';':
+				toks = append(toks, token{tSymbol, string(c), p})
+				adv(1)
+			default:
+				return nil, errf(p, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{tEOF, "", Pos{line, col}})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }

@@ -1,0 +1,1176 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+
+	"vectorh/internal/plan"
+	"vectorh/internal/vector"
+)
+
+// Compile parses src and lowers it to a logical plan bound against the
+// catalog. The emitted tree uses only the existing plan.Node/plan.Expr
+// vocabulary, so the Parallel Rewriter, Xchg parallelism and MinMax skipping
+// apply to SQL queries exactly as to hand-built plans.
+func Compile(src string, cat plan.Catalog) (plan.Node, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(stmt, cat)
+}
+
+// Lower binds a parsed statement against the catalog and emits a plan.
+//
+// Lowering shape: per-table scans project only referenced columns;
+// single-table WHERE conjuncts are pushed below the joins (picking up MinMax
+// skip hints for date-range predicates); ON conjuncts of the form
+// left.col = right.col become hash-join keys and the rest residual join
+// predicates; aggregation inserts a pre-projection when GROUP BY targets a
+// select-list alias; and a final projection restores select-list order when
+// it differs from the natural operator output.
+func Lower(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error) {
+	b := &binder{}
+	for _, f := range stmt.From {
+		schema, err := cat.TableSchema(f.Table)
+		if err != nil {
+			return nil, errf(f.Pos, "unknown table %q", f.Table)
+		}
+		for _, t := range b.tables {
+			if t.alias == f.Alias {
+				return nil, errf(f.Pos, "duplicate table alias %q", f.Alias)
+			}
+		}
+		b.tables = append(b.tables, &boundTable{
+			table: f.Table, alias: f.Alias, schema: schema,
+			used: make(map[string]bool),
+		})
+	}
+	return b.lowerStmt(stmt, cat)
+}
+
+// boundTable is one FROM entry with its resolved schema and column usage.
+type boundTable struct {
+	table, alias string
+	schema       vector.Schema
+	used         map[string]bool
+}
+
+type binder struct {
+	tables []*boundTable
+}
+
+// resolve finds the table owning a column reference.
+func (b *binder) resolve(c *ColRef) (int, vector.Field, error) {
+	if c.Table != "" {
+		for i, t := range b.tables {
+			if t.alias == c.Table {
+				f, err := t.schema.Field(c.Name)
+				if err != nil {
+					return 0, vector.Field{}, errf(c.P, "table %q has no column %q", c.Table, c.Name)
+				}
+				return i, f, nil
+			}
+		}
+		return 0, vector.Field{}, errf(c.P, "unknown table alias %q", c.Table)
+	}
+	found := -1
+	var field vector.Field
+	for i, t := range b.tables {
+		if j := t.schema.Index(c.Name); j >= 0 {
+			if found >= 0 {
+				return 0, vector.Field{}, errf(c.P, "ambiguous column %q (in %s and %s)",
+					c.Name, b.tables[found].alias, t.alias)
+			}
+			found, field = i, t.schema[j]
+		}
+	}
+	if found < 0 {
+		return 0, vector.Field{}, errf(c.P, "unknown column %q", c.Name)
+	}
+	return found, field, nil
+}
+
+// bindRefs resolves every column reference in e, marking usage. When
+// allowAggs is false, aggregate calls are rejected.
+func (b *binder) bindRefs(e Expr, allowAggs bool) error {
+	switch x := e.(type) {
+	case *ColRef:
+		ti, f, err := b.resolve(x)
+		if err != nil {
+			return err
+		}
+		// Lowered expressions bind columns by bare name against the join
+		// output, where the first occurrence wins. A qualified reference to
+		// a later duplicate would silently read the wrong table's column —
+		// reject it instead (join keys are exempt: they bind against each
+		// side's own schema).
+		if x.Table != "" {
+			for j := 0; j < ti; j++ {
+				if b.tables[j].schema.Index(x.Name) >= 0 {
+					return errf(x.P, "%s.%s is shadowed by %s.%s in the join output; rename one side with a select alias",
+						x.Table, x.Name, b.tables[j].alias, x.Name)
+				}
+			}
+		}
+		b.tables[ti].used[f.Name] = true
+	case *BinExpr:
+		if err := b.bindRefs(x.L, allowAggs); err != nil {
+			return err
+		}
+		return b.bindRefs(x.R, allowAggs)
+	case *NotExpr:
+		return b.bindRefs(x.E, allowAggs)
+	case *FuncCall:
+		if aggFuncs[x.Name] {
+			if !allowAggs {
+				return errf(x.P, "aggregate %s() is only allowed in the select list", x.Name)
+			}
+			if x.Arg != nil {
+				// no nested aggregates inside an aggregate argument
+				return b.bindRefs(x.Arg, false)
+			}
+			return nil
+		}
+		if x.Arg != nil {
+			return b.bindRefs(x.Arg, allowAggs)
+		}
+	case *LikeExpr:
+		return b.bindRefs(x.E, allowAggs)
+	case *InExpr:
+		return b.bindRefs(x.E, allowAggs)
+	case *BetweenExpr:
+		if err := b.bindRefs(x.E, allowAggs); err != nil {
+			return err
+		}
+		if err := b.bindRefs(x.Lo, allowAggs); err != nil {
+			return err
+		}
+		return b.bindRefs(x.Hi, allowAggs)
+	case *CaseExpr:
+		if err := b.bindRefs(x.When, allowAggs); err != nil {
+			return err
+		}
+		if err := b.bindRefs(x.Then, allowAggs); err != nil {
+			return err
+		}
+		return b.bindRefs(x.Else, allowAggs)
+	}
+	return nil
+}
+
+// bindOn resolves an ON condition. Conjuncts shaped like prospective join
+// keys (col = col across two tables) only mark usage — they bind against
+// each join side's own schema, so the shadowing check of bindRefs does not
+// apply to them.
+func (b *binder) bindOn(on Expr) error {
+	for _, c := range splitAnd(on) {
+		if be, ok := c.(*BinExpr); ok && be.Op == "=" {
+			lc, lok := be.L.(*ColRef)
+			rc, rok := be.R.(*ColRef)
+			if lok && rok {
+				lt, lf, lerr := b.resolve(lc)
+				rt, rf, rerr := b.resolve(rc)
+				if lerr == nil && rerr == nil && lt != rt {
+					b.tables[lt].used[lf.Name] = true
+					b.tables[rt].used[rf.Name] = true
+					continue
+				}
+			}
+		}
+		if err := b.bindRefs(c, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tablesOf returns the set of FROM indices an expression references.
+func (b *binder) tablesOf(e Expr) map[int]bool {
+	out := make(map[int]bool)
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *ColRef:
+			if ti, _, err := b.resolve(x); err == nil {
+				out[ti] = true
+			}
+		case *BinExpr:
+			walk(x.L)
+			walk(x.R)
+		case *NotExpr:
+			walk(x.E)
+		case *FuncCall:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		case *LikeExpr:
+			walk(x.E)
+		case *InExpr:
+			walk(x.E)
+		case *BetweenExpr:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *CaseExpr:
+			walk(x.When)
+			walk(x.Then)
+			walk(x.Else)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// collectAggs returns the aggregate calls in e, in source order.
+func collectAggs(e Expr) []*FuncCall {
+	var out []*FuncCall
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *BinExpr:
+			walk(x.L)
+			walk(x.R)
+		case *NotExpr:
+			walk(x.E)
+		case *FuncCall:
+			if aggFuncs[x.Name] {
+				out = append(out, x)
+				return
+			}
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		case *LikeExpr:
+			walk(x.E)
+		case *InExpr:
+			walk(x.E)
+		case *BetweenExpr:
+			walk(x.E)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *CaseExpr:
+			walk(x.When)
+			walk(x.Then)
+			walk(x.Else)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// splitAnd flattens a conjunction into its conjuncts.
+func splitAnd(e Expr) []Expr {
+	if be, ok := e.(*BinExpr); ok && be.Op == "and" {
+		return append(splitAnd(be.L), splitAnd(be.R)...)
+	}
+	return []Expr{e}
+}
+
+func (b *binder) lowerStmt(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error) {
+	// ---- strict name resolution + column-usage collection ----
+	if stmt.Star {
+		if len(stmt.GroupBy) > 0 {
+			return nil, errf(stmt.From[0].Pos, "SELECT * cannot be combined with GROUP BY")
+		}
+		for _, t := range b.tables {
+			for _, f := range t.schema {
+				t.used[f.Name] = true
+			}
+		}
+	}
+	for _, it := range stmt.Items {
+		if err := b.bindRefs(it.Expr, true); err != nil {
+			return nil, err
+		}
+	}
+	for i, f := range stmt.From {
+		if i == 0 {
+			continue
+		}
+		if err := b.bindOn(f.On); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Where != nil {
+		if err := b.bindRefs(stmt.Where, false); err != nil {
+			return nil, err
+		}
+	}
+
+	aliases := make(map[string]SelectItem)
+	for _, it := range stmt.Items {
+		if it.Alias != "" {
+			aliases[it.Alias] = it
+		}
+	}
+	// Group items are either source columns or select-list aliases.
+	var groups []groupCol
+	for _, g := range stmt.GroupBy {
+		ref := &ColRef{Name: g.Name, P: g.Pos}
+		if ti, f, err := b.resolve(ref); err == nil {
+			b.tables[ti].used[f.Name] = true
+			groups = append(groups, groupCol{name: g.Name, fromCol: true})
+		} else if _, ok := aliases[g.Name]; ok {
+			groups = append(groups, groupCol{name: g.Name, fromCol: false})
+		} else {
+			return nil, errf(g.Pos, "GROUP BY %q is neither a column nor a select alias", g.Name)
+		}
+	}
+
+	// ---- WHERE classification: per-table pushdown vs residual ----
+	pushed := make([][]Expr, len(b.tables))
+	var residual []Expr
+	if stmt.Where != nil {
+		for _, c := range splitAnd(stmt.Where) {
+			ts := b.tablesOf(c)
+			if len(ts) == 1 {
+				for ti := range ts {
+					pushed[ti] = append(pushed[ti], c)
+				}
+			} else {
+				residual = append(residual, c)
+			}
+		}
+	}
+
+	// ---- per-table scans with pruned columns and pushed filters ----
+	srcs := make([]plan.Node, len(b.tables))
+	schemas := make([]vector.Schema, len(b.tables))
+	for i, t := range b.tables {
+		var cols []string
+		var ps vector.Schema
+		for _, f := range t.schema {
+			if t.used[f.Name] {
+				cols = append(cols, f.Name)
+				ps = append(ps, f)
+			}
+		}
+		if len(cols) == 0 { // e.g. SELECT count(*): scan one narrow column
+			cols = []string{t.schema[0].Name}
+			ps = vector.Schema{t.schema[0]}
+		}
+		var node plan.Node = plan.Scan(t.table, cols...)
+		if len(pushed[i]) > 0 {
+			pred, err := b.lowerConj(ps, pushed[i])
+			if err != nil {
+				return nil, err
+			}
+			f := plan.Filter(node, pred)
+			if col, lo, hi, ok := deriveSkip(ps, pushed[i]); ok {
+				f.Skip(col, lo, hi)
+			}
+			node = f
+		}
+		srcs[i] = node
+		schemas[i] = ps
+	}
+
+	// ---- join chain: equality conjuncts become keys, rest residual ----
+	cur := srcs[0]
+	curSchema := schemas[0]
+	inLeft := map[int]bool{0: true}
+	for i := 1; i < len(b.tables); i++ {
+		var lKeys, rKeys []string
+		var rest []Expr
+		for _, c := range splitAnd(stmt.From[i].On) {
+			if lk, rk, ok := b.joinKey(c, inLeft, i); ok {
+				lKeys = append(lKeys, lk)
+				rKeys = append(rKeys, rk)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		if len(lKeys) == 0 {
+			return nil, errf(stmt.From[i].Pos,
+				"join with %q needs at least one equality condition between the joined tables", b.tables[i].alias)
+		}
+		join := plan.Join(plan.InnerJoin, cur, srcs[i], lKeys, rKeys)
+		curSchema = append(curSchema.Clone(), schemas[i]...)
+		if len(rest) > 0 {
+			pred, err := b.lowerConj(curSchema, rest)
+			if err != nil {
+				return nil, err
+			}
+			join.On(pred)
+		}
+		cur = join
+		inLeft[i] = true
+	}
+
+	// ---- residual WHERE above the joins ----
+	if len(residual) > 0 {
+		pred, err := b.lowerConj(curSchema, residual)
+		if err != nil {
+			return nil, err
+		}
+		cur = plan.Filter(cur, pred)
+	}
+
+	// ---- aggregation ----
+	var hasAgg bool
+	for _, it := range stmt.Items {
+		if len(collectAggs(it.Expr)) > 0 {
+			hasAgg = true
+		}
+	}
+	node := cur
+	var aggByText map[string]string
+	if hasAgg || len(groups) > 0 {
+		var err error
+		if node, aggByText, err = b.lowerAggregate(stmt, cat, cur, curSchema, groups, aliases); err != nil {
+			return nil, err
+		}
+	} else if !stmt.Star {
+		items := make([]postItem, len(stmt.Items))
+		for i, it := range stmt.Items {
+			e, err := b.lowerExpr(curSchema, it.Expr, true)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = postItem{name: outName(it), ex: e}
+			if c, ok := it.Expr.(*ColRef); ok && it.Alias == "" {
+				items[i].bare = c.Name
+			}
+		}
+		node = project(cur, curSchema, items)
+	}
+
+	// ---- ORDER BY / LIMIT over the output schema ----
+	outSchema, err := node.Schema(cat)
+	if err != nil {
+		return nil, err
+	}
+	var keys []plan.OrderKey
+	for _, o := range stmt.OrderBy {
+		e := stripQualifiers(o.Expr)
+		// Standard SQL ordinal: ORDER BY n sorts by the n-th output column.
+		if il, ok := e.(*IntLit); ok {
+			if il.V < 1 || il.V > int64(len(outSchema)) {
+				return nil, errf(il.P, "ORDER BY position %d is out of range (1..%d)", il.V, len(outSchema))
+			}
+			keys = append(keys, plan.OrderKey{Expr: plan.Col(outSchema[il.V-1].Name), Desc: o.Desc})
+			continue
+		}
+		// Aggregates in ORDER BY refer to their select-list output columns.
+		e, err := rewriteAggsText(e, aggByText)
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := e.(*ColRef); ok {
+			dup := 0
+			for _, f := range outSchema {
+				if f.Name == c.Name {
+					dup++
+				}
+			}
+			if dup > 1 {
+				return nil, errf(c.P, "ORDER BY %q is ambiguous in the output columns", c.Name)
+			}
+		}
+		le, err := b.lowerExpr(outSchema, e, true)
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, plan.OrderKey{Expr: le, Desc: o.Desc})
+	}
+	switch {
+	case len(keys) > 0 && stmt.Limit >= 0:
+		return plan.Top(node, stmt.Limit, keys...), nil
+	case len(keys) > 0:
+		return plan.OrderBy(node, keys...), nil
+	case stmt.Limit >= 0:
+		return plan.Limit(node, stmt.Limit), nil
+	}
+	return node, nil
+}
+
+// joinKey recognizes an ON conjunct of the form left.col = right.col (either
+// orientation) connecting the accumulated left side with table ri.
+func (b *binder) joinKey(c Expr, inLeft map[int]bool, ri int) (lk, rk string, ok bool) {
+	be, isBin := c.(*BinExpr)
+	if !isBin || be.Op != "=" {
+		return "", "", false
+	}
+	lc, lok := be.L.(*ColRef)
+	rc, rok := be.R.(*ColRef)
+	if !lok || !rok {
+		return "", "", false
+	}
+	lt, lf, lerr := b.resolve(lc)
+	rt, rf, rerr := b.resolve(rc)
+	if lerr != nil || rerr != nil {
+		return "", "", false
+	}
+	switch {
+	case inLeft[lt] && rt == ri:
+		return lf.Name, rf.Name, true
+	case inLeft[rt] && lt == ri:
+		return rf.Name, lf.Name, true
+	}
+	return "", "", false
+}
+
+// postItem is one output projection entry.
+type postItem struct {
+	name string
+	ex   plan.Expr
+	bare string // non-empty when the item is a pass-through bare column
+}
+
+// project emits a ProjectNode unless the items are exactly the child schema.
+func project(child plan.Node, childSchema vector.Schema, items []postItem) plan.Node {
+	if len(items) == len(childSchema) {
+		same := true
+		for i, it := range items {
+			if it.bare == "" || it.bare != childSchema[i].Name || it.name != childSchema[i].Name {
+				same = false
+				break
+			}
+		}
+		if same {
+			return child
+		}
+	}
+	exprs := make([]plan.NamedExpr, len(items))
+	for i, it := range items {
+		exprs[i] = plan.As(it.name, it.ex)
+	}
+	return plan.Project(child, exprs...)
+}
+
+// outName picks the output column name of a select item.
+func outName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if c, ok := it.Expr.(*ColRef); ok {
+		return c.Name
+	}
+	return it.Expr.String()
+}
+
+// groupCol is one GROUP BY target: a source column or a select-list alias.
+type groupCol struct {
+	name    string
+	fromCol bool
+}
+
+// lowerAggregate builds [pre-projection →] Aggregate [→ post-projection].
+// A pre-projection is emitted only when GROUP BY targets computed
+// select-list aliases (the shape hand-built queries like TPC-H Q7–Q9 use);
+// otherwise aggregation runs directly over the joined/filtered source with
+// aggregate arguments as inline expressions. A post-projection restores
+// select-list order when it differs from the aggregate's natural
+// group-columns-then-aggregates output.
+func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Node,
+	curSchema vector.Schema, groups []groupCol, aliases map[string]SelectItem) (plan.Node, map[string]string, error) {
+	needPre := false
+	groupSet := make(map[string]bool, len(groups))
+	for _, g := range groups {
+		if !g.fromCol {
+			needPre = true
+		}
+		groupSet[g.name] = true
+	}
+
+	// Non-aggregated column refs in the select list must be group columns.
+	for _, it := range stmt.Items {
+		if it.Alias != "" && groupSet[it.Alias] && len(collectAggs(it.Expr)) == 0 {
+			continue // this item *is* a computed group expression
+		}
+		if err := checkGrouped(it.Expr, groupSet); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Name every aggregate call, in select-list order.
+	type aggInfo struct {
+		call *FuncCall
+		name string
+	}
+	var aggs []aggInfo
+	aggName := make(map[*FuncCall]string)
+	aggByText := make(map[string]string)
+	taken := make(map[string]bool)
+	for _, g := range groups {
+		taken[g.name] = true
+	}
+	for _, it := range stmt.Items {
+		for _, c := range collectAggs(it.Expr) {
+			name := c.String()
+			if it.Alias != "" && Expr(c) == it.Expr {
+				name = it.Alias
+			}
+			for taken[name] {
+				name += "_"
+			}
+			taken[name] = true
+			aggs = append(aggs, aggInfo{c, name})
+			aggName[c] = name
+			aggByText[c.String()] = name
+		}
+	}
+
+	groupNames := make([]string, len(groups))
+	for i, g := range groups {
+		groupNames[i] = g.name
+	}
+
+	child := cur
+	items := make([]plan.AggItem, 0, len(aggs))
+	if needPre {
+		var pre []plan.NamedExpr
+		for _, g := range groups {
+			if g.fromCol {
+				pre = append(pre, plan.As(g.name, plan.Col(g.name)))
+				continue
+			}
+			e, err := b.lowerExpr(curSchema, aliases[g.name].Expr, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			pre = append(pre, plan.As(g.name, e))
+		}
+		for i, a := range aggs {
+			if a.call.Star {
+				items = append(items, plan.AStar(a.name))
+				continue
+			}
+			fn, err := aggFuncName(a.call)
+			if err != nil {
+				return nil, nil, err
+			}
+			argName := fmt.Sprintf("__arg%d", i)
+			e, err := b.lowerExpr(curSchema, a.call.Arg, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			pre = append(pre, plan.As(argName, e))
+			items = append(items, plan.A(a.name, fn, plan.Col(argName)))
+		}
+		child = plan.Project(cur, pre...)
+	} else {
+		for _, a := range aggs {
+			if a.call.Star {
+				items = append(items, plan.AStar(a.name))
+				continue
+			}
+			fn, err := aggFuncName(a.call)
+			if err != nil {
+				return nil, nil, err
+			}
+			e, err := b.lowerExpr(curSchema, a.call.Arg, false)
+			if err != nil {
+				return nil, nil, err
+			}
+			items = append(items, plan.A(a.name, fn, e))
+		}
+	}
+	aggNode := plan.Aggregate(child, groupNames, items...)
+	aggSchema, err := aggNode.Schema(cat)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Post-projection in select-list order.
+	post := make([]postItem, len(stmt.Items))
+	for i, it := range stmt.Items {
+		name := outName(it)
+		switch x := it.Expr.(type) {
+		case *ColRef:
+			if groupSet[x.Name] && it.Alias == "" {
+				post[i] = postItem{name: x.Name, ex: plan.Col(x.Name), bare: x.Name}
+				continue
+			}
+		case *FuncCall:
+			if n, isAgg := aggName[x]; isAgg {
+				post[i] = postItem{name: n, ex: plan.Col(n), bare: n}
+				continue
+			}
+		}
+		if it.Alias != "" && groupSet[it.Alias] && len(collectAggs(it.Expr)) == 0 {
+			// computed group expression: already materialized under its alias
+			post[i] = postItem{name: it.Alias, ex: plan.Col(it.Alias), bare: it.Alias}
+			continue
+		}
+		// general expression over aggregate results (e.g. 100*sum(a)/sum(b))
+		e, err := b.lowerExpr(aggSchema, rewriteAggs(it.Expr, aggName), true)
+		if err != nil {
+			return nil, nil, err
+		}
+		post[i] = postItem{name: name, ex: e}
+	}
+	return project(aggNode, aggSchema, post), aggByText, nil
+}
+
+// rewriteAggsText replaces aggregate calls in an ORDER BY expression with
+// references to the matching select-list aggregate's output column (matched
+// by canonical text, since ORDER BY re-parses the call as a distinct AST
+// node).
+func rewriteAggsText(e Expr, aggByText map[string]string) (Expr, error) {
+	switch x := e.(type) {
+	case *FuncCall:
+		if aggFuncs[x.Name] {
+			if n, ok := aggByText[x.String()]; ok {
+				return &ColRef{Name: n, P: x.P}, nil
+			}
+			return nil, errf(x.P, "aggregate %s in ORDER BY must also appear in the select list", x)
+		}
+	case *BinExpr:
+		l, err := rewriteAggsText(x.L, aggByText)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteAggsText(x.R, aggByText)
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: x.Op, L: l, R: r, P: x.P}, nil
+	}
+	return e, nil
+}
+
+// checkGrouped verifies every column ref outside aggregate arguments names a
+// group column.
+func checkGrouped(e Expr, groupSet map[string]bool) error {
+	switch x := e.(type) {
+	case *ColRef:
+		if !groupSet[x.Name] {
+			return errf(x.P, "column %q must appear in GROUP BY or inside an aggregate", x.Name)
+		}
+	case *BinExpr:
+		if err := checkGrouped(x.L, groupSet); err != nil {
+			return err
+		}
+		return checkGrouped(x.R, groupSet)
+	case *NotExpr:
+		return checkGrouped(x.E, groupSet)
+	case *FuncCall:
+		if aggFuncs[x.Name] {
+			return nil // aggregate arguments may use any source column
+		}
+		if x.Arg != nil {
+			return checkGrouped(x.Arg, groupSet)
+		}
+	case *LikeExpr:
+		return checkGrouped(x.E, groupSet)
+	case *InExpr:
+		return checkGrouped(x.E, groupSet)
+	case *BetweenExpr:
+		if err := checkGrouped(x.E, groupSet); err != nil {
+			return err
+		}
+		if err := checkGrouped(x.Lo, groupSet); err != nil {
+			return err
+		}
+		return checkGrouped(x.Hi, groupSet)
+	case *CaseExpr:
+		if err := checkGrouped(x.When, groupSet); err != nil {
+			return err
+		}
+		if err := checkGrouped(x.Then, groupSet); err != nil {
+			return err
+		}
+		return checkGrouped(x.Else, groupSet)
+	}
+	return nil
+}
+
+// rewriteAggs replaces aggregate calls with references to their output
+// columns, leaving every other node untouched.
+func rewriteAggs(e Expr, aggName map[*FuncCall]string) Expr {
+	switch x := e.(type) {
+	case *FuncCall:
+		if n, ok := aggName[x]; ok {
+			return &ColRef{Name: n, P: x.P}
+		}
+		if x.Arg != nil {
+			return &FuncCall{Name: x.Name, Arg: rewriteAggs(x.Arg, aggName), P: x.P}
+		}
+	case *BinExpr:
+		return &BinExpr{Op: x.Op, L: rewriteAggs(x.L, aggName), R: rewriteAggs(x.R, aggName), P: x.P}
+	case *NotExpr:
+		return &NotExpr{E: rewriteAggs(x.E, aggName), P: x.P}
+	case *LikeExpr:
+		return &LikeExpr{E: rewriteAggs(x.E, aggName), Pattern: x.Pattern, Not: x.Not, P: x.P}
+	case *InExpr:
+		return &InExpr{E: rewriteAggs(x.E, aggName), Strs: x.Strs, Ints: x.Ints, Not: x.Not, P: x.P}
+	case *BetweenExpr:
+		return &BetweenExpr{E: rewriteAggs(x.E, aggName), Lo: rewriteAggs(x.Lo, aggName),
+			Hi: rewriteAggs(x.Hi, aggName), P: x.P}
+	case *CaseExpr:
+		return &CaseExpr{When: rewriteAggs(x.When, aggName), Then: rewriteAggs(x.Then, aggName),
+			Else: rewriteAggs(x.Else, aggName), P: x.P}
+	}
+	return e
+}
+
+// aggFuncName maps a parsed aggregate call to the logical function.
+func aggFuncName(c *FuncCall) (plan.AggFuncName, error) {
+	switch c.Name {
+	case "sum":
+		return plan.Sum, nil
+	case "min":
+		return plan.Min, nil
+	case "max":
+		return plan.Max, nil
+	case "avg":
+		return plan.Avg, nil
+	case "count":
+		if c.Distinct {
+			return plan.CountDistinct, nil
+		}
+		return plan.Count, nil
+	}
+	return "", errf(c.P, "unknown aggregate %q", c.Name)
+}
+
+// lowerConj lowers a conjunct list into one predicate.
+func (b *binder) lowerConj(s vector.Schema, conj []Expr) (plan.Expr, error) {
+	var out plan.Expr
+	for i, c := range conj {
+		e, err := b.lowerExpr(s, c, false)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		if i == 0 {
+			out = e
+		} else {
+			out = plan.And(out, e)
+		}
+	}
+	return out, nil
+}
+
+// deriveSkip extracts a MinMax skip hint from pushed conjuncts: the first
+// date column constrained by literal range predicates.
+func deriveSkip(s vector.Schema, conj []Expr) (col string, lo, hi int64, ok bool) {
+	bounds := make(map[string][2]int64)
+	var order []string
+	update := func(name string, nlo, nhi int64) {
+		bd, seen := bounds[name]
+		if !seen {
+			bd = [2]int64{math.MinInt64, math.MaxInt64}
+			order = append(order, name)
+		}
+		if nlo > bd[0] {
+			bd[0] = nlo
+		}
+		if nhi < bd[1] {
+			bd[1] = nhi
+		}
+		bounds[name] = bd
+	}
+	dateCol := func(e Expr) (string, bool) {
+		c, isCol := e.(*ColRef)
+		if !isCol {
+			return "", false
+		}
+		i := s.Index(c.Name)
+		if i < 0 || s[i].Type != vector.TDate {
+			return "", false
+		}
+		return c.Name, true
+	}
+	dateVal := func(e Expr) (int64, bool) {
+		d, isDate := e.(*DateLit)
+		if !isDate {
+			return 0, false
+		}
+		return int64(vector.AddMonths(vector.MustDate(d.V), d.Months)), true
+	}
+	for _, c := range conj {
+		switch x := c.(type) {
+		case *BinExpr:
+			name, okc := dateCol(x.L)
+			v, okv := dateVal(x.R)
+			op := x.Op
+			if !okc || !okv {
+				// reversed: literal op column
+				if name, okc = dateCol(x.R); !okc {
+					continue
+				}
+				if v, okv = dateVal(x.L); !okv {
+					continue
+				}
+				op = flipCmp(op)
+			}
+			switch op {
+			case ">=":
+				update(name, v, math.MaxInt64)
+			case ">":
+				update(name, v+1, math.MaxInt64)
+			case "<=":
+				update(name, math.MinInt64, v)
+			case "<":
+				update(name, math.MinInt64, v-1)
+			case "=":
+				update(name, v, v)
+			}
+		case *BetweenExpr:
+			name, okc := dateCol(x.E)
+			if !okc {
+				continue
+			}
+			lov, okl := dateVal(x.Lo)
+			hiv, okh := dateVal(x.Hi)
+			if okl {
+				update(name, lov, math.MaxInt64)
+			}
+			if okh {
+				update(name, math.MinInt64, hiv)
+			}
+		}
+	}
+	for _, name := range order {
+		bd := bounds[name]
+		if bd[0] != math.MinInt64 || bd[1] != math.MaxInt64 {
+			return name, bd[0], bd[1], true
+		}
+	}
+	return "", 0, 0, false
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// lowerExpr lowers a scalar AST expression over a concrete schema. top marks
+// projection/group positions where a bare decimal column stays raw; anywhere
+// nested, decimal columns convert to float64 (SQL decimal semantics), which
+// mirrors the plan.Dec usage of the hand-built queries.
+func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error) {
+	switch x := e.(type) {
+	case *ColRef:
+		i := s.Index(x.Name)
+		if i < 0 {
+			return plan.Expr{}, errf(x.P, "unknown column %q", x.Name)
+		}
+		if s[i].Type == vector.TDecimal && !top {
+			return plan.Dec(x.Name), nil
+		}
+		return plan.Col(x.Name), nil
+	case *IntLit:
+		return plan.Int(x.V), nil
+	case *FloatLit:
+		return plan.Float(x.V), nil
+	case *StrLit:
+		return plan.Str(x.V), nil
+	case *DateLit:
+		if x.Months != 0 {
+			return plan.DateOffset(x.V, x.Months), nil
+		}
+		return plan.Date(x.V), nil
+	case *BinExpr:
+		if x.Op == "and" || x.Op == "or" {
+			le, err := b.lowerExpr(s, x.L, false)
+			if err != nil {
+				return plan.Expr{}, err
+			}
+			re, err := b.lowerExpr(s, x.R, false)
+			if err != nil {
+				return plan.Expr{}, err
+			}
+			if x.Op == "and" {
+				return plan.And(le, re), nil
+			}
+			return plan.Or(le, re), nil
+		}
+		le, re, lt, rt, err := b.lowerPair(s, x.L, x.R)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		// Reject type mismatches the execution layer would only hit at
+		// runtime, with a source position instead.
+		lStr, rStr := lt.Kind == vector.String, rt.Kind == vector.String
+		switch x.Op {
+		case "+", "-", "*", "/":
+			if lStr || rStr {
+				return plan.Expr{}, errf(x.P, "operator %q is not defined on strings", x.Op)
+			}
+		default:
+			if lStr != rStr {
+				return plan.Expr{}, errf(x.P, "cannot compare %s with %s", lt, rt)
+			}
+		}
+		switch x.Op {
+		case "+":
+			return plan.Add(le, re), nil
+		case "-":
+			return plan.Sub(le, re), nil
+		case "*":
+			return plan.Mul(le, re), nil
+		case "/":
+			return plan.Div(le, re), nil
+		case "=":
+			return plan.EQ(le, re), nil
+		case "<>":
+			return plan.NE(le, re), nil
+		case "<":
+			return plan.LT(le, re), nil
+		case "<=":
+			return plan.LE(le, re), nil
+		case ">":
+			return plan.GT(le, re), nil
+		case ">=":
+			return plan.GE(le, re), nil
+		}
+		return plan.Expr{}, errf(x.P, "unsupported operator %q", x.Op)
+	case *NotExpr:
+		ce, err := b.lowerExpr(s, x.E, false)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		return plan.Not(ce), nil
+	case *FuncCall:
+		if aggFuncs[x.Name] {
+			return plan.Expr{}, errf(x.P, "aggregate %s() is not allowed here", x.Name)
+		}
+		// year()
+		ce, err := b.lowerExpr(s, x.Arg, false)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		return plan.Year(ce), nil
+	case *LikeExpr:
+		ce, err := b.lowerExpr(s, x.E, false)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		if x.Not {
+			return plan.NotLike(ce, x.Pattern), nil
+		}
+		return plan.Like(ce, x.Pattern), nil
+	case *InExpr:
+		ce, err := b.lowerExpr(s, x.E, false)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		ct, cterr := ce.Type(s)
+		var in plan.Expr
+		switch {
+		case len(x.Strs) > 0:
+			if cterr == nil && ct.Kind != vector.String {
+				return plan.Expr{}, errf(x.P, "IN list of strings against %s", ct)
+			}
+			in = plan.InStr(ce, x.Strs...)
+		case cterr == nil && ct.Kind == vector.String:
+			return plan.Expr{}, errf(x.P, "IN list of integers against %s", ct)
+		case cterr == nil && ct.Kind == vector.Float64:
+			// Float subject (e.g. a decimal column): expand to an equality
+			// chain, matching the promotion `= literal` gets.
+			for i, v := range x.Ints {
+				eq := plan.EQ(ce, plan.Float(float64(v)))
+				if i == 0 {
+					in = eq
+				} else {
+					in = plan.Or(in, eq)
+				}
+			}
+		default:
+			in = plan.InInt(ce, x.Ints...)
+		}
+		if x.Not {
+			return plan.Not(in), nil
+		}
+		return in, nil
+	case *BetweenExpr:
+		ce, err := b.lowerExpr(s, x.E, false)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		lo, err := b.adaptTo(s, ce, x.Lo)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		hi, err := b.adaptTo(s, ce, x.Hi)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		return plan.Between(ce, lo, hi), nil
+	case *CaseExpr:
+		we, err := b.lowerExpr(s, x.When, false)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		te, ee, tt, et, err := b.lowerPair(s, x.Then, x.Else)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		if (tt.Kind == vector.String) != (et.Kind == vector.String) {
+			return plan.Expr{}, errf(x.P, "CASE branches mix %s and %s", tt, et)
+		}
+		return plan.Case(we, te, ee), nil
+	}
+	return plan.Expr{}, errf(e.pos(), "unsupported expression %s", e)
+}
+
+// lowerPair lowers both operands of a binary construct, promoting an integer
+// literal to float when the other side is float-typed (so `l_quantity < 24`
+// over a decimal column compares as floats, matching the builder queries).
+// The inferred operand types are returned for the caller's checks.
+func (b *binder) lowerPair(s vector.Schema, lAst, rAst Expr) (plan.Expr, plan.Expr, vector.Type, vector.Type, error) {
+	var lt, rt vector.Type
+	le, err := b.lowerExpr(s, lAst, false)
+	if err != nil {
+		return plan.Expr{}, plan.Expr{}, lt, rt, err
+	}
+	re, err := b.lowerExpr(s, rAst, false)
+	if err != nil {
+		return plan.Expr{}, plan.Expr{}, lt, rt, err
+	}
+	lt, lterr := le.Type(s)
+	rt, rterr := re.Type(s)
+	if lterr == nil && rterr == nil {
+		if lt.Kind == vector.Float64 && rt.Kind != vector.Float64 {
+			if il, ok := rAst.(*IntLit); ok {
+				re = plan.Float(float64(il.V))
+				rt = vector.TFloat64
+			}
+		}
+		if rt.Kind == vector.Float64 && lt.Kind != vector.Float64 {
+			if il, ok := lAst.(*IntLit); ok {
+				le = plan.Float(float64(il.V))
+				lt = vector.TFloat64
+			}
+		}
+	}
+	return le, re, lt, rt, nil
+}
+
+// adaptTo lowers a literal bound, promoting integers to float when the
+// subject expression is float-typed.
+func (b *binder) adaptTo(s vector.Schema, subject plan.Expr, ast Expr) (plan.Expr, error) {
+	e, err := b.lowerExpr(s, ast, false)
+	if err != nil {
+		return plan.Expr{}, err
+	}
+	st, serr := subject.Type(s)
+	if serr == nil && st.Kind == vector.Float64 {
+		if il, ok := ast.(*IntLit); ok {
+			return plan.Float(float64(il.V)), nil
+		}
+	}
+	return e, nil
+}
+
+// stripQualifiers rewrites qualified column refs to bare ones (used for
+// ORDER BY, which binds against the output schema where qualifiers are
+// gone).
+func stripQualifiers(e Expr) Expr {
+	if c, ok := e.(*ColRef); ok && c.Table != "" {
+		return &ColRef{Name: c.Name, P: c.P}
+	}
+	return e
+}

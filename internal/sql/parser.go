@@ -1,0 +1,561 @@
+package sql
+
+import (
+	"strconv"
+	"strings"
+
+	"vectorh/internal/vector"
+)
+
+// aggFuncs are the aggregate function names the parser recognizes.
+var aggFuncs = map[string]bool{
+	"sum": true, "min": true, "max": true, "avg": true, "count": true,
+}
+
+// Parse parses one SELECT statement (an optional trailing ';' is allowed).
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().text == ";" {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tEOF {
+		return nil, errf(t.pos, "unexpected %q after end of statement", t.text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token  { return p.toks[p.i] }
+func (p *parser) peek2() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
+func (p *parser) next() token  { t := p.toks[p.i]; p.i++; return t }
+
+// accept consumes the next token when it is the given keyword or symbol.
+func (p *parser) accept(text string) bool {
+	if t := p.peek(); (t.kind == tKeyword || t.kind == tSymbol) && t.text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (token, error) {
+	t := p.peek()
+	if (t.kind == tKeyword || t.kind == tSymbol) && t.text == text {
+		return p.next(), nil
+	}
+	got := t.text
+	if t.kind == tEOF {
+		got = "end of input"
+	}
+	return token{}, errf(t.pos, "expected %q, found %q", text, got)
+}
+
+func (p *parser) expectIdent(what string) (token, error) {
+	t := p.peek()
+	if t.kind != tIdent {
+		got := t.text
+		if t.kind == tEOF {
+			got = "end of input"
+		}
+		return token{}, errf(t.pos, "expected %s, found %q", what, got)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+
+	// Projection list.
+	if p.accept("*") {
+		stmt.Star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept("as") {
+				t, err := p.expectIdent("alias")
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = t.text
+			} else if t := p.peek(); t.kind == tIdent {
+				// bare alias: SELECT expr name
+				item.Alias = p.next().text
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+
+	// FROM with a chain of inner joins.
+	if _, err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	first, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = append(stmt.From, first)
+	for {
+		p.accept("inner")
+		if !p.accept("join") {
+			break
+		}
+		f, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("on"); err != nil {
+			return nil, err
+		}
+		if f.On, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, f)
+	}
+
+	if p.accept("where") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+
+	if p.accept("group") {
+		if _, err := p.expect("by"); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.expectIdent("group-by column")
+			if err != nil {
+				return nil, err
+			}
+			name := t.text
+			if p.accept(".") { // qualified: keep the column part only
+				c, err := p.expectIdent("column")
+				if err != nil {
+					return nil, err
+				}
+				name = c.text
+			}
+			stmt.GroupBy = append(stmt.GroupBy, GroupItem{Name: name, Pos: t.pos})
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+
+	if p.accept("order") {
+		if _, err := p.expect("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			o := OrderItem{Expr: e}
+			if p.accept("desc") {
+				o.Desc = true
+			} else {
+				p.accept("asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, o)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+
+	if p.accept("limit") {
+		t := p.peek()
+		if t.kind != tInt {
+			return nil, errf(t.pos, "expected integer LIMIT, found %q", t.text)
+		}
+		p.next()
+		n, _ := strconv.ParseInt(t.text, 10, 64)
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseTableRef() (FromItem, error) {
+	t, err := p.expectIdent("table name")
+	if err != nil {
+		return FromItem{}, err
+	}
+	f := FromItem{Table: t.text, Alias: t.text, Pos: t.pos}
+	if a := p.peek(); a.kind == tIdent {
+		f.Alias = p.next().text
+	}
+	return f, nil
+}
+
+// Precedence climbing: OR < AND < NOT < predicate (comparison, LIKE, IN,
+// BETWEEN) < additive < multiplicative < primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if !p.accept("or") {
+			return l, nil
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "or", L: l, R: r, P: t.pos}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if !p.accept("and") {
+			return l, nil
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "and", L: l, R: r, P: t.pos}
+	}
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if t := p.peek(); t.kind == tKeyword && t.text == "not" {
+		p.next()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e, P: t.pos}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tSymbol && isCmp(t.text):
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Op: t.text, L: l, R: r, P: t.pos}, nil
+	case t.kind == tKeyword && (t.text == "like" || t.text == "in" || t.text == "between"):
+		return p.parsePredicateTail(l, false)
+	case t.kind == tKeyword && t.text == "not":
+		nt := p.peek2()
+		if nt.kind == tKeyword && (nt.text == "like" || nt.text == "in") {
+			p.next() // not
+			return p.parsePredicateTail(l, true)
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePredicateTail(l Expr, negated bool) (Expr, error) {
+	t := p.next() // like | in | between
+	switch t.text {
+	case "like":
+		s := p.peek()
+		if s.kind != tString {
+			return nil, errf(s.pos, "expected string pattern after LIKE, found %q", s.text)
+		}
+		p.next()
+		return &LikeExpr{E: l, Pattern: s.text, Not: negated, P: t.pos}, nil
+	case "in":
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		in := &InExpr{E: l, Not: negated, P: t.pos}
+		for {
+			v := p.next()
+			switch v.kind {
+			case tString:
+				in.Strs = append(in.Strs, v.text)
+			case tInt:
+				n, _ := strconv.ParseInt(v.text, 10, 64)
+				in.Ints = append(in.Ints, n)
+			default:
+				return nil, errf(v.pos, "expected literal in IN list, found %q", v.text)
+			}
+			if !p.accept(",") {
+				break
+			}
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if len(in.Strs) > 0 && len(in.Ints) > 0 {
+			return nil, errf(t.pos, "IN list mixes string and integer literals")
+		}
+		return in, nil
+	default: // between
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, P: t.pos}, nil
+	}
+}
+
+func isCmp(s string) bool {
+	switch s {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tSymbol || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.text, L: l, R: r, P: t.pos}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tSymbol || (t.text != "*" && t.text != "/") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: t.text, L: l, R: r, P: t.pos}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tSymbol && t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tSymbol && t.text == "-": // unary minus on numeric literals
+		p.next()
+		v := p.peek()
+		switch v.kind {
+		case tInt:
+			p.next()
+			n, _ := strconv.ParseInt(v.text, 10, 64)
+			return &IntLit{V: -n, P: t.pos}, nil
+		case tFloat:
+			p.next()
+			f, _ := strconv.ParseFloat(v.text, 64)
+			return &FloatLit{V: -f, P: t.pos}, nil
+		}
+		return nil, errf(v.pos, "expected numeric literal after unary '-', found %q", v.text)
+	case t.kind == tInt:
+		p.next()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, errf(t.pos, "bad integer %q", t.text)
+		}
+		return &IntLit{V: n, P: t.pos}, nil
+	case t.kind == tFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errf(t.pos, "bad number %q", t.text)
+		}
+		return &FloatLit{V: f, P: t.pos}, nil
+	case t.kind == tString:
+		p.next()
+		return &StrLit{V: t.text, P: t.pos}, nil
+	case t.kind == tKeyword && t.text == "date":
+		return p.parseDateLit()
+	case t.kind == tKeyword && t.text == "case":
+		return p.parseCase()
+	case t.kind == tIdent:
+		return p.parseIdentExpr()
+	}
+	got := t.text
+	if t.kind == tEOF {
+		got = "end of input"
+	}
+	return nil, errf(t.pos, "expected expression, found %q", got)
+}
+
+// parseDateLit parses DATE 'YYYY-MM-DD' [ (+|-) INTERVAL 'n' MONTH ].
+func (p *parser) parseDateLit() (Expr, error) {
+	t := p.next() // date
+	s := p.peek()
+	if s.kind != tString {
+		return nil, errf(s.pos, "expected 'YYYY-MM-DD' after DATE, found %q", s.text)
+	}
+	p.next()
+	if _, err := vector.ParseDate(s.text); err != nil {
+		return nil, errf(s.pos, "bad date literal %q", s.text)
+	}
+	d := &DateLit{V: s.text, P: t.pos}
+	// Interval arithmetic is folded into the literal at plan-build time,
+	// mirroring plan.DateOffset.
+	sign := 0
+	if n := p.peek(); n.kind == tSymbol && (n.text == "+" || n.text == "-") {
+		if nn := p.peek2(); nn.kind == tKeyword && nn.text == "interval" {
+			sign = 1
+			if n.text == "-" {
+				sign = -1
+			}
+			p.next()
+			p.next()
+			v := p.peek()
+			if v.kind != tString && v.kind != tInt {
+				return nil, errf(v.pos, "expected interval count, found %q", v.text)
+			}
+			p.next()
+			months, err := strconv.Atoi(strings.TrimSpace(v.text))
+			if err != nil {
+				return nil, errf(v.pos, "bad interval count %q", v.text)
+			}
+			if _, err := p.expect("month"); err != nil {
+				return nil, err
+			}
+			d.Months = sign * months
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	t := p.next() // case
+	if _, err := p.expect("when"); err != nil {
+		return nil, err
+	}
+	when, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	var els Expr = &IntLit{V: 0, P: t.pos}
+	if p.accept("else") {
+		if els, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect("end"); err != nil {
+		return nil, err
+	}
+	return &CaseExpr{When: when, Then: then, Else: els, P: t.pos}, nil
+}
+
+// parseIdentExpr parses a column reference (possibly qualified) or a
+// function call.
+func (p *parser) parseIdentExpr() (Expr, error) {
+	t := p.next()
+	if p.peek().text == "(" && p.peek().kind == tSymbol {
+		p.next() // (
+		f := &FuncCall{Name: t.text, P: t.pos}
+		switch {
+		case p.accept("*"):
+			if f.Name != "count" {
+				return nil, errf(t.pos, "%s(*) is not valid; only count(*)", f.Name)
+			}
+			f.Star = true
+		default:
+			if p.accept("distinct") {
+				if f.Name != "count" {
+					return nil, errf(t.pos, "DISTINCT is only supported in count(distinct)")
+				}
+				f.Distinct = true
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			f.Arg = arg
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if !aggFuncs[f.Name] && f.Name != "year" {
+			return nil, errf(t.pos, "unknown function %q", f.Name)
+		}
+		return f, nil
+	}
+	c := &ColRef{Name: t.text, P: t.pos}
+	if p.accept(".") {
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		c.Table, c.Name = t.text, col.text
+	}
+	return c, nil
+}

@@ -1,0 +1,197 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vectorh/internal/colstore"
+	"vectorh/internal/core"
+	"vectorh/internal/rewriter"
+	"vectorh/internal/vector"
+)
+
+// newEngine starts a 3-node engine with a deterministic sales/regions
+// physical design.
+func newEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	e, err := core.New(core.Config{
+		Nodes:          []string{"n1", "n2", "n3"},
+		ThreadsPerNode: 2,
+		BlockSize:      1 << 18,
+		Format:         colstore.Format{BlockSize: 16 << 10, BlocksPerChunk: 64, MaxRowsPerBlock: 2048},
+		MsgBytes:       16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	salesSchema := vector.Schema{
+		{Name: "id", Type: vector.TInt64},
+		{Name: "region_id", Type: vector.TInt64},
+		{Name: "amount", Type: vector.TFloat64},
+		{Name: "sold", Type: vector.TDate},
+	}
+	if err := e.CreateTable(rewriter.TableInfo{
+		Name: "sales", Schema: salesSchema, PartitionKey: "id", Partitions: 6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sales := vector.NewBatchForSchema(salesSchema, 400)
+	for i := 0; i < 400; i++ {
+		day := vector.MustDate("2020-01-01") + int32(i%90)
+		sales.AppendRow(int64(i), int64(i%4), float64(i%100), day)
+	}
+	if err := e.Load("sales", []*vector.Batch{sales}); err != nil {
+		t.Fatal(err)
+	}
+
+	regionSchema := vector.Schema{
+		{Name: "rid", Type: vector.TInt64},
+		{Name: "region_name", Type: vector.TString},
+	}
+	if err := e.CreateTable(rewriter.TableInfo{Name: "regions", Schema: regionSchema}); err != nil {
+		t.Fatal(err)
+	}
+	regions := vector.NewBatchForSchema(regionSchema, 4)
+	for i, name := range []string{"north", "east", "south", "west"} {
+		regions.AppendRow(int64(i), name)
+	}
+	if err := e.Load("regions", []*vector.Batch{regions}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func runSQL(t *testing.T, e *core.Engine, q string) [][]any {
+	t.Helper()
+	n, err := Compile(q, e)
+	if err != nil {
+		t.Fatalf("compile %q: %v", q, err)
+	}
+	rows, err := e.Query(n)
+	if err != nil {
+		t.Fatalf("run %q: %v", q, err)
+	}
+	return rows
+}
+
+// TestEndToEnd runs SQL text through the whole stack: parse, bind, rewrite,
+// distributed execution.
+func TestEndToEnd(t *testing.T) {
+	e := newEngine(t)
+
+	rows := runSQL(t, e, "select count(*) from sales")
+	if len(rows) != 1 || rows[0][0].(int64) != 400 {
+		t.Fatalf("count(*) = %v, want 400", rows)
+	}
+
+	rows = runSQL(t, e, "select id, amount from sales where amount >= 98 order by id limit 3")
+	want := [][]any{{int64(98), 98.0}, {int64(99), 99.0}, {int64(198), 98.0}}
+	if !reflect.DeepEqual(rows, want) {
+		t.Fatalf("filter+top = %v, want %v", rows, want)
+	}
+
+	// Date-range predicate (served with a MinMax skip hint).
+	rows = runSQL(t, e,
+		"select count(*) as n from sales where sold >= date '2020-01-01' and sold < date '2020-01-01' + interval '1' month")
+	wantN := int64(0)
+	jan31 := vector.MustDate("2020-01-31")
+	for i := 0; i < 400; i++ {
+		if vector.MustDate("2020-01-01")+int32(i%90) <= jan31 {
+			wantN++
+		}
+	}
+	if rows[0][0].(int64) != wantN {
+		t.Fatalf("january rows = %v, want %d", rows[0][0], wantN)
+	}
+
+	// Join + group by + order by, validated against a Go-side computation.
+	rows = runSQL(t, e, `
+		select region_name, sum(amount) as total, count(*) as n
+		from sales join regions on region_id = rid
+		where amount > 10
+		group by region_name
+		order by total desc, region_name`)
+	type acc struct {
+		total float64
+		n     int64
+	}
+	names := []string{"north", "east", "south", "west"}
+	byRegion := map[string]*acc{}
+	for i := 0; i < 400; i++ {
+		amt := float64(i % 100)
+		if amt <= 10 {
+			continue
+		}
+		name := names[i%4]
+		if byRegion[name] == nil {
+			byRegion[name] = &acc{}
+		}
+		byRegion[name].total += amt
+		byRegion[name].n++
+	}
+	if len(rows) != len(byRegion) {
+		t.Fatalf("got %d groups, want %d", len(rows), len(byRegion))
+	}
+	for _, r := range rows {
+		name := r[0].(string)
+		if r[1].(float64) != byRegion[name].total || r[2].(int64) != byRegion[name].n {
+			t.Fatalf("group %s = %v, want %+v", name, r, byRegion[name])
+		}
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][1].(float64) < rows[i][1].(float64) {
+			t.Fatalf("not sorted desc by total: %v", rows)
+		}
+	}
+
+	// IN over a float column runs as an equality chain.
+	rows = runSQL(t, e, "select count(*) as n from sales where amount in (10, 20)")
+	if rows[0][0].(int64) != 8 { // amounts cycle 0..99 over 400 rows
+		t.Fatalf("IN over float = %v, want 8", rows[0][0])
+	}
+
+	// Aggregate-over-aggregate arithmetic in the select list.
+	rows = runSQL(t, e, "select sum(amount) / count(*) as mean from sales")
+	var sum float64
+	for i := 0; i < 400; i++ {
+		sum += float64(i % 100)
+	}
+	if got := rows[0][0].(float64); got != sum/400 {
+		t.Fatalf("mean = %v, want %v", got, sum/400)
+	}
+}
+
+// TestExplainGolden locks the full distributed physical plan of a SQL
+// aggregation query (stable: fixed data, fixed config).
+func TestExplainGolden(t *testing.T) {
+	e := newEngine(t)
+	n, err := Compile(`
+		select region_name, sum(amount) as total
+		from sales join regions on region_id = rid
+		where sold >= date '2020-01-15'
+		group by region_name
+		order by total desc`, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Explain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimLeft(`
+Sort
+  DXchgUnion->n0
+    Project[2 exprs]
+      Aggr(final)[1 keys,1 aggs]
+        DXchgHashSplit
+          Aggr(partial)[1 keys,1 aggs]
+            HashJoin[0,replicated-build]
+              Select[($2 >= 18276)]
+                MScan[sales] (partitioned) skip(sold in [18276,9223372036854775807])
+              MScan[regions] (replicated)
+`, "\n")
+	if got != want {
+		t.Fatalf("explain mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

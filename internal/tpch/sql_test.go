@@ -1,0 +1,96 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"vectorh"
+	"vectorh/internal/colstore"
+)
+
+func newDB(t *testing.T) *vectorh.DB {
+	t.Helper()
+	db, err := vectorh.Open(vectorh.Config{
+		Nodes:          []string{"n1", "n2", "n3"},
+		ThreadsPerNode: 2,
+		BlockSize:      1 << 18,
+		Format:         colstore.Format{BlockSize: 16 << 10, BlocksPerChunk: 64, MaxRowsPerBlock: 2048},
+		MsgBytes:       16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestSQLQueriesMatchBuilders cross-validates the SQL text front-end: every
+// query in SQLQueries must return rows identical to its hand-built plan
+// counterpart when run through vectorh.DB.QuerySQL on the same engine.
+func TestSQLQueriesMatchBuilders(t *testing.T) {
+	if len(SQLQueries) < 8 {
+		t.Fatalf("want at least 8 SQL query texts, have %d", len(SQLQueries))
+	}
+	d := Generate(0.004, 7)
+	db := newDB(t)
+	if err := LoadIntoEngine(db.Engine, d, 6); err != nil {
+		t.Fatal(err)
+	}
+	var qs []int
+	for q := range SQLQueries {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	for _, q := range qs {
+		q := q
+		t.Run(fmt.Sprintf("Q%02d", q), func(t *testing.T) {
+			pb, err := BuildQuery(q, db.Engine)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			want, err := db.Query(pb)
+			if err != nil {
+				t.Fatalf("builder plan: %v", err)
+			}
+			got, err := db.QuerySQL(SQLQueries[q])
+			if err != nil {
+				t.Fatalf("QuerySQL: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("rows: sql %d vs builder %d", len(got), len(want))
+			}
+			ng, nw := normalize(got), normalize(want)
+			for i := range ng {
+				if ng[i] != nw[i] {
+					t.Fatalf("row %d differs:\n sql     %s\n builder %s", i, ng[i], nw[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSQLExplain sanity-checks that SQL-born plans run through the same
+// parallel rewriting as builder plans (exchanges present) and that MinMax
+// skip hints survive lowering into the scans.
+func TestSQLExplain(t *testing.T) {
+	d := Generate(0.002, 7)
+	db := newDB(t)
+	if err := LoadIntoEngine(db.Engine, d, 6); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := db.ExplainSQL(SQLQueries[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Xchg", "HashJoin", "Scan"} {
+		if !strings.Contains(ex, want) {
+			t.Errorf("explain lacks %q:\n%s", want, ex)
+		}
+	}
+	// Q3's o_orderdate range predicate must reach the orders scan as a
+	// MinMax skip hint (rendered as part of the scan operator line).
+	if !strings.Contains(ex, "orders") {
+		t.Errorf("explain lacks orders scan:\n%s", ex)
+	}
+}

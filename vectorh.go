@@ -20,6 +20,7 @@ package vectorh
 import (
 	"vectorh/internal/core"
 	"vectorh/internal/rewriter"
+	"vectorh/internal/sql"
 	"vectorh/internal/vector"
 )
 
@@ -63,4 +64,39 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	return &DB{Engine: e}, nil
+}
+
+// QuerySQL parses, binds and executes one SQL SELECT statement, returning
+// all result rows. The statement is lowered onto the same logical plan
+// layer as hand-built plan.Node queries, so rewriting, Xchg parallelism and
+// MinMax skipping apply unchanged:
+//
+//	rows, err := db.QuerySQL(`select city, sum(amount) as total
+//	                          from sales group by city order by total desc`)
+func (db *DB) QuerySQL(query string) ([][]any, error) {
+	n, err := sql.Compile(query, db.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return db.Query(n)
+}
+
+// ExplainSQL compiles a SQL statement and returns the distributed physical
+// plan without executing it.
+func (db *DB) ExplainSQL(query string) (string, error) {
+	n, err := sql.Compile(query, db.Engine)
+	if err != nil {
+		return "", err
+	}
+	return db.Explain(n)
+}
+
+// SchemaSQL compiles a SQL statement and returns its output schema (column
+// names and types), for clients that render results.
+func (db *DB) SchemaSQL(query string) (Schema, error) {
+	n, err := sql.Compile(query, db.Engine)
+	if err != nil {
+		return nil, err
+	}
+	return n.Schema(db.Engine)
 }
