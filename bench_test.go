@@ -80,6 +80,7 @@ func BenchmarkLoadPaths(b *testing.B) {
 // BenchmarkTPCH regenerates the Figure 7 table: all 22 queries on VectorH
 // versus the baseline personalities.
 func BenchmarkTPCH(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.TPCH(benchSF, 3,
 			[]baseline.Flavor{baseline.HAWQ, baseline.SparkSQL, baseline.Impala, baseline.Hive})
@@ -93,7 +94,9 @@ func BenchmarkTPCH(b *testing.B) {
 }
 
 // BenchmarkTPCHPerQuery runs each query as its own benchmark target on the
-// VectorH engine only (for profiling individual queries).
+// VectorH engine only, reporting allocations — the per-query numbers that
+// `vectorh-bench -exp tpchbench` records into BENCH_tpch.json (see the
+// Performance sections of README.md and EXPERIMENTS.md).
 func BenchmarkTPCHPerQuery(b *testing.B) {
 	d := tpch.Generate(benchSF, 9)
 	eng, err := experiments.NewEngine(3, 2, 6)
@@ -106,6 +109,7 @@ func BenchmarkTPCHPerQuery(b *testing.B) {
 	for q := 1; q <= tpch.NumQueries; q++ {
 		q := q
 		b.Run(fmt.Sprintf("Q%02d", q), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p, err := tpch.BuildQuery(q, eng)
 				if err != nil {

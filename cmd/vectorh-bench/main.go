@@ -9,6 +9,11 @@
 //	vectorh-bench -exp updates  # Figure 7 bottom: RF1/RF2 + GeoDiff
 //	vectorh-bench -exp profile  # Appendix: Q1 per-operator profile
 //	vectorh-bench -exp all
+//
+// Engine performance tracking (not part of -exp all; writes BENCH_tpch.json):
+//
+//	vectorh-bench -exp tpchbench -set baseline  # record pre-change column
+//	vectorh-bench -exp tpchbench                # record/refresh current column
 package main
 
 import (
@@ -16,15 +21,19 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"vectorh/internal/baseline"
 	"vectorh/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig2|fig5|load|tpch|updates|profile|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|fig5|load|tpch|updates|profile|tpchbench|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	nodes := flag.Int("nodes", 3, "simulated worker nodes")
+	jsonPath := flag.String("json", "BENCH_tpch.json", "tpchbench: output file")
+	set := flag.String("set", "current", "tpchbench: column to fill (baseline|current)")
+	perQuery := flag.Duration("benchtime", 200*time.Millisecond, "tpchbench: measurement budget per query")
 	flag.Parse()
 
 	runs := map[string]func() error{
@@ -86,6 +95,9 @@ func main() {
 				fmt.Printf("  %-8s RF1=%-12v RF2=%-12v GeoDiff=%.1f%%\n", r.System, r.RF1, r.RF2, r.GeoDiff*100)
 			}
 			return nil
+		},
+		"tpchbench": func() error {
+			return runTPCHBench(*sf, *nodes, *jsonPath, *set, *perQuery)
 		},
 		"profile": func() error {
 			rep, err := experiments.ProfileQ1(*sf, *nodes)

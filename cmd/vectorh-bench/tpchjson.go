@@ -1,0 +1,169 @@
+// Per-query TPC-H micro-benchmarks emitting a machine-readable
+// BENCH_tpch.json, so the performance trajectory of the execution engine is
+// tracked in-repo rather than in log archaeology:
+//
+//	vectorh-bench -exp tpchbench -set baseline   # record the "before" column
+//	vectorh-bench -exp tpchbench                 # record/refresh "current"
+//
+// The file keeps two columns per query — baseline (recorded before a
+// refactor) and current — with ns/op, allocs/op and bytes/op, measured with
+// runtime.MemStats around a calibrated repetition loop (the same shape as
+// testing.B, but under our own control so a full 22-query sweep stays under
+// a minute).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vectorh/internal/core"
+	"vectorh/internal/experiments"
+	"vectorh/internal/tpch"
+)
+
+// queryBench is one query's measurement.
+type queryBench struct {
+	Query       string `json:"query"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Rows        int    `json:"rows"`
+}
+
+// benchFile is the on-disk BENCH_tpch.json schema.
+type benchFile struct {
+	SF       float64      `json:"sf"`
+	Nodes    int          `json:"nodes"`
+	Threads  int          `json:"threads"`
+	Baseline []queryBench `json:"baseline,omitempty"`
+	Current  []queryBench `json:"current,omitempty"`
+}
+
+// runTPCHBench measures every TPC-H query and writes the JSON file, filling
+// the column named by set ("baseline" or "current") and preserving the other.
+func runTPCHBench(sf float64, nodes int, path, set string, perQuery time.Duration) error {
+	if set != "baseline" && set != "current" {
+		return fmt.Errorf("-set must be baseline or current, got %q", set)
+	}
+	const threads, partitions = 2, 6
+	eng, err := experiments.NewEngine(nodes, threads, partitions)
+	if err != nil {
+		return err
+	}
+	d := tpch.Generate(sf, 9)
+	if err := tpch.LoadIntoEngine(eng, d, partitions); err != nil {
+		return err
+	}
+
+	results := make([]queryBench, 0, tpch.NumQueries)
+	for q := 1; q <= tpch.NumQueries; q++ {
+		qb, err := benchOneQuery(eng, q, perQuery)
+		if err != nil {
+			return fmt.Errorf("Q%02d: %w", q, err)
+		}
+		fmt.Printf("  %-4s %12d ns/op %10d allocs/op %12d B/op %6d rows\n",
+			qb.Query, qb.NsPerOp, qb.AllocsPerOp, qb.BytesPerOp, qb.Rows)
+		results = append(results, qb)
+	}
+
+	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
+	if old, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(old, &file); err != nil {
+			// Refuse to overwrite: the baseline column cannot be
+			// regenerated once the change it predates has landed.
+			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+		}
+		if file.SF != sf || file.Nodes != nodes {
+			fmt.Fprintf(os.Stderr,
+				"warning: %s was recorded at sf=%v nodes=%d, this run is sf=%v nodes=%d — the retained column is not comparable\n",
+				path, file.SF, file.Nodes, sf, nodes)
+		}
+		file.SF, file.Nodes, file.Threads = sf, nodes, threads
+	}
+	if set == "baseline" {
+		file.Baseline = results
+	} else {
+		file.Current = results
+	}
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s column of %s\n", set, path)
+	if file.Baseline != nil && file.Current != nil {
+		printDelta(file)
+	}
+	return nil
+}
+
+// benchOneQuery runs one query repeatedly (plan build + execution per op,
+// matching BenchmarkTPCHPerQuery) and reports per-op time and allocations.
+func benchOneQuery(eng *core.Engine, q int, budget time.Duration) (queryBench, error) {
+	run := func() (int, error) {
+		p, err := tpch.BuildQuery(q, eng)
+		if err != nil {
+			return 0, err
+		}
+		rows, err := eng.Query(p)
+		return len(rows), err
+	}
+	// Warm-up run: loads column caches and calibrates the repetition count.
+	t0 := time.Now()
+	nrows, err := run()
+	if err != nil {
+		return queryBench{}, err
+	}
+	warm := time.Since(t0)
+	n := 1
+	if warm > 0 {
+		n = int(budget / warm)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > 1000 {
+		n = 1000
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 = time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := run(); err != nil {
+			return queryBench{}, err
+		}
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return queryBench{
+		Query:       fmt.Sprintf("Q%02d", q),
+		NsPerOp:     elapsed.Nanoseconds() / int64(n),
+		AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / int64(n),
+		BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / int64(n),
+		Rows:        nrows,
+	}, nil
+}
+
+// printDelta renders the baseline→current movement per query.
+func printDelta(f benchFile) {
+	base := make(map[string]queryBench, len(f.Baseline))
+	for _, qb := range f.Baseline {
+		base[qb.Query] = qb
+	}
+	fmt.Println("baseline -> current:")
+	for _, cur := range f.Current {
+		b, ok := base[cur.Query]
+		if !ok || b.NsPerOp == 0 || b.AllocsPerOp == 0 {
+			continue
+		}
+		fmt.Printf("  %-4s time %+6.1f%%  allocs %+6.1f%%\n", cur.Query,
+			100*(float64(cur.NsPerOp)/float64(b.NsPerOp)-1),
+			100*(float64(cur.AllocsPerOp)/float64(b.AllocsPerOp)-1))
+	}
+}

@@ -1,10 +1,6 @@
 package exec
 
 import (
-	"encoding/binary"
-	"fmt"
-	"math"
-
 	"vectorh/internal/expr"
 	"vectorh/internal/vector"
 )
@@ -52,34 +48,40 @@ func (a AggSpec) resultKind() vector.Kind {
 
 // aggState is one group's accumulator for one aggregate.
 type aggState struct {
-	i64      int64
-	f64      float64
-	str      string
-	seen     bool
-	count    int64
-	distinct map[string]struct{}
+	i64   int64
+	f64   float64
+	str   string
+	seen  bool
+	count int64
 }
 
-// HashAggr performs hash group-by aggregation. It consumes the child fully
-// on the first Next, then emits result batches: key columns followed by one
-// column per aggregate. With no keys it emits exactly one global row.
+// HashAggr performs hash group-by aggregation over the shared vectorized
+// HashTable: group lookup is batch-at-a-time (FindOrInsert emits a group id
+// per row, the table stores the key columns), aggregate updates fold whole
+// argument vectors per group id, and COUNT(DISTINCT) deduplicates through a
+// second (group, value)-keyed table instead of per-group map[string] sets.
+// It consumes the child fully on the first Next, then emits result batches:
+// key columns followed by one column per aggregate. With no keys it emits
+// exactly one global row.
 type HashAggr struct {
 	Child Operator
 	Keys  []expr.Expr
 	Aggs  []AggSpec
 
-	groups   map[string]int
-	keyVecs  []*vector.Vec
-	states   [][]aggState
+	table    *HashTable   // group-by keys; nil for global aggregation
+	states   [][]aggState // indexed [agg][group]
+	distinct []*HashTable // (group, value) tables, allocated lazily and only
+	// for AggCountDistinct specs
+	pool     vector.Pool
 	emitted  int
 	consumed bool
 }
 
 // Open implements Operator.
 func (h *HashAggr) Open() error {
-	h.groups = make(map[string]int)
+	h.table = nil
 	h.states = nil
-	h.keyVecs = nil
+	h.distinct = nil
 	h.emitted = 0
 	h.consumed = false
 	return h.Child.Open()
@@ -87,6 +89,14 @@ func (h *HashAggr) Open() error {
 
 // Close implements Operator.
 func (h *HashAggr) Close() error { return h.Child.Close() }
+
+// numGroups returns the group count after consumption.
+func (h *HashAggr) numGroups() int {
+	if len(h.states) == 0 {
+		return 0
+	}
+	return len(h.states[0])
+}
 
 // Next implements Operator.
 func (h *HashAggr) Next() (*vector.Batch, error) {
@@ -96,7 +106,7 @@ func (h *HashAggr) Next() (*vector.Batch, error) {
 		}
 		h.consumed = true
 	}
-	n := len(h.states)
+	n := h.numGroups()
 	if h.emitted >= n {
 		return nil, nil
 	}
@@ -108,19 +118,21 @@ func (h *HashAggr) Next() (*vector.Batch, error) {
 	h.emitted = hi
 	out := &vector.Batch{Vecs: make([]*vector.Vec, len(h.Keys)+len(h.Aggs))}
 	for i := range h.Keys {
-		out.Vecs[i] = h.keyVecs[i].Slice(lo, hi)
+		out.Vecs[i] = h.table.Keys()[i].Slice(lo, hi)
 	}
 	for ai, spec := range h.Aggs {
 		v := vector.New(spec.resultKind(), hi-lo)
 		for g := lo; g < hi; g++ {
-			st := &h.states[g][ai]
+			st := &h.states[ai][g]
 			switch spec.Func {
-			case AggCount, AggCountStar:
+			case AggCount, AggCountStar, AggCountDistinct:
 				v.AppendInt64(st.count)
-			case AggCountDistinct:
-				v.AppendInt64(int64(len(st.distinct)))
 			case AggAvg:
 				if st.count == 0 {
+					// AVG over zero rows: the engine has no NULLs, so the
+					// empty (global) group deliberately emits 0 rather
+					// than NaN from 0/0. Tested by
+					// TestHashAggrAvgEmptyInput.
 					v.AppendFloat64(0)
 				} else {
 					v.AppendFloat64(st.f64 / float64(st.count))
@@ -142,7 +154,17 @@ func (h *HashAggr) Next() (*vector.Batch, error) {
 }
 
 func (h *HashAggr) consume() error {
-	var keyBuf []byte
+	h.states = make([][]aggState, len(h.Aggs))
+	h.distinct = make([]*HashTable, len(h.Aggs))
+	if len(h.Keys) > 0 {
+		kinds := make([]vector.Kind, len(h.Keys))
+		for i, k := range h.Keys {
+			kinds[i] = k.Kind()
+		}
+		h.table = NewHashTable(kinds, &h.pool)
+	}
+	keyCols := make([]*vector.Vec, len(h.Keys))
+	argCols := make([]*vector.Vec, len(h.Aggs))
 	for {
 		b, err := h.Child.Next()
 		if err != nil {
@@ -152,14 +174,15 @@ func (h *HashAggr) consume() error {
 			break
 		}
 		n := b.Len()
+		if n == 0 {
+			continue
+		}
 		// Evaluate key and argument expressions once per batch.
-		keyCols := make([]*vector.Vec, len(h.Keys))
 		for i, k := range h.Keys {
 			if keyCols[i], err = k.Eval(b); err != nil {
 				return err
 			}
 		}
-		argCols := make([]*vector.Vec, len(h.Aggs))
 		for i, a := range h.Aggs {
 			if a.Arg != nil {
 				if argCols[i], err = a.Arg.Eval(b); err != nil {
@@ -167,140 +190,199 @@ func (h *HashAggr) consume() error {
 				}
 			}
 		}
-		for r := 0; r < n; r++ {
-			keyBuf = keyBuf[:0]
-			for _, kc := range keyCols {
-				keyBuf = appendKeyValue(keyBuf, kc, r)
-			}
-			g, ok := h.groups[string(keyBuf)]
-			if !ok {
-				g = len(h.states)
-				h.groups[string(keyBuf)] = g
-				h.states = append(h.states, make([]aggState, len(h.Aggs)))
-				if h.keyVecs == nil {
-					h.keyVecs = make([]*vector.Vec, len(h.Keys))
-					for i, kc := range keyCols {
-						h.keyVecs[i] = vector.New(kc.Kind(), 64)
-					}
-				}
-				for i, kc := range keyCols {
-					h.keyVecs[i].AppendFrom(kc, r)
-				}
-			}
-			for ai, spec := range h.Aggs {
-				updateAgg(&h.states[g][ai], spec, argCols[ai], r)
+		groups := h.pool.GetSel(n)[:n]
+		if h.table != nil {
+			h.table.FindOrInsert(keyCols, n, groups)
+		} else {
+			for i := range groups {
+				groups[i] = 0
 			}
 		}
+		h.growStates()
+		for ai, spec := range h.Aggs {
+			if spec.Func == AggCountDistinct {
+				h.updateDistinct(ai, argCols[ai], groups, n)
+			} else {
+				updateAggBatch(h.states[ai], spec, argCols[ai], groups)
+			}
+		}
+		h.pool.PutSel(groups)
 	}
 	// Global aggregates emit one row even for empty input.
-	if len(h.Keys) == 0 && len(h.states) == 0 {
-		h.states = append(h.states, make([]aggState, len(h.Aggs)))
+	if len(h.Keys) == 0 && h.numGroups() == 0 {
+		h.growStates()
+	}
+	// Fold the distinct tables: each stored (group, value) entry is one
+	// distinct value of its group.
+	for ai, dt := range h.distinct {
+		if dt == nil {
+			continue
+		}
+		states := h.states[ai]
+		for _, g := range dt.Keys()[0].Int32s() {
+			states[g].count++
+		}
 	}
 	return nil
 }
 
-func updateAgg(st *aggState, spec AggSpec, arg *vector.Vec, r int) {
-	switch spec.Func {
-	case AggCountStar:
-		st.count++
-		return
-	case AggCount:
-		st.count++
-		return
-	case AggCountDistinct:
-		if st.distinct == nil {
-			st.distinct = make(map[string]struct{})
+// growStates extends every per-agg state column to the current group count.
+func (h *HashAggr) growStates() {
+	want := 1
+	if h.table != nil {
+		want = h.table.Len()
+	}
+	for ai := range h.states {
+		for len(h.states[ai]) < want {
+			h.states[ai] = append(h.states[ai], aggState{})
 		}
-		st.distinct[string(appendKeyValue(nil, arg, r))] = struct{}{}
+	}
+}
+
+// updateDistinct records this batch's (group, value) pairs in the spec's
+// dedup table, creating it on first use (so non-distinct aggregations never
+// pay for it).
+func (h *HashAggr) updateDistinct(ai int, arg *vector.Vec, groups []int32, n int) {
+	dt := h.distinct[ai]
+	if dt == nil {
+		dt = NewHashTable([]vector.Kind{vector.Int32, arg.Kind()}, &h.pool)
+		h.distinct[ai] = dt
+	}
+	ids := h.pool.GetSel(n)[:n]
+	dt.FindOrInsert([]*vector.Vec{vector.FromInt32(groups), arg}, n, ids)
+	h.pool.PutSel(ids)
+}
+
+// updateAggBatch folds one batch of argument values into the per-group
+// states, hoisting the function/kind dispatch out of the row loop.
+func updateAggBatch(states []aggState, spec AggSpec, arg *vector.Vec, groups []int32) {
+	switch spec.Func {
+	case AggCountStar, AggCount:
+		for _, g := range groups {
+			states[g].count++
+		}
 		return
 	case AggAvg:
-		f, _ := floatAt(arg, r)
-		st.f64 += f
-		st.count++
+		switch arg.Kind() {
+		case vector.Float64:
+			for r, g := range groups {
+				st := &states[g]
+				st.f64 += arg.Float64s()[r]
+				st.count++
+			}
+		case vector.Int64:
+			for r, g := range groups {
+				st := &states[g]
+				st.f64 += float64(arg.Int64s()[r])
+				st.count++
+			}
+		case vector.Int32:
+			for r, g := range groups {
+				st := &states[g]
+				st.f64 += float64(arg.Int32s()[r])
+				st.count++
+			}
+		}
 		return
 	}
 	switch arg.Kind() {
 	case vector.Float64:
-		f := arg.Float64s()[r]
+		xs := arg.Float64s()
 		switch spec.Func {
 		case AggSum:
-			st.f64 += f
+			for r, g := range groups {
+				st := &states[g]
+				st.f64 += xs[r]
+				st.seen = true
+			}
 		case AggMin:
-			if !st.seen || f < st.f64 {
-				st.f64 = f
+			for r, g := range groups {
+				st := &states[g]
+				if x := xs[r]; !st.seen || x < st.f64 {
+					st.f64 = x
+				}
+				st.seen = true
 			}
 		case AggMax:
-			if !st.seen || f > st.f64 {
-				st.f64 = f
+			for r, g := range groups {
+				st := &states[g]
+				if x := xs[r]; !st.seen || x > st.f64 {
+					st.f64 = x
+				}
+				st.seen = true
 			}
 		}
 	case vector.String:
-		s := arg.Strings()[r]
+		xs := arg.Strings()
 		switch spec.Func {
 		case AggMin:
-			if !st.seen || s < st.str {
-				st.str = s
+			for r, g := range groups {
+				st := &states[g]
+				if x := xs[r]; !st.seen || x < st.str {
+					st.str = x
+				}
+				st.seen = true
 			}
 		case AggMax:
-			if !st.seen || s > st.str {
-				st.str = s
+			for r, g := range groups {
+				st := &states[g]
+				if x := xs[r]; !st.seen || x > st.str {
+					st.str = x
+				}
+				st.seen = true
 			}
 		}
-	default:
-		var x int64
-		if arg.Kind() == vector.Int32 {
-			x = int64(arg.Int32s()[r])
-		} else {
-			x = arg.Int64s()[r]
-		}
+	case vector.Int32:
+		xs := arg.Int32s()
 		switch spec.Func {
 		case AggSum:
-			st.i64 += x
+			for r, g := range groups {
+				st := &states[g]
+				st.i64 += int64(xs[r])
+				st.seen = true
+			}
 		case AggMin:
-			if !st.seen || x < st.i64 {
-				st.i64 = x
+			for r, g := range groups {
+				st := &states[g]
+				if x := int64(xs[r]); !st.seen || x < st.i64 {
+					st.i64 = x
+				}
+				st.seen = true
 			}
 		case AggMax:
-			if !st.seen || x > st.i64 {
-				st.i64 = x
+			for r, g := range groups {
+				st := &states[g]
+				if x := int64(xs[r]); !st.seen || x > st.i64 {
+					st.i64 = x
+				}
+				st.seen = true
 			}
 		}
-	}
-	st.seen = true
-}
-
-func floatAt(v *vector.Vec, r int) (float64, bool) {
-	switch v.Kind() {
-	case vector.Float64:
-		return v.Float64s()[r], true
-	case vector.Int64:
-		return float64(v.Int64s()[r]), true
-	case vector.Int32:
-		return float64(v.Int32s()[r]), true
 	default:
-		return 0, false
-	}
-}
-
-// appendKeyValue serializes one value of a vector for group/join keying.
-func appendKeyValue(dst []byte, v *vector.Vec, r int) []byte {
-	switch v.Kind() {
-	case vector.Int64:
-		return binary.LittleEndian.AppendUint64(dst, uint64(v.Int64s()[r]))
-	case vector.Int32:
-		return binary.LittleEndian.AppendUint32(dst, uint32(v.Int32s()[r]))
-	case vector.Float64:
-		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.Float64s()[r]))
-	case vector.String:
-		s := v.Strings()[r]
-		dst = binary.AppendUvarint(dst, uint64(len(s)))
-		return append(dst, s...)
-	case vector.Bool:
-		if v.Bools()[r] {
-			return append(dst, 1)
+		xs := arg.Int64s()
+		switch spec.Func {
+		case AggSum:
+			for r, g := range groups {
+				st := &states[g]
+				st.i64 += xs[r]
+				st.seen = true
+			}
+		case AggMin:
+			for r, g := range groups {
+				st := &states[g]
+				if x := xs[r]; !st.seen || x < st.i64 {
+					st.i64 = x
+				}
+				st.seen = true
+			}
+		case AggMax:
+			for r, g := range groups {
+				st := &states[g]
+				if x := xs[r]; !st.seen || x > st.i64 {
+					st.i64 = x
+				}
+				st.seen = true
+			}
 		}
-		return append(dst, 0)
-	default:
-		panic(fmt.Sprintf("exec: key of kind %v", v.Kind()))
 	}
 }

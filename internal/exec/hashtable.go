@@ -1,0 +1,444 @@
+package exec
+
+import (
+	"math"
+
+	"vectorh/internal/vector"
+)
+
+// HashTable is the shared vectorized hash infrastructure behind hash joins,
+// group-by aggregation and COUNT(DISTINCT). It replaces the former
+// map[string] tables keyed by per-row byte serialization: keys are stored
+// column-wise in typed vectors, hashes come from the vector hash kernels
+// (one function shared with exchange partitioning), and probing is
+// batch-at-a-time — compute all hashes, chase bucket chains with candidate
+// selection vectors, and verify keys column-wise against the stored key
+// vectors. No per-row serialization, no per-row map allocations.
+//
+// Layout: an open-addressing bucket directory with a power-of-two size maps
+// hash bits to the first stored row of its bucket; rows sharing a bucket are
+// chained through next[] in insertion order. Hash collisions and genuine
+// key duplicates share a chain — the stored per-row hash is a cheap
+// pre-filter and the column-wise verify separates them. Row ids are stable
+// (insertion order), so they double as group ids for aggregation and build
+// row ids for joins.
+type HashTable struct {
+	pool *vector.Pool
+
+	keys    []*vector.Vec // stored key columns; row id = position
+	hashes  []uint64      // per-row hash (pre-filter + directory rebuild)
+	next    []int32       // bucket chain link per row; -1 ends a chain
+	buckets []int32       // 1-based head row per bucket; 0 = empty
+	tails   []int32       // last row per bucket, keeps chains in insertion order
+	mask    uint64
+
+	singleI64 bool // exactly one Int64 key: skip the generic verify dispatch
+}
+
+// minBuckets is the initial directory size (power of two).
+const minBuckets = 64
+
+// NewHashTable returns an empty table for keys of the given kinds. A nil
+// pool allocates a private one; passing the operator's pool shares scratch
+// buffers between the table and its owner.
+func NewHashTable(kinds []vector.Kind, pool *vector.Pool) *HashTable {
+	if pool == nil {
+		pool = &vector.Pool{}
+	}
+	t := &HashTable{
+		pool:      pool,
+		singleI64: len(kinds) == 1 && kinds[0] == vector.Int64,
+		buckets:   make([]int32, minBuckets),
+		tails:     make([]int32, minBuckets),
+		mask:      minBuckets - 1,
+	}
+	t.keys = make([]*vector.Vec, len(kinds))
+	for i, k := range kinds {
+		t.keys[i] = vector.New(k, vector.MaxSize)
+	}
+	return t
+}
+
+// Len returns the number of stored rows (groups / build rows).
+func (t *HashTable) Len() int { return len(t.hashes) }
+
+// Keys exposes the stored key columns; aggregation emits its group-by keys
+// from them directly instead of keeping a second copy.
+func (t *HashTable) Keys() []*vector.Vec { return t.keys }
+
+// reserve grows the bucket directory so n rows stay under a 3/4 load factor,
+// rebuilding the chains (in insertion order) from the stored hashes.
+func (t *HashTable) reserve(n int) {
+	nb := len(t.buckets)
+	for n >= nb*3/4 {
+		nb <<= 1
+	}
+	if nb == len(t.buckets) {
+		return
+	}
+	t.buckets = make([]int32, nb)
+	t.tails = make([]int32, nb)
+	t.mask = uint64(nb - 1)
+	for r := range t.hashes {
+		t.next[r] = -1
+		t.link(t.hashes[r]&t.mask, int32(r))
+	}
+}
+
+// link appends stored row r at the tail of its bucket chain.
+func (t *HashTable) link(b uint64, r int32) {
+	if t.buckets[b] == 0 {
+		t.buckets[b] = r + 1
+	} else {
+		t.next[t.tails[b]] = r
+	}
+	t.tails[b] = r
+}
+
+// insertRow stores row r of keyCols under hash h and returns its id.
+func (t *HashTable) insertRow(h uint64, keyCols []*vector.Vec, r int) int32 {
+	id := int32(len(t.hashes))
+	t.hashes = append(t.hashes, h)
+	t.next = append(t.next, -1)
+	for i, kc := range keyCols {
+		t.keys[i].AppendFrom(kc, r)
+	}
+	t.link(h&t.mask, id)
+	return id
+}
+
+// InsertBatch stores all n rows of the dense key columns unconditionally
+// (join build side: duplicates become separate rows). Key values are
+// bulk-appended column-wise; only the chain linking is per-row.
+func (t *HashTable) InsertBatch(keyCols []*vector.Vec, n int) {
+	base := len(t.hashes)
+	t.reserve(base + n)
+	hs := t.pool.GetHashes(n)
+	vector.HashCols(hs, keyCols)
+	for i, kc := range keyCols {
+		t.keys[i].AppendRange(kc, 0, n)
+	}
+	t.hashes = append(t.hashes, hs...)
+	for r := 0; r < n; r++ {
+		t.next = append(t.next, -1)
+	}
+	for r := 0; r < n; r++ {
+		t.link(t.hashes[base+r]&t.mask, int32(base+r))
+	}
+	t.pool.PutHashes(hs)
+}
+
+// keysMatchKinds reports whether the probe key columns carry the stored key
+// kinds. A kind-skewed equi-join (say int32 = int64) is legal SQL here; its
+// keys can never compare equal — the former serialized keys produced zero
+// matches — so probes must short-circuit instead of reaching the typed
+// compare loops.
+func (t *HashTable) keysMatchKinds(keyCols []*vector.Vec) bool {
+	for c, kc := range keyCols {
+		if kc.Kind() != t.keys[c].Kind() {
+			return false
+		}
+	}
+	return true
+}
+
+// verify computes, for each active position j (probe row sel[j] against
+// stored candidate cand[sel[j]]), whether the hash and every key column
+// match. It runs column-wise: one kind dispatch per column, then a tight
+// compare loop over the active selection.
+func (t *HashTable) verify(keyCols []*vector.Vec, hs []uint64, sel, cand []int32, match []bool) {
+	for j, r := range sel {
+		match[j] = hs[r] == t.hashes[cand[r]]
+	}
+	if t.singleI64 {
+		pv, bv := keyCols[0].Int64s(), t.keys[0].Int64s()
+		for j, r := range sel {
+			if match[j] && pv[r] != bv[cand[r]] {
+				match[j] = false
+			}
+		}
+		return
+	}
+	for c, kc := range keyCols {
+		switch kc.Kind() {
+		case vector.Int64:
+			pv, bv := kc.Int64s(), t.keys[c].Int64s()
+			for j, r := range sel {
+				if match[j] && pv[r] != bv[cand[r]] {
+					match[j] = false
+				}
+			}
+		case vector.Int32:
+			pv, bv := kc.Int32s(), t.keys[c].Int32s()
+			for j, r := range sel {
+				if match[j] && pv[r] != bv[cand[r]] {
+					match[j] = false
+				}
+			}
+		case vector.Float64:
+			// Bitwise comparison, matching the hash: NaN keys equal
+			// themselves and -0.0 stays distinct from +0.0, exactly like
+			// the former byte-serialized keys.
+			pv, bv := kc.Float64s(), t.keys[c].Float64s()
+			for j, r := range sel {
+				if match[j] && math.Float64bits(pv[r]) != math.Float64bits(bv[cand[r]]) {
+					match[j] = false
+				}
+			}
+		case vector.String:
+			pv, bv := kc.Strings(), t.keys[c].Strings()
+			for j, r := range sel {
+				if match[j] && pv[r] != bv[cand[r]] {
+					match[j] = false
+				}
+			}
+		case vector.Bool:
+			pv, bv := kc.Bools(), t.keys[c].Bools()
+			for j, r := range sel {
+				if match[j] && pv[r] != bv[cand[r]] {
+					match[j] = false
+				}
+			}
+		}
+	}
+}
+
+// rowEq reports whether probe row r of keyCols equals stored row id
+// (scalar path for inserts).
+func (t *HashTable) rowEq(keyCols []*vector.Vec, r int, id int32) bool {
+	for c, kc := range keyCols {
+		switch kc.Kind() {
+		case vector.Int64:
+			if kc.Int64s()[r] != t.keys[c].Int64s()[id] {
+				return false
+			}
+		case vector.Int32:
+			if kc.Int32s()[r] != t.keys[c].Int32s()[id] {
+				return false
+			}
+		case vector.Float64:
+			if math.Float64bits(kc.Float64s()[r]) != math.Float64bits(t.keys[c].Float64s()[id]) {
+				return false
+			}
+		case vector.String:
+			if kc.Strings()[r] != t.keys[c].Strings()[id] {
+				return false
+			}
+		case vector.Bool:
+			if kc.Bools()[r] != t.keys[c].Bools()[id] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// findScalar walks row r's chain and returns the id of its key, or -1.
+func (t *HashTable) findScalar(h uint64, keyCols []*vector.Vec, r int) int32 {
+	for id := t.buckets[h&t.mask] - 1; id >= 0; id = t.next[id] {
+		if t.hashes[id] == h && t.rowEq(keyCols, r, id) {
+			return id
+		}
+	}
+	return -1
+}
+
+// FindOrInsert maps every one of the n rows of keyCols to the stable id of
+// its key, inserting unseen keys (group-by: out[r] is row r's group id).
+// out must have length n, and keyCols must carry the table's key kinds —
+// unlike probes, inserts come from the same expressions that declared the
+// table, so a mismatch is a programming error. The probe phase is batch-at-a-time; only the
+// first occurrence of each genuinely new key takes the scalar insert path.
+func (t *HashTable) FindOrInsert(keyCols []*vector.Vec, n int, out []int32) {
+	t.reserve(t.Len() + n) // worst case all-new: chains stay valid below
+	hs := t.pool.GetHashes(n)
+	vector.HashCols(hs, keyCols)
+
+	cand := t.pool.GetSel(n)[:n]
+	sel := t.pool.GetSel(n)
+	for r := 0; r < n; r++ {
+		out[r] = -1
+		cand[r] = t.buckets[hs[r]&t.mask] - 1
+		if cand[r] >= 0 {
+			sel = append(sel, int32(r))
+		}
+	}
+	match := t.pool.GetBools(n)
+	for len(sel) > 0 {
+		t.verify(keyCols, hs, sel, cand, match)
+		live := sel[:0]
+		for j, r := range sel {
+			if match[j] {
+				out[r] = cand[r]
+			} else if nx := t.next[cand[r]]; nx >= 0 {
+				cand[r] = nx
+				live = append(live, r)
+			}
+		}
+		sel = live
+	}
+	// Unresolved rows hold keys the table did not contain before this batch;
+	// insert sequentially, re-probing so duplicates within the batch share
+	// one id.
+	for r := 0; r < n; r++ {
+		if out[r] >= 0 {
+			continue
+		}
+		if g := t.findScalar(hs[r], keyCols, r); g >= 0 {
+			out[r] = g
+		} else {
+			out[r] = t.insertRow(hs[r], keyCols, r)
+		}
+	}
+	t.pool.PutBools(match)
+	t.pool.PutSel(cand, sel)
+	t.pool.PutHashes(hs)
+}
+
+// ProbeJoin finds all matching stored rows for each of the n probe rows and
+// fills ps/bs with (probe row, stored row) index pairs, grouped by probe row
+// in ascending order with matches in insertion order — the emission order of
+// the former row-at-a-time implementation. When outer is true, probe rows
+// without a match contribute one (row, -1) pair (left outer padding). ps and
+// bs must be empty; the grown slices are returned.
+func (t *HashTable) ProbeJoin(keyCols []*vector.Vec, n int, ps, bs []int32, outer bool) ([]int32, []int32) {
+	if t.Len() == 0 || !t.keysMatchKinds(keyCols) {
+		if !outer {
+			return ps, bs
+		}
+		ps, bs = growSel(ps, n), growSel(bs, n)
+		for r := 0; r < n; r++ {
+			ps[r], bs[r] = int32(r), -1
+		}
+		return ps, bs
+	}
+	hs := t.pool.GetHashes(n)
+	vector.HashCols(hs, keyCols)
+	cand := t.pool.GetSel(n)[:n]
+	sel := t.pool.GetSel(n)
+	counts := t.pool.GetSel(n)[:n]
+	for r := 0; r < n; r++ {
+		counts[r] = 0
+		cand[r] = t.buckets[hs[r]&t.mask] - 1
+		if cand[r] >= 0 {
+			sel = append(sel, int32(r))
+		}
+	}
+	// Chase every chain to its end, collecting raw pairs round-wise: round k
+	// emits each still-active row's k-th chain position if it matches.
+	rawP := t.pool.GetSel(n)
+	rawB := t.pool.GetSel(n)
+	match := t.pool.GetBools(n)
+	for len(sel) > 0 {
+		t.verify(keyCols, hs, sel, cand, match)
+		live := sel[:0]
+		for j, r := range sel {
+			if match[j] {
+				rawP = append(rawP, r)
+				rawB = append(rawB, cand[r])
+				counts[r]++
+			}
+			if nx := t.next[cand[r]]; nx >= 0 {
+				cand[r] = nx
+				live = append(live, r)
+			}
+		}
+		sel = live
+	}
+	// Scatter the round-ordered pairs into probe-row order via a counting
+	// sort: off[r] is row r's first output slot and advances as it fills, so
+	// within a row the chain (insertion) order is preserved.
+	total := len(rawP)
+	if outer {
+		for r := 0; r < n; r++ {
+			if counts[r] == 0 {
+				total++
+			}
+		}
+	}
+	ps, bs = growSel(ps, total), growSel(bs, total)
+	off := cand // reuse: candidate cursor is spent
+	sum := int32(0)
+	for r := 0; r < n; r++ {
+		c := counts[r]
+		if outer && c == 0 {
+			c = 1
+		}
+		off[r] = sum
+		sum += c
+	}
+	if outer {
+		for r := 0; r < n; r++ {
+			if counts[r] == 0 {
+				ps[off[r]], bs[off[r]] = int32(r), -1
+			}
+		}
+	}
+	for i, r := range rawP {
+		o := off[r]
+		off[r] = o + 1
+		ps[o], bs[o] = r, rawB[i]
+	}
+	t.pool.PutBools(match)
+	t.pool.PutSel(sel, counts, rawP, rawB, off)
+	t.pool.PutHashes(hs)
+	return ps, bs
+}
+
+// ProbeExists appends to sel, in row order, the probe rows that do
+// (want=true: semi join) or do not (want=false: anti join) have a matching
+// stored row; chains stop chasing at the first match.
+func (t *HashTable) ProbeExists(keyCols []*vector.Vec, n int, want bool, sel []int32) []int32 {
+	if t.Len() == 0 || !t.keysMatchKinds(keyCols) {
+		if !want {
+			for r := 0; r < n; r++ {
+				sel = append(sel, int32(r))
+			}
+		}
+		return sel
+	}
+	hs := t.pool.GetHashes(n)
+	vector.HashCols(hs, keyCols)
+	cand := t.pool.GetSel(n)[:n]
+	active := t.pool.GetSel(n)
+	for r := 0; r < n; r++ {
+		cand[r] = t.buckets[hs[r]&t.mask] - 1
+		if cand[r] >= 0 {
+			active = append(active, int32(r))
+		}
+	}
+	found := t.pool.GetBools(n)
+	match := t.pool.GetBools(n)
+	for len(active) > 0 {
+		t.verify(keyCols, hs, active, cand, match)
+		live := active[:0]
+		for j, r := range active {
+			if match[j] {
+				found[r] = true
+			} else if nx := t.next[cand[r]]; nx >= 0 {
+				cand[r] = nx
+				live = append(live, r)
+			}
+		}
+		active = live
+	}
+	for r := 0; r < n; r++ {
+		if found[r] == want {
+			sel = append(sel, int32(r))
+		}
+	}
+	t.pool.PutBools(found)
+	t.pool.PutBools(match)
+	t.pool.PutSel(cand, active)
+	t.pool.PutHashes(hs)
+	return sel
+}
+
+// growSel resizes a pooled int32 buffer to length n, reallocating only when
+// capacity is exceeded.
+func growSel(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

@@ -31,9 +31,10 @@ type HashJoin struct {
 	Type      JoinType
 
 	built     bool
-	table     map[string][]int32
+	table     *HashTable
 	buildCols []*vector.Vec
-	pending   []*vector.Batch
+	keyCols   []*vector.Vec // per-batch evaluated key columns (reused)
+	pool      vector.Pool
 }
 
 // Open implements Operator.
@@ -41,7 +42,7 @@ func (j *HashJoin) Open() error {
 	j.built = false
 	j.table = nil
 	j.buildCols = nil
-	j.pending = nil
+	j.keyCols = nil
 	if err := j.Build.Open(); err != nil {
 		return err
 	}
@@ -59,43 +60,46 @@ func (j *HashJoin) Close() error {
 }
 
 func (j *HashJoin) buildTable() error {
-	j.table = make(map[string][]int32)
-	var keyBuf []byte
-	total := 0
+	kinds := make([]vector.Kind, len(j.BuildKeys))
+	for i, k := range j.BuildKeys {
+		kinds[i] = k.Kind()
+	}
+	j.table = NewHashTable(kinds, &j.pool)
+	keyCols := make([]*vector.Vec, len(j.BuildKeys))
 	for {
 		b, err := j.Build.Next()
 		if err != nil {
 			return err
 		}
 		if b == nil {
-			break
+			return nil
 		}
-		c := b.Compact()
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
 		if j.buildCols == nil {
-			j.buildCols = make([]*vector.Vec, len(c.Vecs))
-			for i, v := range c.Vecs {
-				j.buildCols[i] = vector.New(v.Kind(), c.Len())
+			j.buildCols = make([]*vector.Vec, len(b.Vecs))
+			for i, v := range b.Vecs {
+				j.buildCols[i] = vector.New(v.Kind(), n)
 			}
 		}
-		keyCols := make([]*vector.Vec, len(j.BuildKeys))
 		for i, k := range j.BuildKeys {
-			if keyCols[i], err = k.Eval(c); err != nil {
+			if keyCols[i], err = k.Eval(b); err != nil {
 				return err
 			}
 		}
-		for r := 0; r < c.Len(); r++ {
-			keyBuf = keyBuf[:0]
-			for _, kc := range keyCols {
-				keyBuf = appendKeyValue(keyBuf, kc, r)
+		j.table.InsertBatch(keyCols, n)
+		// Append the build columns in the same live-row order the key
+		// columns were hashed in, so table row ids index buildCols.
+		for i, v := range b.Vecs {
+			if b.Sel != nil {
+				j.buildCols[i].AppendGather(v, b.Sel)
+			} else {
+				j.buildCols[i].AppendRange(v, 0, n)
 			}
-			j.table[string(keyBuf)] = append(j.table[string(keyBuf)], int32(total))
-			for i, v := range c.Vecs {
-				j.buildCols[i].AppendFrom(v, r)
-			}
-			total++
 		}
 	}
-	return nil
 }
 
 // Next implements Operator.
@@ -106,78 +110,79 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 		}
 		j.built = true
 	}
-	var keyBuf []byte
+	if j.keyCols == nil {
+		j.keyCols = make([]*vector.Vec, len(j.ProbeKeys))
+	}
 	for {
 		b, err := j.Probe.Next()
 		if err != nil || b == nil {
 			return nil, err
 		}
-		c := b.Compact()
-		keyCols := make([]*vector.Vec, len(j.ProbeKeys))
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
 		for i, k := range j.ProbeKeys {
-			if keyCols[i], err = k.Eval(c); err != nil {
+			if j.keyCols[i], err = k.Eval(b); err != nil {
 				return nil, err
 			}
 		}
-		var probeSel, buildSel []int32
-		var matched []bool
-		for r := 0; r < c.Len(); r++ {
-			keyBuf = keyBuf[:0]
-			for _, kc := range keyCols {
-				keyBuf = appendKeyValue(keyBuf, kc, r)
+		switch j.Type {
+		case Semi, Anti:
+			sel := j.table.ProbeExists(j.keyCols, n, j.Type == Semi, j.pool.GetSel(n))
+			if len(sel) == 0 {
+				j.pool.PutSel(sel)
+				continue
 			}
-			rows := j.table[string(keyBuf)]
-			switch j.Type {
-			case Inner:
-				for _, br := range rows {
-					probeSel = append(probeSel, int32(r))
-					buildSel = append(buildSel, br)
+			// The output shares the probe vectors under a fresh selection
+			// (mapped to physical positions); it is handed downstream, so
+			// it must not come from the pool.
+			outSel := make([]int32, len(sel))
+			if b.Sel != nil {
+				for i, r := range sel {
+					outSel[i] = b.Sel[r]
 				}
-			case LeftOuter:
-				if len(rows) == 0 {
-					probeSel = append(probeSel, int32(r))
-					buildSel = append(buildSel, -1)
-					matched = append(matched, false)
-				} else {
-					for _, br := range rows {
-						probeSel = append(probeSel, int32(r))
-						buildSel = append(buildSel, br)
-						matched = append(matched, true)
-					}
-				}
-			case Semi:
-				if len(rows) > 0 {
-					probeSel = append(probeSel, int32(r))
-				}
-			case Anti:
-				if len(rows) == 0 {
-					probeSel = append(probeSel, int32(r))
-				}
+			} else {
+				copy(outSel, sel)
 			}
+			j.pool.PutSel(sel)
+			return &vector.Batch{Vecs: b.Vecs, Sel: outSel}, nil
 		}
-		if len(probeSel) == 0 {
+		// Inner / LeftOuter: batched probe emitting (probe, build) pairs.
+		ps, bs := j.table.ProbeJoin(j.keyCols, n,
+			j.pool.GetSel(n), j.pool.GetSel(n), j.Type == LeftOuter)
+		if len(ps) == 0 {
+			j.pool.PutSel(ps, bs)
 			continue
 		}
-		out := &vector.Batch{}
-		for _, v := range c.Vecs {
-			out.Vecs = append(out.Vecs, v.Gather(probeSel, len(probeSel)))
-		}
-		if j.Type == Inner || j.Type == LeftOuter {
-			for _, bv := range j.buildCols {
-				g := vector.New(bv.Kind(), len(buildSel))
-				for _, br := range buildSel {
-					if br < 0 {
-						g.AppendZero()
-					} else {
-						g.AppendFrom(bv, int(br))
-					}
-				}
-				out.Vecs = append(out.Vecs, g)
+		// Resolve probe pair indices to physical row positions for gathering.
+		phys := ps
+		if b.Sel != nil {
+			phys = j.pool.GetSel(len(ps))[:len(ps)]
+			for i, r := range ps {
+				phys[i] = b.Sel[r]
 			}
 		}
-		if j.Type == LeftOuter {
-			out.Vecs = append(out.Vecs, vector.FromBool(matched))
+		out := &vector.Batch{Vecs: make([]*vector.Vec, 0, len(b.Vecs)+len(j.buildCols)+1)}
+		for _, v := range b.Vecs {
+			out.Vecs = append(out.Vecs, v.Gather(phys, len(phys)))
 		}
+		for _, bv := range j.buildCols {
+			g := vector.New(bv.Kind(), len(bs))
+			g.AppendGather(bv, bs) // negative ids pad with zero values
+			out.Vecs = append(out.Vecs, g)
+		}
+		if j.Type == LeftOuter {
+			m := vector.New(vector.Bool, len(bs))
+			for _, br := range bs {
+				m.AppendBool(br >= 0)
+			}
+			out.Vecs = append(out.Vecs, m)
+		}
+		if b.Sel != nil {
+			j.pool.PutSel(phys)
+		}
+		j.pool.PutSel(ps, bs)
 		return out, nil
 	}
 }

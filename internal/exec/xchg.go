@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"hash/fnv"
 	"sync"
 
 	"vectorh/internal/expr"
@@ -372,58 +371,41 @@ func compareAt2(a *vector.Vec, x int, b *vector.Vec, y int) int {
 }
 
 // HashRows computes a 64-bit hash of the key expressions for every live row
-// of a batch; exchanges and distributed exchanges share it so that local
-// and remote partitioning agree.
+// of a batch. It delegates to the vector hash kernels — the same column-wise
+// functions the hash join and aggregation tables use — so joins, group-by,
+// local exchanges and distributed exchanges all agree on one hash function.
 func HashRows(b *vector.Batch, keys []expr.Expr) ([]uint64, error) {
+	return HashRowsInto(nil, b, keys)
+}
+
+// HashRowsInto is HashRows reusing dst's capacity, for callers that hash a
+// stream of batches (exchange senders) and want an allocation-free steady
+// state.
+func HashRowsInto(dst []uint64, b *vector.Batch, keys []expr.Expr) ([]uint64, error) {
 	n := b.Len()
-	hashes := make([]uint64, n)
-	for i := range hashes {
-		hashes[i] = 14695981039346656037 // FNV offset basis
+	if cap(dst) < n {
+		dst = make([]uint64, n)
+	} else {
+		dst = dst[:n]
 	}
-	var buf [8]byte
-	for _, k := range keys {
+	for i, k := range keys {
 		kv, err := k.Eval(b)
 		if err != nil {
 			return nil, err
 		}
-		switch kv.Kind() {
-		case vector.Int64:
-			for r, x := range kv.Int64s() {
-				hashes[r] = mix(hashes[r], uint64(x), &buf)
-			}
-		case vector.Int32:
-			for r, x := range kv.Int32s() {
-				hashes[r] = mix(hashes[r], uint64(uint32(x)), &buf)
-			}
-		case vector.Float64:
-			for r, x := range kv.Float64s() {
-				hashes[r] = mix(hashes[r], uint64(int64(x)), &buf)
-			}
-		case vector.String:
-			for r, s := range kv.Strings() {
-				h := fnv.New64a()
-				h.Write([]byte(s))
-				hashes[r] = hashes[r]*1099511628211 ^ h.Sum64()
-			}
-		default:
-			for r := 0; r < n; r++ {
-				hashes[r] = mix(hashes[r], 0, &buf)
-			}
+		if i == 0 {
+			vector.HashCol(dst, kv)
+		} else {
+			vector.RehashCol(dst, kv)
 		}
 	}
-	return hashes, nil
-}
-
-func mix(h, x uint64, _ *[8]byte) uint64 {
-	x *= 0x9e3779b97f4a7c15
-	x ^= x >> 32
-	return (h ^ x) * 1099511628211
+	if len(keys) == 0 {
+		vector.HashStart(dst)
+	}
+	return dst, nil
 }
 
 // HashInt64 hashes a single integer key with the same function HashRows
 // uses, so table partitioning (hash of the partition key) and exchange
 // partitioning agree everywhere in the engine.
-func HashInt64(x int64) uint64 {
-	var buf [8]byte
-	return mix(14695981039346656037, uint64(x), &buf)
-}
+func HashInt64(x int64) uint64 { return vector.HashInt64(x) }

@@ -162,20 +162,29 @@ func flatten(consumersPerNode []int) (total int, streamNode []int) {
 // consumer threads on every node. It returns consumer ports indexed
 // [node][thread].
 func DXchgHashSplit(cfg Config, producers [][]exec.Operator, keys []expr.Expr, consumersPerNode []int) ([][]exec.Operator, *Exchange) {
-	return newSplit(cfg, producers, consumersPerNode, func(b *vector.Batch) ([]uint64, error) {
-		return exec.HashRows(b, keys)
+	// Routing delegates to exec.HashRowsInto, which runs on the vector hash
+	// kernels — the single hash definition shared with local exchange
+	// partitioning and the join/aggregation hash tables — reusing the
+	// sender's scratch buffer batch over batch.
+	return newSplit(cfg, producers, consumersPerNode, func(b *vector.Batch, scratch []uint64) ([]uint64, error) {
+		return exec.HashRowsInto(scratch, b, keys)
 	})
 }
 
 // DXchgRangeSplit partitions by comparing an int64 key against ascending
 // boundaries; consumer stream i gets keys ≤ bounds[i] (last unbounded).
 func DXchgRangeSplit(cfg Config, producers [][]exec.Operator, key expr.Expr, bounds []int64, consumersPerNode []int) ([][]exec.Operator, *Exchange) {
-	return newSplit(cfg, producers, consumersPerNode, func(b *vector.Batch) ([]uint64, error) {
+	return newSplit(cfg, producers, consumersPerNode, func(b *vector.Batch, scratch []uint64) ([]uint64, error) {
 		kv, err := key.Eval(b)
 		if err != nil {
 			return nil, err
 		}
-		out := make([]uint64, b.Len())
+		out := scratch
+		if n := b.Len(); cap(out) < n {
+			out = make([]uint64, n)
+		} else {
+			out = out[:n]
+		}
 		for r := range out {
 			var x int64
 			if kv.Kind() == vector.Int32 {
@@ -195,9 +204,11 @@ func DXchgRangeSplit(cfg Config, producers [][]exec.Operator, key expr.Expr, bou
 
 // newSplit builds a partitioning exchange; route returns one routing value
 // per live row (hash, or direct stream index for range split — both are
-// reduced modulo the stream count).
+// reduced modulo the stream count). The scratch argument is a per-sender
+// buffer route may reuse and return, keeping steady-state routing
+// allocation-free.
 func newSplit(cfg Config, producers [][]exec.Operator, consumersPerNode []int,
-	route func(*vector.Batch) ([]uint64, error)) ([][]exec.Operator, *Exchange) {
+	route func(*vector.Batch, []uint64) ([]uint64, error)) ([][]exec.Operator, *Exchange) {
 
 	totalStreams, streamNode := flatten(consumersPerNode)
 	ex := &Exchange{cfg: cfg}
@@ -292,7 +303,7 @@ func newSplit(cfg Config, producers [][]exec.Operator, consumersPerNode []int,
 
 func runSplitSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator,
 	totalStreams int, streamNode []int, consumersPerNode []int,
-	route func(*vector.Batch) ([]uint64, error)) {
+	route func(*vector.Batch, []uint64) ([]uint64, error)) {
 
 	defer comm.DoneSending()
 	t2t := ex.cfg.Mode == ThreadToThread
@@ -311,6 +322,7 @@ func runSplitSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator,
 		return
 	}
 	defer p.Close()
+	var scratch []uint64 // per-sender routing buffer, reused batch over batch
 	for {
 		b, err := p.Next()
 		if err != nil {
@@ -320,11 +332,12 @@ func runSplitSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator,
 		if b == nil {
 			break
 		}
-		rvals, err := route(b)
+		rvals, err := route(b, scratch)
 		if err != nil {
 			fail(err)
 			return
 		}
+		scratch = rvals
 		for r := 0; r < b.Len(); r++ {
 			stream := int(rvals[r] % uint64(totalStreams))
 			phys := int32(r)

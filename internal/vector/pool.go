@@ -1,0 +1,87 @@
+package vector
+
+// Pool recycles the scratch buffers of the hash probe and emit hot paths:
+// selection vectors, hash arrays and match bitmaps. Hash operators process
+// millions of batches per query; without reuse every probe batch costs a
+// handful of garbage allocations, which is exactly the overhead the
+// vectorized model is supposed to amortize away (§2).
+//
+// Ownership contract: a buffer moves strictly Get → use → Put within one
+// operator. Anything handed downstream (output batches, their vectors and
+// selection vectors) must NOT come from a Pool — exchange consumers and
+// buffering operators may still hold references after the producer moves on
+// to its next batch; this is also why the pool deliberately has no Vec
+// recycling: every Vec an operator produces escapes downstream, while
+// long-lived Vecs (hash-table key columns, join build columns) persist for
+// the operator's lifetime and need no pooling. A Pool is not safe for
+// concurrent use; every operator instance (or sender goroutine) owns its
+// own. The zero value is ready to use.
+type Pool struct {
+	sels   [][]int32
+	hashes [][]uint64
+	bools  [][]bool
+}
+
+// GetSel returns an empty int32 buffer (selection vector, candidate list,
+// counter array) with at least the given capacity.
+func (p *Pool) GetSel(capHint int) []int32 {
+	if n := len(p.sels); n > 0 {
+		s := p.sels[n-1]
+		p.sels = p.sels[:n-1]
+		if cap(s) >= capHint {
+			return s[:0]
+		}
+	}
+	return make([]int32, 0, capHint)
+}
+
+// PutSel returns int32 buffers to the pool.
+func (p *Pool) PutSel(ss ...[]int32) {
+	for _, s := range ss {
+		if cap(s) > 0 {
+			p.sels = append(p.sels, s)
+		}
+	}
+}
+
+// GetHashes returns a hash buffer of length n (contents undefined).
+func (p *Pool) GetHashes(n int) []uint64 {
+	if l := len(p.hashes); l > 0 {
+		h := p.hashes[l-1]
+		p.hashes = p.hashes[:l-1]
+		if cap(h) >= n {
+			return h[:n]
+		}
+	}
+	return make([]uint64, n)
+}
+
+// PutHashes returns a hash buffer to the pool.
+func (p *Pool) PutHashes(h []uint64) {
+	if cap(h) > 0 {
+		p.hashes = append(p.hashes, h)
+	}
+}
+
+// GetBools returns a zeroed bool buffer of length n.
+func (p *Pool) GetBools(n int) []bool {
+	if l := len(p.bools); l > 0 {
+		b := p.bools[l-1]
+		p.bools = p.bools[:l-1]
+		if cap(b) >= n {
+			b = b[:n]
+			for i := range b {
+				b[i] = false
+			}
+			return b
+		}
+	}
+	return make([]bool, n)
+}
+
+// PutBools returns a bool buffer to the pool.
+func (p *Pool) PutBools(b []bool) {
+	if cap(b) > 0 {
+		p.bools = append(p.bools, b)
+	}
+}

@@ -172,6 +172,76 @@ func (v *Vec) AppendFrom(src *Vec, i int) {
 	}
 }
 
+// AppendRange bulk-appends src[lo:hi] (same kind) column-wise, avoiding the
+// per-value kind dispatch of AppendFrom on build/emit hot paths.
+func (v *Vec) AppendRange(src *Vec, lo, hi int) {
+	switch v.kind {
+	case Bool:
+		v.b = append(v.b, src.b[lo:hi]...)
+	case Int32:
+		v.i32 = append(v.i32, src.i32[lo:hi]...)
+	case Int64:
+		v.i64 = append(v.i64, src.i64[lo:hi]...)
+	case Float64:
+		v.f64 = append(v.f64, src.f64[lo:hi]...)
+	case String:
+		v.str = append(v.str, src.str[lo:hi]...)
+	default:
+		panic("vector: AppendRange on invalid vector")
+	}
+	v.n += hi - lo
+}
+
+// AppendGather appends src[sel[i]] for every position of sel, column-wise.
+// Negative indices append the kind's zero value (outer-join padding).
+func (v *Vec) AppendGather(src *Vec, sel []int32) {
+	switch v.kind {
+	case Bool:
+		for _, i := range sel {
+			if i < 0 {
+				v.b = append(v.b, false)
+			} else {
+				v.b = append(v.b, src.b[i])
+			}
+		}
+	case Int32:
+		for _, i := range sel {
+			if i < 0 {
+				v.i32 = append(v.i32, 0)
+			} else {
+				v.i32 = append(v.i32, src.i32[i])
+			}
+		}
+	case Int64:
+		for _, i := range sel {
+			if i < 0 {
+				v.i64 = append(v.i64, 0)
+			} else {
+				v.i64 = append(v.i64, src.i64[i])
+			}
+		}
+	case Float64:
+		for _, i := range sel {
+			if i < 0 {
+				v.f64 = append(v.f64, 0)
+			} else {
+				v.f64 = append(v.f64, src.f64[i])
+			}
+		}
+	case String:
+		for _, i := range sel {
+			if i < 0 {
+				v.str = append(v.str, "")
+			} else {
+				v.str = append(v.str, src.str[i])
+			}
+		}
+	default:
+		panic("vector: AppendGather on invalid vector")
+	}
+	v.n += len(sel)
+}
+
 // AppendZero appends the kind's zero value.
 func (v *Vec) AppendZero() {
 	switch v.kind {
