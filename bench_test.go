@@ -123,6 +123,29 @@ func BenchmarkTPCHPerQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkTPCHRefresh runs the TPC-H refresh streams RF1/RF2 as SQL DML
+// through the PDT trickle-update path (with update propagation forced) and
+// re-validates every SQL TPC-H query against expected results recomputed
+// over the post-refresh data. Named so CI's `-bench=TPCH` smoke step picks
+// it up: the update path gets the same can't-silently-rot guarantee as the
+// query path.
+func BenchmarkTPCHRefresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Refresh(benchSF, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range res.Queries {
+			if !q.Match {
+				b.Fatalf("Q%02d diverged from the recomputed expected result after refresh", q.Q)
+			}
+		}
+		if i == 0 {
+			b.Log("\n" + res.Report())
+		}
+	}
+}
+
 // BenchmarkUpdateImpact regenerates the bottom block of Figure 7: RF1/RF2
 // times and the GeoDiff of query performance after updates (paper: VectorH
 // 102.8% vs Hive 138.2%).

@@ -33,13 +33,26 @@ type queryBench struct {
 	Rows        int    `json:"rows"`
 }
 
+// refreshBench records the RF1/RF2-as-SQL refresh experiment: stream
+// timings plus the post-refresh validation verdict (see `-exp refresh`).
+type refreshBench struct {
+	RF1Rows          int64 `json:"rf1_rows"`
+	RF1NsPerRow      int64 `json:"rf1_ns_per_row"`
+	RF2Rows          int64 `json:"rf2_rows"`
+	RF2NsPerRow      int64 `json:"rf2_ns_per_row"`
+	Propagated       int   `json:"propagated_partitions"`
+	QueriesValidated int   `json:"queries_validated"`
+	AllMatch         bool  `json:"all_match"`
+}
+
 // benchFile is the on-disk BENCH_tpch.json schema.
 type benchFile struct {
-	SF       float64      `json:"sf"`
-	Nodes    int          `json:"nodes"`
-	Threads  int          `json:"threads"`
-	Baseline []queryBench `json:"baseline,omitempty"`
-	Current  []queryBench `json:"current,omitempty"`
+	SF       float64       `json:"sf"`
+	Nodes    int           `json:"nodes"`
+	Threads  int           `json:"threads"`
+	Baseline []queryBench  `json:"baseline,omitempty"`
+	Current  []queryBench  `json:"current,omitempty"`
+	Refresh  *refreshBench `json:"refresh,omitempty"`
 }
 
 // runTPCHBench measures every TPC-H query and writes the JSON file, filling
@@ -99,6 +112,53 @@ func runTPCHBench(sf float64, nodes int, path, set string, perQuery time.Duratio
 	if file.Baseline != nil && file.Current != nil {
 		printDelta(file)
 	}
+	return nil
+}
+
+// runRefresh runs the RF1/RF2-as-SQL refresh experiment, prints its report
+// and records the numbers in the refresh block of BENCH_tpch.json (the
+// baseline/current query columns are preserved).
+func runRefresh(sf float64, nodes int, path string) error {
+	res, err := experiments.Refresh(sf, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	if !res.AllMatch() {
+		return fmt.Errorf("post-refresh validation failed: a query diverged from the recomputed expected result")
+	}
+	const threads = 2 // experiments.Refresh's engine configuration
+	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
+	if old, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(old, &file); err != nil {
+			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+		}
+		if file.SF != sf || file.Nodes != nodes {
+			fmt.Fprintf(os.Stderr,
+				"warning: %s was recorded at sf=%v nodes=%d, this run is sf=%v nodes=%d — the retained columns are not comparable\n",
+				path, file.SF, file.Nodes, sf, nodes)
+		}
+		file.SF, file.Nodes, file.Threads = sf, nodes, threads
+	}
+	rf1Rows := res.RF1Orders + res.RF1Items
+	rf2Rows := res.RF2Orders + res.RF2Items
+	file.Refresh = &refreshBench{
+		RF1Rows:          rf1Rows,
+		RF1NsPerRow:      res.RF1Time.Nanoseconds() / max(rf1Rows, 1),
+		RF2Rows:          rf2Rows,
+		RF2NsPerRow:      res.RF2Time.Nanoseconds() / max(rf2Rows, 1),
+		Propagated:       res.PropagatedPartitions,
+		QueriesValidated: len(res.Queries),
+		AllMatch:         true,
+	}
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote refresh block of %s\n", path)
 	return nil
 }
 

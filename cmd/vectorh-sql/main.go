@@ -1,11 +1,17 @@
 // Command vectorh-sql is an interactive SQL shell over an in-process
-// VectorH cluster preloaded with TPC-H data. Statements end with ';'.
+// VectorH cluster preloaded with TPC-H data. Statements end with ';';
+// several statements may share a line (or an input buffer) and run in
+// order. INSERT/UPDATE/DELETE run through the PDT trickle-update path.
 //
 //	$ go run ./cmd/vectorh-sql -sf 0.01 -nodes 3
 //	vectorh> select count(*) from lineitem;
 //	vectorh> explain select n_name, sum(l_extendedprice) from lineitem ...;
+//	vectorh> insert into region (r_regionkey, r_name, r_comment) values (5, 'ATLANTIS', 'sunk');
+//	vectorh> update orders set o_orderpriority = '1-URGENT' where o_orderkey = 7; delete from region where r_regionkey = 5;
 //	vectorh> \d          -- list tables
 //	vectorh> \q 6        -- run the TPC-H Q6 SQL text
+//	vectorh> \rf1 10     -- run refresh stream RF1 (10 new orders) as SQL
+//	vectorh> \rf2 10     -- run refresh stream RF2 (delete 10 orders) as SQL
 //	vectorh> \quit
 package main
 
@@ -54,10 +60,11 @@ func main() {
 	if err := tpch.LoadIntoEngine(db.Engine, d, *partitions); err != nil {
 		fatal(err)
 	}
+	sh := &shell{db: db, data: d, rfSeed: 1000}
 	fmt.Fprintf(os.Stderr, "loaded in %v; statements end with ';', \\quit exits\n", time.Since(start).Round(time.Millisecond))
 
 	if *query != "" {
-		run(db, *query)
+		sh.run(*query)
 		return
 	}
 	in := bufio.NewScanner(os.Stdin)
@@ -73,7 +80,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if meta(db, trimmed) {
+			if sh.meta(trimmed) {
 				return
 			}
 			continue
@@ -81,7 +88,7 @@ func main() {
 		buf.WriteString(line)
 		buf.WriteString("\n")
 		if strings.HasSuffix(trimmed, ";") {
-			run(db, buf.String())
+			sh.run(buf.String())
 			buf.Reset()
 			prompt = "vectorh> "
 		} else if buf.Len() > 0 {
@@ -90,8 +97,17 @@ func main() {
 	}
 }
 
+// shell holds the REPL state: the database plus the generated TPC-H data
+// the refresh-stream commands derive their inserts and delete keys from.
+type shell struct {
+	db     *vectorh.DB
+	data   *tpch.Data
+	rfSeed int64 // bumped per refresh so repeated \rf1 inserts fresh keys
+}
+
 // meta handles backslash commands; it reports whether the REPL should exit.
-func meta(db *vectorh.DB, cmd string) bool {
+func (sh *shell) meta(cmd string) bool {
+	db := sh.db
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\quit", "\\exit":
@@ -122,27 +138,60 @@ func meta(db *vectorh.DB, cmd string) bool {
 			return false
 		}
 		fmt.Println(text)
-		run(db, text)
+		sh.run(text)
+	case "\\rf1", "\\rf2":
+		count := 10
+		if len(fields) == 2 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n <= 0 {
+				fmt.Printf("usage: %s [N]  (refresh N orders; default 10)\n", fields[0])
+				return false
+			}
+			count = n
+		}
+		sh.rfSeed++
+		var stmts []string
+		if fields[0] == "\\rf1" {
+			stmts = tpch.RF1SQL(sh.data, count, sh.rfSeed)
+		} else {
+			stmts = tpch.RF2SQL(tpch.RF2Keys(sh.data, count, sh.rfSeed))
+		}
+		for _, s := range stmts {
+			sh.execDML(s)
+		}
 	default:
-		fmt.Printf("unknown command %s (try \\d, \\q N, \\quit)\n", fields[0])
+		fmt.Printf("unknown command %s (try \\d, \\q N, \\rf1 N, \\rf2 N, \\quit)\n", fields[0])
 	}
 	return false
 }
 
-// run executes one statement (EXPLAIN prefix shows the distributed plan).
-func run(db *vectorh.DB, stmt string) {
+// run executes the buffered input: each ';'-separated statement in order
+// (EXPLAIN prefix shows the distributed plan, DML reports affected rows).
+func (sh *shell) run(input string) {
+	for _, stmt := range sql.SplitStatements(input) {
+		sh.runOne(stmt)
+	}
+}
+
+func (sh *shell) runOne(stmt string) {
+	db := sh.db
 	stmt = strings.TrimSuffix(strings.TrimSpace(stmt), ";")
 	if stmt == "" {
 		return
 	}
 	lower := strings.ToLower(stmt)
-	if strings.HasPrefix(lower, "explain") {
+	switch {
+	case strings.HasPrefix(lower, "explain"):
 		plan, err := db.ExplainSQL(stmt[len("explain"):])
 		if err != nil {
 			fmt.Println(err)
 			return
 		}
 		fmt.Print(plan)
+		return
+	case strings.HasPrefix(lower, "insert"), strings.HasPrefix(lower, "update"),
+		strings.HasPrefix(lower, "delete"):
+		sh.execDML(stmt)
 		return
 	}
 	n, err := sql.Compile(stmt, db.Engine)
@@ -163,6 +212,17 @@ func run(db *vectorh.DB, stmt string) {
 	}
 	printResult(schema, rows)
 	fmt.Printf("(%d rows, %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
+}
+
+// execDML runs one INSERT/UPDATE/DELETE through the PDT trickle-update path.
+func (sh *shell) execDML(stmt string) {
+	start := time.Now()
+	n, err := sh.db.ExecSQL(stmt)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("(%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
 }
 
 // printResult renders rows as an aligned table, formatting dates and

@@ -586,6 +586,13 @@ func (s *Scanner) Next() (*vector.Batch, int64, error) {
 	return batch, start, nil
 }
 
+// Close releases the scanner's cached decoded blocks and terminates the
+// scan: a subsequent Next reports end-of-scan.
+func (s *Scanner) Close() {
+	s.cache = nil
+	s.ri = len(s.ranges)
+}
+
 // ensureBlock loads (and caches) the block of requested column i covering
 // row.
 func (s *Scanner) ensureBlock(i int, row int64) (*cachedBlock, error) {

@@ -486,3 +486,91 @@ func TestQueryAfterInsertKeepsPerformance(t *testing.T) {
 		t.Fatalf("sum %v -> %v, want +100", before[0][0], after[0][0])
 	}
 }
+
+// TestMalformedScanRequests checks the scan entry points return errors —
+// not panics — on out-of-range partitions and bogus MinMax skip hints.
+func TestMalformedScanRequests(t *testing.T) {
+	e := testEngine(t, 3)
+	setupTables(t, e, 100)
+
+	if _, err := e.PartitionScan("orders", -1, []string{"o_orderkey"}, nil, 0); err == nil {
+		t.Fatal("PartitionScan(-1) did not error")
+	}
+	if _, err := e.PartitionScan("orders", 99, []string{"o_orderkey"}, nil, 0); err == nil {
+		t.Fatal("PartitionScan(99) did not error")
+	}
+	if _, err := e.PartitionScan("nosuch", 0, []string{"x"}, nil, 0); err == nil {
+		t.Fatal("PartitionScan on unknown table did not error")
+	}
+	if _, err := e.ReplicatedScan("nosuch", []string{"x"}, nil, 0); err == nil {
+		t.Fatal("ReplicatedScan on unknown table did not error")
+	}
+	if err := e.PropagatePartition("orders", 99); err == nil {
+		t.Fatal("PropagatePartition(99) did not error")
+	}
+
+	// A skip hint naming a column the partition does not store is a
+	// malformed plan and must surface at Open, not scan everything.
+	scan, err := e.PartitionScan("orders", 0, []string{"o_orderkey"},
+		&rewriter.ScanPred{Col: "nope", Lo: 0, Hi: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scan.Open(); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("Open with bogus skip column: err=%v, want column-not-found", err)
+	}
+	// A skip hint on a string column has no MinMax index to use — the scan
+	// must still run, just without skipping.
+	scan, err = e.PartitionScan("supplier", 0, []string{"s_suppkey", "s_name"},
+		&rewriter.ScanPred{Col: "s_name", Lo: 0, Hi: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scan.Open(); err != nil {
+		t.Fatalf("Open with string-column skip hint: %v", err)
+	}
+	n := 0
+	for {
+		b, err := scan.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		n += b.Len()
+	}
+	if n != 10 {
+		t.Fatalf("scanned %d rows, want 10", n)
+	}
+	if err := scan.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and a closed scan reports end-of-scan.
+	if err := scan.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := scan.Next(); err != nil || b != nil {
+		t.Fatalf("Next after Close: batch=%v err=%v", b, err)
+	}
+}
+
+// TestUpdateWhereRejectsKindMismatch checks that a SET expression whose
+// physical kind does not match the column is rejected at bind time instead
+// of corrupting the PDT.
+func TestUpdateWhereRejectsKindMismatch(t *testing.T) {
+	e := testEngine(t, 3)
+	setupTables(t, e, 100)
+	_, err := e.UpdateWhere("orders",
+		plan.EQ(plan.Col("o_orderkey"), plan.Int(1)),
+		[]string{"o_total"}, []plan.Expr{plan.Str("oops")})
+	if err == nil || !strings.Contains(err.Error(), "does not match column kind") {
+		t.Fatalf("kind mismatch not rejected: %v", err)
+	}
+	_, err = e.UpdateWhere("orders",
+		plan.Col("o_total"), // not a boolean predicate
+		[]string{"o_total"}, []plan.Expr{plan.Float(1)})
+	if err == nil || !strings.Contains(err.Error(), "not boolean") {
+		t.Fatalf("non-boolean predicate not rejected: %v", err)
+	}
+}

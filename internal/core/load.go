@@ -144,8 +144,11 @@ func (e *Engine) bumpRows(t *Table) {
 			total += p.Meta.Rows
 		}
 	}
-	t.Info.Rows = total
+	// Info.Rows lives on the shared *Table; mutate it only under the engine
+	// lock so concurrent readers (Engine.Table, the rewriter's catalog
+	// lookups) never observe a torn write.
 	e.mu.Lock()
+	t.Info.Rows = total
 	e.tables[t.Info.Name] = t
 	e.mu.Unlock()
 }
@@ -182,7 +185,11 @@ func (e *Engine) InsertRows(table string, b *vector.Batch) error {
 		return err
 	}
 	e.bumpRows(t)
-	e.maybePropagate(t)
+	if err := e.maybePropagate(t); err != nil {
+		// The insert is durably committed; only the post-commit flush
+		// failed. Say so, or a caller would retry and duplicate the rows.
+		return fmt.Errorf("core: rows committed, but post-commit flush failed: %w", err)
+	}
 	return nil
 }
 
@@ -218,6 +225,9 @@ func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, set
 	if err != nil {
 		return 0, err
 	}
+	if pt, err := pred.Type(schema); err != nil || pt.Kind != vector.Bool {
+		return 0, fmt.Errorf("core: predicate on %q is not boolean", table)
+	}
 	var setIdx []int
 	var setBound []expr.Expr
 	for i, cname := range setCols {
@@ -230,13 +240,24 @@ func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, set
 		if err != nil {
 			return 0, err
 		}
+		// Reject SET expressions whose physical kind does not match the
+		// column: the value would land in the PDT as-is and only blow up
+		// later, deep inside a merging scan.
+		if be.Kind() != schema[ci].Type.Kind {
+			return 0, fmt.Errorf("core: SET %s: expression kind %s does not match column kind %s",
+				cname, be.Kind(), schema[ci].Type.Kind)
+		}
 		setBound = append(setBound, be)
 	}
 
 	tx := e.mgr.Begin()
 	var total int64
 	for _, part := range t.Parts {
-		// Scan the partition at its responsible node, tracking RIDs.
+		// Scan the partition at its responsible node, tracking RIDs. Hits
+		// are applied batch by batch — bounded chunks of at most
+		// vector.MaxSize rows — rather than buffered per partition; the
+		// scan works on snapshotted PDTs, so the transaction's own
+		// uncommitted writes never disturb it.
 		node := nodeOf[part.Responsible]
 		scan, err := e.PartitionScan(table, part.Meta.Partition, schema.Names(), nil, node)
 		if err != nil {
@@ -247,15 +268,12 @@ func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, set
 			tx.Abort()
 			return 0, err
 		}
-		type hit struct {
-			rid  int64
-			vals []any
-		}
-		var hits []hit
 		rid := int64(0)
+		deleted := int64(0) // rows already deleted below the cursor
 		for {
 			b, err := scan.Next()
 			if err != nil {
+				scan.Close()
 				tx.Abort()
 				return 0, err
 			}
@@ -264,56 +282,78 @@ func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, set
 			}
 			pv, err := bound.Eval(b)
 			if err != nil {
+				scan.Close()
 				tx.Abort()
 				return 0, err
 			}
-			var setVals []*vector.Vec
-			for _, se := range setBound {
-				v, err := se.Eval(b)
-				if err != nil {
-					tx.Abort()
-					return 0, err
+			matches := pv.Bools()
+			nmatch := 0
+			for _, m := range matches {
+				if m {
+					nmatch++
 				}
-				setVals = append(setVals, v)
 			}
-			for r, match := range pv.Bools() {
-				if !match {
-					continue
-				}
-				h := hit{rid: rid + int64(r)}
-				for _, v := range setVals {
-					h.vals = append(h.vals, v.Get(r))
-				}
-				hits = append(hits, h)
+			if nmatch == 0 {
+				// No hit in this batch: skip SET evaluation entirely.
+				rid += int64(b.Len())
+				continue
 			}
+			if setCols == nil {
+				// Ascending deletes: each prior delete shifts the visible
+				// positions above it down by one.
+				for r, match := range matches {
+					if !match {
+						continue
+					}
+					if err := tx.Delete(part.Key, rid+int64(r)-deleted); err != nil {
+						scan.Close()
+						tx.Abort()
+						return 0, err
+					}
+					deleted++
+				}
+			} else {
+				var setVals []*vector.Vec
+				for _, se := range setBound {
+					v, err := se.Eval(b)
+					if err != nil {
+						scan.Close()
+						tx.Abort()
+						return 0, err
+					}
+					setVals = append(setVals, v)
+				}
+				for r, match := range matches {
+					if !match {
+						continue
+					}
+					vals := make([]any, len(setVals))
+					for i, v := range setVals {
+						vals[i] = v.Get(r)
+					}
+					if err := tx.Modify(part.Key, rid+int64(r), setIdx, vals); err != nil {
+						scan.Close()
+						tx.Abort()
+						return 0, err
+					}
+					// Widen MinMax so block skipping stays correct (§6).
+					e.widenFor(part, setIdx, vals)
+				}
+			}
+			total += int64(nmatch)
 			rid += int64(b.Len())
 		}
 		scan.Close()
-		if setCols == nil {
-			// Delete descending so earlier RIDs stay valid.
-			for i := len(hits) - 1; i >= 0; i-- {
-				if err := tx.Delete(part.Key, hits[i].rid); err != nil {
-					tx.Abort()
-					return 0, err
-				}
-			}
-		} else {
-			for _, h := range hits {
-				if err := tx.Modify(part.Key, h.rid, setIdx, h.vals); err != nil {
-					tx.Abort()
-					return 0, err
-				}
-				// Widen MinMax so block skipping stays correct (§6).
-				e.widenFor(part, setIdx, h.vals)
-			}
-		}
-		total += int64(len(hits))
 	}
 	if err := tx.Commit(); err != nil {
 		return 0, err
 	}
 	e.bumpRows(t)
-	e.maybePropagate(t)
+	if err := e.maybePropagate(t); err != nil {
+		// The changes are durably committed; report the affected count
+		// alongside the post-commit flush failure.
+		return total, fmt.Errorf("core: %d rows committed, but post-commit flush failed: %w", total, err)
+	}
 	return total, nil
 }
 
@@ -356,18 +396,23 @@ func widenAll(m *colstore.PartitionMeta, col string, n int64, f float64, s strin
 	}
 }
 
-// maybePropagate runs update propagation for partitions whose Write-PDT
-// exceeds the flush threshold.
-func (e *Engine) maybePropagate(t *Table) {
+// maybePropagate runs update propagation for partitions whose PDT layers
+// exceed the flush threshold. Propagation failures are surfaced, not
+// swallowed: a partition whose flush failed half-way must not pretend the
+// write path is healthy.
+func (e *Engine) maybePropagate(t *Table) error {
 	for _, part := range t.Parts {
 		st, err := e.mgr.Part(part.Key)
 		if err != nil {
 			continue
 		}
 		if st.Write.MemBytes()+st.Read.MemBytes() >= e.cfg.PDTFlushBytes {
-			e.PropagatePartition(t.Info.Name, part.Meta.Partition)
+			if err := e.PropagatePartition(t.Info.Name, part.Meta.Partition); err != nil {
+				return fmt.Errorf("core: propagating %s.p%d: %w", t.Info.Name, part.Meta.Partition, err)
+			}
 		}
 	}
+	return nil
 }
 
 // PropagatePartition flushes a partition's PDTs into the column store: tail
@@ -383,6 +428,9 @@ func (e *Engine) PropagatePartition(table string, partIdx int) error {
 	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("core: unknown table %q", table)
+	}
+	if partIdx < 0 || partIdx >= len(t.Parts) {
+		return fmt.Errorf("core: %s has no partition %d", table, partIdx)
 	}
 	part := t.Parts[partIdx]
 	if err := e.mgr.PropagateWriteToRead(part.Key); err != nil {

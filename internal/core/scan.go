@@ -45,7 +45,7 @@ func (e *Engine) PartitionScan(table string, partIdx int, cols []string, pred *r
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)
 	}
-	if partIdx >= len(t.Parts) {
+	if partIdx < 0 || partIdx >= len(t.Parts) {
 		return nil, fmt.Errorf("core: %s has no partition %d", table, partIdx)
 	}
 	return e.newMScan(t, t.Parts[partIdx], cols, pred, nodeName)
@@ -62,6 +62,9 @@ func (e *Engine) ReplicatedScan(table string, cols []string, pred *rewriter.Scan
 	e.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)
+	}
+	if len(t.Parts) == 0 {
+		return nil, fmt.Errorf("core: table %q has no partitions", table)
 	}
 	return e.newMScan(t, t.Parts[0], cols, pred, nodeName)
 }
@@ -112,8 +115,15 @@ func (e *Engine) newMScan(t *Table, part *Partition, cols []string, pred *rewrit
 func (m *mscan) Open() error {
 	ranges := m.meta.FullRange()
 	if m.pred != nil {
+		// A skip hint naming a column the partition does not store is a
+		// malformed plan — surface it instead of silently scanning
+		// everything. A column of a kind without an int64 MinMax index
+		// (string, float) merely has no skip opportunity.
 		c, err := m.meta.Col(m.pred.Col)
-		if err == nil && (c.Type.Kind == vector.Int32 || c.Type.Kind == vector.Int64) {
+		if err != nil {
+			return fmt.Errorf("core: MinMax skip hint: %w", err)
+		}
+		if c.Type.Kind == vector.Int32 || c.Type.Kind == vector.Int64 {
 			qr, err := m.meta.QualifyingRanges(m.pred.Col, colstore.Int64RangePred(m.pred.Lo, m.pred.Hi))
 			if err != nil {
 				return err
@@ -187,5 +197,15 @@ func (m *mscan) Next() (*vector.Batch, error) {
 	}
 }
 
-// Close implements exec.Operator.
-func (m *mscan) Close() error { return nil }
+// Close implements exec.Operator: it releases the scanner's decoded block
+// cache and the merger snapshots so a finished (or abandoned) scan does not
+// pin column blocks and PDT entry lists in memory.
+func (m *mscan) Close() error {
+	if m.sc != nil {
+		m.sc.Close()
+		m.sc = nil
+	}
+	m.readM, m.writeM = nil, nil
+	m.stage = 3
+	return nil
+}

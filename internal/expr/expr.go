@@ -12,6 +12,7 @@ package expr
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"vectorh/internal/vector"
@@ -252,6 +253,93 @@ func (s *scaledExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
 		out[i] = x * s.factor
 	}
 	return vector.FromFloat64(out), nil
+}
+
+// --- physical casts (the trickle-update write path converts computed
+// values into the target column's storage representation) ---
+
+// CastInt32 narrows an integer expression to int32, failing at evaluation
+// time on values outside the int32 range (silent truncation would corrupt
+// stored data).
+func CastInt32(e Expr) Expr { return &castInt32Expr{e} }
+
+type castInt32Expr struct{ e Expr }
+
+func (c *castInt32Expr) Kind() vector.Kind { return vector.Int32 }
+func (c *castInt32Expr) String() string    { return fmt.Sprintf("int32(%s)", c.e) }
+
+func (c *castInt32Expr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	v, err := c.e.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind() == vector.Int32 {
+		return v, nil
+	}
+	src, ok := asInt64(v)
+	if !ok {
+		return nil, fmt.Errorf("expr: int32() on %v", v.Kind())
+	}
+	out := make([]int32, len(src))
+	for i, x := range src {
+		if x < -1<<31 || x > 1<<31-1 {
+			return nil, fmt.Errorf("expr: value %d overflows int32", x)
+		}
+		out[i] = int32(x)
+	}
+	return vector.FromInt32(out), nil
+}
+
+// CastInt64 widens an int32 expression to int64 (a no-op on int64 input).
+func CastInt64(e Expr) Expr { return &castInt64Expr{e} }
+
+type castInt64Expr struct{ e Expr }
+
+func (c *castInt64Expr) Kind() vector.Kind { return vector.Int64 }
+func (c *castInt64Expr) String() string    { return fmt.Sprintf("int64(%s)", c.e) }
+
+func (c *castInt64Expr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	v, err := c.e.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind() == vector.Int64 {
+		return v, nil
+	}
+	src, ok := asInt64(v)
+	if !ok {
+		return nil, fmt.Errorf("expr: int64() on %v", v.Kind())
+	}
+	return vector.FromInt64(src), nil
+}
+
+// ToScaledInt64 converts a numeric expression to a scaled int64 (the
+// inverse of Scaled): round(x * scale). It is how computed SQL decimal
+// values return to their storage representation.
+func ToScaledInt64(e Expr, scale float64) Expr { return &toScaledExpr{e, scale} }
+
+type toScaledExpr struct {
+	e     Expr
+	scale float64
+}
+
+func (s *toScaledExpr) Kind() vector.Kind { return vector.Int64 }
+func (s *toScaledExpr) String() string    { return fmt.Sprintf("toscaled(%s,%g)", s.e, s.scale) }
+
+func (s *toScaledExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
+	v, err := s.e.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := asFloat(v)
+	if !ok {
+		return nil, fmt.Errorf("expr: toscaled() on %v", v.Kind())
+	}
+	out := make([]int64, len(f))
+	for i, x := range f {
+		out[i] = int64(math.Round(x * s.scale))
+	}
+	return vector.FromInt64(out), nil
 }
 
 // --- comparisons ---

@@ -196,6 +196,28 @@ func Year(c Expr) Expr {
 	return unary(c, func(vector.Type) vector.Type { return vector.TInt32 }, expr.Year)
 }
 
+// Bool is a boolean literal (e.g. the TRUE predicate of an unfiltered
+// UPDATE/DELETE).
+func Bool(v bool) Expr { return lit(vector.TBool, expr.ConstBool(v)) }
+
+// CastInt32 narrows an integer expression to int32 storage, failing at
+// evaluation on overflow.
+func CastInt32(c Expr) Expr {
+	return unary(c, func(vector.Type) vector.Type { return vector.TInt32 }, expr.CastInt32)
+}
+
+// CastInt64 widens an integer expression to int64 storage.
+func CastInt64(c Expr) Expr {
+	return unary(c, func(vector.Type) vector.Type { return vector.TInt64 }, expr.CastInt64)
+}
+
+// ToDecimal converts a numeric expression to decimal storage (scaled int64,
+// two digits): the inverse of Dec.
+func ToDecimal(c Expr) Expr {
+	return unary(c, func(vector.Type) vector.Type { return vector.TDecimal },
+		func(e expr.Expr) expr.Expr { return expr.ToScaledInt64(e, 100) })
+}
+
 // Like is SQL LIKE with % wildcards.
 func Like(c Expr, pattern string) Expr {
 	return unary(c, func(vector.Type) vector.Type { return vector.TBool },

@@ -5,6 +5,53 @@ import (
 	"strings"
 )
 
+// Stmt is any parsed statement: SELECT or one of the DML forms.
+type Stmt interface {
+	fmt.Stringer
+	stmtNode()
+}
+
+func (*SelectStmt) stmtNode() {}
+func (*InsertStmt) stmtNode() {}
+func (*UpdateStmt) stmtNode() {}
+func (*DeleteStmt) stmtNode() {}
+
+// InsertStmt is INSERT INTO table [(cols)] VALUES (…), (…).
+type InsertStmt struct {
+	Table    string
+	TablePos Pos
+	Cols     []Ident  // optional explicit column list
+	Rows     [][]Expr // literal value tuples
+}
+
+// Ident is a positioned identifier (column names in INSERT lists).
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// UpdateStmt is UPDATE table SET col = expr, … [WHERE pred].
+type UpdateStmt struct {
+	Table    string
+	TablePos Pos
+	Sets     []SetItem
+	Where    Expr // nil when absent
+}
+
+// SetItem is one SET assignment.
+type SetItem struct {
+	Col    string
+	ColPos Pos
+	Expr   Expr
+}
+
+// DeleteStmt is DELETE FROM table [WHERE pred].
+type DeleteStmt struct {
+	Table    string
+	TablePos Pos
+	Where    Expr // nil when absent
+}
+
 // SelectStmt is a parsed SELECT statement.
 type SelectStmt struct {
 	Items   []SelectItem
@@ -217,6 +264,63 @@ type CaseExpr struct {
 func (e *CaseExpr) pos() Pos { return e.P }
 func (e *CaseExpr) String() string {
 	return fmt.Sprintf("case when %s then %s else %s end", e.When, e.Then, e.Else)
+}
+
+// String renders the statement in a canonical single-line form (used by the
+// golden parser tests).
+func (s *InsertStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("insert into " + s.Table)
+	if len(s.Cols) > 0 {
+		sb.WriteString(" (")
+		for i, c := range s.Cols {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.Name)
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteString(" values ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(")
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// String renders the statement in a canonical single-line form.
+func (s *UpdateStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("update " + s.Table + " set ")
+	for i, it := range s.Sets {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.Col + " = " + it.Expr.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" where " + s.Where.String())
+	}
+	return sb.String()
+}
+
+// String renders the statement in a canonical single-line form.
+func (s *DeleteStmt) String() string {
+	out := "delete from " + s.Table
+	if s.Where != nil {
+		out += " where " + s.Where.String()
+	}
+	return out
 }
 
 // String renders the statement in a canonical single-line form (used by the

@@ -1,9 +1,11 @@
 // Package sql is the text front-end of the engine: a hand-written lexer, a
-// recursive-descent parser for a pragmatic SELECT subset, and a binder that
-// resolves names against the engine catalog and lowers statements onto the
-// logical plan.Node/plan.Expr trees consumed by the Parallel Rewriter. The
-// whole existing pipeline — rewrite rules, Xchg parallelism, MinMax skipping
-// — applies to SQL-born plans unchanged.
+// recursive-descent parser for a pragmatic SELECT + DML subset, and a binder
+// that resolves names against the engine catalog and lowers statements onto
+// the logical plan.Node/plan.Expr trees consumed by the Parallel Rewriter
+// (queries) or onto the engine's PDT-backed trickle-update entry points
+// (INSERT/UPDATE/DELETE). The whole existing pipeline — rewrite rules, Xchg
+// parallelism, MinMax skipping, PDT-merging scans — applies to SQL-born
+// plans unchanged.
 //
 // Supported grammar (keywords are case-insensitive):
 //
@@ -12,9 +14,14 @@
 //	[WHERE pred] [GROUP BY col|alias, ...]
 //	[ORDER BY expr [ASC|DESC], ...] [LIMIT n]
 //
+//	INSERT INTO table [(col, ...)] VALUES (lit, ...) [, (lit, ...)]...
+//	UPDATE table SET col = expr [, col = expr]... [WHERE pred]
+//	DELETE FROM table [WHERE pred]
+//
 // with comparison/AND/OR/NOT, + - * /, LIKE, IN, BETWEEN, CASE WHEN, date
 // literals (DATE 'YYYY-MM-DD' [+ INTERVAL 'n' MONTH]), YEAR(), and the
-// aggregates sum/min/max/avg/count(*)/count(distinct).
+// aggregates sum/min/max/avg/count(*)/count(distinct). Statements separated
+// by ';' form scripts (SplitStatements).
 package sql
 
 import (
@@ -68,6 +75,66 @@ var keywords = map[string]bool{
 	"in": true, "like": true, "between": true, "case": true, "when": true,
 	"then": true, "else": true, "end": true, "date": true, "interval": true,
 	"month": true, "distinct": true, "inner": true, "explain": true,
+	"insert": true, "into": true, "values": true, "update": true,
+	"set": true, "delete": true,
+}
+
+// SplitStatements cuts a script into its ';'-separated statements,
+// honoring single-quoted string literals (with ” escapes) and -- line
+// comments. Statement-less fragments (whitespace, comments) are dropped;
+// lexical errors surface when the fragment is parsed.
+func SplitStatements(src string) []string {
+	var out []string
+	start := 0
+	flush := func(end int) {
+		s := src[start:end]
+		// Emit the fragment only when something remains after stripping
+		// comments, semicolons and whitespace.
+		rest := s
+		var bare strings.Builder
+		for {
+			c := strings.Index(rest, "--")
+			if c < 0 {
+				bare.WriteString(rest)
+				break
+			}
+			bare.WriteString(rest[:c])
+			rest = rest[c:]
+			if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+				rest = rest[nl:]
+			} else {
+				rest = ""
+			}
+		}
+		if strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(bare.String()), ";")) != "" {
+			out = append(out, s)
+		}
+		start = end + 1
+	}
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case ';':
+			flush(i)
+		case '\'':
+			for i++; i < len(src); i++ {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						i++
+						continue
+					}
+					break
+				}
+			}
+		case '-':
+			if i+1 < len(src) && src[i+1] == '-' {
+				for i < len(src) && src[i] != '\n' {
+					i++
+				}
+			}
+		}
+	}
+	flush(len(src))
+	return out
 }
 
 // lex tokenizes a statement, reporting the position of any bad input.

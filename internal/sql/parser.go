@@ -14,12 +14,26 @@ var aggFuncs = map[string]bool{
 
 // Parse parses one SELECT statement (an optional trailing ';' is allowed).
 func Parse(src string) (*SelectStmt, error) {
+	stmt, err := ParseStmt(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, errf(Pos{1, 1}, "expected a SELECT statement")
+	}
+	return sel, nil
+}
+
+// ParseStmt parses one statement of any kind — SELECT, INSERT, UPDATE or
+// DELETE (an optional trailing ';' is allowed).
+func ParseStmt(src string) (Stmt, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	stmt, err := p.parseSelect()
+	stmt, err := p.parseStmt()
 	if err != nil {
 		return nil, err
 	}
@@ -28,6 +42,136 @@ func Parse(src string) (*SelectStmt, error) {
 	}
 	if t := p.peek(); t.kind != tEOF {
 		return nil, errf(t.pos, "unexpected %q after end of statement", t.text)
+	}
+	return stmt, nil
+}
+
+// parseStmt dispatches on the leading keyword.
+func (p *parser) parseStmt() (Stmt, error) {
+	switch t := p.peek(); t.text {
+	case "select":
+		return p.parseSelect()
+	case "insert":
+		return p.parseInsert()
+	case "update":
+		return p.parseUpdate()
+	case "delete":
+		return p.parseDelete()
+	default:
+		got := t.text
+		if t.kind == tEOF {
+			got = "end of input"
+		}
+		return nil, errf(t.pos, "expected SELECT, INSERT, UPDATE or DELETE, found %q", got)
+	}
+}
+
+// parseInsert parses INSERT INTO table [(col, ...)] VALUES (...), (...).
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	p.next() // insert
+	if _, err := p.expect("into"); err != nil {
+		return nil, err
+	}
+	t, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: t.text, TablePos: t.pos}
+	if p.accept("(") {
+		for {
+			c, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Cols = append(stmt.Cols, Ident{Name: c.text, Pos: c.pos})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+// parseUpdate parses UPDATE table SET col = expr, ... [WHERE pred].
+func (p *parser) parseUpdate() (*UpdateStmt, error) {
+	p.next() // update
+	t, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: t.text, TablePos: t.pos}
+	if _, err := p.expect("set"); err != nil {
+		return nil, err
+	}
+	for {
+		c, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, SetItem{Col: c.text, ColPos: c.pos, Expr: e})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.accept("where") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+// parseDelete parses DELETE FROM table [WHERE pred].
+func (p *parser) parseDelete() (*DeleteStmt, error) {
+	p.next() // delete
+	if _, err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	t, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: t.text, TablePos: t.pos}
+	if p.accept("where") {
+		if stmt.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
 	}
 	return stmt, nil
 }

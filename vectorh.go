@@ -91,6 +91,23 @@ func (db *DB) ExplainSQL(query string) (string, error) {
 	return db.Explain(n)
 }
 
+// ExecSQL parses, binds and executes one SQL data-modification statement —
+// INSERT INTO … VALUES, UPDATE … SET … WHERE, DELETE FROM … WHERE — and
+// returns the number of affected rows. Statements are type-checked against
+// the catalog at bind time (with line:col errors, like SELECT) and lowered
+// onto the engine's trickle-update entry points, so rows flow through
+// transactions into the Write-PDTs and become visible to the PDT-merging
+// scans immediately after commit (§6):
+//
+//	n, err := db.ExecSQL(`update orders set o_orderpriority = '1-URGENT'
+//	                      where o_orderdate >= date '1998-01-01'`)
+//
+// For scripts with multiple ';'-separated statements, split them first with
+// sql.SplitStatements and call ExecSQL per statement.
+func (db *DB) ExecSQL(stmt string) (int64, error) {
+	return sql.Exec(stmt, db.Engine)
+}
+
 // SchemaSQL compiles a SQL statement and returns its output schema (column
 // names and types), for clients that render results.
 func (db *DB) SchemaSQL(query string) (Schema, error) {
