@@ -4,7 +4,7 @@
 // expected to match. Run with:
 //
 //	go test -bench=. -benchmem .
-package vectorh
+package vectorh_test
 
 import (
 	"fmt"

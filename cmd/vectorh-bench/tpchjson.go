@@ -45,14 +45,32 @@ type refreshBench struct {
 	AllMatch         bool  `json:"all_match"`
 }
 
+// concurrencyBench records the serving-layer experiment: aggregate
+// queries/sec of the SQL TPC-H workload at 1/4/16 concurrent client
+// sessions through vectorh-serve (see `-exp concurrency`).
+type concurrencyBench struct {
+	MaxConcurrent int                     `json:"max_concurrent"`
+	Validated     int                     `json:"queries_validated"`
+	AllMatch      bool                    `json:"all_match"`
+	Points        []concurrencyBenchPoint `json:"points"`
+}
+
+type concurrencyBenchPoint struct {
+	Sessions int     `json:"sessions"`
+	Queries  int     `json:"queries"`
+	ElapsedM int64   `json:"elapsed_ms"`
+	QPS      float64 `json:"qps"`
+}
+
 // benchFile is the on-disk BENCH_tpch.json schema.
 type benchFile struct {
-	SF       float64       `json:"sf"`
-	Nodes    int           `json:"nodes"`
-	Threads  int           `json:"threads"`
-	Baseline []queryBench  `json:"baseline,omitempty"`
-	Current  []queryBench  `json:"current,omitempty"`
-	Refresh  *refreshBench `json:"refresh,omitempty"`
+	SF          float64           `json:"sf"`
+	Nodes       int               `json:"nodes"`
+	Threads     int               `json:"threads"`
+	Baseline    []queryBench      `json:"baseline,omitempty"`
+	Current     []queryBench      `json:"current,omitempty"`
+	Refresh     *refreshBench     `json:"refresh,omitempty"`
+	Concurrency *concurrencyBench `json:"concurrency,omitempty"`
 }
 
 // runTPCHBench measures every TPC-H query and writes the JSON file, filling
@@ -159,6 +177,50 @@ func runRefresh(sf float64, nodes int, path string) error {
 		return err
 	}
 	fmt.Printf("wrote refresh block of %s\n", path)
+	return nil
+}
+
+// runConcurrency runs the serving-layer concurrency experiment, prints its
+// report and records the numbers in the concurrency block of
+// BENCH_tpch.json (other blocks are preserved).
+func runConcurrency(sf float64, nodes int, path string) error {
+	res, err := experiments.Concurrency(sf, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	if !res.AllMatch {
+		return fmt.Errorf("concurrency validation failed: a remote result diverged from in-process execution")
+	}
+	const threads = 2
+	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
+	if old, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(old, &file); err != nil {
+			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+		}
+		if file.SF != sf || file.Nodes != nodes {
+			fmt.Fprintf(os.Stderr,
+				"warning: %s was recorded at sf=%v nodes=%d, this run is sf=%v nodes=%d — the retained columns are not comparable\n",
+				path, file.SF, file.Nodes, sf, nodes)
+		}
+		file.SF, file.Nodes, file.Threads = sf, nodes, threads
+	}
+	cb := &concurrencyBench{MaxConcurrent: res.MaxConcurrent, Validated: res.Validated, AllMatch: res.AllMatch}
+	for _, p := range res.Points {
+		cb.Points = append(cb.Points, concurrencyBenchPoint{
+			Sessions: p.Sessions, Queries: p.Queries,
+			ElapsedM: p.Elapsed.Milliseconds(), QPS: p.QPS,
+		})
+	}
+	file.Concurrency = cb
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote concurrency block of %s\n", path)
 	return nil
 }
 

@@ -1,22 +1,32 @@
-// Command vectorh-sql is an interactive SQL shell over an in-process
-// VectorH cluster preloaded with TPC-H data. Statements end with ';';
+// Command vectorh-sql is an interactive SQL shell. By default it runs over
+// an in-process VectorH cluster preloaded with TPC-H data; with -connect it
+// becomes a network client of a vectorh-serve instance instead (same
+// statements, same rendering, no local engine). Statements end with ';';
 // several statements may share a line (or an input buffer) and run in
 // order. INSERT/UPDATE/DELETE run through the PDT trickle-update path.
 //
 //	$ go run ./cmd/vectorh-sql -sf 0.01 -nodes 3
+//	$ go run ./cmd/vectorh-sql -connect 127.0.0.1:15432
 //	vectorh> select count(*) from lineitem;
 //	vectorh> explain select n_name, sum(l_extendedprice) from lineitem ...;
 //	vectorh> insert into region (r_regionkey, r_name, r_comment) values (5, 'ATLANTIS', 'sunk');
 //	vectorh> update orders set o_orderpriority = '1-URGENT' where o_orderkey = 7; delete from region where r_regionkey = 5;
-//	vectorh> \d          -- list tables
+//	vectorh> \d          -- list tables (embedded mode)
 //	vectorh> \q 6        -- run the TPC-H Q6 SQL text
-//	vectorh> \rf1 10     -- run refresh stream RF1 (10 new orders) as SQL
-//	vectorh> \rf2 10     -- run refresh stream RF2 (delete 10 orders) as SQL
+//	vectorh> \timing     -- toggle per-statement wall clock
+//	vectorh> \rf1 10     -- run refresh stream RF1 (10 new orders) as SQL (embedded mode)
+//	vectorh> \rf2 10     -- run refresh stream RF2 (delete 10 orders) as SQL (embedded mode)
 //	vectorh> \quit
+//
+// Scripted use: when statements arrive via stdin (or -q) and any of them
+// fails, vectorh-sql exits non-zero after processing the remaining input —
+// CI smoke steps assert on it. -timeout applies a per-statement deadline;
+// in -connect mode a deadline expiring mid-query sends a wire-level cancel.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,45 +37,66 @@ import (
 
 	"vectorh"
 	"vectorh/internal/colstore"
+	"vectorh/internal/plan"
+	"vectorh/internal/server"
 	"vectorh/internal/sql"
 	"vectorh/internal/tpch"
 	"vectorh/internal/vector"
 )
 
 func main() {
-	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to preload")
-	nodes := flag.Int("nodes", 3, "simulated cluster size")
-	partitions := flag.Int("partitions", 6, "table partition count")
-	threads := flag.Int("threads", 2, "exchange threads per node")
-	query := flag.String("q", "", "run one statement and exit")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor to preload (embedded mode)")
+	nodes := flag.Int("nodes", 3, "simulated cluster size (embedded mode)")
+	partitions := flag.Int("partitions", 6, "table partition count (embedded mode)")
+	threads := flag.Int("threads", 2, "exchange threads per node (embedded mode)")
+	connect := flag.String("connect", "", "host:port of a vectorh-serve instance (client mode)")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none); expiring mid-query cancels it")
+	timing := flag.Bool("timing", false, "print per-statement wall clock")
+	query := flag.String("q", "", "run one statement (or ';'-separated script) and exit")
 	flag.Parse()
 
-	names := make([]string, *nodes)
-	for i := range names {
-		names[i] = fmt.Sprintf("node%d", i+1)
+	sh := &shell{timing: *timing, timeout: *timeout}
+	if *connect != "" {
+		cl, err := server.Dial(*connect)
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		if err := cl.Ping(); err != nil {
+			fatal(err)
+		}
+		sh.remote = cl
+		fmt.Fprintf(os.Stderr, "connected to %s\n", *connect)
+	} else {
+		names := make([]string, *nodes)
+		for i := range names {
+			names[i] = fmt.Sprintf("node%d", i+1)
+		}
+		db, err := vectorh.Open(vectorh.Config{
+			Nodes:          names,
+			ThreadsPerNode: *threads,
+			BlockSize:      1 << 18,
+			Format:         colstore.Format{BlockSize: 16 << 10, BlocksPerChunk: 64, MaxRowsPerBlock: 2048},
+			MsgBytes:       16 << 10,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loading TPC-H sf=%g onto %d nodes...\n", *sf, *nodes)
+		start := time.Now()
+		d := tpch.Generate(*sf, 42)
+		if err := tpch.LoadIntoEngine(db.Engine, d, *partitions); err != nil {
+			fatal(err)
+		}
+		sh.db = db
+		sh.data = d
+		sh.rfSeed = 1000
+		fmt.Fprintf(os.Stderr, "loaded in %v; statements end with ';', \\quit exits\n", time.Since(start).Round(time.Millisecond))
 	}
-	db, err := vectorh.Open(vectorh.Config{
-		Nodes:          names,
-		ThreadsPerNode: *threads,
-		BlockSize:      1 << 18,
-		Format:         colstore.Format{BlockSize: 16 << 10, BlocksPerChunk: 64, MaxRowsPerBlock: 2048},
-		MsgBytes:       16 << 10,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "loading TPC-H sf=%g onto %d nodes...\n", *sf, *nodes)
-	start := time.Now()
-	d := tpch.Generate(*sf, 42)
-	if err := tpch.LoadIntoEngine(db.Engine, d, *partitions); err != nil {
-		fatal(err)
-	}
-	sh := &shell{db: db, data: d, rfSeed: 1000}
-	fmt.Fprintf(os.Stderr, "loaded in %v; statements end with ';', \\quit exits\n", time.Since(start).Round(time.Millisecond))
 
 	if *query != "" {
 		sh.run(*query)
-		return
+		sh.exit()
 	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
@@ -75,13 +106,13 @@ func main() {
 		fmt.Print(prompt)
 		if !in.Scan() {
 			fmt.Println()
-			return
+			sh.exit()
 		}
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
 			if sh.meta(trimmed) {
-				return
+				sh.exit()
 			}
 			continue
 		}
@@ -97,25 +128,74 @@ func main() {
 	}
 }
 
-// shell holds the REPL state: the database plus the generated TPC-H data
-// the refresh-stream commands derive their inserts and delete keys from.
+// shell holds the REPL state: an embedded database (plus the generated
+// TPC-H data the refresh-stream commands derive their inserts and delete
+// keys from) or a remote serving session, and the failure flag scripted
+// runs exit on.
 type shell struct {
 	db     *vectorh.DB
 	data   *tpch.Data
+	remote *server.Client
 	rfSeed int64 // bumped per refresh so repeated \rf1 inserts fresh keys
+
+	timing  bool
+	timeout time.Duration
+	failed  bool
+}
+
+// exit terminates the process: non-zero when any statement failed, so
+// scripts piped through stdin can be asserted on.
+func (sh *shell) exit() {
+	if sh.failed {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// fail records a statement failure and prints the error.
+func (sh *shell) fail(err error) {
+	sh.failed = true
+	fmt.Println(err)
+}
+
+// stmtCtx returns the per-statement context.
+func (sh *shell) stmtCtx() (context.Context, context.CancelFunc) {
+	if sh.timeout > 0 {
+		return context.WithTimeout(context.Background(), sh.timeout)
+	}
+	return context.Background(), func() {}
 }
 
 // meta handles backslash commands; it reports whether the REPL should exit.
 func (sh *shell) meta(cmd string) bool {
-	db := sh.db
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\quit", "\\exit":
 		return true
+	case "\\timing":
+		sh.timing = !sh.timing
+		fmt.Printf("timing %s\n", map[bool]string{true: "on", false: "off"}[sh.timing])
+	case "\\stats":
+		if sh.remote == nil {
+			fmt.Println("\\stats requires -connect")
+			return false
+		}
+		st, err := sh.remote.Stats()
+		if err != nil {
+			sh.fail(err)
+			return false
+		}
+		fmt.Printf("sessions=%d active=%d queued=%d completed=%d cancelled=%d failed=%d rejected=%d rows=%d max_concurrent=%d\n",
+			st.Sessions, st.ActiveQueries, st.QueuedQueries, st.CompletedQueries,
+			st.CancelledQueries, st.FailedQueries, st.RejectedQueries, st.RowsServed, st.MaxConcurrent)
 	case "\\d":
-		for _, t := range db.SortedTables() {
-			s, _ := db.TableSchema(t)
-			rows, _ := db.TableRows(t)
+		if sh.db == nil {
+			fmt.Println("\\d requires embedded mode (table listing is not part of the wire protocol yet)")
+			return false
+		}
+		for _, t := range sh.db.SortedTables() {
+			s, _ := sh.db.TableSchema(t)
+			rows, _ := sh.db.TableRows(t)
 			fmt.Printf("%-10s %8d rows\n", t, rows)
 			for _, f := range s {
 				fmt.Printf("    %-16s %s\n", f.Name, f.Type)
@@ -140,6 +220,10 @@ func (sh *shell) meta(cmd string) bool {
 		fmt.Println(text)
 		sh.run(text)
 	case "\\rf1", "\\rf2":
+		if sh.db == nil {
+			fmt.Println(fields[0] + " requires embedded mode")
+			return false
+		}
 		count := 10
 		if len(fields) == 2 {
 			n, err := strconv.Atoi(fields[1])
@@ -160,7 +244,7 @@ func (sh *shell) meta(cmd string) bool {
 			sh.execDML(s)
 		}
 	default:
-		fmt.Printf("unknown command %s (try \\d, \\q N, \\rf1 N, \\rf2 N, \\quit)\n", fields[0])
+		fmt.Printf("unknown command %s (try \\d, \\q N, \\timing, \\stats, \\rf1 N, \\rf2 N, \\quit)\n", fields[0])
 	}
 	return false
 }
@@ -174,7 +258,6 @@ func (sh *shell) run(input string) {
 }
 
 func (sh *shell) runOne(stmt string) {
-	db := sh.db
 	stmt = strings.TrimSuffix(strings.TrimSpace(stmt), ";")
 	if stmt == "" {
 		return
@@ -182,9 +265,15 @@ func (sh *shell) runOne(stmt string) {
 	lower := strings.ToLower(stmt)
 	switch {
 	case strings.HasPrefix(lower, "explain"):
-		plan, err := db.ExplainSQL(stmt[len("explain"):])
+		var plan string
+		var err error
+		if sh.remote != nil {
+			plan, err = sh.remote.Explain(stmt[len("explain"):])
+		} else {
+			plan, err = sh.db.ExplainSQL(stmt[len("explain"):])
+		}
 		if err != nil {
-			fmt.Println(err)
+			sh.fail(err)
 			return
 		}
 		fmt.Print(plan)
@@ -194,35 +283,90 @@ func (sh *shell) runOne(stmt string) {
 		sh.execDML(stmt)
 		return
 	}
-	n, err := sql.Compile(stmt, db.Engine)
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
-	schema, err := n.Schema(db.Engine)
-	if err != nil {
-		fmt.Println(err)
-		return
-	}
+	sh.runQuery(stmt)
+}
+
+func (sh *shell) runQuery(stmt string) {
+	ctx, cancel := sh.stmtCtx()
+	defer cancel()
 	start := time.Now()
-	rows, err := db.Query(n)
+	var schema vectorh.Schema
+	var rows [][]any
+	var err error
+	if sh.remote != nil {
+		var res *server.Result
+		res, err = sh.remote.Query(ctx, stmt)
+		if err == nil {
+			rows = res.Rows
+			schema = wireSchema(res.Schema)
+		}
+	} else {
+		var n plan.Node
+		n, err = sql.Compile(stmt, sh.db.Engine)
+		if err == nil {
+			schema, err = n.Schema(sh.db.Engine)
+		}
+		if err == nil {
+			rows, err = sh.db.QueryContext(ctx, n)
+		}
+	}
 	if err != nil {
-		fmt.Println(err)
+		sh.fail(err)
 		return
 	}
 	printResult(schema, rows)
-	fmt.Printf("(%d rows, %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
+	if sh.timing {
+		fmt.Printf("(%d rows, %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
+	} else {
+		fmt.Printf("(%d rows)\n", len(rows))
+	}
 }
 
 // execDML runs one INSERT/UPDATE/DELETE through the PDT trickle-update path.
 func (sh *shell) execDML(stmt string) {
+	ctx, cancel := sh.stmtCtx()
+	defer cancel()
 	start := time.Now()
-	n, err := sh.db.ExecSQL(stmt)
+	var n int64
+	var err error
+	if sh.remote != nil {
+		n, err = sh.remote.Exec(ctx, stmt)
+	} else {
+		n, err = sh.db.ExecSQLContext(ctx, stmt)
+	}
 	if err != nil {
-		fmt.Println(err)
+		sh.fail(err)
 		return
 	}
-	fmt.Printf("(%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
+	if sh.timing {
+		fmt.Printf("(%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
+	} else {
+		fmt.Printf("(%d rows affected)\n", n)
+	}
+}
+
+// wireSchema converts wire column descriptors to a renderable schema.
+func wireSchema(desc []server.ColDesc) vectorh.Schema {
+	s := make(vectorh.Schema, len(desc))
+	for i, d := range desc {
+		t := vectorh.TString
+		switch d.Kind {
+		case "int32":
+			t = vectorh.TInt32
+		case "int64":
+			t = vectorh.TInt64
+		case "float64":
+			t = vectorh.TFloat64
+		}
+		switch d.Logical {
+		case "date":
+			t = vectorh.TDate
+		case "decimal":
+			t = vectorh.TDecimal
+		}
+		s[i] = vectorh.Field{Name: d.Name, Type: t}
+	}
+	return s
 }
 
 // printResult renders rows as an aligned table, formatting dates and

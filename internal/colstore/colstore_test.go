@@ -21,12 +21,23 @@ var testSchema = vector.Schema{
 }
 
 // writeRows appends n deterministic rows and returns the generators used.
+// Superseded files are deleted eagerly, as a caller without concurrent
+// readers would.
 func writeRows(t *testing.T, fs *hdfs.Cluster, meta *PartitionMeta, start, n int) {
 	t.Helper()
 	a, err := NewAppender(fs, meta, "node1")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer func() {
+		for _, f := range a.Superseded() {
+			if fs.Exists(f) {
+				if err := fs.Delete(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}()
 	flags := []string{"A", "N", "R"}
 	for off := 0; off < n; off += vector.MaxSize {
 		cnt := n - off

@@ -84,6 +84,12 @@ type PartitionMeta struct {
 	// PartialGen names the current partial-chunk file generation
 	// (partial files are rewritten wholesale on each append); -1 = none.
 	PartialGen int `json:"partialGen"`
+	// PartialSeq is the high-water mark of partial generations ever written
+	// for this partition generation. It never decreases — superseded partial
+	// files are deleted lazily (after concurrent readers finish), so a new
+	// partial file must never reuse a path that may still be pending
+	// deletion.
+	PartialSeq int `json:"partialSeq,omitempty"`
 }
 
 // NewPartitionMeta returns an empty partition with the given schema.
@@ -94,6 +100,21 @@ func NewPartitionMeta(table string, partition int, schema vector.Schema, f Forma
 		m.Cols = append(m.Cols, ColumnMeta{Name: field.Name, Type: field.Type})
 	}
 	return m
+}
+
+// Clone deep-copies the partition metadata (chunk list, per-column block
+// directories). Writers that must not disturb concurrent readers mutate a
+// clone and publish it with a pointer swap — the storage-side half of the
+// engine's copy-on-write discipline (PDT masters are the RAM-side half).
+func (m *PartitionMeta) Clone() *PartitionMeta {
+	out := *m
+	out.Chunks = append([]ChunkMeta(nil), m.Chunks...)
+	out.Cols = make([]ColumnMeta, len(m.Cols))
+	for i, c := range m.Cols {
+		out.Cols[i] = c
+		out.Cols[i].Blocks = append([]BlockMeta(nil), c.Blocks...)
+	}
+	return &out
 }
 
 // Schema reconstructs the partition schema.

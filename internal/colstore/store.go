@@ -207,7 +207,18 @@ type Appender struct {
 
 	pend      []colData // per column, pending values not yet in full blocks
 	flushedTo []int64   // per column, rows already covered by full blocks
+
+	// superseded lists files this append consumed and replaced (the previous
+	// partial-chunk generation). They are NOT deleted here: a concurrent
+	// scanner holding the pre-append metadata may still read them. The
+	// caller deletes them once no scan references the old metadata.
+	superseded []string
 }
+
+// Superseded returns the data files this append replaced; the caller owns
+// their deletion (deferred until concurrent readers of the old metadata
+// generation finish).
+func (a *Appender) Superseded() []string { return a.superseded }
 
 // NewAppender opens the partition for appending, reading back any partial
 // blocks from the previous append (which are then superseded on Close).
@@ -241,12 +252,12 @@ func NewAppender(fs *hdfs.Cluster, meta *PartitionMeta, node string) (*Appender,
 		}
 	}
 	if meta.PartialGen >= 0 {
-		// The old partial file is fully consumed; drop it.
+		// The old partial file is fully consumed; it is superseded by this
+		// append but deletion is deferred to the caller (readers of the
+		// pre-append metadata may still need it).
 		path := meta.PartialPath(meta.PartialGen)
 		if fs.Exists(path) {
-			if err := fs.Delete(path); err != nil {
-				return nil, err
-			}
+			a.superseded = append(a.superseded, path)
 		}
 	}
 	return a, nil
@@ -424,16 +435,17 @@ func (a *Appender) Close() error {
 			anyPartial = true
 		}
 	}
-	a.meta.PartialGen++
 	if !anyPartial {
 		a.meta.PartialGen = -1
 		return nil
 	}
+	a.meta.PartialSeq++
+	a.meta.PartialGen = a.meta.PartialSeq
 	path := a.meta.PartialPath(a.meta.PartialGen)
 	if a.fs.Exists(path) {
-		if err := a.fs.Delete(path); err != nil {
-			return err
-		}
+		// Partial generations are monotonic precisely so this cannot happen
+		// while a superseded file awaits deferred deletion.
+		return fmt.Errorf("colstore: partial generation %d of %s.p%d already exists", a.meta.PartialGen, a.meta.Table, a.meta.Partition)
 	}
 	w, err := a.fs.Create(path, a.node)
 	if err != nil {

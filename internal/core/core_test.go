@@ -315,7 +315,7 @@ func TestUpdatePropagationTailInserts(t *testing.T) {
 		if ins+del+mod+ri+rd+rm != 0 {
 			t.Fatal("PDTs not empty after propagation")
 		}
-		stable += part.Meta.Rows
+		stable += part.CurrentMeta().Rows
 	}
 	if stable != 164 {
 		t.Fatalf("stable rows = %d", stable)
@@ -334,7 +334,7 @@ func TestUpdatePropagationRewrite(t *testing.T) {
 	}
 	gensBefore := map[int]int{}
 	for p, part := range e.tables["orders"].Parts {
-		gensBefore[p] = part.Meta.Gen
+		gensBefore[p] = part.CurrentMeta().Gen
 	}
 	for p := 0; p < 4; p++ {
 		if err := e.PropagatePartition("orders", p); err != nil {
@@ -344,10 +344,10 @@ func TestUpdatePropagationRewrite(t *testing.T) {
 	rewrote := false
 	var stable int64
 	for p, part := range e.tables["orders"].Parts {
-		if part.Meta.Gen > gensBefore[p] {
+		if part.CurrentMeta().Gen > gensBefore[p] {
 			rewrote = true
 		}
-		stable += part.Meta.Rows
+		stable += part.CurrentMeta().Rows
 	}
 	if !rewrote {
 		t.Fatal("deletes should force a partition rewrite")

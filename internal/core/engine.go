@@ -68,11 +68,84 @@ type Table struct {
 // Replicated reports whether the table is stored replicated on every node.
 func (t *Table) Replicated() bool { return t.Info.PartitionKey == "" }
 
-// Partition is one table partition's storage and delta state.
+// Partition is one table partition's storage and delta state. Its metadata
+// is copy-on-write: writers (bulk load, update propagation, MinMax widening)
+// build a clone and publish it with a pointer swap, while every open scan
+// holds a refcounted reference to the generation it started on. Files that a
+// new generation superseded are deleted only when the last scan of the old
+// generation finishes, so concurrent readers never observe a half-mutated
+// block directory or a vanished chunk file.
 type Partition struct {
-	Meta        *colstore.PartitionMeta
 	Key         txn.PartKey
 	Responsible string // node owning the partition's WAL and PDTs
+
+	mu   sync.Mutex
+	meta *colstore.PartitionMeta
+	refs map[*colstore.PartitionMeta]int      // open scans per metadata generation
+	dead map[*colstore.PartitionMeta][]string // superseded files pending deletion
+}
+
+// CurrentMeta returns the partition's current storage metadata generation.
+// The returned value is immutable; writers publish successors via clone +
+// pointer swap.
+func (p *Partition) CurrentMeta() *colstore.PartitionMeta {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.meta
+}
+
+// acquireLocked pins the current metadata generation for an open scan.
+// Caller holds p.mu.
+func (p *Partition) acquireLocked() *colstore.PartitionMeta {
+	if p.refs == nil {
+		p.refs = make(map[*colstore.PartitionMeta]int)
+	}
+	p.refs[p.meta]++
+	return p.meta
+}
+
+// release unpins a metadata generation; when the last scan of a retired
+// generation finishes, its superseded files are deleted.
+func (p *Partition) release(m *colstore.PartitionMeta, fs *hdfs.Cluster) {
+	p.mu.Lock()
+	var files []string
+	if p.refs[m]--; p.refs[m] <= 0 {
+		delete(p.refs, m)
+		if m != p.meta {
+			files = p.dead[m]
+			delete(p.dead, m)
+		}
+	}
+	p.mu.Unlock()
+	deleteAll(fs, files)
+}
+
+// publishLocked swaps in a new metadata generation, retiring the old one.
+// deadFiles lists files the new generation no longer references; they are
+// returned for immediate deletion when no scan pins the old generation, or
+// parked until its last scan releases. Caller holds p.mu.
+func (p *Partition) publishLocked(newMeta *colstore.PartitionMeta, deadFiles []string) (deletable []string) {
+	old := p.meta
+	p.meta = newMeta
+	if len(deadFiles) == 0 {
+		return nil
+	}
+	if p.refs[old] > 0 {
+		if p.dead == nil {
+			p.dead = make(map[*colstore.PartitionMeta][]string)
+		}
+		p.dead[old] = append(p.dead[old], deadFiles...)
+		return nil
+	}
+	return deadFiles
+}
+
+func deleteAll(fs *hdfs.Cluster, files []string) {
+	for _, f := range files {
+		if fs.Exists(f) {
+			fs.Delete(f)
+		}
+	}
 }
 
 // Engine is the running system: cluster substrate plus catalog and
@@ -81,6 +154,13 @@ type Partition struct {
 type Engine struct {
 	mu  sync.Mutex
 	cfg Config
+
+	// writeMu serializes mutators of table storage — bulk load, trickle DML,
+	// update propagation, node failure handling — against each other. Reads
+	// (scans) never take it: they run against refcounted copy-on-write
+	// snapshots of partition metadata and PDT masters, so the engine
+	// supports N concurrent readers plus one writer at a time.
+	writeMu sync.Mutex
 
 	fs     *hdfs.Cluster
 	rm     *yarn.ResourceManager
@@ -237,7 +317,7 @@ func (e *Engine) CreateTable(info rewriter.TableInfo) error {
 		locs := aff[partNames[p]]
 		resp := locs[0]
 		e.policy.set(meta.Dir(), locs)
-		part := &Partition{Meta: meta, Key: partKey(info.Name, p), Responsible: resp}
+		part := &Partition{meta: meta, Key: partKey(info.Name, p), Responsible: resp}
 		walPath := fmt.Sprintf("/wal/%s/p%04d", info.Name, p)
 		e.mgr.AddPartition(part.Key, 0, wal.Open(e.fs, walPath, resp))
 		t.Parts = append(t.Parts, part)
@@ -256,11 +336,11 @@ func (e *Engine) TableRows(name string) (int64, error) {
 	}
 	var total int64
 	for _, p := range t.Parts {
-		part, err := e.mgr.Part(p.Key)
+		n, err := e.mgr.SizeOf(p.Key)
 		if err != nil {
 			return 0, err
 		}
-		total += part.Size()
+		total += n
 	}
 	return total, nil
 }
@@ -280,6 +360,8 @@ func (e *Engine) nodeIndex(name string) int {
 // Figure 3, HDFS re-replicates lost blocks under the updated placement
 // policy, and partition responsibilities move to surviving local nodes.
 func (e *Engine) KillNode(name string) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	idx := e.nodeIndex(name)
@@ -298,7 +380,8 @@ func (e *Engine) KillNode(name string) error {
 		var partNames []string
 		isLocal := func(part, node string) bool {
 			p := t.Parts[partIndex(part)]
-			for _, f := range p.Meta.Files() {
+			pm := p.CurrentMeta()
+			for _, f := range pm.Files() {
 				r, err := e.fs.Open(f, node)
 				if err != nil {
 					continue
@@ -310,13 +393,13 @@ func (e *Engine) KillNode(name string) error {
 			}
 			// A partition with no files yet counts as local to its
 			// assigned targets.
-			locs := e.policy.get(p.Meta.Dir())
+			locs := e.policy.get(pm.Dir())
 			for _, l := range locs {
 				if l == node {
 					return true
 				}
 			}
-			return len(p.Meta.Files()) > 0
+			return len(pm.Files()) > 0
 		}
 		for p := range t.Parts {
 			partNames = append(partNames, fmt.Sprintf("p%04d", p))
@@ -339,7 +422,7 @@ func (e *Engine) KillNode(name string) error {
 		}
 		for p, part := range t.Parts {
 			pn := partNames[p]
-			e.policy.set(part.Meta.Dir(), aff[pn])
+			e.policy.set(part.CurrentMeta().Dir(), aff[pn])
 			part.Responsible = resp[pn]
 		}
 	}
@@ -414,7 +497,7 @@ func (e *Engine) PartitionMetaForTest(table string, part int) *colstore.Partitio
 	if !ok || part >= len(t.Parts) {
 		return nil
 	}
-	return t.Parts[part].Meta
+	return t.Parts[part].CurrentMeta()
 }
 
 // SortedTables lists catalog tables (stable order, for reports).

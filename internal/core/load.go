@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,6 +28,8 @@ func partitionOf(key int64, parts int) int {
 // partition. Appends are issued from each partition's responsible node, so
 // the first HDFS replica lands locally.
 func (e *Engine) Load(table string, batches []*vector.Batch) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	e.mu.Lock()
 	t, ok := e.tables[table]
 	e.mu.Unlock()
@@ -95,9 +98,17 @@ func sortPermBy(b *vector.Batch, col int) []int32 {
 
 // appendStable writes rows to a partition's column store and refreshes its
 // transaction state to the new stable row count (bulk load happens outside
-// transactions, as in vwload).
+// transactions, as in vwload). The caller holds e.writeMu.
+//
+// Copy-on-write: the appender works on a clone of the partition metadata;
+// concurrent scans keep reading the published generation (appends to chunk
+// files only add bytes past the offsets old block directories reference).
+// The clone is published — and the PDTs reset — in one critical section, so
+// a scan opening mid-append sees either the old blocks+PDT tail or the new
+// blocks+empty PDTs, never a mix.
 func (e *Engine) appendStable(t *Table, part *Partition, b *vector.Batch) error {
-	a, err := colstore.NewAppender(e.fs, part.Meta, part.Responsible)
+	newMeta := part.CurrentMeta().Clone()
+	a, err := colstore.NewAppender(e.fs, newMeta, part.Responsible)
 	if err != nil {
 		return err
 	}
@@ -121,14 +132,19 @@ func (e *Engine) appendStable(t *Table, part *Partition, b *vector.Batch) error 
 	}
 	if t.Replicated() {
 		// Replicated tables carry one replica per worker.
-		for _, f := range part.Meta.Files() {
+		for _, f := range newMeta.Files() {
 			if err := e.fs.SetReplication(f, len(e.active)); err != nil {
 				return err
 			}
 		}
 		e.fs.ReReplicate()
 	}
-	if err := e.mgr.ResetAfterFlush(part.Key, part.Meta.Rows); err != nil {
+	part.mu.Lock()
+	deletable := part.publishLocked(newMeta, a.Superseded())
+	err = e.mgr.ResetAfterFlush(part.Key, newMeta.Rows)
+	part.mu.Unlock()
+	deleteAll(e.fs, deletable)
+	if err != nil {
 		return err
 	}
 	e.bumpRows(t)
@@ -138,10 +154,10 @@ func (e *Engine) appendStable(t *Table, part *Partition, b *vector.Batch) error 
 func (e *Engine) bumpRows(t *Table) {
 	var total int64
 	for _, p := range t.Parts {
-		if st, err := e.mgr.Part(p.Key); err == nil {
-			total += st.Size()
+		if n, err := e.mgr.SizeOf(p.Key); err == nil {
+			total += n
 		} else {
-			total += p.Meta.Rows
+			total += p.CurrentMeta().Rows
 		}
 	}
 	// Info.Rows lives on the shared *Table; mutate it only under the engine
@@ -158,6 +174,14 @@ func (e *Engine) bumpRows(t *Table) {
 // immediately after commit, and query performance stays unaffected (§8
 // "Impact of Updates").
 func (e *Engine) InsertRows(table string, b *vector.Batch) error {
+	return e.InsertRowsContext(context.Background(), table, b)
+}
+
+// InsertRowsContext is InsertRows honoring a context: a cancelled context
+// aborts the transaction before commit (committed work is never undone).
+func (e *Engine) InsertRowsContext(ctx context.Context, table string, b *vector.Batch) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	e.mu.Lock()
 	t, ok := e.tables[table]
 	e.mu.Unlock()
@@ -172,6 +196,10 @@ func (e *Engine) InsertRows(table string, b *vector.Batch) error {
 	tx := e.mgr.Begin()
 	c := b.Compact()
 	for r := 0; r < c.Len(); r++ {
+		if r%1024 == 0 && ctx.Err() != nil {
+			tx.Abort()
+			return fmt.Errorf("core: insert into %s canceled: %w", table, context.Cause(ctx))
+		}
 		p := 0
 		if keyIdx >= 0 {
 			p = partitionOf(int64At(c.Col(keyIdx), r), len(t.Parts))
@@ -180,6 +208,10 @@ func (e *Engine) InsertRows(table string, b *vector.Batch) error {
 			tx.Abort()
 			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		tx.Abort()
+		return fmt.Errorf("core: insert into %s canceled: %w", table, context.Cause(ctx))
 	}
 	if err := tx.Commit(); err != nil {
 		return err
@@ -197,19 +229,37 @@ func (e *Engine) InsertRows(table string, b *vector.Batch) error {
 // Deletes are recorded positionally in the PDTs (compact for contiguous
 // ranges) at each partition's responsible node.
 func (e *Engine) DeleteWhere(table string, pred plan.Expr) (int64, error) {
-	return e.updateWhere(table, pred, nil, nil)
+	return e.DeleteWhereContext(context.Background(), table, pred)
+}
+
+// DeleteWhereContext is DeleteWhere honoring a context.
+func (e *Engine) DeleteWhereContext(ctx context.Context, table string, pred plan.Expr) (int64, error) {
+	return e.updateWhere(ctx, table, pred, nil, nil)
 }
 
 // UpdateWhere trickle-modifies the named columns of matching rows with
 // values computed by the given expressions (over the full table schema).
 func (e *Engine) UpdateWhere(table string, pred plan.Expr, setCols []string, setExprs []plan.Expr) (int64, error) {
+	return e.UpdateWhereContext(context.Background(), table, pred, setCols, setExprs)
+}
+
+// UpdateWhereContext is UpdateWhere honoring a context.
+func (e *Engine) UpdateWhereContext(ctx context.Context, table string, pred plan.Expr, setCols []string, setExprs []plan.Expr) (int64, error) {
 	if len(setCols) == 0 {
 		return 0, fmt.Errorf("core: UpdateWhere without SET columns")
 	}
-	return e.updateWhere(table, pred, setCols, setExprs)
+	return e.updateWhere(ctx, table, pred, setCols, setExprs)
 }
 
-func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, setExprs []plan.Expr) (int64, error) {
+// widenOp is one deferred MinMax widening (see updateWhere).
+type widenOp struct {
+	cols []int
+	vals []any
+}
+
+func (e *Engine) updateWhere(ctx context.Context, table string, pred plan.Expr, setCols []string, setExprs []plan.Expr) (int64, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	e.mu.Lock()
 	t, ok := e.tables[table]
 	nodeOf := map[string]int{}
@@ -259,7 +309,7 @@ func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, set
 		// scan works on snapshotted PDTs, so the transaction's own
 		// uncommitted writes never disturb it.
 		node := nodeOf[part.Responsible]
-		scan, err := e.PartitionScan(table, part.Meta.Partition, schema.Names(), nil, node)
+		scan, err := e.partitionScanCtx(ctx, table, part.CurrentMeta().Partition, schema.Names(), nil, node)
 		if err != nil {
 			tx.Abort()
 			return 0, err
@@ -270,6 +320,11 @@ func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, set
 		}
 		rid := int64(0)
 		deleted := int64(0) // rows already deleted below the cursor
+		// MinMax widenings are collected during the scan and applied as one
+		// copy-on-write metadata publish afterwards: the scan itself pins
+		// the current metadata generation, so widening in place would race
+		// with it (and every other concurrent reader).
+		var widens []widenOp
 		for {
 			b, err := scan.Next()
 			if err != nil {
@@ -336,14 +391,23 @@ func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, set
 						tx.Abort()
 						return 0, err
 					}
-					// Widen MinMax so block skipping stays correct (§6).
-					e.widenFor(part, setIdx, vals)
+					widens = append(widens, widenOp{cols: setIdx, vals: vals})
 				}
 			}
 			total += int64(nmatch)
 			rid += int64(b.Len())
 		}
 		scan.Close()
+		// Widen MinMax so block skipping stays correct (§6), published
+		// before commit: once the modify is visible, no scan may skip a
+		// block whose new value lies outside the old summary.
+		if len(widens) > 0 {
+			e.applyWidens(part, widens)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		tx.Abort()
+		return 0, fmt.Errorf("core: %s canceled: %w", table, context.Cause(ctx))
 	}
 	if err := tx.Commit(); err != nil {
 		return 0, err
@@ -357,32 +421,38 @@ func (e *Engine) updateWhere(table string, pred plan.Expr, setCols []string, set
 	return total, nil
 }
 
-func (e *Engine) widenFor(part *Partition, cols []int, vals []any) {
-	schema := part.Meta.Schema()
-	for i, ci := range cols {
-		f := schema[ci]
-		switch f.Type.Kind {
-		case vector.Int32:
-			// Widen every block conservatively: modifies address rows by
-			// RID, whose SID is unknown here; widening all blocks of the
-			// column keeps skipping sound.
-			if x, ok := vals[i].(int32); ok {
-				widenAll(part.Meta, f.Name, int64(x), 0, "")
-			}
-		case vector.Int64:
-			if x, ok := vals[i].(int64); ok {
-				widenAll(part.Meta, f.Name, x, 0, "")
-			}
-		case vector.Float64:
-			if x, ok := vals[i].(float64); ok {
-				widenAll(part.Meta, f.Name, 0, x, "")
-			}
-		case vector.String:
-			if x, ok := vals[i].(string); ok {
-				widenAll(part.Meta, f.Name, 0, 0, x)
+// applyWidens publishes a metadata generation whose MinMax summaries cover
+// the given modified values (conservatively: every block of the column,
+// because a modify addresses rows by RID whose SID is unknown here).
+func (e *Engine) applyWidens(part *Partition, widens []widenOp) {
+	newMeta := part.CurrentMeta().Clone()
+	schema := newMeta.Schema()
+	for _, w := range widens {
+		for i, ci := range w.cols {
+			f := schema[ci]
+			switch f.Type.Kind {
+			case vector.Int32:
+				if x, ok := w.vals[i].(int32); ok {
+					widenAll(newMeta, f.Name, int64(x), 0, "")
+				}
+			case vector.Int64:
+				if x, ok := w.vals[i].(int64); ok {
+					widenAll(newMeta, f.Name, x, 0, "")
+				}
+			case vector.Float64:
+				if x, ok := w.vals[i].(float64); ok {
+					widenAll(newMeta, f.Name, 0, x, "")
+				}
+			case vector.String:
+				if x, ok := w.vals[i].(string); ok {
+					widenAll(newMeta, f.Name, 0, 0, x)
+				}
 			}
 		}
 	}
+	part.mu.Lock()
+	part.publishLocked(newMeta, nil)
+	part.mu.Unlock()
 }
 
 func widenAll(m *colstore.PartitionMeta, col string, n int64, f float64, s string) {
@@ -399,16 +469,16 @@ func widenAll(m *colstore.PartitionMeta, col string, n int64, f float64, s strin
 // maybePropagate runs update propagation for partitions whose PDT layers
 // exceed the flush threshold. Propagation failures are surfaced, not
 // swallowed: a partition whose flush failed half-way must not pretend the
-// write path is healthy.
+// write path is healthy. The caller holds e.writeMu.
 func (e *Engine) maybePropagate(t *Table) error {
 	for _, part := range t.Parts {
-		st, err := e.mgr.Part(part.Key)
+		mem, err := e.mgr.MemBytesOf(part.Key)
 		if err != nil {
 			continue
 		}
-		if st.Write.MemBytes()+st.Read.MemBytes() >= e.cfg.PDTFlushBytes {
-			if err := e.PropagatePartition(t.Info.Name, part.Meta.Partition); err != nil {
-				return fmt.Errorf("core: propagating %s.p%d: %w", t.Info.Name, part.Meta.Partition, err)
+		if mem >= e.cfg.PDTFlushBytes {
+			if err := e.propagatePartition(t, part); err != nil {
+				return fmt.Errorf("core: propagating %s.p%d: %w", t.Info.Name, part.CurrentMeta().Partition, err)
 			}
 		}
 	}
@@ -419,12 +489,10 @@ func (e *Engine) maybePropagate(t *Table) error {
 // inserts append new blocks (the cheap path of §6), anything else rewrites
 // the partition into a new generation of chunk files.
 func (e *Engine) PropagatePartition(table string, partIdx int) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
 	e.mu.Lock()
 	t, ok := e.tables[table]
-	nodeOf := map[string]int{}
-	for i, n := range e.active {
-		nodeOf[n] = i
-	}
 	e.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("core: unknown table %q", table)
@@ -432,23 +500,34 @@ func (e *Engine) PropagatePartition(table string, partIdx int) error {
 	if partIdx < 0 || partIdx >= len(t.Parts) {
 		return fmt.Errorf("core: %s has no partition %d", table, partIdx)
 	}
-	part := t.Parts[partIdx]
+	return e.propagatePartition(t, t.Parts[partIdx])
+}
+
+// propagatePartition is PropagatePartition with e.writeMu held.
+func (e *Engine) propagatePartition(t *Table, part *Partition) error {
+	e.mu.Lock()
+	nodeOf := map[string]int{}
+	for i, n := range e.active {
+		nodeOf[n] = i
+	}
+	e.mu.Unlock()
 	if err := e.mgr.PropagateWriteToRead(part.Key); err != nil {
 		return err
 	}
-	st, err := e.mgr.Part(part.Key)
+	stRead, _, err := e.mgr.Snapshot(part.Key)
 	if err != nil {
 		return err
 	}
-	ins, del, mod := st.Read.Counts()
+	ins, del, mod := stRead.Counts()
 	if ins+del+mod == 0 {
 		return nil
 	}
 	schema := t.Info.Schema
+	partIdx := part.CurrentMeta().Partition
 
-	if st.Read.IsTailInsertOnly() {
+	if stRead.IsTailInsertOnly() {
 		// Tail-insert separation: append new blocks only.
-		merger := pdt.NewMerger(st.Read, schema, identityCols(len(schema)))
+		merger := pdt.NewMerger(stRead, schema, identityCols(len(schema)))
 		tail, _ := merger.Tail()
 		if tail != nil {
 			if err := e.appendStable(t, part, tail); err != nil {
@@ -458,15 +537,21 @@ func (e *Engine) PropagatePartition(table string, partIdx int) error {
 		return nil
 	}
 
-	// Full rewrite into a new partition generation.
+	// Full rewrite into a new partition generation. The rewriting scan pins
+	// the current generation; the appender fills a fresh one (new directory,
+	// Gen+1), which is published — with the PDTs reset — in one critical
+	// section once the rewrite completes. Scans that started on the old
+	// generation finish undisturbed; its files are deleted when the last of
+	// them closes.
 	node := nodeOf[part.Responsible]
-	scan, err := e.PartitionScan(table, partIdx, schema.Names(), nil, node)
+	scan, err := e.PartitionScan(t.Info.Name, partIdx, schema.Names(), nil, node)
 	if err != nil {
 		return err
 	}
-	newMeta := colstore.NewPartitionMeta(table, partIdx, schema, e.cfg.Format)
-	newMeta.Gen = part.Meta.Gen + 1
-	e.policy.set(newMeta.Dir(), e.policy.get(part.Meta.Dir()))
+	oldMeta := part.CurrentMeta()
+	newMeta := colstore.NewPartitionMeta(t.Info.Name, partIdx, schema, e.cfg.Format)
+	newMeta.Gen = oldMeta.Gen + 1
+	e.policy.set(newMeta.Dir(), e.policy.get(oldMeta.Dir()))
 	a, err := colstore.NewAppender(e.fs, newMeta, part.Responsible)
 	if err != nil {
 		return err
@@ -477,22 +562,19 @@ func (e *Engine) PropagatePartition(table string, partIdx int) error {
 	for {
 		b, err := scan.Next()
 		if err != nil {
+			scan.Close()
 			return err
 		}
 		if b == nil {
 			break
 		}
 		if err := a.Append(b.Compact()); err != nil {
+			scan.Close()
 			return err
 		}
 	}
 	scan.Close()
 	if err := a.Close(); err != nil {
-		return err
-	}
-	oldMeta := part.Meta
-	part.Meta = newMeta
-	if err := oldMeta.DeleteFiles(e.fs); err != nil {
 		return err
 	}
 	if t.Replicated() {
@@ -503,7 +585,12 @@ func (e *Engine) PropagatePartition(table string, partIdx int) error {
 		}
 		e.fs.ReReplicate()
 	}
-	return e.mgr.ResetAfterFlush(part.Key, newMeta.Rows)
+	part.mu.Lock()
+	deletable := part.publishLocked(newMeta, oldMeta.Files())
+	err = e.mgr.ResetAfterFlush(part.Key, newMeta.Rows)
+	part.mu.Unlock()
+	deleteAll(e.fs, deletable)
+	return err
 }
 
 func identityCols(n int) []int {

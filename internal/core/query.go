@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -48,8 +49,60 @@ func (e *Engine) Query(q plan.Node) ([][]any, error) {
 	return res.Rows, nil
 }
 
+// QueryContext is Query under a context: a deadline or cancellation stops
+// the scans, local exchange producers and DXchg senders of the query at
+// batch granularity, releasing their goroutines and storage snapshots.
+func (e *Engine) QueryContext(ctx context.Context, q plan.Node) ([][]any, error) {
+	res, err := e.QueryOptsContext(ctx, q, QueryOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
 // QueryOpts runs a query with explicit options.
 func (e *Engine) QueryOpts(q plan.Node, qo QueryOptions) (*QueryResult, error) {
+	return e.QueryOptsContext(context.Background(), q, qo)
+}
+
+// QueryOptsContext runs a query with explicit options under a context.
+func (e *Engine) QueryOptsContext(ctx context.Context, q plan.Node, qo QueryOptions) (*QueryResult, error) {
+	res := &QueryResult{}
+	err := e.queryStream(ctx, q, qo, res, func(rows [][]any) error {
+		res.Rows = append(res.Rows, rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryStreamContext executes a query and delivers result rows to yield in
+// batches as the root stream produces them (the serving layer's streamed
+// `rows` frames). A non-nil error from yield cancels the execution. It
+// returns the executed plan's metadata with Rows left nil.
+func (e *Engine) QueryStreamContext(ctx context.Context, q plan.Node, yield func(rows [][]any) error) (*QueryResult, error) {
+	res := &QueryResult{}
+	if err := e.queryStream(ctx, q, QueryOptions{}, res, yield); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// queryStream is the shared execution path: rewrite, instantiate with the
+// query context threaded into scans and exchanges, then drain the single
+// root stream batch by batch.
+func (e *Engine) queryStream(ctx context.Context, q plan.Node, qo QueryOptions, res *QueryResult, yield func(rows [][]any) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Every execution gets a private cancelable context derived from the
+	// caller's: it is cancelled when this function returns, so exchange
+	// watchdogs and abandoned producer goroutines never outlive the query.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	e.mu.Lock()
 	nodes := len(e.active)
 	net := e.net
@@ -67,11 +120,12 @@ func (e *Engine) QueryOpts(q plan.Node, qo QueryOptions) (*QueryResult, error) {
 	}
 	phys, err := rewriter.Rewrite(q, e, opts)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	env := &rewriter.Env{
+		Ctx:      ctx,
 		Net:      net,
-		Provider: e,
+		Provider: ctxScans{e: e, ctx: ctx},
 		Nodes:    nodes,
 		Threads:  e.cfg.ThreadsPerNode,
 		Mode:     e.cfg.Mode,
@@ -82,7 +136,7 @@ func (e *Engine) QueryOpts(q plan.Node, qo QueryOptions) (*QueryResult, error) {
 	}
 	streams, err := rewriter.Instantiate(phys, env)
 	if err != nil {
-		return nil, fmt.Errorf("core: instantiate: %w\n%s", err, rewriter.Explain(phys))
+		return fmt.Errorf("core: instantiate: %w\n%s", err, rewriter.Explain(phys))
 	}
 	var root exec.Operator
 	count := 0
@@ -93,21 +147,55 @@ func (e *Engine) QueryOpts(q plan.Node, qo QueryOptions) (*QueryResult, error) {
 		}
 	}
 	if count != 1 {
-		return nil, fmt.Errorf("core: plan root has %d streams\n%s", count, rewriter.Explain(phys))
+		return fmt.Errorf("core: plan root has %d streams\n%s", count, rewriter.Explain(phys))
 	}
 	start := time.Now()
-	rows, err := exec.Collect(root)
-	if err != nil {
-		return nil, err
+	if err := root.Open(); err != nil {
+		root.Close()
+		return err
 	}
-	res := &QueryResult{Rows: rows, Explain: rewriter.Explain(phys), Elapsed: time.Since(start)}
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			root.Close()
+			return fmt.Errorf("core: query canceled: %w", context.Cause(ctx))
+		}
+		b, err := root.Next()
+		if err != nil {
+			root.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		rows := make([][]any, b.Len())
+		for i := 0; i < b.Len(); i++ {
+			rows[i] = b.Row(i)
+		}
+		if err := yield(rows); err != nil {
+			root.Close()
+			return err
+		}
+	}
+	// A cancellation that lands while Next is blocked can surface as a
+	// clean end-of-stream (the exchange teardown closes consumer channels);
+	// re-check the context before declaring success, or a truncated result
+	// would be reported as complete.
+	if cerr := ctx.Err(); cerr != nil {
+		root.Close()
+		return fmt.Errorf("core: query canceled: %w", context.Cause(ctx))
+	}
+	if err := root.Close(); err != nil {
+		return err
+	}
+	res.Explain = rewriter.Explain(phys)
+	res.Elapsed = time.Since(start)
 	if qo.Profile {
 		for name, p := range env.Profile {
 			res.Profile = append(res.Profile, ProfileEntry{Operator: name, Nanos: p.NanosSelf, Tuples: p.TuplesOut})
 		}
 		sort.Slice(res.Profile, func(i, j int) bool { return res.Profile[i].Nanos > res.Profile[j].Nanos })
 	}
-	return res, nil
+	return nil
 }
 
 // Explain returns the distributed physical plan without executing it.

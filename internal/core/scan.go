@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vectorh/internal/colstore"
@@ -14,6 +15,12 @@ import (
 // compressed column blocks (with MinMax skipping) and merge the partition's
 // PDT layers positionally — every query sees the latest committed state
 // without the scan touching keys (§6).
+//
+// Concurrency: a scan pins one refcounted metadata generation plus the PDT
+// masters in a single critical section at Open (the same lock writers hold
+// while publishing a new generation and resetting PDTs), so the block image
+// and the delta image always describe the same moment. Scans therefore run
+// freely alongside a concurrent DML writer.
 
 // ResponsibleParts implements rewriter.ScanProvider.
 func (e *Engine) ResponsibleParts(table string, node int) []int {
@@ -35,6 +42,10 @@ func (e *Engine) ResponsibleParts(table string, node int) []int {
 
 // PartitionScan implements rewriter.ScanProvider.
 func (e *Engine) PartitionScan(table string, partIdx int, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+	return e.partitionScanCtx(context.Background(), table, partIdx, cols, pred, node)
+}
+
+func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
 	e.mu.Lock()
 	t, ok := e.tables[table]
 	var nodeName string
@@ -48,11 +59,15 @@ func (e *Engine) PartitionScan(table string, partIdx int, cols []string, pred *r
 	if partIdx < 0 || partIdx >= len(t.Parts) {
 		return nil, fmt.Errorf("core: %s has no partition %d", table, partIdx)
 	}
-	return e.newMScan(t, t.Parts[partIdx], cols, pred, nodeName)
+	return e.newMScan(ctx, t, t.Parts[partIdx], cols, pred, nodeName)
 }
 
 // ReplicatedScan implements rewriter.ScanProvider.
 func (e *Engine) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+	return e.replicatedScanCtx(context.Background(), table, cols, pred, node)
+}
+
+func (e *Engine) replicatedScanCtx(ctx context.Context, table string, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
 	e.mu.Lock()
 	t, ok := e.tables[table]
 	var nodeName string
@@ -66,33 +81,55 @@ func (e *Engine) ReplicatedScan(table string, cols []string, pred *rewriter.Scan
 	if len(t.Parts) == 0 {
 		return nil, fmt.Errorf("core: table %q has no partitions", table)
 	}
-	return e.newMScan(t, t.Parts[0], cols, pred, nodeName)
+	return e.newMScan(ctx, t, t.Parts[0], cols, pred, nodeName)
+}
+
+// ctxScans adapts the engine to rewriter.ScanProvider for one query
+// execution, threading the query's context into every storage scan so a
+// deadline or client cancel stops block reads at batch granularity.
+type ctxScans struct {
+	e   *Engine
+	ctx context.Context
+}
+
+// PartitionScan implements rewriter.ScanProvider.
+func (c ctxScans) PartitionScan(table string, part int, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+	return c.e.partitionScanCtx(c.ctx, table, part, cols, pred, node)
+}
+
+// ReplicatedScan implements rewriter.ScanProvider.
+func (c ctxScans) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+	return c.e.replicatedScanCtx(c.ctx, table, cols, pred, node)
+}
+
+// ResponsibleParts implements rewriter.ScanProvider.
+func (c ctxScans) ResponsibleParts(table string, node int) []int {
+	return c.e.ResponsibleParts(table, node)
 }
 
 // mscan streams one partition: column blocks merged through the Read- and
 // Write-PDT layers, with MinMax-skipped ranges and the PDT tail inserts.
 type mscan struct {
-	eng      *Engine
+	eng    *Engine
+	part   *Partition
+	node   string
+	cols   []string
+	colIdx []int
+	pred   *rewriter.ScanPred
+	ctx    context.Context
+
+	// Acquired at Open in one critical section, released at Close.
 	meta     *colstore.PartitionMeta
-	node     string
-	cols     []string
-	colIdx   []int
-	pred     *rewriter.ScanPred
 	readPDT  *pdt.PDT
 	writePDT *pdt.PDT
 
-	sc      *colstore.Scanner
-	readM   *pdt.Merger
-	writeM  *pdt.Merger
-	stage   int // 0=blocks, 1=read tail, 2=write tail, 3=done
-	started bool
+	sc     *colstore.Scanner
+	readM  *pdt.Merger
+	writeM *pdt.Merger
+	stage  int // 0=blocks, 1=read tail, 2=write tail, 3=done
 }
 
-func (e *Engine) newMScan(t *Table, part *Partition, cols []string, pred *rewriter.ScanPred, node string) (exec.Operator, error) {
-	state, err := e.mgr.Part(part.Key)
-	if err != nil {
-		return nil, err
-	}
+func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols []string, pred *rewriter.ScanPred, node string) (exec.Operator, error) {
 	schema := t.Info.Schema
 	colIdx := make([]int, len(cols))
 	for i, c := range cols {
@@ -101,18 +138,27 @@ func (e *Engine) newMScan(t *Table, part *Partition, cols []string, pred *rewrit
 			return nil, fmt.Errorf("core: no column %q in %s", c, t.Info.Name)
 		}
 	}
-	m := &mscan{
-		eng: e, meta: part.Meta, node: node, cols: cols, colIdx: colIdx, pred: pred,
-		// Snapshot the PDT layers: commits replace masters copy-on-write,
-		// so a running scan keeps a stable image.
-		readPDT:  state.Read,
-		writePDT: state.Write,
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return m, nil
+	return &mscan{eng: e, part: part, node: node, cols: cols, colIdx: colIdx, pred: pred, ctx: ctx}, nil
 }
 
-// Open implements exec.Operator.
+// Open implements exec.Operator. It pins the partition's storage metadata
+// generation and snapshots the PDT masters atomically: writers publish new
+// block directories and reset PDTs under the same partition lock, so the
+// two images always agree on which rows live where.
 func (m *mscan) Open() error {
+	m.part.mu.Lock()
+	read, write, err := m.eng.mgr.Snapshot(m.part.Key)
+	if err != nil {
+		m.part.mu.Unlock()
+		return err
+	}
+	m.meta = m.part.acquireLocked()
+	m.part.mu.Unlock()
+	m.readPDT, m.writePDT = read, write
+
 	ranges := m.meta.FullRange()
 	if m.pred != nil {
 		// A skip hint naming a column the partition does not store is a
@@ -121,11 +167,13 @@ func (m *mscan) Open() error {
 		// (string, float) merely has no skip opportunity.
 		c, err := m.meta.Col(m.pred.Col)
 		if err != nil {
+			m.releaseMeta()
 			return fmt.Errorf("core: MinMax skip hint: %w", err)
 		}
 		if c.Type.Kind == vector.Int32 || c.Type.Kind == vector.Int64 {
 			qr, err := m.meta.QualifyingRanges(m.pred.Col, colstore.Int64RangePred(m.pred.Lo, m.pred.Hi))
 			if err != nil {
+				m.releaseMeta()
 				return err
 			}
 			ranges = colstore.IntersectRanges(ranges, qr)
@@ -133,6 +181,7 @@ func (m *mscan) Open() error {
 	}
 	sc, err := colstore.NewScanner(m.eng.fs, m.meta, m.node, m.cols, ranges)
 	if err != nil {
+		m.releaseMeta()
 		return err
 	}
 	m.sc = sc
@@ -140,13 +189,17 @@ func (m *mscan) Open() error {
 	m.readM = pdt.NewMerger(m.readPDT, schema, m.colIdx)
 	m.writeM = pdt.NewMerger(m.writePDT, schema, m.colIdx)
 	m.stage = 0
-	m.started = true
 	return nil
 }
 
-// Next implements exec.Operator.
+// Next implements exec.Operator. The query context is checked once per
+// batch: a cancelled or timed-out query stops issuing block reads
+// immediately instead of draining the partition.
 func (m *mscan) Next() (*vector.Batch, error) {
 	for {
+		if err := m.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: scan of %s.p%d canceled: %w", m.meta.Table, m.meta.Partition, context.Cause(m.ctx))
+		}
 		switch m.stage {
 		case 0:
 			b, sid, err := m.sc.Next()
@@ -197,15 +250,26 @@ func (m *mscan) Next() (*vector.Batch, error) {
 	}
 }
 
+func (m *mscan) releaseMeta() {
+	if m.meta != nil {
+		m.part.release(m.meta, m.eng.fs)
+		m.meta = nil
+	}
+}
+
 // Close implements exec.Operator: it releases the scanner's decoded block
 // cache and the merger snapshots so a finished (or abandoned) scan does not
-// pin column blocks and PDT entry lists in memory.
+// pin column blocks and PDT entry lists in memory, and unpins the metadata
+// generation (triggering deferred deletion of superseded files once the
+// last reader of a retired generation is gone).
 func (m *mscan) Close() error {
 	if m.sc != nil {
 		m.sc.Close()
 		m.sc = nil
 	}
 	m.readM, m.writeM = nil, nil
+	m.readPDT, m.writePDT = nil, nil
+	m.releaseMeta()
 	m.stage = 3
 	return nil
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"testing"
@@ -350,7 +351,7 @@ func TestTopN(t *testing.T) {
 
 func TestXchgUnionMergesAllProducers(t *testing.T) {
 	producers := []Operator{src(100, 2), src(100, 2), src(100, 2)}
-	u := XchgUnion(producers)
+	u := XchgUnion(context.Background(), producers)
 	rows, err := Collect(u)
 	if err != nil || len(rows) != 300 {
 		t.Fatalf("rows=%d err=%v", len(rows), err)
@@ -359,7 +360,7 @@ func TestXchgUnionMergesAllProducers(t *testing.T) {
 
 func TestXchgHashSplitPartitionsCompletely(t *testing.T) {
 	producers := []Operator{src(500, 2), src(500, 2)}
-	ports := XchgHashSplit(producers, []expr.Expr{expr.Col(0, vector.Int64)}, 4)
+	ports := XchgHashSplit(context.Background(), producers, []expr.Expr{expr.Col(0, vector.Int64)}, 4)
 	type res struct {
 		rows [][]any
 		err  error
@@ -402,7 +403,7 @@ func TestXchgHashSplitPartitionsCompletely(t *testing.T) {
 }
 
 func TestXchgBroadcast(t *testing.T) {
-	ports := XchgBroadcast([]Operator{src(50, 2)}, 3)
+	ports := XchgBroadcast(context.Background(), []Operator{src(50, 2)}, 3)
 	counts := make([]int, 3)
 	done := make(chan struct{}, 3)
 	for i, p := range ports {
@@ -423,7 +424,7 @@ func TestXchgBroadcast(t *testing.T) {
 }
 
 func TestXchgRangeSplit(t *testing.T) {
-	ports := XchgRangeSplit([]Operator{src(100, 2)}, expr.Col(0, vector.Int64), []int64{29, 59})
+	ports := XchgRangeSplit(context.Background(), []Operator{src(100, 2)}, expr.Col(0, vector.Int64), []int64{29, 59})
 	counts := make([]int, 3)
 	done := make(chan struct{}, 3)
 	for i, p := range ports {
@@ -469,7 +470,7 @@ func (e *errOp) Close() error                 { return nil }
 
 func TestXchgPropagatesErrors(t *testing.T) {
 	boom := errors.New("boom")
-	u := XchgUnion([]Operator{&errOp{boom}})
+	u := XchgUnion(context.Background(), []Operator{&errOp{boom}})
 	_, err := Collect(u)
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)

@@ -1,7 +1,10 @@
 package exec
 
 import (
+	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"vectorh/internal/expr"
 	"vectorh/internal/vector"
@@ -11,6 +14,10 @@ import (
 // modifies data, it only redistributes streams between producer and consumer
 // threads, encapsulating parallelism so all other operators stay
 // parallelism-unaware. Producers run in goroutines started at Open.
+//
+// Every exchange carries the query's context: producers check it once per
+// batch, so a cancelled or timed-out query stops its producer goroutines
+// promptly instead of letting them drain their inputs into dead channels.
 
 // item is one unit on an exchange channel.
 type item struct {
@@ -21,18 +28,24 @@ type item struct {
 // xchgCore runs producers and fans their output to consumer channels using
 // a routing function.
 type xchgCore struct {
+	ctx       context.Context
 	producers []Operator
 	outs      []chan item
 	route     func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error
 	quit      chan struct{}
+	openPorts atomic.Int32
 	startOnce sync.Once
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 }
 
-func newXchgCore(producers []Operator, consumers int,
+func newXchgCore(ctx context.Context, producers []Operator, consumers int,
 	route func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error) *xchgCore {
-	x := &xchgCore{producers: producers, route: route, quit: make(chan struct{})}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	x := &xchgCore{ctx: ctx, producers: producers, route: route, quit: make(chan struct{})}
+	x.openPorts.Store(int32(consumers))
 	x.outs = make([]chan item, consumers)
 	for i := range x.outs {
 		x.outs[i] = make(chan item, 4)
@@ -42,6 +55,18 @@ func newXchgCore(producers []Operator, consumers int,
 
 func (x *xchgCore) start() {
 	x.startOnce.Do(func() {
+		if done := x.ctx.Done(); done != nil {
+			// Tie the exchange lifetime to the query context: cancellation
+			// releases producers blocked on full consumer channels even if
+			// no consumer ever calls Close.
+			go func() {
+				select {
+				case <-done:
+					x.stop()
+				case <-x.quit:
+				}
+			}()
+		}
 		x.wg.Add(len(x.producers))
 		for _, p := range x.producers {
 			go func(p Operator) {
@@ -52,6 +77,10 @@ func (x *xchgCore) start() {
 				}
 				defer p.Close()
 				for {
+					if err := x.ctx.Err(); err != nil {
+						x.fanErr(fmt.Errorf("exec: exchange producer canceled: %w", context.Cause(x.ctx)))
+						return
+					}
 					b, err := p.Next()
 					if err != nil {
 						x.fanErr(err)
@@ -90,8 +119,9 @@ func (x *xchgCore) stop() {
 
 // port is one consumer endpoint of an exchange.
 type port struct {
-	x   *xchgCore
-	idx int
+	x    *xchgCore
+	idx  int
+	once sync.Once
 }
 
 // Open implements Operator.
@@ -106,8 +136,17 @@ func (p *port) Next() (*vector.Batch, error) {
 	return it.b, it.err
 }
 
-// Close implements Operator.
-func (p *port) Close() error { p.x.stop(); return nil }
+// Close implements Operator. The exchange stops once every consumer port
+// has closed (stopping on the first close would strand batches buffered for
+// sibling streams); a cancelled query context stops it immediately.
+func (p *port) Close() error {
+	p.once.Do(func() {
+		if p.x.openPorts.Add(-1) == 0 {
+			p.x.stop()
+		}
+	})
+	return nil
+}
 
 func send(ch chan item, b *vector.Batch, quit <-chan struct{}) error {
 	select {
@@ -125,8 +164,8 @@ func (quitError) Error() string { return "exec: exchange canceled" }
 var errQuit = quitError{}
 
 // XchgUnion merges n producer streams into one consumer stream.
-func XchgUnion(producers []Operator) Operator {
-	x := newXchgCore(producers, 1, func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error {
+func XchgUnion(ctx context.Context, producers []Operator) Operator {
+	x := newXchgCore(ctx, producers, 1, func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error {
 		return send(outs[0], b, quit)
 	})
 	return &port{x: x}
@@ -134,7 +173,7 @@ func XchgUnion(producers []Operator) Operator {
 
 // XchgHashSplit hash-partitions n producer streams into m consumer streams
 // on the given key expressions. It returns the m consumer ports.
-func XchgHashSplit(producers []Operator, keys []expr.Expr, m int) []Operator {
+func XchgHashSplit(ctx context.Context, producers []Operator, keys []expr.Expr, m int) []Operator {
 	route := func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error {
 		hashes, err := HashRows(b, keys)
 		if err != nil {
@@ -164,7 +203,7 @@ func XchgHashSplit(producers []Operator, keys []expr.Expr, m int) []Operator {
 		}
 		return nil
 	}
-	x := newXchgCore(producers, m, route)
+	x := newXchgCore(ctx, producers, m, route)
 	ports := make([]Operator, m)
 	for i := range ports {
 		ports[i] = &port{x: x, idx: i}
@@ -174,7 +213,7 @@ func XchgHashSplit(producers []Operator, keys []expr.Expr, m int) []Operator {
 
 // XchgBroadcast replicates every producer batch to all m consumer streams
 // (used to build replicated join sides).
-func XchgBroadcast(producers []Operator, m int) []Operator {
+func XchgBroadcast(ctx context.Context, producers []Operator, m int) []Operator {
 	route := func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error {
 		for _, ch := range outs {
 			if err := send(ch, b, quit); err != nil {
@@ -183,7 +222,7 @@ func XchgBroadcast(producers []Operator, m int) []Operator {
 		}
 		return nil
 	}
-	x := newXchgCore(producers, m, route)
+	x := newXchgCore(ctx, producers, m, route)
 	ports := make([]Operator, m)
 	for i := range ports {
 		ports[i] = &port{x: x, idx: i}
@@ -194,7 +233,7 @@ func XchgBroadcast(producers []Operator, m int) []Operator {
 // XchgRangeSplit routes rows to consumers by comparing an int64 key against
 // ascending boundaries: consumer i receives keys in (bounds[i-1], bounds[i]]
 // with the last consumer unbounded.
-func XchgRangeSplit(producers []Operator, key expr.Expr, bounds []int64) []Operator {
+func XchgRangeSplit(ctx context.Context, producers []Operator, key expr.Expr, bounds []int64) []Operator {
 	m := len(bounds) + 1
 	route := func(b *vector.Batch, outs []chan item, quit <-chan struct{}) error {
 		kv, err := key.Eval(b)
@@ -228,7 +267,7 @@ func XchgRangeSplit(producers []Operator, key expr.Expr, bounds []int64) []Opera
 		}
 		return nil
 	}
-	x := newXchgCore(producers, m, route)
+	x := newXchgCore(ctx, producers, m, route)
 	ports := make([]Operator, m)
 	for i := range ports {
 		ports[i] = &port{x: x, idx: i}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vectorh"
+	"vectorh/internal/server"
+	"vectorh/internal/tpch"
+)
+
+// ConcurrencyPoint is one load level of the serving-layer experiment.
+type ConcurrencyPoint struct {
+	Sessions int
+	Queries  int // total queries completed across sessions
+	Elapsed  time.Duration
+	QPS      float64
+}
+
+// ConcurrencyResult is the multi-session throughput experiment: the
+// SQL-on-Hadoop comparison literature (Tapdiya & Fabbri) measures exactly
+// this axis — how a system's aggregate throughput scales as concurrent
+// sessions grow.
+type ConcurrencyResult struct {
+	SF            float64
+	Nodes         int
+	MaxConcurrent int
+	Points        []ConcurrencyPoint
+	Validated     int  // queries checked row-identical vs in-process execution
+	AllMatch      bool // every validated query matched
+}
+
+// Report renders the experiment.
+func (r *ConcurrencyResult) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "serving-layer concurrency (sf=%g, %d nodes, admission limit %d):\n",
+		r.SF, r.Nodes, r.MaxConcurrent)
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "  %2d sessions  %4d queries in %-12v  %7.1f q/s\n",
+			p.Sessions, p.Queries, p.Elapsed.Round(time.Millisecond), p.QPS)
+	}
+	status := "OK"
+	if !r.AllMatch {
+		status = "MISMATCH"
+	}
+	fmt.Fprintf(&sb, "  validation: %d remote results vs in-process execution: %s\n", r.Validated, status)
+	return sb.String()
+}
+
+// Concurrency runs the serving-layer experiment: start vectorh-serve
+// in-process over loopback TCP, then drive the SQL TPC-H workload from 1,
+// 4 and 16 concurrent client sessions, recording aggregate queries/sec.
+// Every session's first pass is validated row-identical (floats rounded —
+// exchange arrival order perturbs the last bits) against in-process
+// execution of the same statements.
+func Concurrency(sf float64, nodes int) (*ConcurrencyResult, error) {
+	const threads, partitions = 2, 6
+	eng, err := NewEngine(nodes, threads, partitions)
+	if err != nil {
+		return nil, err
+	}
+	d := tpch.Generate(sf, 42)
+	if err := tpch.LoadIntoEngine(eng, d, partitions); err != nil {
+		return nil, err
+	}
+	db := &vectorh.DB{Engine: eng}
+
+	var qs []int
+	for q := range tpch.SQLQueries {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	want := make(map[int][]string, len(qs))
+	for _, q := range qs {
+		rows, err := db.QuerySQL(tpch.SQLQueries[q])
+		if err != nil {
+			return nil, fmt.Errorf("Q%02d reference: %w", q, err)
+		}
+		want[q] = normRows(rows)
+	}
+
+	res := &ConcurrencyResult{SF: sf, Nodes: nodes, MaxConcurrent: 8, AllMatch: true}
+	srv := server.New(db, server.Options{MaxConcurrent: res.MaxConcurrent})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	const passes = 3 // each session runs the full workload this many times
+	for _, sessions := range []int{1, 4, 16} {
+		clients := make([]*server.Client, sessions)
+		for i := range clients {
+			c, err := server.Dial(addr.String())
+			if err != nil {
+				return nil, err
+			}
+			defer c.Close()
+			clients[i] = c
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, sessions)
+		var mu sync.Mutex
+		validated, mismatches := 0, 0
+		start := time.Now()
+		for _, c := range clients {
+			wg.Add(1)
+			go func(c *server.Client) {
+				defer wg.Done()
+				for pass := 0; pass < passes; pass++ {
+					for _, q := range qs {
+						r, err := c.Query(context.Background(), tpch.SQLQueries[q])
+						if err != nil {
+							errs <- fmt.Errorf("Q%02d: %w", q, err)
+							return
+						}
+						if pass == 0 {
+							match := eqStrings(normRows(r.Rows), want[q])
+							mu.Lock()
+							validated++
+							if !match {
+								mismatches++
+							}
+							mu.Unlock()
+						}
+					}
+				}
+				errs <- nil
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for range clients {
+			if err := <-errs; err != nil {
+				return nil, err
+			}
+		}
+		total := sessions * passes * len(qs)
+		res.Points = append(res.Points, ConcurrencyPoint{
+			Sessions: sessions,
+			Queries:  total,
+			Elapsed:  elapsed,
+			QPS:      float64(total) / elapsed.Seconds(),
+		})
+		res.Validated += validated
+		if mismatches > 0 {
+			res.AllMatch = false
+		}
+	}
+	return res, nil
+}
+
+func normRows(rows [][]any) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		var sb strings.Builder
+		for _, v := range row {
+			if f, ok := v.(float64); ok {
+				fmt.Fprintf(&sb, "%.6g|", f)
+			} else {
+				fmt.Fprintf(&sb, "%v|", v)
+			}
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

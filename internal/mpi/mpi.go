@@ -100,15 +100,31 @@ func (n *Network) NewComm(ranks, senders int, rankNode func(int) int) *Comm {
 // serialized buffer (accounted as network traffic). Serialization happens
 // here, so callers pass the batch either way.
 func (c *Comm) Send(fromNode, toRank int, b *vector.Batch) {
+	c.SendQuit(fromNode, toRank, b, nil)
+}
+
+// SendQuit is Send that gives up when quit closes (query cancellation):
+// inbox capacity is bounded, so without it an abandoned exchange would leave
+// senders blocked forever. It reports whether the message was delivered.
+func (c *Comm) SendQuit(fromNode, toRank int, b *vector.Batch, quit <-chan struct{}) bool {
 	if c.rankOf(toRank) == fromNode {
 		c.net.localPasses.Add(1)
-		c.inboxes[toRank] <- Message{From: fromNode, Local: b}
-		return
+		select {
+		case c.inboxes[toRank] <- Message{From: fromNode, Local: b}:
+			return true
+		case <-quit:
+			return false
+		}
 	}
 	data := EncodeBatch(b)
 	c.net.remoteBytes.Add(int64(len(data)))
 	c.net.remoteMsgs.Add(1)
-	c.inboxes[toRank] <- Message{From: fromNode, Data: data}
+	select {
+	case c.inboxes[toRank] <- Message{From: fromNode, Data: data}:
+		return true
+	case <-quit:
+		return false
+	}
 }
 
 // DoneSending signals one sender finished; when the last sender is done all
@@ -128,6 +144,18 @@ func (c *Comm) DoneSending() {
 func (c *Comm) Recv(rank int) (Message, bool) {
 	m, ok := <-c.inboxes[rank]
 	return m, ok
+}
+
+// RecvQuit is Recv that also returns (with ok=false) when quit closes, so
+// exchange dispatcher goroutines exit promptly on query cancellation even
+// while senders are stalled.
+func (c *Comm) RecvQuit(rank int, quit <-chan struct{}) (Message, bool) {
+	select {
+	case m, ok := <-c.inboxes[rank]:
+		return m, ok
+	case <-quit:
+		return Message{}, false
+	}
 }
 
 // Batch returns the message payload as a batch, decoding if it was remote.

@@ -15,6 +15,8 @@
 package mpp
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -37,7 +39,8 @@ const (
 type Config struct {
 	Net      *mpi.Network
 	Mode     Mode
-	MsgBytes int // flush threshold; default mpi.DefaultMsgBytes
+	MsgBytes int             // flush threshold; default mpi.DefaultMsgBytes
+	Ctx      context.Context // query context; senders check it per batch
 }
 
 func (c Config) msgBytes() int {
@@ -56,10 +59,55 @@ type Stats struct {
 
 // Exchange tracks shared exchange state; the concrete operators embed it.
 type Exchange struct {
-	cfg     Config
-	fanout  int
-	curBuf  atomic.Int64
-	peakBuf atomic.Int64
+	cfg       Config
+	ctx       context.Context
+	fanout    int
+	curBuf    atomic.Int64
+	peakBuf   atomic.Int64
+	quit      chan struct{}
+	openPorts atomic.Int32
+	stopOnce  sync.Once
+}
+
+// newExchange initializes shared exchange state and, when the config
+// carries a cancelable context, ties the exchange's quit channel to it so a
+// cancelled query releases senders blocked on full inboxes and dispatchers
+// blocked on empty ones.
+func newExchange(cfg Config) *Exchange {
+	ex := &Exchange{cfg: cfg, ctx: cfg.Ctx, quit: make(chan struct{})}
+	if ex.ctx == nil {
+		ex.ctx = context.Background()
+	}
+	if done := ex.ctx.Done(); done != nil {
+		go func() {
+			select {
+			case <-done:
+				ex.stop()
+			case <-ex.quit:
+			}
+		}()
+	}
+	return ex
+}
+
+// stop tears the exchange down: senders and dispatchers unblock and exit.
+func (e *Exchange) stop() { e.stopOnce.Do(func() { close(e.quit) }) }
+
+// newPort wraps a consumer queue in a recvPort whose Close decrements the
+// exchange's open-port count, stopping the exchange once the last port is
+// closed. Stopping on the FIRST close would lose batches still buffered in
+// inboxes of sibling streams mid-query; stopping only on the last close (or
+// on context cancellation) is both loss-free and leak-free.
+func (e *Exchange) newPort(ch chan portItem) *recvPort {
+	e.openPorts.Add(1)
+	var once sync.Once
+	return &recvPort{ch: ch, stop: func() {
+		once.Do(func() {
+			if e.openPorts.Add(-1) == 0 {
+				e.stop()
+			}
+		})
+	}}
 }
 
 // Stats returns buffering statistics after the exchange ran.
@@ -211,7 +259,7 @@ func newSplit(cfg Config, producers [][]exec.Operator, consumersPerNode []int,
 	route func(*vector.Batch, []uint64) ([]uint64, error)) ([][]exec.Operator, *Exchange) {
 
 	totalStreams, streamNode := flatten(consumersPerNode)
-	ex := &Exchange{cfg: cfg}
+	ex := newExchange(cfg)
 	nSenders := 0
 	for _, ps := range producers {
 		nSenders += len(ps)
@@ -245,11 +293,11 @@ func newSplit(cfg Config, producers [][]exec.Operator, consumersPerNode []int,
 			go func(s int) {
 				defer close(queues[s])
 				for {
-					m, ok := comm.Recv(s)
+					m, ok := comm.RecvQuit(s, ex.quit)
 					if !ok {
 						return
 					}
-					forward(queues[s], m)
+					forward(queues[s], m, ex.quit)
 				}
 			}(s)
 		}
@@ -269,16 +317,19 @@ func newSplit(cfg Config, producers [][]exec.Operator, consumersPerNode []int,
 			go func(n int) {
 				defer wg.Done()
 				for {
-					m, ok := comm.Recv(n)
+					m, ok := comm.RecvQuit(n, ex.quit)
 					if !ok {
 						return
 					}
 					b, err := m.Batch()
 					if err != nil {
-						queues[streamBase[n]] <- portItem{err: err}
+						select {
+						case queues[streamBase[n]] <- portItem{err: err}:
+						case <-ex.quit:
+						}
 						continue
 					}
-					dispatchByThreadCol(b, queues, streamBase[n], consumersPerNode[n])
+					dispatchByThreadCol(b, queues, streamBase[n], consumersPerNode[n], ex.quit)
 				}
 			}(n)
 		}
@@ -294,7 +345,7 @@ func newSplit(cfg Config, producers [][]exec.Operator, consumersPerNode []int,
 	s := 0
 	for n, c := range consumersPerNode {
 		for t := 0; t < c; t++ {
-			ports[n] = append(ports[n], &recvPort{ch: queues[s]})
+			ports[n] = append(ports[n], ex.newPort(queues[s]))
 			s++
 		}
 	}
@@ -315,7 +366,7 @@ func runSplitSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator,
 	}
 	fail := func(err error) {
 		// Deliver the error through rank 0 so some consumer sees it.
-		comm.Send(node, 0, errBatch(err))
+		comm.SendQuit(node, 0, errBatch(err), ex.quit)
 	}
 	if err := p.Open(); err != nil {
 		fail(err)
@@ -324,6 +375,13 @@ func runSplitSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator,
 	defer p.Close()
 	var scratch []uint64 // per-sender routing buffer, reused batch over batch
 	for {
+		// The per-batch cancellation point of §5's DXchg senders: a
+		// cancelled query stops partitioning and stops pulling from the
+		// producer subtree, so its cores are released mid-plan.
+		if err := ex.ctx.Err(); err != nil {
+			fail(fmt.Errorf("mpp: sender canceled: %w", context.Cause(ex.ctx)))
+			return
+		}
 		b, err := p.Next()
 		if err != nil {
 			fail(err)
@@ -347,21 +405,27 @@ func runSplitSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator,
 			if t2t {
 				bufs[stream].add(ex, b, phys, 0, false)
 				if bufs[stream].bytes >= ex.cfg.msgBytes() {
-					comm.Send(node, stream, bufs[stream].take(ex))
+					if !comm.SendQuit(node, stream, bufs[stream].take(ex), ex.quit) {
+						return
+					}
 				}
 			} else {
 				dn := streamNode[stream]
 				thread := int32(stream - firstStreamOf(dn, consumersPerNode))
 				bufs[dn].add(ex, b, phys, thread, true)
 				if bufs[dn].bytes >= ex.cfg.msgBytes() {
-					comm.Send(node, dn, bufs[dn].take(ex))
+					if !comm.SendQuit(node, dn, bufs[dn].take(ex), ex.quit) {
+						return
+					}
 				}
 			}
 		}
 	}
 	for d := range bufs {
 		if b := bufs[d].take(ex); b != nil {
-			comm.Send(node, d, b)
+			if !comm.SendQuit(node, d, b, ex.quit) {
+				return
+			}
 		}
 	}
 }
@@ -376,7 +440,7 @@ func firstStreamOf(node int, consumersPerNode []int) int {
 
 // dispatchByThreadCol splits a thread-tagged batch to per-thread queues,
 // stripping the tag column.
-func dispatchByThreadCol(b *vector.Batch, queues []chan portItem, base, threads int) {
+func dispatchByThreadCol(b *vector.Batch, queues []chan portItem, base, threads int, quit <-chan struct{}) {
 	tcol := b.Vecs[len(b.Vecs)-1].Int32s()
 	data := &vector.Batch{Vecs: b.Vecs[:len(b.Vecs)-1]}
 	sels := make([][]int32, threads)
@@ -387,27 +451,35 @@ func dispatchByThreadCol(b *vector.Batch, queues []chan portItem, base, threads 
 		if len(sel) == 0 {
 			continue
 		}
-		queues[base+t] <- portItem{b: &vector.Batch{Vecs: data.Vecs, Sel: sel}}
+		select {
+		case queues[base+t] <- portItem{b: &vector.Batch{Vecs: data.Vecs, Sel: sel}}:
+		case <-quit:
+			return
+		}
 	}
 }
 
-func forward(q chan portItem, m mpi.Message) {
+func forward(q chan portItem, m mpi.Message, quit <-chan struct{}) {
 	b, err := m.Batch()
-	if err != nil {
-		q <- portItem{err: err}
-		return
+	it := portItem{b: b, err: err}
+	if err == nil {
+		if eb := asErrBatch(b); eb != nil {
+			it = portItem{err: eb}
+		}
+	} else {
+		it = portItem{err: err}
 	}
-	if eb := asErrBatch(b); eb != nil {
-		q <- portItem{err: eb}
-		return
+	select {
+	case q <- it:
+	case <-quit:
 	}
-	q <- portItem{b: b}
 }
 
 // DXchgUnion funnels every producer stream to a single consumer stream on
 // the given node (the 180:1 DXchgUnion of the Appendix Q1 plan).
 func DXchgUnion(cfg Config, producers [][]exec.Operator, consumerNode int) (exec.Operator, *Exchange) {
-	ex := &Exchange{cfg: cfg, fanout: 1}
+	ex := newExchange(cfg)
+	ex.fanout = 1
 	nSenders := 0
 	for _, ps := range producers {
 		nSenders += len(ps)
@@ -422,20 +494,21 @@ func DXchgUnion(cfg Config, producers [][]exec.Operator, consumerNode int) (exec
 	go func() {
 		defer close(q)
 		for {
-			m, ok := comm.Recv(0)
+			m, ok := comm.RecvQuit(0, ex.quit)
 			if !ok {
 				return
 			}
-			forward(q, m)
+			forward(q, m, ex.quit)
 		}
 	}()
-	return &recvPort{ch: q}, ex
+	return ex.newPort(q), ex
 }
 
 // DXchgBroadcast replicates every producer row to every consumer thread on
 // every node (used to build replicated join sides).
 func DXchgBroadcast(cfg Config, producers [][]exec.Operator, consumersPerNode []int) ([][]exec.Operator, *Exchange) {
-	ex := &Exchange{cfg: cfg, fanout: len(consumersPerNode)}
+	ex := newExchange(cfg)
+	ex.fanout = len(consumersPerNode)
 	nSenders := 0
 	for _, ps := range producers {
 		nSenders += len(ps)
@@ -458,7 +531,7 @@ func DXchgBroadcast(cfg Config, producers [][]exec.Operator, consumersPerNode []
 			q := make(chan portItem, 4)
 			nodeQueues[t] = q
 			queues = append(queues, q)
-			ports[n] = append(ports[n], &recvPort{ch: q})
+			ports[n] = append(ports[n], ex.newPort(q))
 		}
 		go func(n int, nodeQueues []chan portItem) {
 			defer func() {
@@ -467,18 +540,22 @@ func DXchgBroadcast(cfg Config, producers [][]exec.Operator, consumersPerNode []
 				}
 			}()
 			for {
-				m, ok := comm.Recv(n)
+				m, ok := comm.RecvQuit(n, ex.quit)
 				if !ok {
 					return
 				}
 				b, err := m.Batch()
+				it := portItem{b: b}
+				if err != nil {
+					it = portItem{err: err}
+				} else if eb := asErrBatch(b); eb != nil {
+					it = portItem{err: eb}
+				}
 				for _, q := range nodeQueues {
-					if err != nil {
-						q <- portItem{err: err}
-					} else if eb := asErrBatch(b); eb != nil {
-						q <- portItem{err: eb}
-					} else {
-						q <- portItem{b: b}
+					select {
+					case q <- it:
+					case <-ex.quit:
+						return
 					}
 				}
 			}
@@ -494,14 +571,18 @@ func runForwardSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator, d
 	defer comm.DoneSending()
 	var buf sendBuffer
 	if err := p.Open(); err != nil {
-		comm.Send(node, dests[0], errBatch(err))
+		comm.SendQuit(node, dests[0], errBatch(err), ex.quit)
 		return
 	}
 	defer p.Close()
 	for {
+		if err := ex.ctx.Err(); err != nil {
+			comm.SendQuit(node, dests[0], errBatch(fmt.Errorf("mpp: sender canceled: %w", context.Cause(ex.ctx))), ex.quit)
+			return
+		}
 		b, err := p.Next()
 		if err != nil {
-			comm.Send(node, dests[0], errBatch(err))
+			comm.SendQuit(node, dests[0], errBatch(err), ex.quit)
 			return
 		}
 		if b == nil {
@@ -517,13 +598,17 @@ func runForwardSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator, d
 		if buf.bytes >= ex.cfg.msgBytes() {
 			out := buf.take(ex)
 			for _, d := range dests {
-				comm.Send(node, d, out)
+				if !comm.SendQuit(node, d, out, ex.quit) {
+					return
+				}
 			}
 		}
 	}
 	if out := buf.take(ex); out != nil {
 		for _, d := range dests {
-			comm.Send(node, d, out)
+			if !comm.SendQuit(node, d, out, ex.quit) {
+				return
+			}
 		}
 	}
 }

@@ -7,6 +7,7 @@
 package rewriter
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -37,6 +38,10 @@ type ScanProvider interface {
 
 // Env is the instantiation context of one query execution.
 type Env struct {
+	// Ctx is the query's context; it is threaded into storage scans (by the
+	// ScanProvider) and into every local and distributed exchange, whose
+	// producers and senders check it per batch. Nil means Background.
+	Ctx      context.Context
 	Net      *mpi.Network
 	Provider ScanProvider
 	Nodes    int
@@ -46,6 +51,13 @@ type Env struct {
 	Profile  map[string]*exec.Profiled // filled when non-nil (Appendix profile)
 
 	memo map[Phys][][]exec.Operator
+}
+
+func (e *Env) ctx() context.Context {
+	if e.Ctx == nil {
+		return context.Background()
+	}
+	return e.Ctx
 }
 
 func (e *Env) instantiate(p Phys) ([][]exec.Operator, error) {
@@ -241,7 +253,7 @@ func (p *physHashJoin) instantiate(e *Env) ([][]exec.Operator, error) {
 			if len(probe[n]) == 0 {
 				continue
 			}
-			bstreams = exec.XchgBroadcast(bstreams, len(probe[n]))
+			bstreams = exec.XchgBroadcast(e.ctx(), bstreams, len(probe[n]))
 		}
 		if len(bstreams) != len(probe[n]) {
 			return nil, fmt.Errorf("rewriter: join stream mismatch on node %d: build %d vs probe %d",
@@ -336,7 +348,7 @@ func (p *physDXchgHash) instantiate(e *Env) ([][]exec.Operator, error) {
 	for i := range consumers {
 		consumers[i] = e.Threads
 	}
-	ports, _ := mpp.DXchgHashSplit(mpp.Config{Net: e.Net, Mode: e.Mode, MsgBytes: e.MsgBytes},
+	ports, _ := mpp.DXchgHashSplit(mpp.Config{Net: e.Net, Mode: e.Mode, MsgBytes: e.MsgBytes, Ctx: e.ctx()},
 		in, p.keys, consumers)
 	return ports, nil
 }
@@ -355,7 +367,7 @@ func (p *physDXchgUnion) instantiate(e *Env) ([][]exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	union, _ := mpp.DXchgUnion(mpp.Config{Net: e.Net, Mode: e.Mode, MsgBytes: e.MsgBytes}, in, p.node)
+	union, _ := mpp.DXchgUnion(mpp.Config{Net: e.Net, Mode: e.Mode, MsgBytes: e.MsgBytes, Ctx: e.ctx()}, in, p.node)
 	out := make([][]exec.Operator, e.Nodes)
 	out[p.node] = []exec.Operator{union}
 	return out, nil

@@ -719,7 +719,7 @@ func (p *physOneNode) instantiate(e *Env) ([][]exec.Operator, error) {
 	}
 	out := make([][]exec.Operator, e.Nodes)
 	if len(in[p.node]) > 1 {
-		out[p.node] = []exec.Operator{exec.XchgUnion(in[p.node])}
+		out[p.node] = []exec.Operator{exec.XchgUnion(e.ctx(), in[p.node])}
 	} else {
 		out[p.node] = in[p.node]
 	}

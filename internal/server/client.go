@@ -1,0 +1,400 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vectorh/internal/vector"
+)
+
+// Client is one session against a vectorh-serve instance. It is safe for
+// concurrent use; requests are multiplexed by id over one connection, which
+// is what lets Cancel (or a cancelled context) reach a query already in
+// flight.
+type Client struct {
+	conn   net.Conn
+	nextID atomic.Int64
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[int64]chan *Response
+	readErr error
+	done    chan struct{}
+}
+
+// Result is a fully collected query result.
+type Result struct {
+	Schema  []ColDesc
+	Rows    [][]any
+	Elapsed time.Duration
+}
+
+// Dial connects to a serving instance.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, pending: make(map[int64]chan *Response), done: make(chan struct{})}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the session down; in-flight requests fail.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done // reader drained; every pending channel is closed
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		payload, err := ReadFrame(c.conn, 0)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		var resp Response
+		if err := unmarshalStrictNumbers(payload, &resp); err != nil {
+			continue // mis-framed response; the terminal error surfaces via readErr on disconnect
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		if ch != nil && (resp.Type == RespDone || resp.Type == RespError) {
+			// Terminal frame: unregister before delivery so a late
+			// duplicate cannot block.
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &resp
+			if resp.Type == RespDone || resp.Type == RespError {
+				close(ch)
+			}
+		}
+	}
+}
+
+func (c *Client) register() (int64, chan *Response, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan *Response, 16)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return 0, nil, fmt.Errorf("server: connection lost: %w", c.readErr)
+	}
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+func (c *Client) unregister(id int64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *Client) writeFrame(v any) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WriteFrame(c.conn, v)
+}
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	req.ID = id
+	// Single-frame ops (pong/stats/plan) are not terminal frames in the
+	// reader's eyes, so unregister here — otherwise every Ping/Stats/
+	// Explain would leak a pending entry for the connection's lifetime.
+	defer c.unregister(id)
+	if err := c.writeFrame(req); err != nil {
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, c.connLost()
+	}
+	if resp.Type == RespError {
+		return nil, resp.Err
+	}
+	return resp, nil
+}
+
+func (c *Client) connLost() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return fmt.Errorf("server: connection lost: %w", c.readErr)
+	}
+	return errors.New("server: connection lost")
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&Request{Op: OpPing})
+	return err
+}
+
+// Stats fetches the server metrics snapshot.
+func (c *Client) Stats() (*StatsSnapshot, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, errors.New("server: stats response without payload")
+	}
+	return resp.Stats, nil
+}
+
+// Explain returns the distributed physical plan text.
+func (c *Client) Explain(query string) (string, error) {
+	resp, err := c.roundTrip(&Request{Op: OpExplain, SQL: query})
+	if err != nil {
+		return "", err
+	}
+	return resp.Plan, nil
+}
+
+// Exec runs one DML statement, returning affected rows.
+func (c *Client) Exec(ctx context.Context, stmt string) (int64, error) {
+	var affected int64
+	err := c.run(ctx, &Request{Op: OpExec, SQL: stmt}, func(resp *Response) error {
+		if resp.Type == RespDone {
+			affected = resp.Affected
+		}
+		return nil
+	})
+	return affected, err
+}
+
+// Query runs a SELECT and collects the streamed result. Cancelling ctx
+// sends a wire-level cancel for the in-flight query; the engine stops its
+// scans and exchange senders at the next batch boundary.
+func (c *Client) Query(ctx context.Context, query string) (*Result, error) {
+	res := &Result{}
+	err := c.QueryStream(ctx, query, func(schema []ColDesc, rows [][]any) error {
+		res.Schema = schema
+		res.Rows = append(res.Rows, rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryStream runs a SELECT, invoking yield for the schema frame (rows nil)
+// and for every rows frame as it arrives.
+func (c *Client) QueryStream(ctx context.Context, query string, yield func(schema []ColDesc, rows [][]any) error) error {
+	var schema []ColDesc
+	var types []vector.Type
+	return c.run(ctx, &Request{Op: OpQuery, SQL: query}, func(resp *Response) error {
+		switch resp.Type {
+		case RespSchema:
+			schema = resp.Schema
+			var err error
+			types, err = schemaTypes(schema)
+			if err != nil {
+				return err
+			}
+			return yield(schema, nil)
+		case RespRows:
+			if types == nil {
+				return errors.New("server: rows frame before schema frame")
+			}
+			for _, row := range resp.Rows {
+				if err := decodeRow(row, types); err != nil {
+					return err
+				}
+			}
+			return yield(schema, resp.Rows)
+		}
+		return nil
+	})
+}
+
+// run drives one request to its terminal frame, racing the context: on
+// ctx cancellation it sends a cancel frame for the request and keeps
+// draining until the server acknowledges with the terminal error.
+func (c *Client) run(ctx context.Context, req *Request, onFrame func(*Response) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		// Round up: a 1ms deadline must reach the server as 1ms, not 0.
+		if ms := (time.Until(dl) + time.Millisecond - 1) / time.Millisecond; ms > 0 {
+			req.TimeoutMs = int64(ms)
+		} else {
+			return context.DeadlineExceeded
+		}
+	}
+	id, ch, err := c.register()
+	if err != nil {
+		return err
+	}
+	req.ID = id
+	if err := c.writeFrame(req); err != nil {
+		c.unregister(id)
+		return err
+	}
+	cancelSent := false
+	for {
+		select {
+		case resp, ok := <-ch:
+			if !ok {
+				return c.connLost()
+			}
+			switch resp.Type {
+			case RespError:
+				return resp.Err
+			case RespDone:
+				return onFrame(resp)
+			default:
+				if err := onFrame(resp); err != nil {
+					// The consumer bailed: cancel server-side, then drain
+					// to the terminal frame so the session stays usable.
+					if !cancelSent {
+						c.writeFrame(&Request{Op: OpCancel, Target: id})
+						cancelSent = true
+					}
+					c.drain(ch)
+					return err
+				}
+			}
+		case <-ctx.Done():
+			if !cancelSent {
+				if err := c.writeFrame(&Request{Op: OpCancel, Target: id}); err != nil {
+					c.unregister(id)
+					return context.Cause(ctx)
+				}
+				cancelSent = true
+			}
+			c.drain(ch)
+			return context.Cause(ctx)
+		}
+	}
+}
+
+// drain consumes frames until the request's channel closes (terminal frame
+// delivered or connection lost), with a safety timeout.
+func (c *Client) drain(ch chan *Response) {
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				return
+			}
+		case <-timeout:
+			return
+		}
+	}
+}
+
+// schemaTypes maps wire column descriptors back to engine types.
+func schemaTypes(schema []ColDesc) ([]vector.Type, error) {
+	out := make([]vector.Type, len(schema))
+	for i, d := range schema {
+		var t vector.Type
+		switch d.Kind {
+		case "bool":
+			t = vector.TBool
+		case "int32":
+			t = vector.TInt32
+		case "int64":
+			t = vector.TInt64
+		case "float64":
+			t = vector.TFloat64
+		case "string":
+			t = vector.TString
+		default:
+			return nil, fmt.Errorf("server: unknown column kind %q", d.Kind)
+		}
+		switch d.Logical {
+		case "date":
+			t.Logical = vector.Date
+		case "decimal":
+			t.Logical = vector.Decimal
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// decodeRow converts JSON-decoded values (json.Number, string, bool) in
+// place into the engine-identical dynamic types the schema dictates, so
+// results fetched over the wire compare row-identical against in-process
+// execution.
+func decodeRow(row []any, types []vector.Type) error {
+	if len(row) != len(types) {
+		return fmt.Errorf("server: row has %d values, schema %d", len(row), len(types))
+	}
+	for i, v := range row {
+		num, isNum := v.(json.Number)
+		switch types[i].Kind {
+		case vector.Int32:
+			if !isNum {
+				return fmt.Errorf("server: column %d: %T is not a number", i, v)
+			}
+			x, err := strconv.ParseInt(num.String(), 10, 32)
+			if err != nil {
+				return err
+			}
+			row[i] = int32(x)
+		case vector.Int64:
+			if !isNum {
+				return fmt.Errorf("server: column %d: %T is not a number", i, v)
+			}
+			x, err := num.Int64()
+			if err != nil {
+				return err
+			}
+			row[i] = x
+		case vector.Float64:
+			if !isNum {
+				return fmt.Errorf("server: column %d: %T is not a number", i, v)
+			}
+			x, err := num.Float64()
+			if err != nil {
+				return err
+			}
+			row[i] = x
+		case vector.String:
+			if _, ok := v.(string); !ok {
+				return fmt.Errorf("server: column %d: %T is not a string", i, v)
+			}
+		case vector.Bool:
+			if _, ok := v.(bool); !ok {
+				return fmt.Errorf("server: column %d: %T is not a bool", i, v)
+			}
+		}
+	}
+	return nil
+}
+
+// newNumberDecoder returns a json.Decoder that preserves integer precision
+// (numbers decode as json.Number, not float64).
+func newNumberDecoder(data []byte) *json.Decoder {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	return dec
+}

@@ -1,0 +1,159 @@
+// Package server is the VectorH serving layer (vectorh-serve): a TCP
+// front door that turns the in-process engine into a concurrent multi-user
+// service — the deployment shape the paper positions VectorH in (an
+// interactive, multi-user MPP SQL engine, §1) and the axis on which the
+// SQL-on-Hadoop systems it compares against differentiate under concurrency.
+//
+// The wire protocol is deliberately small: length-prefixed JSON frames. A
+// request is one frame; a response is a sequence of frames sharing the
+// request id — for a query, `schema`, zero or more streamed `rows` batches,
+// and a terminal `done` (or `error` at any point). Sessions are
+// per-connection; multiple requests may be in flight on one session (that
+// is what makes `cancel` reachable while a query runs).
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Frame format: a 4-byte big-endian payload length followed by a JSON
+// payload. Zero-length and oversized frames are protocol errors.
+const (
+	// DefaultMaxFrameBytes bounds a single frame; it is both a parser
+	// sanity limit and a defense against a misbehaving peer committing the
+	// server to a multi-gigabyte allocation.
+	DefaultMaxFrameBytes = 8 << 20
+
+	frameHeaderLen = 4
+)
+
+// Request ops.
+const (
+	OpQuery   = "query"   // SQL SELECT; streamed response
+	OpExec    = "exec"    // SQL DML; done{affected}
+	OpExplain = "explain" // SQL SELECT; plan text
+	OpCancel  = "cancel"  // cancel the in-flight request named by Target
+	OpPing    = "ping"    // liveness; pong
+	OpStats   = "stats"   // server metrics snapshot
+)
+
+// Response types.
+const (
+	RespSchema = "schema"
+	RespRows   = "rows"
+	RespDone   = "done"
+	RespError  = "error"
+	RespPlan   = "plan"
+	RespPong   = "pong"
+	RespStats  = "stats"
+)
+
+// Request is one client frame.
+type Request struct {
+	ID        int64  `json:"id"`
+	Op        string `json:"op"`
+	SQL       string `json:"sql,omitempty"`
+	Target    int64  `json:"target,omitempty"`     // cancel: id of the request to cancel
+	TimeoutMs int64  `json:"timeout_ms,omitempty"` // query/exec deadline; 0 = none
+}
+
+// ColDesc describes one result column (the client needs the physical kind
+// and the logical type to decode JSON numbers back into engine-identical
+// values).
+type ColDesc struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`              // int32|int64|float64|string|bool
+	Logical string `json:"logical,omitempty"` // date|decimal when it differs from the kind
+}
+
+// WireError is a structured error; SQL compile errors carry their 1-based
+// source position.
+type WireError struct {
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+	Msg  string `json:"msg"`
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return e.Msg
+}
+
+// StatsSnapshot is the serving-layer metrics block returned by OpStats.
+type StatsSnapshot struct {
+	Sessions         int64 `json:"sessions"`
+	TotalSessions    int64 `json:"total_sessions"`
+	ActiveQueries    int64 `json:"active_queries"`
+	QueuedQueries    int64 `json:"queued_queries"`
+	CompletedQueries int64 `json:"completed_queries"`
+	CancelledQueries int64 `json:"cancelled_queries"`
+	FailedQueries    int64 `json:"failed_queries"`
+	RejectedQueries  int64 `json:"rejected_queries"` // admission queue timeouts
+	RowsServed       int64 `json:"rows_served"`
+	MaxConcurrent    int   `json:"max_concurrent"`
+}
+
+// Response is one server frame.
+type Response struct {
+	ID        int64          `json:"id"`
+	Type      string         `json:"type"`
+	Schema    []ColDesc      `json:"schema,omitempty"`
+	Rows      [][]any        `json:"rows,omitempty"`
+	Affected  int64          `json:"affected,omitempty"`
+	ElapsedUs int64          `json:"elapsed_us,omitempty"`
+	Plan      string         `json:"plan,omitempty"`
+	Err       *WireError     `json:"err,omitempty"`
+	Stats     *StatsSnapshot `json:"stats,omitempty"`
+}
+
+// WriteFrame marshals v and writes one frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > DefaultMaxFrameBytes {
+		return fmt.Errorf("server: frame of %d bytes exceeds limit %d", len(payload), DefaultMaxFrameBytes)
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame payload, rejecting zero-length and oversized
+// frames (maxBytes <= 0 means DefaultMaxFrameBytes). A truncated frame —
+// the peer vanished mid-payload — surfaces as io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, maxBytes int) ([]byte, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxFrameBytes
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF at a frame boundary is a clean disconnect
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("server: zero-length frame")
+	}
+	if int64(n) > int64(maxBytes) {
+		return nil, fmt.Errorf("server: frame of %d bytes exceeds limit %d", n, maxBytes)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vectorh"
+	"vectorh/internal/sql"
+	"vectorh/internal/vector"
+)
+
+// Options tune a serving instance.
+type Options struct {
+	// MaxConcurrent bounds simultaneously *executing* queries across all
+	// sessions (the admission-control semaphore). Excess queries wait in an
+	// admission queue. Default 4.
+	MaxConcurrent int
+	// QueueWait bounds how long an admitted-pending query may wait for an
+	// execution slot before it is rejected with a "server busy" error.
+	// Default 10s.
+	QueueWait time.Duration
+	// RowsPerFrame bounds the row count of one streamed `rows` frame.
+	// Default 512.
+	RowsPerFrame int
+	// MaxFrameBytes bounds accepted request frames. Default 8 MiB.
+	MaxFrameBytes int
+}
+
+func (o *Options) fill() {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 4
+	}
+	if o.QueueWait <= 0 {
+		o.QueueWait = 10 * time.Second
+	}
+	if o.RowsPerFrame <= 0 {
+		o.RowsPerFrame = 512
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = DefaultMaxFrameBytes
+	}
+}
+
+// metrics is the server's atomic counter block.
+type metrics struct {
+	sessions      atomic.Int64
+	totalSessions atomic.Int64
+	active        atomic.Int64
+	queued        atomic.Int64
+	completed     atomic.Int64
+	cancelled     atomic.Int64
+	failed        atomic.Int64
+	rejected      atomic.Int64
+	rowsServed    atomic.Int64
+}
+
+// Server serves SQL over the frame protocol on a TCP listener. One Server
+// fronts one vectorh.DB; sessions are per-connection.
+type Server struct {
+	db   *vectorh.DB
+	opt  Options
+	slot chan struct{} // admission-control semaphore
+
+	ctx    context.Context // closed on Close; cancels every in-flight query
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+
+	m metrics
+}
+
+// New builds a server over a database.
+func New(db *vectorh.DB, opt Options) *Server {
+	opt.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		db:     db,
+		opt:    opt,
+		slot:   make(chan struct{}, opt.MaxConcurrent),
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in a
+// background goroutine; it returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("server: closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, cancels every in-flight query and waits for all
+// session handlers to drain — after Close returns, no server goroutine is
+// left running.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Stats returns a point-in-time metrics snapshot.
+func (s *Server) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Sessions:         s.m.sessions.Load(),
+		TotalSessions:    s.m.totalSessions.Load(),
+		ActiveQueries:    s.m.active.Load(),
+		QueuedQueries:    s.m.queued.Load(),
+		CompletedQueries: s.m.completed.Load(),
+		CancelledQueries: s.m.cancelled.Load(),
+		FailedQueries:    s.m.failed.Load(),
+		RejectedQueries:  s.m.rejected.Load(),
+		RowsServed:       s.m.rowsServed.Load(),
+		MaxConcurrent:    s.opt.MaxConcurrent,
+	}
+}
+
+// session is one connection's state.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	writeMu sync.Mutex // one response frame at a time
+
+	mu       sync.Mutex
+	inflight map[int64]context.CancelCauseFunc
+	wg       sync.WaitGroup // request workers
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	s.m.sessions.Add(1)
+	s.m.totalSessions.Add(1)
+	sess := &session{srv: s, conn: conn, inflight: make(map[int64]context.CancelCauseFunc)}
+	sess.readLoop()
+	// Connection gone (or server closing): cancel whatever is still
+	// running on this session and wait for the workers before closing.
+	sess.mu.Lock()
+	for _, cancel := range sess.inflight {
+		cancel(errors.New("session closed"))
+	}
+	sess.mu.Unlock()
+	sess.wg.Wait()
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.m.sessions.Add(-1)
+}
+
+func (ss *session) readLoop() {
+	for {
+		payload, err := ReadFrame(ss.conn, ss.srv.opt.MaxFrameBytes)
+		if err != nil {
+			return
+		}
+		var req Request
+		if err := unmarshalStrictNumbers(payload, &req); err != nil {
+			ss.send(&Response{Type: RespError, Err: &WireError{Msg: "bad request frame: " + err.Error()}})
+			return
+		}
+		switch req.Op {
+		case OpPing:
+			ss.send(&Response{ID: req.ID, Type: RespPong})
+		case OpStats:
+			st := ss.srv.Stats()
+			ss.send(&Response{ID: req.ID, Type: RespStats, Stats: &st})
+		case OpCancel:
+			ss.cancelRequest(req.Target)
+			ss.send(&Response{ID: req.ID, Type: RespDone})
+		case OpQuery, OpExec, OpExplain:
+			ss.startWork(req)
+		default:
+			ss.send(&Response{ID: req.ID, Type: RespError,
+				Err: &WireError{Msg: fmt.Sprintf("unknown op %q", req.Op)}})
+		}
+	}
+}
+
+func (ss *session) cancelRequest(id int64) {
+	ss.mu.Lock()
+	cancel := ss.inflight[id]
+	ss.mu.Unlock()
+	if cancel != nil {
+		cancel(errors.New("canceled by client"))
+	}
+}
+
+// send writes one response frame (responses from concurrent workers
+// interleave at frame granularity, never mid-frame).
+func (ss *session) send(r *Response) error {
+	ss.writeMu.Lock()
+	defer ss.writeMu.Unlock()
+	return WriteFrame(ss.conn, r)
+}
+
+// startWork runs a query/exec/explain request in its own worker goroutine,
+// so the read loop stays responsive to `cancel` (and further pipelined
+// requests) while it executes.
+func (ss *session) startWork(req Request) {
+	ctx, cancelCause := context.WithCancelCause(ss.srv.ctx)
+	cancel := cancelCause
+	if req.TimeoutMs > 0 {
+		tctx, tcancel := context.WithDeadlineCause(ctx,
+			time.Now().Add(time.Duration(req.TimeoutMs)*time.Millisecond),
+			errors.New("query deadline exceeded"))
+		ctx = tctx
+		cancel = func(cause error) {
+			cancelCause(cause)
+			tcancel()
+		}
+	}
+	ss.mu.Lock()
+	if _, dup := ss.inflight[req.ID]; dup {
+		ss.mu.Unlock()
+		cancel(nil)
+		ss.send(&Response{ID: req.ID, Type: RespError,
+			Err: &WireError{Msg: fmt.Sprintf("request id %d already in flight", req.ID)}})
+		return
+	}
+	ss.inflight[req.ID] = cancel
+	ss.wg.Add(1)
+	ss.mu.Unlock()
+	go func() {
+		defer func() {
+			ss.mu.Lock()
+			delete(ss.inflight, req.ID)
+			ss.mu.Unlock()
+			cancel(nil)
+			ss.wg.Done()
+		}()
+		ss.runRequest(ctx, req)
+	}()
+}
+
+// admit acquires an execution slot, queueing up to QueueWait.
+func (ss *session) admit(ctx context.Context) error {
+	srv := ss.srv
+	select {
+	case srv.slot <- struct{}{}:
+		return nil
+	default:
+	}
+	srv.m.queued.Add(1)
+	defer srv.m.queued.Add(-1)
+	timer := time.NewTimer(srv.opt.QueueWait)
+	defer timer.Stop()
+	select {
+	case srv.slot <- struct{}{}:
+		return nil
+	case <-timer.C:
+		srv.m.rejected.Add(1)
+		return fmt.Errorf("server busy: %d queries executing, queue wait exceeded %v",
+			srv.opt.MaxConcurrent, srv.opt.QueueWait)
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+func (ss *session) runRequest(ctx context.Context, req Request) {
+	if req.Op == OpExplain {
+		// Explain only plans; it bypasses admission control.
+		plan, err := ss.srv.db.ExplainSQL(req.SQL)
+		if err != nil {
+			ss.sendErr(req.ID, err)
+			return
+		}
+		ss.send(&Response{ID: req.ID, Type: RespPlan, Plan: plan})
+		return
+	}
+	if err := ss.admit(ctx); err != nil {
+		ss.sendErr(req.ID, err)
+		return
+	}
+	defer func() { <-ss.srv.slot }()
+	ss.srv.m.active.Add(1)
+	defer ss.srv.m.active.Add(-1)
+
+	start := time.Now()
+	var err error
+	switch req.Op {
+	case OpQuery:
+		err = ss.runQuery(ctx, req)
+	case OpExec:
+		var affected int64
+		affected, err = ss.srv.db.ExecSQLContext(ctx, req.SQL)
+		if err == nil {
+			err = ss.send(&Response{ID: req.ID, Type: RespDone, Affected: affected,
+				ElapsedUs: time.Since(start).Microseconds()})
+		}
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			ss.srv.m.cancelled.Add(1)
+		} else {
+			ss.srv.m.failed.Add(1)
+		}
+		ss.sendErr(req.ID, err)
+		return
+	}
+	ss.srv.m.completed.Add(1)
+}
+
+func (ss *session) runQuery(ctx context.Context, req Request) error {
+	db := ss.srv.db
+	schema, err := db.SchemaSQL(req.SQL)
+	if err != nil {
+		return err
+	}
+	if err := ss.send(&Response{ID: req.ID, Type: RespSchema, Schema: descSchema(schema)}); err != nil {
+		return err
+	}
+	start := time.Now()
+	var pending [][]any
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		n := int64(len(pending))
+		if err := ss.send(&Response{ID: req.ID, Type: RespRows, Rows: pending}); err != nil {
+			return err
+		}
+		ss.srv.m.rowsServed.Add(n)
+		pending = pending[:0]
+		return nil
+	}
+	err = db.QueryStreamSQL(ctx, req.SQL, func(rows [][]any) error {
+		pending = append(pending, rows...)
+		if len(pending) >= ss.srv.opt.RowsPerFrame {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return ss.send(&Response{ID: req.ID, Type: RespDone,
+		ElapsedUs: time.Since(start).Microseconds()})
+}
+
+func (ss *session) sendErr(id int64, err error) {
+	ss.send(&Response{ID: id, Type: RespError, Err: toWireError(err)})
+}
+
+// toWireError preserves SQL compile positions (line:col) across the wire.
+func toWireError(err error) *WireError {
+	var serr *sql.Error
+	if errors.As(err, &serr) {
+		return &WireError{Line: serr.Pos.Line, Col: serr.Pos.Col, Msg: serr.Msg}
+	}
+	return &WireError{Msg: err.Error()}
+}
+
+// descSchema renders an output schema for the wire.
+func descSchema(schema vectorh.Schema) []ColDesc {
+	out := make([]ColDesc, len(schema))
+	for i, f := range schema {
+		d := ColDesc{Name: f.Name, Kind: f.Type.Kind.String()}
+		switch f.Type.Logical {
+		case vector.Date:
+			d.Logical = "date"
+		case vector.Decimal:
+			d.Logical = "decimal"
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// unmarshalStrictNumbers decodes JSON rejecting trailing garbage (a frame
+// carries exactly one value).
+func unmarshalStrictNumbers(data []byte, v any) error {
+	dec := newNumberDecoder(data)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after frame payload")
+	}
+	return nil
+}
+
+// Addr formats host:port for messages.
+func Addr(conn net.Conn) string {
+	if conn == nil {
+		return "?"
+	}
+	return strings.TrimPrefix(conn.RemoteAddr().String(), "tcp://")
+}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"math"
 
 	"vectorh/internal/plan"
@@ -60,12 +61,44 @@ type DMLEngine interface {
 	DeleteWhere(table string, pred plan.Expr) (int64, error)
 }
 
+// DMLEngineContext is the context-aware write surface: engines that
+// implement it (like *core.Engine) get per-statement deadlines and
+// cancellation threaded into their DML execution.
+type DMLEngineContext interface {
+	DMLEngine
+	InsertRowsContext(ctx context.Context, table string, b *vector.Batch) error
+	UpdateWhereContext(ctx context.Context, table string, pred plan.Expr, setCols []string, setExprs []plan.Expr) (int64, error)
+	DeleteWhereContext(ctx context.Context, table string, pred plan.Expr) (int64, error)
+}
+
 // Exec compiles and runs one DML statement, returning the number of
 // affected rows.
 func Exec(src string, eng DMLEngine) (int64, error) {
+	return ExecContext(context.Background(), src, eng)
+}
+
+// ExecContext is Exec under a context. When the engine implements
+// DMLEngineContext the context reaches the trickle-update scan loops (a
+// cancelled statement aborts its transaction); otherwise it degrades to the
+// uncancellable Exec.
+func ExecContext(ctx context.Context, src string, eng DMLEngine) (int64, error) {
 	d, err := CompileDML(src, eng)
 	if err != nil {
 		return 0, err
+	}
+	if ce, ok := eng.(DMLEngineContext); ok {
+		switch d.Kind {
+		case DMLInsert:
+			n := int64(d.Insert.Len())
+			if err := ce.InsertRowsContext(ctx, d.Table, d.Insert); err != nil {
+				return 0, err
+			}
+			return n, nil
+		case DMLUpdate:
+			return ce.UpdateWhereContext(ctx, d.Table, d.Where, d.SetCols, d.SetExprs)
+		default:
+			return ce.DeleteWhereContext(ctx, d.Table, d.Where)
+		}
 	}
 	switch d.Kind {
 	case DMLInsert:

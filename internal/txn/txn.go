@@ -80,7 +80,11 @@ func (m *Manager) AddPartition(key PartKey, stableRows int64, log *wal.Log) *Par
 	return p
 }
 
-// Part returns the master state of a partition.
+// Part returns the master state of a partition. The returned struct's
+// Read/Write fields are swapped by commits under the manager lock, so
+// concurrent callers must not read them directly — use Snapshot, SizeOf or
+// MemBytesOf, which read under the lock. Part itself remains for
+// single-threaded tests and recovery tooling.
 func (m *Manager) Part(key PartKey) (*Part, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -89,6 +93,44 @@ func (m *Manager) Part(key PartKey) (*Part, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNoSuchPart, key)
 	}
 	return p, nil
+}
+
+// Snapshot returns the partition's current (Read, Write) PDT masters under
+// the manager lock. Published masters are immutable (commit and propagation
+// swap in copy-on-write successors), so the returned PDTs form a stable
+// image a scan can merge through while later commits proceed.
+func (m *Manager) Snapshot(key PartKey) (read, write *pdt.PDT, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.parts[key]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchPart, key)
+	}
+	return p.Read, p.Write, nil
+}
+
+// SizeOf returns the partition's visible row count, reading the master
+// Write-PDT pointer under the manager lock.
+func (m *Manager) SizeOf(key PartKey) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.parts[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchPart, key)
+	}
+	return p.Write.Size(), nil
+}
+
+// MemBytesOf returns the combined delta memory of the partition's PDT
+// layers (the update-propagation trigger), read under the manager lock.
+func (m *Manager) MemBytesOf(key PartKey) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.parts[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchPart, key)
+	}
+	return p.Read.MemBytes() + p.Write.MemBytes(), nil
 }
 
 // Epoch returns the current commit epoch.

@@ -18,6 +18,8 @@
 package vectorh
 
 import (
+	"context"
+
 	"vectorh/internal/core"
 	"vectorh/internal/rewriter"
 	"vectorh/internal/sql"
@@ -53,6 +55,16 @@ var (
 
 // DB is a running VectorH instance (an in-process simulation of the whole
 // cluster: workers, session master, HDFS, YARN).
+//
+// Concurrency: a DB is safe for concurrent use. Any number of goroutines
+// may run QuerySQL/QuerySQLContext simultaneously — each query executes
+// against a consistent snapshot (copy-on-write PDT masters plus a
+// refcounted column-store metadata generation, pinned atomically at scan
+// open). DML (ExecSQL and the InsertRows/UpdateWhere/DeleteWhere API) may
+// run concurrently with queries; writers are serialized against each other
+// internally, so concurrent DML statements execute one at a time. Running
+// queries never observe a torn write: they either see a committed change
+// entirely or not at all.
 type DB struct {
 	*core.Engine
 }
@@ -74,11 +86,34 @@ func Open(cfg Config) (*DB, error) {
 //	rows, err := db.QuerySQL(`select city, sum(amount) as total
 //	                          from sales group by city order by total desc`)
 func (db *DB) QuerySQL(query string) ([][]any, error) {
+	return db.QuerySQLContext(context.Background(), query)
+}
+
+// QuerySQLContext is QuerySQL honoring a context: a deadline or
+// cancellation propagates to every scan, local exchange producer and
+// distributed exchange sender of the query (checked per vector batch), so a
+// cancelled query stops consuming cores and releases its storage snapshot
+// promptly. The serving layer (internal/server) builds its per-query
+// deadlines and client-initiated cancellation on this entry point.
+func (db *DB) QuerySQLContext(ctx context.Context, query string) ([][]any, error) {
 	n, err := sql.Compile(query, db.Engine)
 	if err != nil {
 		return nil, err
 	}
-	return db.Query(n)
+	return db.QueryContext(ctx, n)
+}
+
+// QueryStreamSQL compiles a SELECT and streams its result rows to yield in
+// batches as the root stream produces them, instead of buffering the full
+// result. A non-nil error from yield (or a cancelled context) stops the
+// execution.
+func (db *DB) QueryStreamSQL(ctx context.Context, query string, yield func(rows [][]any) error) error {
+	n, err := sql.Compile(query, db.Engine)
+	if err != nil {
+		return err
+	}
+	_, err = db.QueryStreamContext(ctx, n, yield)
+	return err
 }
 
 // ExplainSQL compiles a SQL statement and returns the distributed physical
@@ -106,6 +141,13 @@ func (db *DB) ExplainSQL(query string) (string, error) {
 // sql.SplitStatements and call ExecSQL per statement.
 func (db *DB) ExecSQL(stmt string) (int64, error) {
 	return sql.Exec(stmt, db.Engine)
+}
+
+// ExecSQLContext is ExecSQL honoring a context: cancellation before commit
+// aborts the statement's transaction (a committed statement is never undone
+// — post-commit flush work may still run to completion).
+func (db *DB) ExecSQLContext(ctx context.Context, stmt string) (int64, error) {
+	return sql.ExecContext(ctx, stmt, db.Engine)
 }
 
 // SchemaSQL compiles a SQL statement and returns its output schema (column
