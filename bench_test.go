@@ -146,6 +146,27 @@ func BenchmarkTPCHRefresh(b *testing.B) {
 	}
 }
 
+// BenchmarkTPCHSelectivity sweeps the Q6-shaped scan across predicate
+// selectivities, comparing the late-materialized pushdown pipeline against
+// the Select-above-scan pipeline (blocks read, bytes decoded, ns/op) and
+// validating that both return the same aggregates. Named so CI's
+// `-bench=TPCH` smoke step picks it up: the scan-pushdown path gets the
+// same can't-silently-rot guarantee as the query and update paths.
+func BenchmarkTPCHSelectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Selectivity(benchSF, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllMatch() {
+			b.Fatal("pushdown pipeline diverged from the Select-above-scan pipeline")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Report())
+		}
+	}
+}
+
 // BenchmarkUpdateImpact regenerates the bottom block of Figure 7: RF1/RF2
 // times and the GeoDiff of query performance after updates (paper: VectorH
 // 102.8% vs Hive 138.2%).

@@ -62,6 +62,30 @@ type concurrencyBenchPoint struct {
 	QPS      float64 `json:"qps"`
 }
 
+// selectivityBench records the scan-selectivity sweep: per predicate
+// window, the late-materialized pushdown pipeline's physical scan work and
+// per-op cost next to the Select-above-scan pipeline's (see `-exp
+// selectivity`).
+type selectivityBench struct {
+	LineitemRows int64                   `json:"lineitem_rows"`
+	AllMatch     bool                    `json:"all_match"`
+	Points       []selectivityBenchPoint `json:"points"`
+}
+
+type selectivityBenchPoint struct {
+	Window          string  `json:"window"`
+	Selectivity     float64 `json:"selectivity"`
+	Rows            int64   `json:"rows"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BlocksRead      int64   `json:"blocks_read"`
+	BytesDecoded    int64   `json:"bytes_decoded"`
+	SpansPruned     int64   `json:"spans_pruned"`
+	OffNsPerOp      int64   `json:"off_ns_per_op"`
+	OffBlocksRead   int64   `json:"off_blocks_read"`
+	OffBytesDecoded int64   `json:"off_bytes_decoded"`
+}
+
 // benchFile is the on-disk BENCH_tpch.json schema.
 type benchFile struct {
 	SF          float64           `json:"sf"`
@@ -71,6 +95,7 @@ type benchFile struct {
 	Current     []queryBench      `json:"current,omitempty"`
 	Refresh     *refreshBench     `json:"refresh,omitempty"`
 	Concurrency *concurrencyBench `json:"concurrency,omitempty"`
+	Selectivity *selectivityBench `json:"selectivity,omitempty"`
 }
 
 // runTPCHBench measures every TPC-H query and writes the JSON file, filling
@@ -221,6 +246,52 @@ func runConcurrency(sf float64, nodes int, path string) error {
 		return err
 	}
 	fmt.Printf("wrote concurrency block of %s\n", path)
+	return nil
+}
+
+// runSelectivity runs the scan-selectivity sweep, prints its report and
+// records the numbers in the selectivity block of BENCH_tpch.json (other
+// blocks are preserved).
+func runSelectivity(sf float64, nodes int, path string) error {
+	res, err := experiments.Selectivity(sf, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	if !res.AllMatch() {
+		return fmt.Errorf("selectivity validation failed: the pushdown pipeline diverged from the Select-above-scan pipeline")
+	}
+	const threads = 2 // experiments.Selectivity's engine configuration
+	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
+	if old, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(old, &file); err != nil {
+			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+		}
+		if file.SF != sf || file.Nodes != nodes {
+			fmt.Fprintf(os.Stderr,
+				"warning: %s was recorded at sf=%v nodes=%d, this run is sf=%v nodes=%d — the retained columns are not comparable\n",
+				path, file.SF, file.Nodes, sf, nodes)
+		}
+		file.SF, file.Nodes, file.Threads = sf, nodes, threads
+	}
+	sb := &selectivityBench{LineitemRows: res.Rows, AllMatch: res.AllMatch()}
+	for _, p := range res.Points {
+		sb.Points = append(sb.Points, selectivityBenchPoint{
+			Window: p.Label, Selectivity: p.Selectivity, Rows: p.Rows,
+			NsPerOp: p.NsPerOp, AllocsPerOp: p.AllocsPerOp,
+			BlocksRead: p.BlocksRead, BytesDecoded: p.BytesDecoded, SpansPruned: p.SpansPruned,
+			OffNsPerOp: p.OffNsPerOp, OffBlocksRead: p.OffBlocksRead, OffBytesDecoded: p.OffBytesDecoded,
+		})
+	}
+	file.Selectivity = sb
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote selectivity block of %s\n", path)
 	return nil
 }
 

@@ -173,8 +173,9 @@ func (e *Engine) eval(n plan.Node) (*relation, error) {
 	case *plan.ScanNode:
 		return e.evalScan(n, nil)
 	case *plan.FilterNode:
-		if scan, ok := n.Child.(*plan.ScanNode); ok && n.SkipCol != "" && e.p.skip != hadoopfmt.NoSkip {
-			rel, err := e.evalScan(scan, &hadoopfmt.RangePred{Col: n.SkipCol, Lo: n.SkipLo, Hi: n.SkipHi})
+		scan, isScan := n.Child.(*plan.ScanNode)
+		if col, lo, hi, ok := n.SkipSet.FirstIntRange(); isScan && ok && e.p.skip != hadoopfmt.NoSkip {
+			rel, err := e.evalScan(scan, &hadoopfmt.RangePred{Col: col, Lo: lo, Hi: hi})
 			if err != nil {
 				return nil, err
 			}

@@ -346,3 +346,169 @@ func TestAppenderWritesLandOnWriterNode(t *testing.T) {
 		t.Fatalf("scan from writer should be fully local: %+v", s)
 	}
 }
+
+// TestPerKindMinMaxRecordedAndSkipping verifies every column kind gets a
+// usable MinMax summary at append time — float64 and string summaries are
+// consulted for skipping, not just the int64 ones.
+func TestPerKindMinMaxRecordedAndSkipping(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 5000)
+	for _, col := range []string{"k", "d", "price", "flag"} {
+		c, err := meta.Col(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for bi := range c.Blocks {
+			if !c.Blocks[bi].HasMinMax {
+				t.Fatalf("column %s block %d has no MinMax summary", col, bi)
+			}
+		}
+	}
+	// Float skipping: price = row*1.5, so [1500, 3000) covers rows 1000..2000.
+	ranges, err := meta.QualifyingRanges("price", Float64RangePred(1500, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := RangesRows(ranges); n == 0 || n >= 5000 {
+		t.Fatalf("float MinMax should narrow the scan: %d of 5000 rows qualify", n)
+	}
+	rows := scanAll(t, fs, meta, []string{"price"}, ranges)
+	covered := make(map[float64]bool, len(rows))
+	for _, r := range rows {
+		covered[r[0].(float64)] = true
+	}
+	for v := 1500.0; v <= 3000.0; v += 1.5 {
+		if !covered[v] {
+			t.Fatalf("float skipping dropped qualifying value %v", v)
+		}
+	}
+	// String skipping: flag cycles A/N/R in every block, so ["A","A"] can
+	// prune nothing — but a range above "R" must prune everything.
+	ranges, err = meta.QualifyingRanges("flag", StrRangePred("S", "Z", true, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RangesRows(ranges) != 0 {
+		t.Fatalf("string range beyond the data should skip all blocks, got %d rows", RangesRows(ranges))
+	}
+}
+
+// TestAbsentMinMaxAlwaysQualifies is the regression test for silently
+// skipping blocks whose MinMax summary was never computed or widened:
+// legacy metadata (no mm flag) has zero-valued extremes that look like a
+// real [0,0] summary, and a predicate like k in [lo,hi] with lo > 0 used
+// to skip such blocks — dropping their rows. It also plants a zero-row
+// tail block in the directory, which must neither qualify rows nor break
+// the scan.
+func TestAbsentMinMaxAlwaysQualifies(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 3000)
+	// Simulate legacy metadata: strip every summary of column k.
+	c, err := meta.Col("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range c.Blocks {
+		b := &c.Blocks[bi]
+		b.HasMinMax = false
+		b.NumMin, b.NumMax = 0, 0
+	}
+	// Zero-row tail block (e.g. from a hand-built or truncated directory).
+	c.Blocks = append(c.Blocks, BlockMeta{Chunk: -1, Slot: 0, RowStart: 3000, Rows: 0})
+	ranges, err := meta.QualifyingRanges("k", Int64RangePred(1000, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := RangesRows(ranges); n != 3000 {
+		t.Fatalf("absent summaries must qualify every (non-empty) block: %d of 3000 rows", n)
+	}
+	rows := scanAll(t, fs, meta, []string{"k"}, ranges)
+	if len(rows) != 3000 {
+		t.Fatalf("scan over absent-summary ranges returned %d rows, want 3000", len(rows))
+	}
+	// Widening an absent summary must keep it absent (a [v,v] summary would
+	// wrongly exclude the block's other, unknown values).
+	if err := meta.Widen("k", 10, 42, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if c.Blocks[0].HasMinMax {
+		t.Fatal("Widen invented a summary for a block whose extremes are unknown")
+	}
+}
+
+// TestScannerSpanAPI exercises the late-materialization primitives: spans
+// clamped on a lead column, dense decode, selective gather, and the IO
+// counters that prove untouched columns stay untouched.
+func TestScannerSpanAPI(t *testing.T) {
+	fs := testFS()
+	meta := NewPartitionMeta("t", 0, testSchema, Format{BlockSize: 4096, BlocksPerChunk: 8})
+	writeRows(t, fs, meta, 0, 4000)
+	s, err := NewScanner(fs, meta, "node1", []string{"k", "price", "flag"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	var gatheredPrices []float64
+	for {
+		start, n, err := s.NextSpan([]int{0}) // clamp on k only
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		kv, err := s.ColVec(0, start, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, kv.Int64s()...)
+		// Gather price for every 10th row of the span.
+		var sel []int32
+		for i := 0; i < n; i += 10 {
+			sel = append(sel, int32(i))
+		}
+		pv, err := s.GatherCol(1, start, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range pv.Float64s() {
+			if want := float64(start+int64(sel[i])) * 1.5; p != want {
+				t.Fatalf("gathered price %v, want %v", p, want)
+			}
+		}
+		gatheredPrices = append(gatheredPrices, pv.Float64s()...)
+	}
+	for i, k := range got {
+		if k != int64(i) {
+			t.Fatalf("span scan row %d = %d", i, k)
+		}
+	}
+	if len(gatheredPrices) == 0 {
+		t.Fatal("no prices gathered")
+	}
+	// The flag column (slot 2) was never requested: the stats must show
+	// fewer blocks than a full three-column scan would read.
+	st := s.Stats()
+	if st.BlocksRead == 0 || st.BytesDecoded == 0 {
+		t.Fatalf("stats not counted: %+v", st)
+	}
+	full, err := NewScanner(fs, meta, "node1", []string{"k", "price", "flag"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		b, _, err := full.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+	}
+	if full.Stats().BlocksRead <= st.BlocksRead {
+		t.Fatalf("never-touched columns must not be decoded: subset=%d blocks, full=%d blocks",
+			st.BlocksRead, full.Stats().BlocksRead)
+	}
+}

@@ -47,13 +47,19 @@ type BlockMeta struct {
 	Rows     int   `json:"rows"`     // rows covered
 	Bytes    int   `json:"bytes"`    // encoded payload length
 
-	// MinMax summary; the fields used depend on the column kind.
-	NumMin   int64   `json:"numMin,omitempty"`
-	NumMax   int64   `json:"numMax,omitempty"`
-	FloatMin float64 `json:"floatMin,omitempty"`
-	FloatMax float64 `json:"floatMax,omitempty"`
-	StrMin   string  `json:"strMin,omitempty"`
-	StrMax   string  `json:"strMax,omitempty"`
+	// MinMax summary; the fields used depend on the column kind. HasMinMax
+	// records that the summary was actually computed: blocks without it
+	// (legacy metadata, zero-row blocks, hand-built directories) must be
+	// treated as always-qualifying by every BlockPredicate — a zero-valued
+	// summary is indistinguishable from a real [0,0] one, and skipping on
+	// it silently drops rows.
+	HasMinMax bool    `json:"mm,omitempty"`
+	NumMin    int64   `json:"numMin,omitempty"`
+	NumMax    int64   `json:"numMax,omitempty"`
+	FloatMin  float64 `json:"floatMin,omitempty"`
+	FloatMax  float64 `json:"floatMax,omitempty"`
+	StrMin    string  `json:"strMin,omitempty"`
+	StrMax    string  `json:"strMax,omitempty"`
 }
 
 // ColumnMeta is the per-column block directory.
@@ -190,12 +196,45 @@ func (m *PartitionMeta) FullRange() []RowRange {
 }
 
 // BlockPredicate decides from a block's MinMax summary whether the block may
-// contain qualifying rows.
+// contain qualifying rows. Every predicate must qualify blocks whose summary
+// was never computed (HasMinMax false): their zero-valued extremes carry no
+// information, and skipping on them would silently drop rows.
 type BlockPredicate func(b *BlockMeta) bool
 
-// Int64RangePred returns a predicate for lo <= col <= hi on numeric columns.
+// Int64RangePred returns a predicate for lo <= col <= hi on integer-backed
+// columns (plain ints, dates, decimals).
 func Int64RangePred(lo, hi int64) BlockPredicate {
-	return func(b *BlockMeta) bool { return b.NumMax >= lo && b.NumMin <= hi }
+	return func(b *BlockMeta) bool {
+		return !b.HasMinMax || (b.NumMax >= lo && b.NumMin <= hi)
+	}
+}
+
+// Float64RangePred returns a predicate for lo <= col <= hi on float64
+// columns. Bounds are treated inclusively even for strict predicates — the
+// summary can only prove absence, never row membership, so the slack is
+// merely a block read, never a wrong result.
+func Float64RangePred(lo, hi float64) BlockPredicate {
+	return func(b *BlockMeta) bool {
+		return !b.HasMinMax || (b.FloatMax >= lo && b.FloatMin <= hi)
+	}
+}
+
+// StrRangePred returns a predicate for lo <= col <= hi on string columns;
+// hasLo/hasHi leave a side unbounded (strings have no maximum value to use
+// as a sentinel).
+func StrRangePred(lo, hi string, hasLo, hasHi bool) BlockPredicate {
+	return func(b *BlockMeta) bool {
+		if !b.HasMinMax {
+			return true
+		}
+		if hasLo && b.StrMax < lo {
+			return false
+		}
+		if hasHi && b.StrMin > hi {
+			return false
+		}
+		return true
+	}
 }
 
 // QualifyingRanges returns the merged row ranges of the blocks of col whose
@@ -208,7 +247,7 @@ func (m *PartitionMeta) QualifyingRanges(col string, pred BlockPredicate) ([]Row
 	var out []RowRange
 	for i := range c.Blocks {
 		b := &c.Blocks[i]
-		if !pred(b) {
+		if b.Rows == 0 || !pred(b) {
 			continue
 		}
 		r := RowRange{b.RowStart, b.RowStart + int64(b.Rows)}
@@ -268,6 +307,12 @@ func (m *PartitionMeta) Widen(col string, sid int64, numVal int64, floatVal floa
 		return nil // row not in any block (e.g. still PDT-resident)
 	}
 	b := &c.Blocks[i]
+	if !b.HasMinMax {
+		// Never-computed summary: widening would invent a [v,v] extreme that
+		// excludes the block's actual (unknown) values. Leave it absent; the
+		// block already qualifies for every predicate.
+		return nil
+	}
 	switch c.Type.Kind {
 	case vector.Int32, vector.Int64:
 		if numVal < b.NumMin {

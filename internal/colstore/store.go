@@ -150,8 +150,11 @@ func decodeBlock(k vector.Kind, data []byte) (colData, error) {
 	}
 }
 
-// blockMinMax computes the MinMax summary for a block.
+// blockMinMax computes the MinMax summary for a block. Zero-row blocks keep
+// HasMinMax false — their summary carries no information and predicates
+// must not skip on it.
 func blockMinMax(k vector.Kind, d colData, b *BlockMeta) {
+	b.HasMinMax = d.length(k) > 0
 	switch k {
 	case vector.Float64:
 		if len(d.f64) == 0 {
@@ -500,7 +503,11 @@ func readPayload(fs *hdfs.Cluster, m *PartitionMeta, node string, b BlockMeta) (
 
 // Scanner reads a projection of a partition over a set of row ranges,
 // producing vectors of up to vector.MaxSize rows. Blocks outside the ranges
-// are never touched — the IO half of MinMax skipping.
+// are never touched — the IO half of MinMax skipping. The span API
+// (NextSpan / ColVec / GatherCol) decouples cursor advancement from column
+// decode, so a late-materializing scan can decode only its predicate
+// columns for a span, and fetch the payload columns — possibly only the
+// surviving rows — afterwards, or not at all.
 type Scanner struct {
 	fs     *hdfs.Cluster
 	meta   *PartitionMeta
@@ -512,7 +519,17 @@ type Scanner struct {
 	ri     int
 	cursor int64
 	cache  []cachedBlock
+	stats  ScanStats
 }
+
+// ScanStats counts the physical work a scanner performed.
+type ScanStats struct {
+	BlocksRead   int64 // column blocks fetched and decompressed
+	BytesDecoded int64 // compressed payload bytes decoded
+}
+
+// Stats returns the scanner's cumulative counters.
+func (s *Scanner) Stats() ScanStats { return s.stats }
 
 type cachedBlock struct {
 	lo, hi int64
@@ -547,9 +564,29 @@ func NewScanner(fs *hdfs.Cluster, meta *PartitionMeta, node string, cols []strin
 	return s, nil
 }
 
-// Next returns the next batch and the row id of its first tuple, or nil at
-// end of scan.
+// Next returns the next batch of all projected columns and the row id of
+// its first tuple, or nil at end of scan.
 func (s *Scanner) Next() (*vector.Batch, int64, error) {
+	start, n, err := s.NextSpan(nil)
+	if err != nil || n == 0 {
+		return nil, 0, err
+	}
+	batch := &vector.Batch{Vecs: make([]*vector.Vec, len(s.cols))}
+	for i := range s.cols {
+		if batch.Vecs[i], err = s.ColVec(i, start, n); err != nil {
+			return nil, 0, err
+		}
+	}
+	return batch, start, nil
+}
+
+// NextSpan advances the cursor to the next span of up to vector.MaxSize
+// rows inside the qualifying ranges and returns its start row and length
+// (n == 0 at end of scan). The span is clamped so every lead column
+// (projection slots; nil = all columns) can serve it from a single cached
+// block; other columns stitch across block boundaries in ColVec/GatherCol.
+// No column is decoded for slots the caller never asks about.
+func (s *Scanner) NextSpan(lead []int) (int64, int, error) {
 	for s.ri < len(s.ranges) && s.cursor >= s.ranges[s.ri].End {
 		s.ri++
 		if s.ri < len(s.ranges) {
@@ -557,45 +594,130 @@ func (s *Scanner) Next() (*vector.Batch, int64, error) {
 		}
 	}
 	if s.ri >= len(s.ranges) {
-		return nil, 0, nil
+		return 0, 0, nil
 	}
 	n := s.ranges[s.ri].End - s.cursor
 	if n > vector.MaxSize {
 		n = vector.MaxSize
 	}
-	// Clamp n so it stays within one cached block per column.
-	for i := range s.cols {
-		cb, err := s.ensureBlock(i, s.cursor)
+	clamp := func(slot int) error {
+		cb, err := s.ensureBlock(slot, s.cursor)
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		if avail := cb.hi - s.cursor; avail < n {
 			n = avail
 		}
+		return nil
 	}
-	batch := &vector.Batch{Vecs: make([]*vector.Vec, len(s.cols))}
-	for i, k := range s.kinds {
-		cb := &s.cache[i]
-		lo := int(s.cursor - cb.lo)
-		hi := lo + int(n)
-		switch k {
-		case vector.Float64:
-			batch.Vecs[i] = vector.FromFloat64(cb.data.f64[lo:hi])
-		case vector.String:
-			batch.Vecs[i] = vector.FromString(cb.data.str[lo:hi])
-		case vector.Int32:
-			out := make([]int32, hi-lo)
-			for j, v := range cb.data.i64[lo:hi] {
-				out[j] = int32(v)
+	if lead == nil {
+		for i := range s.cols {
+			if err := clamp(i); err != nil {
+				return 0, 0, err
 			}
-			batch.Vecs[i] = vector.FromInt32(out)
-		default:
-			batch.Vecs[i] = vector.FromInt64(cb.data.i64[lo:hi])
+		}
+	} else {
+		for _, i := range lead {
+			if err := clamp(i); err != nil {
+				return 0, 0, err
+			}
 		}
 	}
 	start := s.cursor
 	s.cursor += n
-	return batch, start, nil
+	return start, int(n), nil
+}
+
+// ColVec decodes rows [start, start+n) of projection slot i as a dense
+// vector. Spans inside one cached block are zero-copy views (except the
+// int64→int32 narrowing of date columns); spans crossing blocks stitch.
+func (s *Scanner) ColVec(i int, start int64, n int) (*vector.Vec, error) {
+	cb, err := s.ensureBlock(i, start)
+	if err != nil {
+		return nil, err
+	}
+	if start+int64(n) <= cb.hi {
+		lo := int(start - cb.lo)
+		hi := lo + n
+		switch s.kinds[i] {
+		case vector.Float64:
+			return vector.FromFloat64(cb.data.f64[lo:hi]), nil
+		case vector.String:
+			return vector.FromString(cb.data.str[lo:hi]), nil
+		case vector.Int32:
+			out := make([]int32, n)
+			for j, v := range cb.data.i64[lo:hi] {
+				out[j] = int32(v)
+			}
+			return vector.FromInt32(out), nil
+		default:
+			return vector.FromInt64(cb.data.i64[lo:hi]), nil
+		}
+	}
+	// Rare path: the span crosses a block boundary of this column.
+	out := vector.New(s.kinds[i], n)
+	for row := start; row < start+int64(n); {
+		cb, err := s.ensureBlock(i, row)
+		if err != nil {
+			return nil, err
+		}
+		take := cb.hi - row
+		if rem := start + int64(n) - row; rem < take {
+			take = rem
+		}
+		lo := int(row - cb.lo)
+		hi := lo + int(take)
+		switch s.kinds[i] {
+		case vector.Float64:
+			for _, v := range cb.data.f64[lo:hi] {
+				out.AppendFloat64(v)
+			}
+		case vector.String:
+			for _, v := range cb.data.str[lo:hi] {
+				out.AppendString(v)
+			}
+		case vector.Int32:
+			for _, v := range cb.data.i64[lo:hi] {
+				out.AppendInt32(int32(v))
+			}
+		default:
+			for _, v := range cb.data.i64[lo:hi] {
+				out.AppendInt64(v)
+			}
+		}
+		row += take
+	}
+	return out, nil
+}
+
+// GatherCol decodes only the rows start+sel[j] of projection slot i (sel
+// ascending) — the payload half of a late-materializing scan: columns of
+// rows the predicate already rejected are copied never, and blocks whose
+// every row was rejected are not even decoded.
+func (s *Scanner) GatherCol(i int, start int64, sel []int32) (*vector.Vec, error) {
+	out := vector.New(s.kinds[i], len(sel))
+	for _, rel := range sel {
+		row := start + int64(rel)
+		cb := &s.cache[i]
+		if row < cb.lo || row >= cb.hi {
+			var err error
+			if cb, err = s.ensureBlock(i, row); err != nil {
+				return nil, err
+			}
+		}
+		j := int(row - cb.lo)
+		switch s.kinds[i] {
+		case vector.Float64:
+			out.AppendFloat64(cb.data.f64[j])
+		case vector.String:
+			out.AppendString(cb.data.str[j])
+		case vector.Int32:
+			out.AppendInt32(int32(cb.data.i64[j]))
+		default:
+			out.AppendInt64(cb.data.i64[j])
+		}
+	}
+	return out, nil
 }
 
 // Close releases the scanner's cached decoded blocks and terminates the
@@ -635,6 +757,8 @@ func (s *Scanner) ensureBlock(i int, row int64) (*cachedBlock, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.stats.BlocksRead++
+	s.stats.BytesDecoded += int64(b.Bytes)
 	if got := d.length(c.Type.Kind); got != b.Rows {
 		return nil, fmt.Errorf("colstore: block of %s decoded %d rows, meta says %d", c.Name, got, b.Rows)
 	}

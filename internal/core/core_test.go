@@ -509,20 +509,20 @@ func TestMalformedScanRequests(t *testing.T) {
 		t.Fatal("PropagatePartition(99) did not error")
 	}
 
-	// A skip hint naming a column the partition does not store is a
+	// A predicate naming a column the partition does not store is a
 	// malformed plan and must surface at Open, not scan everything.
 	scan, err := e.PartitionScan("orders", 0, []string{"o_orderkey"},
-		&rewriter.ScanPred{Col: "nope", Lo: 0, Hi: 10}, 0)
+		&rewriter.ScanPredSet{Preds: []plan.ColPred{plan.IntRange("nope", 0, 10)}, SkipOnly: true}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := scan.Open(); err == nil || !strings.Contains(err.Error(), "nope") {
 		t.Fatalf("Open with bogus skip column: err=%v, want column-not-found", err)
 	}
-	// A skip hint on a string column has no MinMax index to use — the scan
-	// must still run, just without skipping.
+	// A skip-only int hint on a string column has no MinMax index of that
+	// shape to use — the scan must still run, just without skipping.
 	scan, err = e.PartitionScan("supplier", 0, []string{"s_suppkey", "s_name"},
-		&rewriter.ScanPred{Col: "s_name", Lo: 0, Hi: 10}, 0)
+		&rewriter.ScanPredSet{Preds: []plan.ColPred{plan.IntRange("s_name", 0, 10)}, SkipOnly: true}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"vectorh/internal/affinity"
 	"vectorh/internal/colstore"
@@ -175,6 +176,29 @@ type Engine struct {
 	// ShippedEntries counts log-shipping deliveries for replicated tables
 	// (§6 "Log Shipping").
 	ShippedEntries int64
+
+	// Engine-wide scan IO counters, folded in when each MScan closes.
+	scanBlocksRead   atomic.Int64
+	scanBytesDecoded atomic.Int64
+	scanSpansPruned  atomic.Int64
+}
+
+// ScanStats is the engine-wide physical scan work since startup. Experiments
+// diff two snapshots around a query to attribute blocks read, compressed
+// bytes decoded, and spans dropped by scan-side predicates.
+type ScanStats struct {
+	BlocksRead   int64 // column blocks fetched and decompressed
+	BytesDecoded int64 // compressed payload bytes decoded
+	SpansPruned  int64 // row spans rejected before any payload column decode
+}
+
+// ScanStats returns a snapshot of the cumulative scan counters.
+func (e *Engine) ScanStats() ScanStats {
+	return ScanStats{
+		BlocksRead:   e.scanBlocksRead.Load(),
+		BytesDecoded: e.scanBytesDecoded.Load(),
+		SpansPruned:  e.scanSpansPruned.Load(),
+	}
 }
 
 // New creates and starts an engine: it brings up the simulated HDFS and

@@ -19,6 +19,11 @@ type QueryOptions struct {
 	LocalJoin      *bool
 	ReplicateBuild *bool
 	PartialAgg     *bool
+	// ScanPushdown (nil = on) controls predicate pushdown into scans: off,
+	// pushable conjuncts degrade to skip-only hints and the full Select
+	// stays above the scan — the pre-pushdown pipeline, used by the
+	// selectivity experiment and the row-identity parity gates.
+	ScanPushdown *bool
 	// Profile enables the per-operator profile of the Appendix.
 	Profile bool
 }
@@ -117,6 +122,9 @@ func (e *Engine) queryStream(ctx context.Context, q plan.Node, qo QueryOptions, 
 	}
 	if qo.PartialAgg != nil {
 		opts.PartialAgg = *qo.PartialAgg
+	}
+	if qo.ScanPushdown != nil {
+		opts.PushFilterIntoScan = *qo.ScanPushdown
 	}
 	phys, err := rewriter.Rewrite(q, e, opts)
 	if err != nil {

@@ -12,9 +12,18 @@ import (
 )
 
 // The engine implements rewriter.ScanProvider: MScan operators read
-// compressed column blocks (with MinMax skipping) and merge the partition's
-// PDT layers positionally — every query sees the latest committed state
-// without the scan touching keys (§6).
+// compressed column blocks (with per-kind MinMax skipping) and merge the
+// partition's PDT layers positionally — every query sees the latest
+// committed state without the scan touching keys (§6).
+//
+// Late materialization: when the rewriter pushes a filtering predicate set
+// into the scan, each span decodes only the predicate columns first,
+// evaluates the conjuncts vectorized into a selection vector, and drops
+// dead spans without ever touching the payload columns; surviving rows
+// gather the payload columns through the scanner's column-subset API. Spans
+// touched by PDT deltas fall back to decode-all + merge, with the predicate
+// re-evaluated on the merged rows (and on PDT tail inserts), since deltas
+// can flip a row's qualification either way.
 //
 // Concurrency: a scan pins one refcounted metadata generation plus the PDT
 // masters in a single critical section at Open (the same lock writers hold
@@ -41,11 +50,11 @@ func (e *Engine) ResponsibleParts(table string, node int) []int {
 }
 
 // PartitionScan implements rewriter.ScanProvider.
-func (e *Engine) PartitionScan(table string, partIdx int, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+func (e *Engine) PartitionScan(table string, partIdx int, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
 	return e.partitionScanCtx(context.Background(), table, partIdx, cols, pred, node)
 }
 
-func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
 	e.mu.Lock()
 	t, ok := e.tables[table]
 	var nodeName string
@@ -63,11 +72,11 @@ func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int
 }
 
 // ReplicatedScan implements rewriter.ScanProvider.
-func (e *Engine) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+func (e *Engine) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
 	return e.replicatedScanCtx(context.Background(), table, cols, pred, node)
 }
 
-func (e *Engine) replicatedScanCtx(ctx context.Context, table string, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+func (e *Engine) replicatedScanCtx(ctx context.Context, table string, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
 	e.mu.Lock()
 	t, ok := e.tables[table]
 	var nodeName string
@@ -93,12 +102,12 @@ type ctxScans struct {
 }
 
 // PartitionScan implements rewriter.ScanProvider.
-func (c ctxScans) PartitionScan(table string, part int, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+func (c ctxScans) PartitionScan(table string, part int, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
 	return c.e.partitionScanCtx(c.ctx, table, part, cols, pred, node)
 }
 
 // ReplicatedScan implements rewriter.ScanProvider.
-func (c ctxScans) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPred, node int) (exec.Operator, error) {
+func (c ctxScans) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
 	return c.e.replicatedScanCtx(c.ctx, table, cols, pred, node)
 }
 
@@ -108,14 +117,15 @@ func (c ctxScans) ResponsibleParts(table string, node int) []int {
 }
 
 // mscan streams one partition: column blocks merged through the Read- and
-// Write-PDT layers, with MinMax-skipped ranges and the PDT tail inserts.
+// Write-PDT layers, with MinMax-skipped ranges, scan-side predicate
+// filtering, and the PDT tail inserts.
 type mscan struct {
 	eng    *Engine
 	part   *Partition
 	node   string
 	cols   []string
 	colIdx []int
-	pred   *rewriter.ScanPred
+	pred   *rewriter.ScanPredSet
 	ctx    context.Context
 
 	// Acquired at Open in one critical section, released at Close.
@@ -127,9 +137,15 @@ type mscan struct {
 	readM  *pdt.Merger
 	writeM *pdt.Merger
 	stage  int // 0=blocks, 1=read tail, 2=write tail, 3=done
+
+	// Compiled filtering state (nil/empty for skip-only or no predicate).
+	filters   []rowFilter
+	leadSlots []int // predicate column slots: the only columns stage 0 decodes eagerly
+
+	spansPruned int64 // spans dropped before any payload column was decoded
 }
 
-func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols []string, pred *rewriter.ScanPred, node string) (exec.Operator, error) {
+func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols []string, pred *rewriter.ScanPredSet, node string) (exec.Operator, error) {
 	schema := t.Info.Schema
 	colIdx := make([]int, len(cols))
 	for i, c := range cols {
@@ -147,7 +163,10 @@ func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols [
 // Open implements exec.Operator. It pins the partition's storage metadata
 // generation and snapshots the PDT masters atomically: writers publish new
 // block directories and reset PDTs under the same partition lock, so the
-// two images always agree on which rows live where.
+// two images always agree on which rows live where. Predicate compilation
+// happens here too: each conjunct contributes a MinMax block predicate
+// (intersected into the qualifying ranges) and — unless the set is
+// skip-only — a vectorized row kernel.
 func (m *mscan) Open() error {
 	m.part.mu.Lock()
 	read, write, err := m.eng.mgr.Snapshot(m.part.Key)
@@ -161,22 +180,53 @@ func (m *mscan) Open() error {
 
 	ranges := m.meta.FullRange()
 	if m.pred != nil {
-		// A skip hint naming a column the partition does not store is a
-		// malformed plan — surface it instead of silently scanning
-		// everything. A column of a kind without an int64 MinMax index
-		// (string, float) merely has no skip opportunity.
-		c, err := m.meta.Col(m.pred.Col)
-		if err != nil {
-			m.releaseMeta()
-			return fmt.Errorf("core: MinMax skip hint: %w", err)
-		}
-		if c.Type.Kind == vector.Int32 || c.Type.Kind == vector.Int64 {
-			qr, err := m.meta.QualifyingRanges(m.pred.Col, colstore.Int64RangePred(m.pred.Lo, m.pred.Hi))
+		for _, p := range m.pred.Preds {
+			// A predicate naming a column the partition does not store is a
+			// malformed plan — surface it instead of silently scanning
+			// everything.
+			c, err := m.meta.Col(p.Col)
+			if err != nil {
+				m.releaseMeta()
+				return fmt.Errorf("core: scan predicate: %w", err)
+			}
+			if bp := blockPredFor(p, c.Type); bp != nil {
+				qr, err := m.meta.QualifyingRanges(p.Col, bp)
+				if err != nil {
+					m.releaseMeta()
+					return err
+				}
+				ranges = colstore.IntersectRanges(ranges, qr)
+			}
+			if m.pred.SkipOnly {
+				continue
+			}
+			slot := -1
+			for i, name := range m.cols {
+				if name == p.Col {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				m.releaseMeta()
+				return fmt.Errorf("core: predicate column %q is not in the scan projection of %s", p.Col, m.meta.Table)
+			}
+			keep, err := compileRowFilter(p, c.Type)
 			if err != nil {
 				m.releaseMeta()
 				return err
 			}
-			ranges = colstore.IntersectRanges(ranges, qr)
+			m.filters = append(m.filters, rowFilter{slot: slot, keep: keep})
+			seen := false
+			for _, s := range m.leadSlots {
+				if s == slot {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				m.leadSlots = append(m.leadSlots, slot)
+			}
 		}
 	}
 	sc, err := colstore.NewScanner(m.eng.fs, m.meta, m.node, m.cols, ranges)
@@ -202,18 +252,60 @@ func (m *mscan) Next() (*vector.Batch, error) {
 		}
 		switch m.stage {
 		case 0:
-			b, sid, err := m.sc.Next()
+			// Stage-0 clamping: only the predicate columns (lead slots)
+			// bound the span, so a span rejected wholesale never positions
+			// — let alone decodes — a payload block.
+			lead := m.leadSlots
+			if len(m.filters) == 0 {
+				lead = nil // no filtering: clamp on all columns as before
+			}
+			start, n, err := m.sc.NextSpan(lead)
 			if err != nil {
 				return nil, err
 			}
-			if b == nil {
+			if n == 0 {
 				m.stage = 1
 				continue
 			}
-			if !m.readM.HasDeltas() && !m.writeM.HasDeltas() {
-				return b, nil // fast path: never-updated partition
+			// A span no delta touches can be served straight off the column
+			// blocks; spans with deltas merge first and filter after, since
+			// a modify can flip a row's qualification either way.
+			needMerge := false
+			if m.readM.HasDeltas() || m.writeM.HasDeltas() {
+				if m.readM.HasDeltasIn(start, start+int64(n)) {
+					needMerge = true
+				} else {
+					rid := m.readM.FirstRid(start)
+					needMerge = m.writeM.HasDeltasIn(rid, rid+int64(n))
+				}
 			}
-			b1, rid1, err := m.readM.MergeRange(b, sid)
+			if !needMerge {
+				if len(m.filters) == 0 {
+					b, err := m.denseSpan(start, n)
+					if err != nil {
+						return nil, err
+					}
+					return b, nil
+				}
+				sel, all, dead, err := m.evalSpan(start, n)
+				if err != nil {
+					return nil, err
+				}
+				if dead {
+					m.spansPruned++
+					continue
+				}
+				b, err := m.gatherSpan(start, n, sel, all)
+				if err != nil {
+					return nil, err
+				}
+				return b, nil
+			}
+			b, err := m.denseSpan(start, n)
+			if err != nil {
+				return nil, err
+			}
+			b1, rid1, err := m.readM.MergeRange(b, start)
 			if err != nil {
 				return nil, err
 			}
@@ -227,7 +319,9 @@ func (m *mscan) Next() (*vector.Batch, error) {
 			if b2.Len() == 0 {
 				continue
 			}
-			return b2, nil
+			if out := m.filterBatch(b2); out != nil {
+				return out, nil
+			}
 		case 1:
 			m.stage = 2
 			if tail, rid := m.readM.Tail(); tail != nil {
@@ -236,18 +330,111 @@ func (m *mscan) Next() (*vector.Batch, error) {
 					return nil, err
 				}
 				if b2.Len() > 0 {
-					return b2, nil
+					if out := m.filterBatch(b2); out != nil {
+						return out, nil
+					}
 				}
 			}
 		case 2:
 			m.stage = 3
 			if tail, _ := m.writeM.Tail(); tail != nil && tail.Len() > 0 {
-				return tail, nil
+				if out := m.filterBatch(tail); out != nil {
+					return out, nil
+				}
 			}
 		default:
 			return nil, nil
 		}
 	}
+}
+
+// denseSpan decodes all projected columns of a span as a dense batch.
+func (m *mscan) denseSpan(start int64, n int) (*vector.Batch, error) {
+	b := &vector.Batch{Vecs: make([]*vector.Vec, len(m.cols))}
+	for i := range m.cols {
+		v, err := m.sc.ColVec(i, start, n)
+		if err != nil {
+			return nil, err
+		}
+		b.Vecs[i] = v
+	}
+	return b, nil
+}
+
+// evalSpan runs the compiled conjuncts over a span, decoding predicate
+// columns lazily (a conjunct that kills the span stops later predicate
+// columns from being decoded at all).
+func (m *mscan) evalSpan(start int64, n int) (sel []int32, all, dead bool, err error) {
+	all = true
+	for _, f := range m.filters {
+		v, verr := m.sc.ColVec(f.slot, start, n)
+		if verr != nil {
+			return nil, false, false, verr
+		}
+		var cand []int32
+		if !all {
+			cand = sel
+		}
+		out, okAll := f.keep(v, cand)
+		if all && okAll {
+			continue
+		}
+		sel, all = out, false
+		if len(sel) == 0 {
+			return nil, false, true, nil
+		}
+	}
+	return sel, all, false, nil
+}
+
+// gatherSpan materializes the output batch of a filtered span: fully
+// surviving spans decode dense (zero-copy views), partial survivors gather
+// only the selected rows of every column.
+func (m *mscan) gatherSpan(start int64, n int, sel []int32, all bool) (*vector.Batch, error) {
+	b := &vector.Batch{Vecs: make([]*vector.Vec, len(m.cols))}
+	for i := range m.cols {
+		var v *vector.Vec
+		var err error
+		if all {
+			v, err = m.sc.ColVec(i, start, n)
+		} else {
+			v, err = m.sc.GatherCol(i, start, sel)
+		}
+		if err != nil {
+			return nil, err
+		}
+		b.Vecs[i] = v
+	}
+	return b, nil
+}
+
+// filterBatch applies the compiled conjuncts to a dense merged or tail
+// batch, returning nil when no row survives (callers continue the scan
+// loop). Without filters the batch passes through.
+func (m *mscan) filterBatch(b *vector.Batch) *vector.Batch {
+	if len(m.filters) == 0 {
+		return b
+	}
+	var sel []int32
+	all := true
+	for _, f := range m.filters {
+		var cand []int32
+		if !all {
+			cand = sel
+		}
+		out, okAll := f.keep(b.Vecs[f.slot], cand)
+		if all && okAll {
+			continue
+		}
+		sel, all = out, false
+		if len(sel) == 0 {
+			return nil
+		}
+	}
+	if all {
+		return b
+	}
+	return &vector.Batch{Vecs: b.Vecs, Sel: sel}
 }
 
 func (m *mscan) releaseMeta() {
@@ -259,11 +446,17 @@ func (m *mscan) releaseMeta() {
 
 // Close implements exec.Operator: it releases the scanner's decoded block
 // cache and the merger snapshots so a finished (or abandoned) scan does not
-// pin column blocks and PDT entry lists in memory, and unpins the metadata
+// pin column blocks and PDT entry lists in memory, unpins the metadata
 // generation (triggering deferred deletion of superseded files once the
-// last reader of a retired generation is gone).
+// last reader of a retired generation is gone), and folds the scanner's IO
+// counters into the engine-wide scan statistics.
 func (m *mscan) Close() error {
 	if m.sc != nil {
+		st := m.sc.Stats()
+		m.eng.scanBlocksRead.Add(st.BlocksRead)
+		m.eng.scanBytesDecoded.Add(st.BytesDecoded)
+		m.eng.scanSpansPruned.Add(m.spansPruned)
+		m.spansPruned = 0
 		m.sc.Close()
 		m.sc = nil
 	}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vectorh/internal/colstore"
+	"vectorh/internal/plan"
+	"vectorh/internal/vector"
+)
+
+// This file compiles a plan.ScanPredSet for one partition into its two
+// runtime halves:
+//
+//   - a colstore.BlockPredicate per conjunct (the MinMax projection), used
+//     at Open to compute qualifying row ranges — every column kind skips,
+//     not just int64;
+//   - a rowFilter per conjunct, evaluated vectorized inside the scan over
+//     the decoded predicate columns. The kernels reproduce the expression
+//     interpreter's arithmetic exactly (decimals compare as
+//     float64(v)*scale, ints widen to int64, strings compare raw), so a
+//     Select elided in favor of scan-side filtering returns bit-identical
+//     rows.
+
+// filterFn filters candidate positions of one vector: cand nil means all
+// rows. It returns the survivors and whether every candidate survived (in
+// which case out aliases cand and may be nil).
+type filterFn func(v *vector.Vec, cand []int32) (out []int32, all bool)
+
+// rowFilter is one compiled conjunct bound to a projection slot.
+type rowFilter struct {
+	slot int
+	keep filterFn
+}
+
+// blockPredFor returns the MinMax block predicate of a conjunct for a
+// column of the given type, or nil when the summary kind offers no skipping
+// opportunity for it (never an error: skipping is best-effort).
+func blockPredFor(p plan.ColPred, t vector.Type) colstore.BlockPredicate {
+	intKind := t.Kind == vector.Int32 || t.Kind == vector.Int64
+	switch p.Op {
+	case plan.PredIntRange:
+		if intKind {
+			return colstore.Int64RangePred(p.IntLo, p.IntHi)
+		}
+	case plan.PredDecRange:
+		if intKind {
+			// Conservative storage-unit bounds: one extra unit of slack on
+			// each side absorbs float rounding, so the row kernel (exact
+			// float compare) decides boundary values, never the skip.
+			lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+			if !math.IsInf(p.FloatLo, -1) {
+				lo = int64(math.Floor(p.FloatLo/p.Scale)) - 1
+			}
+			if !math.IsInf(p.FloatHi, 1) {
+				hi = int64(math.Ceil(p.FloatHi/p.Scale)) + 1
+			}
+			return colstore.Int64RangePred(lo, hi)
+		}
+	case plan.PredFloatRange:
+		if t.Kind == vector.Float64 {
+			return colstore.Float64RangePred(p.FloatLo, p.FloatHi)
+		}
+	case plan.PredStrRange:
+		if t.Kind == vector.String {
+			return colstore.StrRangePred(p.StrLo, p.StrHi, p.HasStrLo, p.HasStrHi)
+		}
+	case plan.PredIntIn:
+		if intKind && len(p.Ints) > 0 {
+			lo, hi := p.Ints[0], p.Ints[0]
+			for _, x := range p.Ints[1:] {
+				if x < lo {
+					lo = x
+				}
+				if x > hi {
+					hi = x
+				}
+			}
+			return colstore.Int64RangePred(lo, hi)
+		}
+	case plan.PredStrIn:
+		if t.Kind == vector.String && len(p.Strs) > 0 {
+			lo, hi := p.Strs[0], p.Strs[0]
+			for _, s := range p.Strs[1:] {
+				if s < lo {
+					lo = s
+				}
+				if s > hi {
+					hi = s
+				}
+			}
+			return colstore.StrRangePred(lo, hi, true, true)
+		}
+	}
+	return nil
+}
+
+// compileRowFilter builds the vectorized row kernel of a conjunct for a
+// column of the given type. Unlike block skipping, row filtering is part of
+// the scan's correctness contract, so a kind mismatch is an error.
+func compileRowFilter(p plan.ColPred, t vector.Type) (filterFn, error) {
+	intKind := t.Kind == vector.Int32 || t.Kind == vector.Int64
+	switch p.Op {
+	case plan.PredIntRange:
+		if !intKind {
+			return nil, fmt.Errorf("core: int-range predicate on %s column %q", t, p.Col)
+		}
+		return intRangeFilter(p.IntLo, p.IntHi), nil
+	case plan.PredDecRange:
+		if !intKind {
+			return nil, fmt.Errorf("core: decimal-range predicate on %s column %q", t, p.Col)
+		}
+		return decRangeFilter(p), nil
+	case plan.PredFloatRange:
+		if t.Kind != vector.Float64 {
+			return nil, fmt.Errorf("core: float-range predicate on %s column %q", t, p.Col)
+		}
+		return floatRangeFilter(p), nil
+	case plan.PredStrRange:
+		if t.Kind != vector.String {
+			return nil, fmt.Errorf("core: string-range predicate on %s column %q", t, p.Col)
+		}
+		return strRangeFilter(p), nil
+	case plan.PredIntIn:
+		if !intKind {
+			return nil, fmt.Errorf("core: integer IN predicate on %s column %q", t, p.Col)
+		}
+		set := make(map[int64]struct{}, len(p.Ints))
+		for _, x := range p.Ints {
+			set[x] = struct{}{}
+		}
+		return membershipFilter(func(v *vector.Vec, i int32) bool {
+			_, ok := set[intAt(v, i)]
+			return ok
+		}), nil
+	case plan.PredStrIn:
+		if t.Kind != vector.String {
+			return nil, fmt.Errorf("core: string IN predicate on %s column %q", t, p.Col)
+		}
+		set := make(map[string]struct{}, len(p.Strs))
+		for _, s := range p.Strs {
+			set[s] = struct{}{}
+		}
+		return membershipFilter(func(v *vector.Vec, i int32) bool {
+			_, ok := set[v.Strings()[i]]
+			return ok
+		}), nil
+	}
+	return nil, fmt.Errorf("core: unknown predicate op %d on column %q", p.Op, p.Col)
+}
+
+func intAt(v *vector.Vec, i int32) int64 {
+	if v.Kind() == vector.Int32 {
+		return int64(v.Int32s()[i])
+	}
+	return v.Int64s()[i]
+}
+
+func intRangeFilter(lo, hi int64) filterFn {
+	return func(v *vector.Vec, cand []int32) ([]int32, bool) {
+		if v.Kind() == vector.Int32 {
+			xs := v.Int32s()
+			return sieve(len(xs), cand, func(i int32) bool {
+				x := int64(xs[i])
+				return x >= lo && x <= hi
+			})
+		}
+		xs := v.Int64s()
+		return sieve(len(xs), cand, func(i int32) bool {
+			return xs[i] >= lo && xs[i] <= hi
+		})
+	}
+}
+
+// decRangeFilter compares float64(v)*scale against the bounds — the exact
+// arithmetic expr.Scaled + float comparison performs, so scan-side
+// filtering of decimal conjuncts is bit-identical to a Select.
+func decRangeFilter(p plan.ColPred) filterFn {
+	test := floatBoundsTest(p)
+	scale := p.Scale
+	return func(v *vector.Vec, cand []int32) ([]int32, bool) {
+		if v.Kind() == vector.Int32 {
+			xs := v.Int32s()
+			return sieve(len(xs), cand, func(i int32) bool { return test(float64(xs[i]) * scale) })
+		}
+		xs := v.Int64s()
+		return sieve(len(xs), cand, func(i int32) bool { return test(float64(xs[i]) * scale) })
+	}
+}
+
+func floatRangeFilter(p plan.ColPred) filterFn {
+	test := floatBoundsTest(p)
+	return func(v *vector.Vec, cand []int32) ([]int32, bool) {
+		xs := v.Float64s()
+		return sieve(len(xs), cand, func(i int32) bool { return test(xs[i]) })
+	}
+}
+
+// floatBoundsTest builds the bounds check; unset bounds (±Inf) are not
+// compared at all, matching a predicate that simply lacks that conjunct.
+func floatBoundsTest(p plan.ColPred) func(float64) bool {
+	lo, hi := p.FloatLo, p.FloatHi
+	hasLo, hasHi := !math.IsInf(lo, -1), !math.IsInf(hi, 1)
+	loStrict, hiStrict := p.LoStrict, p.HiStrict
+	return func(f float64) bool {
+		if hasLo {
+			if loStrict {
+				if !(f > lo) {
+					return false
+				}
+			} else if !(f >= lo) {
+				return false
+			}
+		}
+		if hasHi {
+			if hiStrict {
+				if !(f < hi) {
+					return false
+				}
+			} else if !(f <= hi) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func strRangeFilter(p plan.ColPred) filterFn {
+	lo, hi := p.StrLo, p.StrHi
+	hasLo, hasHi := p.HasStrLo, p.HasStrHi
+	loStrict, hiStrict := p.LoStrict, p.HiStrict
+	return func(v *vector.Vec, cand []int32) ([]int32, bool) {
+		xs := v.Strings()
+		return sieve(len(xs), cand, func(i int32) bool {
+			s := xs[i]
+			if hasLo {
+				if loStrict {
+					if !(s > lo) {
+						return false
+					}
+				} else if !(s >= lo) {
+					return false
+				}
+			}
+			if hasHi {
+				if hiStrict {
+					if !(s < hi) {
+						return false
+					}
+				} else if !(s <= hi) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+func membershipFilter(member func(v *vector.Vec, i int32) bool) filterFn {
+	return func(v *vector.Vec, cand []int32) ([]int32, bool) {
+		return sieve(v.Len(), cand, func(i int32) bool { return member(v, i) })
+	}
+}
+
+// sieve runs a position predicate over the candidates (cand nil = 0..n-1).
+// When narrowing an existing candidate list it filters in place — the
+// previous round's selection is dead after this one.
+func sieve(n int, cand []int32, keep func(int32) bool) ([]int32, bool) {
+	if cand == nil {
+		var out []int32
+		for i := 0; i < n; i++ {
+			if keep(int32(i)) {
+				if out == nil {
+					out = make([]int32, 0, n-i)
+				}
+				out = append(out, int32(i))
+			}
+		}
+		if len(out) == n {
+			return nil, true
+		}
+		return out, false
+	}
+	out := cand[:0]
+	for _, p := range cand {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out, len(out) == len(cand)
+}

@@ -33,6 +33,19 @@ func NewMerger(t *PDT, schema vector.Schema, cols []int) *Merger {
 // scans of never-updated partitions).
 func (m *Merger) HasDeltas() bool { return len(m.entries) > 0 }
 
+// HasDeltasIn reports whether any delta touches the stable-row range
+// [s0, s1) — the per-span fast path: a span no delta touches can be
+// late-materialized straight off the column blocks, because MergeRange
+// would return it unchanged.
+func (m *Merger) HasDeltasIn(s0, s1 int64) bool {
+	lo := m.searchSid(s0)
+	return lo < len(m.entries) && m.entries[lo].Sid < s1
+}
+
+// FirstRid returns the RID of the first output row of a merge starting at
+// stable row s0 (what MergeRange would report), without merging.
+func (m *Merger) FirstRid(s0 int64) int64 { return m.t.firstRidOfSid(s0) }
+
 // MergeRange merges deltas into a dense batch covering the stable rows
 // [s0, s0+b.Len()), returning the merged batch and the RID of its first
 // output row. When no deltas touch the range, the input batch is returned

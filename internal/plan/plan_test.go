@@ -100,8 +100,15 @@ func TestExprBindErrors(t *testing.T) {
 
 func TestFilterSkipHints(t *testing.T) {
 	f := Filter(Scan("t"), GE(Col("d"), Date("1995-06-01"))).SkipDates("d", "1995-06-01", "1998-12-31")
-	if f.SkipCol != "d" || f.SkipLo != int64(vector.MustDate("1995-06-01")) {
-		t.Fatalf("skip hint = %+v", f)
+	col, lo, _, ok := f.SkipSet.FirstIntRange()
+	if !ok || col != "d" || lo != int64(vector.MustDate("1995-06-01")) {
+		t.Fatalf("skip hint = %+v", f.SkipSet)
+	}
+	if !f.SkipSet.SkipOnly {
+		t.Fatalf("builder Skip() must be skip-only (an asserted range, not an implied one): %+v", f.SkipSet)
+	}
+	if f.Residual == nil {
+		t.Fatal("builder Skip() must keep the full predicate as residual")
 	}
 	if s, err := f.Schema(cat{}); err != nil || len(s) != 4 {
 		t.Fatalf("filter schema = %v err=%v", s, err)

@@ -1,0 +1,220 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vectorh/internal/vector"
+)
+
+// This file defines the structured scan-predicate vocabulary: per-column
+// conjuncts a filter can hand to the storage scan underneath it. A conjunct
+// serves two purposes down the stack: its MinMax projection prunes whole
+// column blocks before any IO, and (unless the set is marked SkipOnly) the
+// scan evaluates it vectorized over the decoded predicate columns, so
+// payload columns of non-qualifying rows are never decoded at all (late
+// materialization).
+
+// PredOp enumerates the conjunct shapes a scan can evaluate.
+type PredOp uint8
+
+// Conjunct shapes. Range bounds are inclusive unless the strictness flags
+// say otherwise; open bounds use the kind's infinities (or the HasStr flags
+// for strings, which have no maximum value).
+const (
+	// PredIntRange is IntLo <= v <= IntHi over int32/int64 storage
+	// (plain integers and dates). Strictness is folded into the bounds.
+	PredIntRange PredOp = iota + 1
+	// PredDecRange is FloatLo <= v*Scale <= FloatHi over decimal storage
+	// (scaled int64). The scan evaluates it with the exact float arithmetic
+	// the expression interpreter uses, so results are bit-identical to a
+	// Select above the scan.
+	PredDecRange
+	// PredFloatRange is FloatLo <= v <= FloatHi over float64 storage.
+	PredFloatRange
+	// PredStrRange is StrLo <= v <= StrHi over string storage (equality is
+	// StrLo == StrHi).
+	PredStrRange
+	// PredIntIn is v ∈ Ints over int32/int64 storage.
+	PredIntIn
+	// PredStrIn is v ∈ Strs over string storage.
+	PredStrIn
+)
+
+// ColPred is one pushable conjunct on one column.
+type ColPred struct {
+	Col string
+	Op  PredOp
+
+	// PredIntRange bounds (math.MinInt64 / math.MaxInt64 = unbounded).
+	IntLo, IntHi int64
+	// PredDecRange / PredFloatRange bounds (±Inf = unbounded).
+	FloatLo, FloatHi float64
+	// Strict bounds (v > lo / v < hi) for the float-compared and string
+	// range shapes.
+	LoStrict, HiStrict bool
+	// Scale converts decimal storage to its logical value (0.01 for two
+	// digits); PredDecRange only.
+	Scale float64
+	// PredStrRange bounds; a false HasStrLo/HasStrHi leaves that side open.
+	StrLo, StrHi       string
+	HasStrLo, HasStrHi bool
+	// Membership lists.
+	Ints []int64
+	Strs []string
+}
+
+// IntRange builds an inclusive integer range conjunct.
+func IntRange(col string, lo, hi int64) ColPred {
+	return ColPred{Col: col, Op: PredIntRange, IntLo: lo, IntHi: hi}
+}
+
+// IntMax builds v <= hi over integer storage.
+func IntMax(col string, hi int64) ColPred { return IntRange(col, math.MinInt64, hi) }
+
+// IntMin builds v >= lo over integer storage.
+func IntMin(col string, lo int64) ColPred { return IntRange(col, lo, math.MaxInt64) }
+
+// DateRange builds an inclusive date range conjunct from date literals.
+func DateRange(col, lo, hi string) ColPred {
+	return IntRange(col, int64(vector.MustDate(lo)), int64(vector.MustDate(hi)))
+}
+
+// DecRange builds a range conjunct over a two-digit decimal column,
+// compared in the logical (scaled float) domain exactly as Dec() exprs are.
+func DecRange(col string, lo, hi float64, loStrict, hiStrict bool) ColPred {
+	return ColPred{Col: col, Op: PredDecRange, Scale: 0.01,
+		FloatLo: lo, FloatHi: hi, LoStrict: loStrict, HiStrict: hiStrict}
+}
+
+// DecMax builds v < hi (strict) or v <= hi over a decimal column.
+func DecMax(col string, hi float64, strict bool) ColPred {
+	return DecRange(col, math.Inf(-1), hi, false, strict)
+}
+
+// FloatRange builds a range conjunct over a float64 column.
+func FloatRange(col string, lo, hi float64, loStrict, hiStrict bool) ColPred {
+	return ColPred{Col: col, Op: PredFloatRange,
+		FloatLo: lo, FloatHi: hi, LoStrict: loStrict, HiStrict: hiStrict}
+}
+
+// StrEq builds v = s over a string column.
+func StrEq(col, s string) ColPred {
+	return ColPred{Col: col, Op: PredStrRange, StrLo: s, StrHi: s, HasStrLo: true, HasStrHi: true}
+}
+
+// StrInList builds v ∈ vals over a string column.
+func StrInList(col string, vals ...string) ColPred {
+	return ColPred{Col: col, Op: PredStrIn, Strs: vals}
+}
+
+// IntInList builds v ∈ vals over an integer column.
+func IntInList(col string, vals ...int64) ColPred {
+	return ColPred{Col: col, Op: PredIntIn, Ints: vals}
+}
+
+// String renders the conjunct for plan explanations.
+func (p ColPred) String() string {
+	bound := func(strict bool) string {
+		if strict {
+			return "("
+		}
+		return "["
+	}
+	boundHi := func(strict bool) string {
+		if strict {
+			return ")"
+		}
+		return "]"
+	}
+	switch p.Op {
+	case PredIntRange:
+		lo, hi := "min", "max"
+		if p.IntLo != math.MinInt64 {
+			lo = fmt.Sprintf("%d", p.IntLo)
+		}
+		if p.IntHi != math.MaxInt64 {
+			hi = fmt.Sprintf("%d", p.IntHi)
+		}
+		return fmt.Sprintf("%s in [%s,%s]", p.Col, lo, hi)
+	case PredDecRange, PredFloatRange:
+		lo, hi := "min", "max"
+		if !math.IsInf(p.FloatLo, -1) {
+			lo = fmt.Sprintf("%g", p.FloatLo)
+		}
+		if !math.IsInf(p.FloatHi, 1) {
+			hi = fmt.Sprintf("%g", p.FloatHi)
+		}
+		return fmt.Sprintf("%s in %s%s,%s%s", p.Col, bound(p.LoStrict), lo, hi, boundHi(p.HiStrict))
+	case PredStrRange:
+		if p.HasStrLo && p.HasStrHi && p.StrLo == p.StrHi && !p.LoStrict && !p.HiStrict {
+			return fmt.Sprintf("%s=%q", p.Col, p.StrLo)
+		}
+		lo, hi := "min", "max"
+		if p.HasStrLo {
+			lo = fmt.Sprintf("%q", p.StrLo)
+		}
+		if p.HasStrHi {
+			hi = fmt.Sprintf("%q", p.StrHi)
+		}
+		return fmt.Sprintf("%s in %s%s,%s%s", p.Col, bound(p.LoStrict), lo, hi, boundHi(p.HiStrict))
+	case PredIntIn:
+		return fmt.Sprintf("%s in %v", p.Col, p.Ints)
+	case PredStrIn:
+		parts := make([]string, len(p.Strs))
+		for i, s := range p.Strs {
+			parts[i] = fmt.Sprintf("%q", s)
+		}
+		return fmt.Sprintf("%s in [%s]", p.Col, strings.Join(parts, " "))
+	}
+	return p.Col + "?"
+}
+
+// ScanPredSet is a conjunction of pushable per-column predicates attached to
+// a scan. Unless SkipOnly is set, the scan both block-skips on the
+// conjuncts' MinMax projections and filters rows by them, which lets the
+// rewriter elide a Select the set fully subsumes.
+type ScanPredSet struct {
+	Preds []ColPred
+
+	// SkipOnly limits the set to MinMax block skipping: rows are not
+	// filtered. Builder-style Skip() hints use this — they assert a data
+	// range that is not necessarily implied by the filter predicate, so
+	// applying them to rows (e.g. to fresh trickle inserts outside the
+	// asserted range) could change results.
+	SkipOnly bool
+}
+
+// Clone returns an independent copy of the set.
+func (s *ScanPredSet) Clone() *ScanPredSet {
+	if s == nil {
+		return nil
+	}
+	out := &ScanPredSet{Preds: append([]ColPred(nil), s.Preds...), SkipOnly: s.SkipOnly}
+	return out
+}
+
+// FirstIntRange returns the first integer-range conjunct (compatibility
+// shim for consumers that understand only single-column int skipping, like
+// the Hadoop-format baseline engine).
+func (s *ScanPredSet) FirstIntRange() (col string, lo, hi int64, ok bool) {
+	if s == nil {
+		return "", 0, 0, false
+	}
+	for _, p := range s.Preds {
+		if p.Op == PredIntRange {
+			return p.Col, p.IntLo, p.IntHi, true
+		}
+	}
+	return "", 0, 0, false
+}
+
+// String renders the set for plan explanations.
+func (s *ScanPredSet) String() string {
+	parts := make([]string, len(s.Preds))
+	for i, p := range s.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " & ")
+}

@@ -15,22 +15,28 @@ import (
 	"vectorh/internal/expr"
 	"vectorh/internal/mpi"
 	"vectorh/internal/mpp"
+	"vectorh/internal/plan"
 	"vectorh/internal/vector"
 )
 
-// ScanPred is a single-column range usable for MinMax skipping.
-type ScanPred struct {
-	Col    string
-	Lo, Hi int64
-}
+// ScanPredSet is the per-column conjunct set a scan receives: MinMax block
+// skipping plus — unless SkipOnly — vectorized row filtering inside the
+// scan (defined in the plan package, re-exported for providers).
+type ScanPredSet = plan.ScanPredSet
 
 // ScanProvider supplies storage-backed scan streams; the engine implements
 // it, tests can fake it.
+//
+// Predicate contract: a non-nil pred with SkipOnly unset means the provider
+// MUST return only rows satisfying every conjunct — the rewriter elides the
+// Select above the scan when the set subsumes its predicate, so a provider
+// that merely skips would leak rows. A SkipOnly set is best-effort IO
+// pruning; row filtering stays upstream.
 type ScanProvider interface {
 	// PartitionScan scans one partition of a partitioned table at a node.
-	PartitionScan(table string, part int, cols []string, pred *ScanPred, node int) (exec.Operator, error)
+	PartitionScan(table string, part int, cols []string, pred *ScanPredSet, node int) (exec.Operator, error)
 	// ReplicatedScan scans a replicated table at a node.
-	ReplicatedScan(table string, cols []string, pred *ScanPred, node int) (exec.Operator, error)
+	ReplicatedScan(table string, cols []string, pred *ScanPredSet, node int) (exec.Operator, error)
 	// ResponsibleParts lists the partitions a node is responsible for,
 	// in ascending order (co-partitioned tables agree on this mapping).
 	ResponsibleParts(table string, node int) []int
@@ -117,7 +123,7 @@ func Explain(p Phys) string {
 type physScan struct {
 	table      string
 	cols       []string
-	pred       *ScanPred
+	pred       *ScanPredSet
 	replicated bool
 	schema     vector.Schema
 }
@@ -132,7 +138,11 @@ func (p *physScan) label() string {
 	}
 	s := fmt.Sprintf("MScan[%s] (%s)", p.table, kind)
 	if p.pred != nil {
-		s += fmt.Sprintf(" skip(%s in [%d,%d])", p.pred.Col, p.pred.Lo, p.pred.Hi)
+		if p.pred.SkipOnly {
+			s += fmt.Sprintf(" skip(%s)", p.pred)
+		} else {
+			s += fmt.Sprintf(" pred(%s)", p.pred)
+		}
 	}
 	return s
 }

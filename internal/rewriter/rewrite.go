@@ -34,11 +34,19 @@ type Options struct {
 	LocalJoin      bool // detect co-located partition-pair joins
 	ReplicateBuild bool // build join hash tables from replicated tables locally
 	PartialAgg     bool // aggregate locally before exchanging
+
+	// PushFilterIntoScan moves a filter's pushable conjuncts into the scan
+	// underneath (late-materialized filtering + per-kind MinMax skipping),
+	// eliding the Select when the conjuncts subsume its whole predicate.
+	// Off, conjuncts degrade to skip-only hints and the full Select stays —
+	// the pre-pushdown pipeline, kept as an ablation/validation baseline.
+	PushFilterIntoScan bool
 }
 
 // DefaultOptions enables every rewrite rule.
 func DefaultOptions(nodes, threads int) Options {
-	return Options{Nodes: nodes, Threads: threads, LocalJoin: true, ReplicateBuild: true, PartialAgg: true}
+	return Options{Nodes: nodes, Threads: threads,
+		LocalJoin: true, ReplicateBuild: true, PartialAgg: true, PushFilterIntoScan: true}
 }
 
 // result carries a physical subtree plus its structural properties — the
@@ -162,14 +170,34 @@ func (c *rewriteCtx) recFilter(n *plan.FilterNode) (result, error) {
 	if err != nil {
 		return result{}, err
 	}
+	// Push the filter's pushable conjuncts into the scan (the "derive scan
+	// ranges" rule of the Appendix rewriter profile, generalized from one
+	// int range to the full per-column conjunct set).
+	scan, isScan := child.phys.(*physScan)
+	if isScan && n.SkipSet != nil && scan.pred == nil && c.opts.PushFilterIntoScan && !n.SkipSet.SkipOnly {
+		scan.pred = n.SkipSet
+		child.rows = child.rows/3 + 1
+		if n.Residual == nil {
+			// The scan evaluates every conjunct itself: no Select needed.
+			return child, nil
+		}
+		bound, err := n.Residual.Bind(child.schema)
+		if err != nil {
+			return result{}, err
+		}
+		child.phys = &physFilter{child: child.phys, pred: bound}
+		return child, nil
+	}
+	if isScan && n.SkipSet != nil && scan.pred == nil {
+		// Skip-only hints (builder Skip() assertions, or pushdown disabled):
+		// blocks are pruned by MinMax, rows are still filtered above.
+		skip := n.SkipSet.Clone()
+		skip.SkipOnly = true
+		scan.pred = skip
+	}
 	bound, err := n.Pred.Bind(child.schema)
 	if err != nil {
 		return result{}, err
-	}
-	// Push the MinMax skip hint into the scan (the "derive scan ranges"
-	// rule visible in the Appendix rewriter profile).
-	if scan, ok := child.phys.(*physScan); ok && n.SkipCol != "" && scan.pred == nil {
-		scan.pred = &ScanPred{Col: n.SkipCol, Lo: n.SkipLo, Hi: n.SkipHi}
 	}
 	child.phys = &physFilter{child: child.phys, pred: bound}
 	child.rows = child.rows/3 + 1

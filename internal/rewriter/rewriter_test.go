@@ -70,7 +70,7 @@ func (p *fakeProvider) ResponsibleParts(table string, node int) []int {
 	return parts
 }
 
-func (p *fakeProvider) PartitionScan(table string, part int, cols []string, pred *ScanPred, node int) (exec.Operator, error) {
+func (p *fakeProvider) PartitionScan(table string, part int, cols []string, pred *ScanPredSet, node int) (exec.Operator, error) {
 	p.scans[node]++
 	schema, rows := p.tableData(table)
 	// Partition by first column % 4.
@@ -85,7 +85,7 @@ func (p *fakeProvider) PartitionScan(table string, part int, cols []string, pred
 	return p.source(schema, cols, filtered), nil
 }
 
-func (p *fakeProvider) ReplicatedScan(table string, cols []string, pred *ScanPred, node int) (exec.Operator, error) {
+func (p *fakeProvider) ReplicatedScan(table string, cols []string, pred *ScanPredSet, node int) (exec.Operator, error) {
 	schema, rows := p.tableData(table)
 	return p.source(schema, cols, rows), nil
 }

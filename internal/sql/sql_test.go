@@ -162,8 +162,42 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPushdownClassifierEdgeCases locks classifier corners where a wrong
+// derived range silently changes results (the Select above the scan is
+// elided, so nothing re-filters): equality must not weaken an accumulated
+// strict bound at the same value, strict integer bounds must not wrap at
+// the int64 extremes, and date literals against float columns must push
+// the day number, not zero.
+func TestPushdownClassifierEdgeCases(t *testing.T) {
+	e := newEngine(t)
+	count := func(q string) int64 {
+		rows := runSQL(t, e, q)
+		return rows[0][0].(int64)
+	}
+	// amount cycles 0..99 over 400 rows; region names: north/east/south/west.
+	if n := count("select count(*) as n from sales where amount > 50.0 and amount = 50.0"); n != 0 {
+		t.Fatalf("x > 50 AND x = 50 returned %d rows, want 0 (strict bound weakened by equality)", n)
+	}
+	if n := count("select count(*) as n from sales where amount = 50.0 and amount > 50.0"); n != 0 {
+		t.Fatalf("x = 50 AND x > 50 returned %d rows, want 0", n)
+	}
+	if n := count("select count(*) as n from regions where region_name > 'north' and region_name = 'north'"); n != 0 {
+		t.Fatalf("s > 'north' AND s = 'north' returned %d rows, want 0", n)
+	}
+	if n := count("select count(*) as n from sales where id > 9223372036854775807"); n != 0 {
+		t.Fatalf("id > MaxInt64 returned %d rows, want 0 (strict bound wrapped)", n)
+	}
+	// Date literal vs float column compares as the day number (interpreter
+	// semantics): day('1970-01-11') = 10, amounts 0..99 → 89 per 100 rows.
+	if n := count("select count(*) as n from sales where amount > date '1970-01-11'"); n != 4*89 {
+		t.Fatalf("amount > date-literal returned %d rows, want %d", n, 4*89)
+	}
+}
+
 // TestExplainGolden locks the full distributed physical plan of a SQL
-// aggregation query (stable: fixed data, fixed config).
+// aggregation query (stable: fixed data, fixed config). The WHERE clause is
+// fully subsumed by the scan predicate set, so no Select appears above the
+// sales scan: the scan filters (and MinMax-skips) the date range itself.
 func TestExplainGolden(t *testing.T) {
 	e := newEngine(t)
 	n, err := Compile(`
@@ -187,9 +221,42 @@ Sort
         DXchgHashSplit
           Aggr(partial)[1 keys,1 aggs]
             HashJoin[0,replicated-build]
-              Select[($2 >= 18276)]
-                MScan[sales] (partitioned) skip(sold in [18276,9223372036854775807])
+              MScan[sales] (partitioned) pred(sold in [18276,max])
               MScan[regions] (replicated)
+`, "\n")
+	if got != want {
+		t.Fatalf("explain mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainGoldenMultiConjunct locks the plan of a scan-dominated query
+// whose WHERE clause mixes pushable conjuncts of three kinds (date range,
+// float range, int IN list) with one residual the scan cannot evaluate
+// (an arithmetic comparison). The pushable conjuncts land in the scan's
+// pred(...) set — every one of them skips blocks and filters rows — while
+// the Select above it shrinks to just the residual.
+func TestExplainGoldenMultiConjunct(t *testing.T) {
+	e := newEngine(t)
+	n, err := Compile(`
+		select count(*) as n from sales
+		where sold >= date '2020-01-15' and sold < date '2020-02-15'
+		  and amount >= 10 and amount < 95
+		  and id in (1, 2, 3, 500)
+		  and amount + 1 > 12`, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Explain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimLeft(`
+Project[1 exprs]
+  Aggr(final)[0 keys,1 aggs]
+    DXchgUnion->n0
+      Aggr(partial)[0 keys,1 aggs]
+        Select[(($1 + 1) > 12)]
+          MScan[sales] (partitioned) pred(sold in [18276,18306] & amount in [10,95) & id in [1 2 3 500])
 `, "\n")
 	if got != want {
 		t.Fatalf("explain mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
