@@ -167,6 +167,28 @@ func BenchmarkTPCHSelectivity(b *testing.B) {
 	}
 }
 
+// BenchmarkTPCHJoinOrder runs the join-heavy TPC-H queries from their
+// hand-built plans (hand-written join order) and from SQL text (the
+// stats-driven ordering pass in internal/sql), validating row-identical
+// results and reporting the per-query cost of the optimizer's choice —
+// the numbers `vectorh-bench -exp joinorder` records into BENCH_tpch.json.
+// Named so CI's `-bench=TPCH` smoke step picks it up: the join-order pass
+// gets the same can't-silently-rot guarantee as the other planner paths.
+func BenchmarkTPCHJoinOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.JoinOrder(benchSF, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllMatch() {
+			b.Fatal("an optimizer-ordered plan diverged from its hand-built counterpart")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Report())
+		}
+	}
+}
+
 // BenchmarkUpdateImpact regenerates the bottom block of Figure 7: RF1/RF2
 // times and the GeoDiff of query performance after updates (paper: VectorH
 // 102.8% vs Hive 138.2%).

@@ -10,6 +10,7 @@
 //	vectorh-bench -exp refresh  # RF1/RF2 as SQL DML + post-refresh validation
 //	vectorh-bench -exp concurrency # multi-session throughput through vectorh-serve
 //	vectorh-bench -exp selectivity # scan pushdown vs Select-above-scan sweep
+//	vectorh-bench -exp joinorder   # hand-written vs optimizer-chosen join order
 //	vectorh-bench -exp profile  # Appendix: Q1 per-operator profile
 //	vectorh-bench -exp all
 //
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig2|fig5|load|tpch|updates|refresh|concurrency|selectivity|profile|tpchbench|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|fig5|load|tpch|updates|refresh|concurrency|selectivity|joinorder|profile|tpchbench|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	nodes := flag.Int("nodes", 3, "simulated worker nodes")
 	jsonPath := flag.String("json", "BENCH_tpch.json", "tpchbench: output file")
@@ -107,6 +108,9 @@ func main() {
 		},
 		"selectivity": func() error {
 			return runSelectivity(*sf, *nodes, *jsonPath)
+		},
+		"joinorder": func() error {
+			return runJoinOrder(*sf, *nodes, *jsonPath)
 		},
 		"tpchbench": func() error {
 			return runTPCHBench(*sf, *nodes, *jsonPath, *set, *perQuery)

@@ -86,6 +86,24 @@ type selectivityBenchPoint struct {
 	OffBytesDecoded int64   `json:"off_bytes_decoded"`
 }
 
+// joinOrderBench records the join-order experiment: per join-heavy query,
+// the hand-written join order's ns/op next to the stats-driven optimizer's
+// (see `-exp joinorder`). Ratio is optimizer over hand; the planner's
+// acceptance bar is ratio <= 1.1 on Q09 and Q21.
+type joinOrderBench struct {
+	AllMatch bool                  `json:"all_match"`
+	Points   []joinOrderBenchPoint `json:"points"`
+}
+
+type joinOrderBenchPoint struct {
+	Query     string  `json:"query"`
+	HandNsOp  int64   `json:"hand_ns_per_op"`
+	OptNsOp   int64   `json:"optimizer_ns_per_op"`
+	Ratio     float64 `json:"ratio"`
+	Rows      int     `json:"rows"`
+	RowsMatch bool    `json:"rows_match"`
+}
+
 // benchFile is the on-disk BENCH_tpch.json schema.
 type benchFile struct {
 	SF          float64           `json:"sf"`
@@ -96,6 +114,7 @@ type benchFile struct {
 	Refresh     *refreshBench     `json:"refresh,omitempty"`
 	Concurrency *concurrencyBench `json:"concurrency,omitempty"`
 	Selectivity *selectivityBench `json:"selectivity,omitempty"`
+	JoinOrder   *joinOrderBench   `json:"joinorder,omitempty"`
 }
 
 // runTPCHBench measures every TPC-H query and writes the JSON file, filling
@@ -292,6 +311,50 @@ func runSelectivity(sf float64, nodes int, path string) error {
 		return err
 	}
 	fmt.Printf("wrote selectivity block of %s\n", path)
+	return nil
+}
+
+// runJoinOrder runs the join-order experiment, prints its report and
+// records the numbers in the joinorder block of BENCH_tpch.json (other
+// blocks are preserved).
+func runJoinOrder(sf float64, nodes int, path string) error {
+	res, err := experiments.JoinOrder(sf, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	if !res.AllMatch() {
+		return fmt.Errorf("join-order validation failed: an optimizer-ordered plan diverged from its hand-built counterpart")
+	}
+	const threads = 2 // experiments.JoinOrder's engine configuration
+	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
+	if old, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(old, &file); err != nil {
+			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+		}
+		if file.SF != sf || file.Nodes != nodes {
+			fmt.Fprintf(os.Stderr,
+				"warning: %s was recorded at sf=%v nodes=%d, this run is sf=%v nodes=%d — the retained columns are not comparable\n",
+				path, file.SF, file.Nodes, sf, nodes)
+		}
+		file.SF, file.Nodes, file.Threads = sf, nodes, threads
+	}
+	jb := &joinOrderBench{AllMatch: res.AllMatch()}
+	for _, p := range res.Points {
+		jb.Points = append(jb.Points, joinOrderBenchPoint{
+			Query: fmt.Sprintf("Q%02d", p.Q), HandNsOp: p.HandNs, OptNsOp: p.SQLNs,
+			Ratio: p.Ratio(), Rows: p.Rows, RowsMatch: p.Match,
+		})
+	}
+	file.JoinOrder = jb
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote joinorder block of %s\n", path)
 	return nil
 }
 

@@ -369,6 +369,42 @@ func (e *Engine) TableRows(name string) (int64, error) {
 	return total, nil
 }
 
+// ColumnRange folds the MinMax block summaries of an integer-kinded column
+// (ints and dates) into a single [lo, hi] value range across all
+// partitions. ok is false when the table or column is unknown or no block
+// carries a summary — the SQL planner's selectivity model then falls back
+// to its default guess instead of trusting a zero range.
+func (e *Engine) ColumnRange(table, col string) (lo, hi int64, ok bool) {
+	e.mu.Lock()
+	t, found := e.tables[table]
+	e.mu.Unlock()
+	if !found {
+		return 0, 0, false
+	}
+	for _, p := range t.Parts {
+		cm, err := p.CurrentMeta().Col(col)
+		if err != nil {
+			return 0, 0, false
+		}
+		if cm.Type.Kind != vector.Int32 && cm.Type.Kind != vector.Int64 {
+			return 0, 0, false // NumMin/NumMax only summarize integer kinds
+		}
+		for _, b := range cm.Blocks {
+			if !b.HasMinMax {
+				continue
+			}
+			if !ok || b.NumMin < lo {
+				lo = b.NumMin
+			}
+			if !ok || b.NumMax > hi {
+				hi = b.NumMax
+			}
+			ok = true
+		}
+	}
+	return lo, hi, ok
+}
+
 // nodeIndex maps a node name to its index in the active worker set.
 func (e *Engine) nodeIndex(name string) int {
 	for i, n := range e.active {

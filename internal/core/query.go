@@ -211,11 +211,11 @@ func (e *Engine) Explain(q plan.Node) (string, error) {
 	e.mu.Lock()
 	nodes := len(e.active)
 	e.mu.Unlock()
-	phys, err := rewriter.Rewrite(q, e, rewriter.DefaultOptions(nodes, e.cfg.ThreadsPerNode))
+	phys, est, err := rewriter.RewriteEst(q, e, rewriter.DefaultOptions(nodes, e.cfg.ThreadsPerNode))
 	if err != nil {
 		return "", err
 	}
-	return rewriter.Explain(phys), nil
+	return rewriter.ExplainEst(phys, est), nil
 }
 
 // FormatProfile renders a profile like the Appendix figure: per operator,

@@ -310,6 +310,45 @@ func TestMergeJoinAcrossBatches(t *testing.T) {
 	}
 }
 
+func TestMergeJoinManyToMany(t *testing.T) {
+	// Duplicates on BOTH sides: every (left, right) pair with equal keys
+	// must come out, including when a right-side run spans batch refills.
+	left := vector.NewBatch(
+		vector.FromInt64([]int64{1, 2, 2, 4}),
+		vector.FromString([]string{"l1", "l2a", "l2b", "l4"}),
+	)
+	right := []*vector.Batch{
+		vector.NewBatch(
+			vector.FromInt64([]int64{2, 2}),
+			vector.FromString([]string{"r2a", "r2b"})),
+		vector.NewBatch( // run for key 2 continues into this batch
+			vector.FromInt64([]int64{2, 3, 4}),
+			vector.FromString([]string{"r2c", "r3", "r4"})),
+	}
+	m := &MergeJoin{
+		Left:    &BatchSource{Batches: []*vector.Batch{left}},
+		Right:   &BatchSource{Batches: right},
+		LeftKey: 0, RightKey: 0,
+	}
+	rows, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range rows {
+		got = append(got, r[1].(string)+"/"+r[3].(string))
+	}
+	want := []string{"l2a/r2a", "l2a/r2b", "l2a/r2c", "l2b/r2a", "l2b/r2b", "l2b/r2c", "l4/r4"}
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", got, want)
+		}
+	}
+}
+
 func TestSortMultiKey(t *testing.T) {
 	b := vector.NewBatch(
 		vector.FromInt64([]int64{1, 2, 1, 2}),

@@ -199,14 +199,22 @@ func (j *HashJoin) NumBuildCols() int { return len(j.buildCols) }
 type MergeJoin struct {
 	Left     Operator
 	Right    Operator
-	LeftKey  int // column index of the (possibly duplicated) foreign key
-	RightKey int // column index of the unique key
+	LeftKey  int // column index of the left join key
+	RightKey int // column index of the right join key
 
 	lb, rb *vector.Batch
 	lpos   int
 	rpos   int
 	ldone  bool
 	rdone  bool
+
+	// Equal-key runs on the right side make the join many-to-many: the run
+	// of right rows sharing runKey is buffered in run so every left row with
+	// that key replays it, even when the run spans right batch boundaries.
+	run      *vector.Batch
+	runKey   int64
+	runValid bool
+	runPos   int // resume point when an output batch fills mid-run
 }
 
 // Open implements Operator.
@@ -214,6 +222,7 @@ func (m *MergeJoin) Open() error {
 	m.lb, m.rb = nil, nil
 	m.lpos, m.rpos = 0, 0
 	m.ldone, m.rdone = false, false
+	m.run, m.runValid, m.runPos = nil, false, 0
 	if err := m.Left.Open(); err != nil {
 		return err
 	}
@@ -277,13 +286,46 @@ func (m *MergeJoin) Next() (*vector.Batch, error) {
 		if err := m.fillLeft(); err != nil {
 			return nil, err
 		}
-		if err := m.fillRight(); err != nil {
-			return nil, err
-		}
-		if m.lb == nil || m.rb == nil {
+		if m.lb == nil {
 			break
 		}
 		lk := int64At(m.lb.Col(m.LeftKey), m.lpos)
+		// Replay the buffered run for every left row sharing its key; this
+		// also drains left duplicates after the right side is exhausted.
+		if m.runValid && lk == m.runKey {
+			if out == nil {
+				out = &vector.Batch{}
+				for _, v := range m.lb.Vecs {
+					out.Vecs = append(out.Vecs, vector.New(v.Kind(), vector.MaxSize))
+				}
+				for _, v := range m.run.Vecs {
+					out.Vecs = append(out.Vecs, vector.New(v.Kind(), vector.MaxSize))
+				}
+			}
+			nl := len(m.lb.Vecs)
+			for m.runPos < m.run.Len() && emitted < vector.MaxSize {
+				for i, v := range m.lb.Vecs {
+					out.Vecs[i].AppendFrom(v, m.lpos)
+				}
+				for i, v := range m.run.Vecs {
+					out.Vecs[nl+i].AppendFrom(v, m.runPos)
+				}
+				m.runPos++
+				emitted++
+			}
+			if m.runPos < m.run.Len() {
+				break // output full mid-run; resume this left row next call
+			}
+			m.runPos = 0
+			m.lpos++
+			continue
+		}
+		if err := m.fillRight(); err != nil {
+			return nil, err
+		}
+		if m.rb == nil {
+			break
+		}
 		rk := int64At(m.rb.Col(m.RightKey), m.rpos)
 		switch {
 		case lk < rk:
@@ -291,24 +333,31 @@ func (m *MergeJoin) Next() (*vector.Batch, error) {
 		case lk > rk:
 			m.rpos++
 		default:
-			if out == nil {
-				out = &vector.Batch{}
-				for _, v := range m.lb.Vecs {
-					out.Vecs = append(out.Vecs, vector.New(v.Kind(), vector.MaxSize))
-				}
+			// New run: buffer every right row with this key (the run may
+			// cross right batch boundaries), then loop to replay it.
+			if m.run == nil {
+				m.run = &vector.Batch{}
 				for _, v := range m.rb.Vecs {
-					out.Vecs = append(out.Vecs, vector.New(v.Kind(), vector.MaxSize))
+					m.run.Vecs = append(m.run.Vecs, vector.New(v.Kind(), 0))
+				}
+			} else {
+				for _, v := range m.run.Vecs {
+					v.Reset()
 				}
 			}
-			nl := len(m.lb.Vecs)
-			for i, v := range m.lb.Vecs {
-				out.Vecs[i].AppendFrom(v, m.lpos)
+			m.runKey, m.runValid, m.runPos = rk, true, 0
+			for {
+				for i, v := range m.rb.Vecs {
+					m.run.Vecs[i].AppendFrom(v, m.rpos)
+				}
+				m.rpos++
+				if err := m.fillRight(); err != nil {
+					return nil, err
+				}
+				if m.rb == nil || int64At(m.rb.Col(m.RightKey), m.rpos) != rk {
+					break
+				}
 			}
-			for i, v := range m.rb.Vecs {
-				out.Vecs[nl+i].AppendFrom(v, m.rpos)
-			}
-			emitted++
-			m.lpos++ // right side unique: advance left only
 		}
 	}
 	if out == nil || out.Len() == 0 {

@@ -103,12 +103,22 @@ type Phys interface {
 }
 
 // Explain renders the physical plan tree.
-func Explain(p Phys) string {
+func Explain(p Phys) string { return ExplainEst(p, nil) }
+
+// ExplainEst renders the physical plan tree with the cost model's
+// cardinality estimates (from RewriteEst) appended as ` ~N rows` on the
+// nodes that carry one. The annotations make the chosen join order
+// auditable: a join lists its probe child first, and each child shows the
+// estimate the ordering decision was based on.
+func ExplainEst(p Phys, est map[Phys]int64) string {
 	var sb strings.Builder
 	var rec func(p Phys, depth int)
 	rec = func(p Phys, depth int) {
 		sb.WriteString(strings.Repeat("  ", depth))
 		sb.WriteString(p.label())
+		if rows, ok := est[p]; ok {
+			fmt.Fprintf(&sb, " ~%d rows", rows)
+		}
 		sb.WriteByte('\n')
 		for _, c := range p.children() {
 			rec(c, depth+1)

@@ -67,17 +67,28 @@ type result struct {
 type rewriteCtx struct {
 	cat  Catalog
 	opts Options
+	est  map[Phys]int64 // cardinality estimate per lowered logical node
 }
 
 // Rewrite lowers a logical plan to a distributed physical plan whose root
 // produces a single stream at the master node.
 func Rewrite(n plan.Node, cat Catalog, opts Options) (Phys, error) {
-	ctx := &rewriteCtx{cat: cat, opts: opts}
+	p, _, err := RewriteEst(n, cat, opts)
+	return p, err
+}
+
+// RewriteEst is Rewrite plus the cost model's cardinality estimates, keyed
+// by the physical node each logical node lowered to (exchanges and other
+// glue nodes carry no estimate of their own). ExplainEst renders them.
+func RewriteEst(n plan.Node, cat Catalog, opts Options) (Phys, map[Phys]int64, error) {
+	ctx := &rewriteCtx{cat: cat, opts: opts, est: make(map[Phys]int64)}
 	r, err := ctx.rec(n)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return ctx.gather(r).phys, nil
+	g := ctx.gather(r)
+	ctx.est[g.phys] = g.rows
+	return g.phys, ctx.est, nil
 }
 
 // gather funnels a distributed result into one master stream.
@@ -99,6 +110,14 @@ func (c *rewriteCtx) gather(r result) result {
 }
 
 func (c *rewriteCtx) rec(n plan.Node) (result, error) {
+	r, err := c.recNode(n)
+	if err == nil && c.est != nil && r.phys != nil {
+		c.est[r.phys] = r.rows
+	}
+	return r, err
+}
+
+func (c *rewriteCtx) recNode(n plan.Node) (result, error) {
 	switch n := n.(type) {
 	case *plan.ScanNode:
 		return c.recScan(n)

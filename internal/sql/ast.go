@@ -59,6 +59,7 @@ type SelectStmt struct {
 	From    []FromItem
 	Where   Expr // nil when absent
 	GroupBy []GroupItem
+	Having  Expr // nil when absent
 	OrderBy []OrderItem
 	Limit   int64 // -1 when absent
 }
@@ -69,12 +70,15 @@ type SelectItem struct {
 	Alias string // "" when unaliased
 }
 
-// FromItem is a base table reference; items after the first carry the join
-// condition that connects them to the tables to their left.
+// FromItem is one FROM source: a base table or a derived table
+// (Sub != nil); items after the first carry the join condition that
+// connects them to the sources to their left.
 type FromItem struct {
 	Table string
-	Alias string // defaults to Table
-	On    Expr   // nil for the first item
+	Alias string      // defaults to Table; mandatory for derived tables
+	Sub   *SelectStmt // non-nil for FROM (SELECT ...) alias
+	On    Expr        // nil for the first item
+	Left  bool        // LEFT [OUTER] JOIN
 	Pos   Pos
 }
 
@@ -243,6 +247,61 @@ func (e *InExpr) String() string {
 	return fmt.Sprintf("(%s %s (%s))", e.E, op, strings.Join(parts, ", "))
 }
 
+// ExistsExpr is [NOT] EXISTS (SELECT ...).
+type ExistsExpr struct {
+	Sub *SelectStmt
+	Not bool
+	P   Pos
+}
+
+func (e *ExistsExpr) pos() Pos { return e.P }
+func (e *ExistsExpr) String() string {
+	op := "exists"
+	if e.Not {
+		op = "not exists"
+	}
+	return fmt.Sprintf("(%s (%s))", op, e.Sub)
+}
+
+// SubqueryExpr is a scalar subquery: (SELECT ...) used as a value.
+type SubqueryExpr struct {
+	Sub *SelectStmt
+	P   Pos
+}
+
+func (e *SubqueryExpr) pos() Pos       { return e.P }
+func (e *SubqueryExpr) String() string { return fmt.Sprintf("(%s)", e.Sub) }
+
+// InSubquery is e [NOT] IN (SELECT ...).
+type InSubquery struct {
+	E   Expr
+	Sub *SelectStmt
+	Not bool
+	P   Pos
+}
+
+func (e *InSubquery) pos() Pos { return e.P }
+func (e *InSubquery) String() string {
+	op := "in"
+	if e.Not {
+		op = "not in"
+	}
+	return fmt.Sprintf("(%s %s (%s))", e.E, op, e.Sub)
+}
+
+// SubstrExpr is SUBSTRING(e FROM start FOR length) with 1-based integer
+// literal bounds.
+type SubstrExpr struct {
+	E             Expr
+	Start, Length int64
+	P             Pos
+}
+
+func (e *SubstrExpr) pos() Pos { return e.P }
+func (e *SubstrExpr) String() string {
+	return fmt.Sprintf("substring(%s from %d for %d)", e.E, e.Start, e.Length)
+}
+
 // BetweenExpr is e BETWEEN lo AND hi.
 type BetweenExpr struct {
 	E, Lo, Hi Expr
@@ -343,11 +402,19 @@ func (s *SelectStmt) String() string {
 	sb.WriteString(" from ")
 	for i, f := range s.From {
 		if i > 0 {
-			sb.WriteString(" join ")
+			if f.Left {
+				sb.WriteString(" left join ")
+			} else {
+				sb.WriteString(" join ")
+			}
 		}
-		sb.WriteString(f.Table)
-		if f.Alias != f.Table {
-			sb.WriteString(" " + f.Alias)
+		if f.Sub != nil {
+			sb.WriteString("(" + f.Sub.String() + ") " + f.Alias)
+		} else {
+			sb.WriteString(f.Table)
+			if f.Alias != f.Table {
+				sb.WriteString(" " + f.Alias)
+			}
 		}
 		if f.On != nil {
 			sb.WriteString(" on " + f.On.String())
@@ -364,6 +431,9 @@ func (s *SelectStmt) String() string {
 			}
 			sb.WriteString(g.Name)
 		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" having " + s.Having.String())
 	}
 	if len(s.OrderBy) > 0 {
 		sb.WriteString(" order by ")

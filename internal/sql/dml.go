@@ -274,7 +274,7 @@ func lowerUpdate(s *UpdateStmt, cat plan.Catalog) (*DML, error) {
 		if err := b.bindDMLExpr(it.Expr); err != nil {
 			return nil, err
 		}
-		le, err := b.lowerExpr(schema, it.Expr, false)
+		le, err := lowerExpr(schema, it.Expr, false)
 		if err != nil {
 			return nil, err
 		}
@@ -332,7 +332,7 @@ func (b *binder) lowerWhere(schema vector.Schema, where Expr) (plan.Expr, error)
 	if err := b.bindDMLExpr(where); err != nil {
 		return plan.Expr{}, err
 	}
-	return b.lowerExpr(schema, where, false)
+	return lowerExpr(schema, where, false)
 }
 
 // convertSet wraps a lowered SET expression so its result lands in the

@@ -1,0 +1,111 @@
+package joinorder
+
+import "testing"
+
+func TestGreedyPrefersFilteredDimOverCompositeFK(t *testing.T) {
+	// Q09 shape: lineitem(0), part filtered by LIKE to ~667 of 2000 rows(1),
+	// partsupp(2), supplier(3). The composite partkey+suppkey edge into
+	// partsupp spans 200k combinations on paper but only 8k exist (its base
+	// rows), so that join must cost as a no-op (out = tree rows) while the
+	// filtered part join reduces the tree — part joins first.
+	rels := []Rel{
+		{Rows: 60000, Base: 60000},
+		{Rows: 667, Base: 2000},
+		{Rows: 8000, Base: 8000},
+		{Rows: 100, Base: 100},
+	}
+	edges := []Edge{
+		{A: 0, B: 1, DistA: 2000, DistB: 2000}, // l_partkey = p_partkey
+		{A: 0, B: 2, DistA: 2000, DistB: 2000}, // l_partkey = ps_partkey
+		{A: 0, B: 2, DistA: 100, DistB: 100},   // l_suppkey = ps_suppkey
+		{A: 2, B: 3, DistA: 100, DistB: 100},   // ps_suppkey = s_suppkey
+	}
+	got := Greedy(rels, edges)
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGreedyAvoidsLowDistinctFanOut(t *testing.T) {
+	// lineitem(0), supplier(1), customer(2), nation(3): customer touches
+	// the tree only through the 25-distinct nationkey edge to supplier, so
+	// joining it fans out ~60× — everything else joins first.
+	rels := []Rel{
+		{Rows: 60000, Base: 60000},
+		{Rows: 100, Base: 100},
+		{Rows: 1500, Base: 1500},
+		{Rows: 25, Base: 25},
+	}
+	edges := []Edge{
+		{A: 0, B: 1, DistA: 100, DistB: 100}, // l_suppkey = s_suppkey
+		{A: 2, B: 1, DistA: 25, DistB: 25},   // c_nationkey = s_nationkey
+		{A: 1, B: 3, DistA: 25, DistB: 25},   // s_nationkey = n_nationkey
+	}
+	got := Greedy(rels, edges)
+	want := []int{0, 1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGreedyStartsAtLargestAndReducesEarly(t *testing.T) {
+	// Q05 shape: lineitem(0), supplier(1), customer(2), orders filtered by
+	// a date range to a third of its base(3), nation(4). The filtered
+	// orders join is the only one that shrinks the tree, so it goes first;
+	// the remaining ties resolve toward the written FROM order.
+	rels := []Rel{
+		{Rows: 60000, Base: 60000},
+		{Rows: 100, Base: 100},
+		{Rows: 1500, Base: 1500},
+		{Rows: 5000, Base: 15000},
+		{Rows: 25, Base: 25},
+	}
+	edges := []Edge{
+		{A: 0, B: 1, DistA: 100, DistB: 100},     // l_suppkey = s_suppkey
+		{A: 0, B: 3, DistA: 60000, DistB: 15000}, // l_orderkey = o_orderkey
+		{A: 2, B: 3, DistA: 1500, DistB: 1500},   // c_custkey = o_custkey
+		{A: 2, B: 1, DistA: 25, DistB: 25},       // c_nationkey = s_nationkey
+		{A: 1, B: 4, DistA: 25, DistB: 25},       // s_nationkey = n_nationkey
+	}
+	got := Greedy(rels, edges)
+	want := []int{0, 3, 1, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGreedyTieBreaksByIndex(t *testing.T) {
+	rels := []Rel{{Rows: 10}, {Rows: 5}, {Rows: 5}}
+	edges := []Edge{{A: 0, B: 1}, {A: 0, B: 2}}
+	got := Greedy(rels, edges)
+	if got[1] != 1 || got[2] != 2 {
+		t.Fatalf("order = %v, want [0 1 2]", got)
+	}
+}
+
+func TestGreedyDisconnected(t *testing.T) {
+	rels := []Rel{{Rows: 10}, {Rows: 5}, {Rows: 1}}
+	edges := []Edge{{A: 0, B: 1}} // rel 2 has no join condition
+	if got := Greedy(rels, edges); got != nil {
+		t.Fatalf("expected nil for a disconnected graph, got %v", got)
+	}
+}
+
+func TestGreedySingleAndEmpty(t *testing.T) {
+	if got := Greedy([]Rel{{Rows: 7}}, nil); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single rel: %v", got)
+	}
+	if got := Greedy(nil, nil); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+}

@@ -10,18 +10,24 @@
 // Supported grammar (keywords are case-insensitive):
 //
 //	SELECT item [, item...]
-//	FROM table [alias] [JOIN table [alias] ON cond [AND cond...]]...
-//	[WHERE pred] [GROUP BY col|alias, ...]
+//	FROM source [alias] [[LEFT [OUTER]] JOIN source [alias] ON cond [AND cond...]]...
+//	[WHERE pred] [GROUP BY col|alias, ...] [HAVING pred]
 //	[ORDER BY expr [ASC|DESC], ...] [LIMIT n]
+//
+//	source := table | ( SELECT ... )        -- derived tables need an alias
 //
 //	INSERT INTO table [(col, ...)] VALUES (lit, ...) [, (lit, ...)]...
 //	UPDATE table SET col = expr [, col = expr]... [WHERE pred]
 //	DELETE FROM table [WHERE pred]
 //
 // with comparison/AND/OR/NOT, + - * /, LIKE, IN, BETWEEN, CASE WHEN, date
-// literals (DATE 'YYYY-MM-DD' [+ INTERVAL 'n' MONTH]), YEAR(), and the
-// aggregates sum/min/max/avg/count(*)/count(distinct). Statements separated
-// by ';' form scripts (SplitStatements).
+// literals (DATE 'YYYY-MM-DD' [+ INTERVAL 'n' MONTH]), YEAR(),
+// SUBSTRING(e FROM i FOR n), and the aggregates
+// sum/min/max/avg/count(*)/count(distinct). Predicates additionally admit
+// subqueries — [NOT] EXISTS (SELECT ...), e [NOT] IN (SELECT ...), and
+// scalar (SELECT ...) — which the multi-phase planner (lower.go) decorrelates
+// into semi/anti/outer/single-row hash joins. Statements separated by ';'
+// form scripts (SplitStatements).
 package sql
 
 import (
@@ -76,7 +82,8 @@ var keywords = map[string]bool{
 	"then": true, "else": true, "end": true, "date": true, "interval": true,
 	"month": true, "distinct": true, "inner": true, "explain": true,
 	"insert": true, "into": true, "values": true, "update": true,
-	"set": true, "delete": true,
+	"set": true, "delete": true, "exists": true, "having": true,
+	"substring": true, "for": true, "left": true, "outer": true,
 }
 
 // SplitStatements cuts a script into its ';'-separated statements,

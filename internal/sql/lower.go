@@ -2,7 +2,7 @@ package sql
 
 import (
 	"fmt"
-	"math"
+	"strings"
 
 	"vectorh/internal/plan"
 	"vectorh/internal/vector"
@@ -20,36 +20,21 @@ func Compile(src string, cat plan.Catalog) (plan.Node, error) {
 	return Lower(stmt, cat)
 }
 
-// Lower binds a parsed statement against the catalog and emits a plan.
-//
-// Lowering shape: per-table scans project only referenced columns;
-// single-table WHERE conjuncts are pushed below the joins (picking up MinMax
-// skip hints for date-range predicates); ON conjuncts of the form
-// left.col = right.col become hash-join keys and the rest residual join
-// predicates; aggregation inserts a pre-projection when GROUP BY targets a
-// select-list alias; and a final projection restores select-list order when
-// it differs from the natural operator output.
+// Lower plans a parsed statement in phases: bind the FROM clause and every
+// reference (bind.go), decorrelate subquery predicates into hidden join
+// sources (decorrelate.go), order the join tree by estimated cardinality
+// (stats.go), and emit plan.Node operators (this file).
 func Lower(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error) {
-	b := &binder{}
-	for _, f := range stmt.From {
-		schema, err := cat.TableSchema(f.Table)
-		if err != nil {
-			return nil, errf(f.Pos, "unknown table %q", f.Table)
-		}
-		for _, t := range b.tables {
-			if t.alias == f.Alias {
-				return nil, errf(f.Pos, "duplicate table alias %q", f.Alias)
-			}
-		}
-		b.tables = append(b.tables, &boundTable{
-			table: f.Table, alias: f.Alias, schema: schema,
-			used: make(map[string]bool),
-		})
+	b, err := newBlock(stmt, cat, nil)
+	if err != nil {
+		return nil, err
 	}
-	return b.lowerStmt(stmt, cat)
+	return b.lower()
 }
 
 // boundTable is one FROM entry with its resolved schema and column usage.
+// The binder is the single-table resolution layer the DML statements
+// (INSERT/UPDATE/DELETE) still use; SELECT planning replaced it with block.
 type boundTable struct {
 	table, alias string
 	schema       vector.Schema
@@ -100,19 +85,6 @@ func (b *binder) bindRefs(e Expr, allowAggs bool) error {
 		if err != nil {
 			return err
 		}
-		// Lowered expressions bind columns by bare name against the join
-		// output, where the first occurrence wins. A qualified reference to
-		// a later duplicate would silently read the wrong table's column —
-		// reject it instead (join keys are exempt: they bind against each
-		// side's own schema).
-		if x.Table != "" {
-			for j := 0; j < ti; j++ {
-				if b.tables[j].schema.Index(x.Name) >= 0 {
-					return errf(x.P, "%s.%s is shadowed by %s.%s in the join output; rename one side with a select alias",
-						x.Table, x.Name, b.tables[j].alias, x.Name)
-				}
-			}
-		}
 		b.tables[ti].used[f.Name] = true
 	case *BinExpr:
 		if err := b.bindRefs(x.L, allowAggs); err != nil {
@@ -139,6 +111,8 @@ func (b *binder) bindRefs(e Expr, allowAggs bool) error {
 		return b.bindRefs(x.E, allowAggs)
 	case *InExpr:
 		return b.bindRefs(x.E, allowAggs)
+	case *SubstrExpr:
+		return b.bindRefs(x.E, allowAggs)
 	case *BetweenExpr:
 		if err := b.bindRefs(x.E, allowAggs); err != nil {
 			return err
@@ -159,70 +133,8 @@ func (b *binder) bindRefs(e Expr, allowAggs bool) error {
 	return nil
 }
 
-// bindOn resolves an ON condition. Conjuncts shaped like prospective join
-// keys (col = col across two tables) only mark usage — they bind against
-// each join side's own schema, so the shadowing check of bindRefs does not
-// apply to them.
-func (b *binder) bindOn(on Expr) error {
-	for _, c := range splitAnd(on) {
-		if be, ok := c.(*BinExpr); ok && be.Op == "=" {
-			lc, lok := be.L.(*ColRef)
-			rc, rok := be.R.(*ColRef)
-			if lok && rok {
-				lt, lf, lerr := b.resolve(lc)
-				rt, rf, rerr := b.resolve(rc)
-				if lerr == nil && rerr == nil && lt != rt {
-					b.tables[lt].used[lf.Name] = true
-					b.tables[rt].used[rf.Name] = true
-					continue
-				}
-			}
-		}
-		if err := b.bindRefs(c, false); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// tablesOf returns the set of FROM indices an expression references.
-func (b *binder) tablesOf(e Expr) map[int]bool {
-	out := make(map[int]bool)
-	var walk func(e Expr)
-	walk = func(e Expr) {
-		switch x := e.(type) {
-		case *ColRef:
-			if ti, _, err := b.resolve(x); err == nil {
-				out[ti] = true
-			}
-		case *BinExpr:
-			walk(x.L)
-			walk(x.R)
-		case *NotExpr:
-			walk(x.E)
-		case *FuncCall:
-			if x.Arg != nil {
-				walk(x.Arg)
-			}
-		case *LikeExpr:
-			walk(x.E)
-		case *InExpr:
-			walk(x.E)
-		case *BetweenExpr:
-			walk(x.E)
-			walk(x.Lo)
-			walk(x.Hi)
-		case *CaseExpr:
-			walk(x.When)
-			walk(x.Then)
-			walk(x.Else)
-		}
-	}
-	walk(e)
-	return out
-}
-
-// collectAggs returns the aggregate calls in e, in source order.
+// collectAggs returns the aggregate calls in e, in source order. Subquery
+// expressions are opaque: their aggregates belong to their own blocks.
 func collectAggs(e Expr) []*FuncCall {
 	var out []*FuncCall
 	var walk func(e Expr)
@@ -245,6 +157,8 @@ func collectAggs(e Expr) []*FuncCall {
 			walk(x.E)
 		case *InExpr:
 			walk(x.E)
+		case *SubstrExpr:
+			walk(x.E)
 		case *BetweenExpr:
 			walk(x.E)
 			walk(x.Lo)
@@ -253,6 +167,8 @@ func collectAggs(e Expr) []*FuncCall {
 			walk(x.When)
 			walk(x.Then)
 			walk(x.Else)
+		case *InSubquery:
+			walk(x.E)
 		}
 	}
 	walk(e)
@@ -267,33 +183,49 @@ func splitAnd(e Expr) []Expr {
 	return []Expr{e}
 }
 
-func (b *binder) lowerStmt(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error) {
-	// ---- strict name resolution + column-usage collection ----
+// onConj is one pooled ON conjunct, tagged with its origin so LEFT JOIN
+// conditions stay with their own join (inner-join conjuncts float freely —
+// their placement is semantically unconstrained, which is what lets the
+// greedy ordering rearrange the tree).
+type onConj struct {
+	e    Expr
+	src  *source // FROM entry the conjunct was written on
+	left bool
+}
+
+// lower plans the block: bind the remaining clauses, decorrelate subqueries,
+// classify WHERE conjuncts for pushdown, order and build the join tree,
+// attach the decorrelated sources, then aggregate and project.
+func (b *block) lower() (plan.Node, error) {
+	stmt, cat := b.stmt, b.cat
+
+	// ---- bind: resolve every reference, record column usage ----
 	if stmt.Star {
 		if len(stmt.GroupBy) > 0 {
 			return nil, errf(stmt.From[0].Pos, "SELECT * cannot be combined with GROUP BY")
 		}
-		for _, t := range b.tables {
-			for _, f := range t.schema {
-				t.used[f.Name] = true
+		for _, s := range b.srcs {
+			for _, f := range s.schema {
+				s.used[f.Name] = true
+				s.valUsed[f.Name] = true
 			}
 		}
 	}
 	for _, it := range stmt.Items {
-		if err := b.bindRefs(it.Expr, true); err != nil {
+		if err := b.bindUse(it.Expr, true); err != nil {
 			return nil, err
 		}
 	}
 	for i, f := range stmt.From {
-		if i == 0 {
+		if i == 0 || f.On == nil {
 			continue
 		}
-		if err := b.bindOn(f.On); err != nil {
+		if err := b.bindOnUse(f.On); err != nil {
 			return nil, err
 		}
 	}
 	if stmt.Where != nil {
-		if err := b.bindRefs(stmt.Where, false); err != nil {
+		if err := b.bindUse(stmt.Where, false); err != nil {
 			return nil, err
 		}
 	}
@@ -308,8 +240,9 @@ func (b *binder) lowerStmt(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error
 	var groups []groupCol
 	for _, g := range stmt.GroupBy {
 		ref := &ColRef{Name: g.Name, P: g.Pos}
-		if ti, f, err := b.resolve(ref); err == nil {
-			b.tables[ti].used[f.Name] = true
+		if s, f, err := b.resolve(ref); err == nil {
+			s.used[f.Name] = true
+			s.valUsed[f.Name] = true
 			groups = append(groups, groupCol{name: g.Name, fromCol: true})
 		} else if _, ok := aliases[g.Name]; ok {
 			groups = append(groups, groupCol{name: g.Name, fromCol: false})
@@ -317,98 +250,189 @@ func (b *binder) lowerStmt(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error
 			return nil, errf(g.Pos, "GROUP BY %q is neither a column nor a select alias", g.Name)
 		}
 	}
+	if stmt.Having != nil {
+		if err := b.bindUse(stmt.Having, true); err != nil {
+			return nil, err
+		}
+	}
 
-	// ---- WHERE classification: per-table pushdown vs residual ----
-	pushed := make([][]Expr, len(b.tables))
-	var residual []Expr
+	// ---- decorrelate: subquery predicates become hidden join sources ----
+	var kept []Expr
 	if stmt.Where != nil {
 		for _, c := range splitAnd(stmt.Where) {
-			ts := b.tablesOf(c)
-			if len(ts) == 1 {
-				for ti := range ts {
-					pushed[ti] = append(pushed[ti], c)
+			switch x := c.(type) {
+			case *ExistsExpr:
+				if err := b.addExists(x); err != nil {
+					return nil, err
 				}
-			} else {
-				residual = append(residual, c)
+			case *InSubquery:
+				if err := b.addInSub(x); err != nil {
+					return nil, err
+				}
+			default:
+				e, err := b.extractScalars(c, false)
+				if err != nil {
+					return nil, err
+				}
+				kept = append(kept, e)
 			}
 		}
 	}
-
-	// ---- per-table scans with pruned columns and pushed filters ----
-	srcs := make([]plan.Node, len(b.tables))
-	schemas := make([]vector.Schema, len(b.tables))
-	for i, t := range b.tables {
-		var cols []string
-		var ps vector.Schema
-		for _, f := range t.schema {
-			if t.used[f.Name] {
-				cols = append(cols, f.Name)
-				ps = append(ps, f)
+	var having []Expr
+	if stmt.Having != nil {
+		for _, c := range splitAnd(stmt.Having) {
+			switch c.(type) {
+			case *ExistsExpr, *InSubquery:
+				return nil, errf(c.pos(), "EXISTS and IN subqueries are not supported in HAVING")
 			}
-		}
-		if len(cols) == 0 { // e.g. SELECT count(*): scan one narrow column
-			cols = []string{t.schema[0].Name}
-			ps = vector.Schema{t.schema[0]}
-		}
-		var node plan.Node = plan.Scan(t.table, cols...)
-		if len(pushed[i]) > 0 {
-			pred, err := b.lowerConj(ps, pushed[i])
+			e, err := b.extractScalars(c, true)
 			if err != nil {
 				return nil, err
 			}
-			f := plan.Filter(node, pred)
-			if set, residual := deriveSkipSet(ps, pushed[i]); set != nil {
-				var res *plan.Expr
-				if len(residual) > 0 {
-					re, err := b.lowerConj(ps, residual)
-					if err != nil {
-						return nil, err
-					}
-					res = &re
-				}
-				f.Push(set, res)
-			}
-			node = f
+			having = append(having, e)
 		}
-		srcs[i] = node
-		schemas[i] = ps
 	}
 
-	// ---- join chain: equality conjuncts become keys, rest residual ----
-	cur := srcs[0]
-	curSchema := schemas[0]
-	inLeft := map[int]bool{0: true}
-	for i := 1; i < len(b.tables); i++ {
+	// ---- classify WHERE conjuncts: single-source pushdown vs residual ----
+	pushed := make(map[*source][]Expr)
+	var residual []Expr
+	for _, c := range kept {
+		ss := b.srcsOf(c)
+		if len(ss) == 1 {
+			var only *source
+			for s := range ss {
+				only = s
+			}
+			// Rows of an outer-joined source cannot be filtered below the
+			// join, and hidden-source values join in above the tree.
+			if !only.hidden && only.kind != srcLeftOuter {
+				pushed[only] = append(pushed[only], c)
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+
+	// ---- order the join tree, fix physical output names ----
+	order := b.orderSources(pushed)
+	b.assignPhys(order)
+
+	// ---- per-source subtrees: scan/derived + pushed filters + renames ----
+	nodes := make(map[*source]plan.Node, len(order))
+	schemas := make(map[*source]vector.Schema, len(order))
+	for _, i := range order {
+		s := b.srcs[i]
+		node, ps, err := b.sourceNode(s, pushed[s])
+		if err != nil {
+			return nil, err
+		}
+		nodes[s], schemas[s] = node, ps
+	}
+
+	// ---- join chain over the pooled ON conjuncts ----
+	var pool []onConj
+	for i, f := range stmt.From {
+		if i == 0 || f.On == nil {
+			continue
+		}
+		for _, c := range splitAnd(f.On) {
+			pool = append(pool, onConj{e: c, src: b.srcs[i], left: f.Left})
+		}
+	}
+	first := b.srcs[order[0]]
+	cur, curSchema := nodes[first], schemas[first]
+	inTree := map[*source]bool{first: true}
+	consumed := make([]bool, len(pool))
+	for _, i := range order[1:] {
+		s := b.srcs[i]
+		rightNode, rightPS := nodes[s], schemas[s]
 		var lKeys, rKeys []string
-		var rest []Expr
-		for _, c := range splitAnd(stmt.From[i].On) {
-			if lk, rk, ok := b.joinKey(c, inLeft, i); ok {
+		var rest, rightOnly []Expr
+		for pi := range pool {
+			pc := pool[pi]
+			if consumed[pi] {
+				continue
+			}
+			if pc.left && pc.src != s {
+				continue
+			}
+			avail := true
+			refsRight := false
+			refsTree := false
+			for rs := range b.srcsOf(pc.e) {
+				switch {
+				case rs == s:
+					refsRight = true
+				case inTree[rs]:
+					refsTree = true
+				default:
+					avail = false
+				}
+			}
+			if !avail {
+				continue
+			}
+			consumed[pi] = true
+			if lk, rk, ok := b.poolKey(pc.e, inTree, s); ok {
 				lKeys = append(lKeys, lk)
 				rKeys = append(rKeys, rk)
-			} else {
-				rest = append(rest, c)
+				continue
 			}
+			if s.kind == srcLeftOuter {
+				if refsRight && !refsTree {
+					rightOnly = append(rightOnly, pc.e)
+					continue
+				}
+				return nil, errf(pc.e.pos(),
+					"LEFT JOIN condition %s must be a key equality or a filter on the joined table", pc.e)
+			}
+			rest = append(rest, pc.e)
 		}
 		if len(lKeys) == 0 {
-			return nil, errf(stmt.From[i].Pos,
-				"join with %q needs at least one equality condition between the joined tables", b.tables[i].alias)
+			return nil, errf(s.pos,
+				"join with %q needs at least one equality condition between the joined tables", s.alias)
 		}
-		join := plan.Join(plan.InnerJoin, cur, srcs[i], lKeys, rKeys)
-		curSchema = append(curSchema.Clone(), schemas[i]...)
-		if len(rest) > 0 {
-			pred, err := b.lowerConj(curSchema, rest)
-			if err != nil {
-				return nil, err
+		if s.kind == srcLeftOuter {
+			if len(rightOnly) > 0 {
+				pred, err := b.lowerRewritten(rightPS, rightOnly)
+				if err != nil {
+					return nil, err
+				}
+				rightNode = plan.Filter(rightNode, pred)
 			}
-			join.On(pred)
+			cur = plan.Join(plan.LeftOuterJoin, cur, rightNode, lKeys, rKeys)
+			curSchema = append(curSchema.Clone(), rightPS...)
+			curSchema = append(curSchema, vector.Field{Name: plan.MatchedCol, Type: vector.TBool})
+		} else {
+			join := plan.Join(plan.InnerJoin, cur, rightNode, lKeys, rKeys)
+			curSchema = append(curSchema.Clone(), rightPS...)
+			if len(rest) > 0 {
+				pred, err := b.lowerRewritten(curSchema, rest)
+				if err != nil {
+					return nil, err
+				}
+				join.On(pred)
+			}
+			cur = join
 		}
-		cur = join
-		inLeft[i] = true
+		inTree[s] = true
+	}
+
+	// ---- attach the decorrelated hidden sources ----
+	for _, s := range b.srcs {
+		if !s.hidden {
+			continue
+		}
+		var err error
+		cur, curSchema, err = b.attachHidden(cur, curSchema, s)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// ---- residual WHERE above the joins ----
 	if len(residual) > 0 {
-		pred, err := b.lowerConj(curSchema, residual)
+		pred, err := b.lowerRewritten(curSchema, residual)
 		if err != nil {
 			return nil, err
 		}
@@ -416,9 +440,14 @@ func (b *binder) lowerStmt(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error
 	}
 
 	// ---- aggregation ----
-	var hasAgg bool
+	hasAgg := false
 	for _, it := range stmt.Items {
 		if len(collectAggs(it.Expr)) > 0 {
+			hasAgg = true
+		}
+	}
+	for _, h := range having {
+		if len(collectAggs(h)) > 0 {
 			hasAgg = true
 		}
 	}
@@ -426,18 +455,21 @@ func (b *binder) lowerStmt(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error
 	var aggByText map[string]string
 	if hasAgg || len(groups) > 0 {
 		var err error
-		if node, aggByText, err = b.lowerAggregate(stmt, cat, cur, curSchema, groups, aliases); err != nil {
+		if node, aggByText, err = b.lowerAggregate(cur, curSchema, groups, aliases, having); err != nil {
 			return nil, err
 		}
+	} else if len(having) > 0 {
+		return nil, errf(stmt.Having.pos(), "HAVING requires GROUP BY or an aggregate")
 	} else if !stmt.Star {
 		items := make([]postItem, len(stmt.Items))
 		for i, it := range stmt.Items {
-			e, err := b.lowerExpr(curSchema, it.Expr, true)
+			re := b.rewriteRefs(it.Expr)
+			e, err := lowerExpr(curSchema, re, true)
 			if err != nil {
 				return nil, err
 			}
 			items[i] = postItem{name: outName(it), ex: e}
-			if c, ok := it.Expr.(*ColRef); ok && it.Alias == "" {
+			if c, ok := re.(*ColRef); ok && it.Alias == "" && c.Name == items[i].name {
 				items[i].bare = c.Name
 			}
 		}
@@ -476,7 +508,7 @@ func (b *binder) lowerStmt(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error
 				return nil, errf(c.P, "ORDER BY %q is ambiguous in the output columns", c.Name)
 			}
 		}
-		le, err := b.lowerExpr(outSchema, e, true)
+		le, err := lowerExpr(outSchema, e, true)
 		if err != nil {
 			return nil, err
 		}
@@ -493,9 +525,76 @@ func (b *binder) lowerStmt(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error
 	return node, nil
 }
 
-// joinKey recognizes an ON conjunct of the form left.col = right.col (either
-// orientation) connecting the accumulated left side with table ri.
-func (b *binder) joinKey(c Expr, inLeft map[int]bool, ri int) (lk, rk string, ok bool) {
+// sourceNode builds one source's subtree: a column-pruned scan (with pushed
+// filters and scan-evaluable skip predicates) or the derived/hidden subplan
+// (with a plain filter), topped by a rename projection when duplicate output
+// names forced physical renames.
+func (b *block) sourceNode(s *source, pushed []Expr) (plan.Node, vector.Schema, error) {
+	var node plan.Node
+	var ps vector.Schema
+	if s.table != "" {
+		var cols []string
+		for _, f := range s.schema {
+			if s.used[f.Name] {
+				cols = append(cols, f.Name)
+				ps = append(ps, f)
+			}
+		}
+		if len(cols) == 0 { // e.g. SELECT count(*): scan one narrow column
+			cols = []string{s.schema[0].Name}
+			ps = vector.Schema{s.schema[0]}
+		}
+		node = plan.Scan(s.table, cols...)
+		if len(pushed) > 0 {
+			pred, err := lowerConj(ps, pushed)
+			if err != nil {
+				return nil, nil, err
+			}
+			f := plan.Filter(node, pred)
+			if set, rest := deriveSkipSet(ps, pushed); set != nil {
+				var res *plan.Expr
+				if len(rest) > 0 {
+					re, err := lowerConj(ps, rest)
+					if err != nil {
+						return nil, nil, err
+					}
+					res = &re
+				}
+				f.Push(set, res)
+			}
+			node = f
+		}
+	} else {
+		// Derived table: the subplan computes every output column; pushed
+		// conjuncts become a plain filter (no scan to push into from here —
+		// the inner block already pushed its own WHERE).
+		node, ps = s.sub, s.schema
+		if len(pushed) > 0 {
+			pred, err := lowerConj(ps, pushed)
+			if err != nil {
+				return nil, nil, err
+			}
+			node = plan.Filter(node, pred)
+		}
+	}
+	if len(s.phys) > 0 {
+		exprs := make([]plan.NamedExpr, len(ps))
+		renamed := make(vector.Schema, len(ps))
+		for i, f := range ps {
+			exprs[i] = plan.As(s.outCol(f.Name), plan.Col(f.Name))
+			renamed[i] = vector.Field{Name: s.outCol(f.Name), Type: f.Type}
+		}
+		node = plan.Project(node, exprs...)
+		ps = renamed
+	}
+	return node, ps, nil
+}
+
+// poolKey recognizes an ON conjunct of the form tree.col = next.col (either
+// orientation) with hash-compatible vector kinds, returning the physical key
+// names. Kind-mismatched equalities (e.g. decimal vs float) stay residual
+// predicates, where the comparison runs with the usual promotions.
+func (b *block) poolKey(c Expr, inTree map[*source]bool, next *source) (lk, rk string, ok bool) {
 	be, isBin := c.(*BinExpr)
 	if !isBin || be.Op != "=" {
 		return "", "", false
@@ -505,18 +604,73 @@ func (b *binder) joinKey(c Expr, inLeft map[int]bool, ri int) (lk, rk string, ok
 	if !lok || !rok {
 		return "", "", false
 	}
-	lt, lf, lerr := b.resolve(lc)
-	rt, rf, rerr := b.resolve(rc)
-	if lerr != nil || rerr != nil {
+	ls, lf, lerr := b.resolve(lc)
+	rs, rf, rerr := b.resolve(rc)
+	if lerr != nil || rerr != nil || lf.Type.Kind != rf.Type.Kind {
 		return "", "", false
 	}
 	switch {
-	case inLeft[lt] && rt == ri:
-		return lf.Name, rf.Name, true
-	case inLeft[rt] && lt == ri:
-		return rf.Name, lf.Name, true
+	case inTree[ls] && rs == next:
+		return ls.outCol(lf.Name), rs.outCol(rf.Name), true
+	case inTree[rs] && ls == next:
+		return rs.outCol(rf.Name), ls.outCol(lf.Name), true
 	}
 	return "", "", false
+}
+
+// attachHidden joins one decorrelated subquery source into the tree: semi and
+// anti joins keep the left schema; single-row scalar joins append the
+// subquery's columns (and, for uncorrelated scalars, a synthesized constant
+// key on the left).
+func (b *block) attachHidden(cur plan.Node, curSchema vector.Schema, s *source) (plan.Node, vector.Schema, error) {
+	if s.kind == srcSingle && len(s.leftKeys) == 0 {
+		key := s.rightKeys[0]
+		pass := make([]plan.NamedExpr, 0, len(curSchema)+1)
+		for _, f := range curSchema {
+			pass = append(pass, plan.As(f.Name, plan.Col(f.Name)))
+		}
+		pass = append(pass, plan.As(key, plan.Int(0)))
+		left := plan.Project(cur, pass...)
+		join := plan.Join(plan.InnerJoin, left, s.sub, []string{key}, []string{key})
+		out := append(curSchema.Clone(), vector.Field{Name: key, Type: vector.TInt64})
+		out = append(out, s.schema...)
+		return join, out, nil
+	}
+
+	lKeys := make([]string, len(s.leftKeys))
+	for i, c := range s.leftKeys {
+		ls, lf, err := b.resolve(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		rf, ferr := s.schema.Field(s.rightKeys[i])
+		if ferr == nil && lf.Type.Kind != rf.Type.Kind {
+			return nil, nil, errf(c.P, "subquery column (%s) and outer column %s (%s) have incompatible types",
+				rf.Type, c.Name, lf.Type)
+		}
+		lKeys[i] = ls.outCol(lf.Name)
+	}
+	switch s.kind {
+	case srcSemi, srcAnti:
+		kind := plan.SemiJoin
+		if s.kind == srcAnti {
+			kind = plan.AntiJoin
+		}
+		return plan.Join(kind, cur, s.sub, lKeys, s.rightKeys), curSchema, nil
+	default: // srcSingle, correlated
+		join := plan.Join(plan.InnerJoin, cur, s.sub, lKeys, s.rightKeys)
+		return join, append(curSchema.Clone(), s.schema...), nil
+	}
+}
+
+// lowerRewritten rewrites each conjunct's references to physical names and
+// lowers the conjunction over the given schema.
+func (b *block) lowerRewritten(s vector.Schema, conj []Expr) (plan.Expr, error) {
+	rw := make([]Expr, len(conj))
+	for i, c := range conj {
+		rw[i] = b.rewriteRefs(c)
+	}
+	return lowerConj(s, rw)
 }
 
 // postItem is one output projection entry.
@@ -559,25 +713,39 @@ func outName(it SelectItem) string {
 }
 
 // groupCol is one GROUP BY target: a source column or a select-list alias.
+// phys is its column name in the Aggregate input/output, which differs from
+// name only when a duplicate forced a physical rename.
 type groupCol struct {
 	name    string
+	phys    string
 	fromCol bool
 }
 
-// lowerAggregate builds [pre-projection →] Aggregate [→ post-projection].
+// lowerAggregate builds [pre-projection →] Aggregate [→ scalar-subquery
+// joins] [→ HAVING filter] [→ post-projection].
 // A pre-projection is emitted only when GROUP BY targets computed
 // select-list aliases (the shape hand-built queries like TPC-H Q7–Q9 use);
 // otherwise aggregation runs directly over the joined/filtered source with
-// aggregate arguments as inline expressions. A post-projection restores
-// select-list order when it differs from the aggregate's natural
-// group-columns-then-aggregates output.
-func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Node,
-	curSchema vector.Schema, groups []groupCol, aliases map[string]SelectItem) (plan.Node, map[string]string, error) {
+// aggregate arguments as inline expressions. HAVING aggregates missing from
+// the select list are computed under hidden names and dropped by the post-
+// projection; counts over an outer-joined table's columns count matched rows
+// via the join's __matched flag, the engine's NULL-free left outer encoding.
+func (b *block) lowerAggregate(cur plan.Node, curSchema vector.Schema, groups []groupCol,
+	aliases map[string]SelectItem, having []Expr) (plan.Node, map[string]string, error) {
+	stmt, cat := b.stmt, b.cat
 	needPre := false
 	groupSet := make(map[string]bool, len(groups))
-	for _, g := range groups {
-		if !g.fromCol {
+	for i := range groups {
+		g := &groups[i]
+		if g.fromCol {
+			s, f, err := b.resolve(&ColRef{Name: g.name})
+			if err != nil {
+				return nil, nil, err
+			}
+			g.phys = s.outCol(f.Name)
+		} else {
 			needPre = true
+			g.phys = g.name
 		}
 		groupSet[g.name] = true
 	}
@@ -591,8 +759,15 @@ func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Nod
 			return nil, nil, err
 		}
 	}
+	for _, h := range having {
+		if err := checkGrouped(h, groupSet); err != nil {
+			return nil, nil, err
+		}
+	}
 
-	// Name every aggregate call, in select-list order.
+	// Name every aggregate call: select-list order first, then HAVING-only
+	// aggregates under their canonical text (hidden — dropped by the post-
+	// projection, which never references them).
 	type aggInfo struct {
 		call *FuncCall
 		name string
@@ -603,6 +778,7 @@ func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Nod
 	taken := make(map[string]bool)
 	for _, g := range groups {
 		taken[g.name] = true
+		taken[g.phys] = true
 	}
 	for _, it := range stmt.Items {
 		for _, c := range collectAggs(it.Expr) {
@@ -619,10 +795,26 @@ func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Nod
 			aggByText[c.String()] = name
 		}
 	}
+	for _, h := range having {
+		for _, c := range collectAggs(h) {
+			if n, ok := aggByText[c.String()]; ok {
+				aggName[c] = n
+				continue
+			}
+			name := c.String()
+			for taken[name] {
+				name += "_"
+			}
+			taken[name] = true
+			aggs = append(aggs, aggInfo{c, name})
+			aggName[c] = name
+			aggByText[c.String()] = name
+		}
+	}
 
 	groupNames := make([]string, len(groups))
 	for i, g := range groups {
-		groupNames[i] = g.name
+		groupNames[i] = g.phys
 	}
 
 	child := cur
@@ -631,10 +823,10 @@ func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Nod
 		var pre []plan.NamedExpr
 		for _, g := range groups {
 			if g.fromCol {
-				pre = append(pre, plan.As(g.name, plan.Col(g.name)))
+				pre = append(pre, plan.As(g.phys, plan.Col(g.phys)))
 				continue
 			}
-			e, err := b.lowerExpr(curSchema, aliases[g.name].Expr, true)
+			e, err := lowerExpr(curSchema, b.rewriteRefs(aliases[g.name].Expr), true)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -645,16 +837,12 @@ func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Nod
 				items = append(items, plan.AStar(a.name))
 				continue
 			}
-			fn, err := aggFuncName(a.call)
+			fn, arg, err := b.aggArg(a.call, curSchema)
 			if err != nil {
 				return nil, nil, err
 			}
 			argName := fmt.Sprintf("__arg%d", i)
-			e, err := b.lowerExpr(curSchema, a.call.Arg, false)
-			if err != nil {
-				return nil, nil, err
-			}
-			pre = append(pre, plan.As(argName, e))
+			pre = append(pre, plan.As(argName, arg))
 			items = append(items, plan.A(a.name, fn, plan.Col(argName)))
 		}
 		child = plan.Project(cur, pre...)
@@ -664,21 +852,48 @@ func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Nod
 				items = append(items, plan.AStar(a.name))
 				continue
 			}
-			fn, err := aggFuncName(a.call)
+			fn, arg, err := b.aggArg(a.call, curSchema)
 			if err != nil {
 				return nil, nil, err
 			}
-			e, err := b.lowerExpr(curSchema, a.call.Arg, false)
-			if err != nil {
-				return nil, nil, err
-			}
-			items = append(items, plan.A(a.name, fn, e))
+			items = append(items, plan.A(a.name, fn, arg))
 		}
 	}
 	aggNode := plan.Aggregate(child, groupNames, items...)
 	aggSchema, err := aggNode.Schema(cat)
 	if err != nil {
 		return nil, nil, err
+	}
+
+	// Uncorrelated scalar subqueries referenced from HAVING join in above
+	// the aggregation on a synthesized constant key.
+	node := plan.Node(aggNode)
+	schema := aggSchema
+	for _, s := range b.postSubs {
+		key := s.rightKeys[0]
+		pass := make([]plan.NamedExpr, 0, len(schema)+1)
+		for _, f := range schema {
+			pass = append(pass, plan.As(f.Name, plan.Col(f.Name)))
+		}
+		pass = append(pass, plan.As(key, plan.Int(0)))
+		node = plan.Join(plan.InnerJoin, plan.Project(node, pass...), s.sub,
+			[]string{key}, []string{key})
+		schema = append(schema.Clone(), vector.Field{Name: key, Type: vector.TInt64})
+		schema = append(schema, s.schema...)
+	}
+
+	// HAVING: aggregate calls refer to their output columns, group columns
+	// to their physical names.
+	if len(having) > 0 {
+		conj := make([]Expr, len(having))
+		for i, h := range having {
+			conj[i] = mapGroupPhys(rewriteAggs(h, aggName), groups)
+		}
+		pred, err := lowerConj(schema, conj)
+		if err != nil {
+			return nil, nil, err
+		}
+		node = plan.Filter(node, pred)
 	}
 
 	// Post-projection in select-list order.
@@ -688,7 +903,16 @@ func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Nod
 		switch x := it.Expr.(type) {
 		case *ColRef:
 			if groupSet[x.Name] && it.Alias == "" {
-				post[i] = postItem{name: x.Name, ex: plan.Col(x.Name), bare: x.Name}
+				ph := x.Name
+				for _, g := range groups {
+					if g.name == x.Name {
+						ph = g.phys
+					}
+				}
+				post[i] = postItem{name: x.Name, ex: plan.Col(ph)}
+				if ph == x.Name {
+					post[i].bare = ph
+				}
 				continue
 			}
 		case *FuncCall:
@@ -703,13 +927,80 @@ func (b *binder) lowerAggregate(stmt *SelectStmt, cat plan.Catalog, cur plan.Nod
 			continue
 		}
 		// general expression over aggregate results (e.g. 100*sum(a)/sum(b))
-		e, err := b.lowerExpr(aggSchema, rewriteAggs(it.Expr, aggName), true)
+		e, err := lowerExpr(schema, mapGroupPhys(rewriteAggs(it.Expr, aggName), groups), true)
 		if err != nil {
 			return nil, nil, err
 		}
 		post[i] = postItem{name: name, ex: e}
 	}
-	return project(aggNode, aggSchema, post), aggByText, nil
+	return project(node, schema, post), aggByText, nil
+}
+
+// aggArg lowers one aggregate call into its logical function and argument
+// expression. count over an outer-joined table's column becomes a sum of the
+// join's match flag: the engine has no NULLs, so the flag is the only record
+// of unmatched left rows (TPC-H Q13's count(o_orderkey)).
+func (b *block) aggArg(c *FuncCall, curSchema vector.Schema) (plan.AggFuncName, plan.Expr, error) {
+	if c.Name == "count" && !c.Distinct {
+		if col, ok := c.Arg.(*ColRef); ok {
+			if s, _, err := b.resolve(col); err == nil && s.kind == srcLeftOuter {
+				return plan.Sum, plan.Case(plan.Col(plan.MatchedCol), plan.Int(1), plan.Int(0)), nil
+			}
+		}
+	}
+	fn, err := aggFuncName(c)
+	if err != nil {
+		return "", plan.Expr{}, err
+	}
+	arg, err := lowerExpr(curSchema, b.rewriteRefs(c.Arg), false)
+	if err != nil {
+		return "", plan.Expr{}, err
+	}
+	return fn, arg, nil
+}
+
+// mapGroupPhys rewrites bare references to renamed group columns into their
+// physical names (a no-op unless a duplicate column name forced a rename).
+func mapGroupPhys(e Expr, groups []groupCol) Expr {
+	needed := false
+	for _, g := range groups {
+		if g.phys != g.name {
+			needed = true
+		}
+	}
+	if !needed {
+		return e
+	}
+	switch x := e.(type) {
+	case *ColRef:
+		for _, g := range groups {
+			if g.name == x.Name && g.phys != x.Name {
+				return &ColRef{Name: g.phys, P: x.P}
+			}
+		}
+	case *BinExpr:
+		return &BinExpr{Op: x.Op, L: mapGroupPhys(x.L, groups), R: mapGroupPhys(x.R, groups), P: x.P}
+	case *NotExpr:
+		return &NotExpr{E: mapGroupPhys(x.E, groups), P: x.P}
+	case *FuncCall:
+		if x.Arg != nil {
+			return &FuncCall{Name: x.Name, Arg: mapGroupPhys(x.Arg, groups), Star: x.Star,
+				Distinct: x.Distinct, P: x.P}
+		}
+	case *LikeExpr:
+		return &LikeExpr{E: mapGroupPhys(x.E, groups), Pattern: x.Pattern, Not: x.Not, P: x.P}
+	case *InExpr:
+		return &InExpr{E: mapGroupPhys(x.E, groups), Strs: x.Strs, Ints: x.Ints, Not: x.Not, P: x.P}
+	case *SubstrExpr:
+		return &SubstrExpr{E: mapGroupPhys(x.E, groups), Start: x.Start, Length: x.Length, P: x.P}
+	case *BetweenExpr:
+		return &BetweenExpr{E: mapGroupPhys(x.E, groups), Lo: mapGroupPhys(x.Lo, groups),
+			Hi: mapGroupPhys(x.Hi, groups), P: x.P}
+	case *CaseExpr:
+		return &CaseExpr{When: mapGroupPhys(x.When, groups), Then: mapGroupPhys(x.Then, groups),
+			Else: mapGroupPhys(x.Else, groups), P: x.P}
+	}
+	return e
 }
 
 // rewriteAggsText replaces aggregate calls in an ORDER BY expression with
@@ -740,10 +1031,14 @@ func rewriteAggsText(e Expr, aggByText map[string]string) (Expr, error) {
 }
 
 // checkGrouped verifies every column ref outside aggregate arguments names a
-// group column.
+// group column. References to decorrelated scalar-subquery values (__sqN)
+// are single per group by construction and pass.
 func checkGrouped(e Expr, groupSet map[string]bool) error {
 	switch x := e.(type) {
 	case *ColRef:
+		if strings.HasPrefix(x.Name, "__sq") {
+			return nil
+		}
 		if !groupSet[x.Name] {
 			return errf(x.P, "column %q must appear in GROUP BY or inside an aggregate", x.Name)
 		}
@@ -764,6 +1059,8 @@ func checkGrouped(e Expr, groupSet map[string]bool) error {
 	case *LikeExpr:
 		return checkGrouped(x.E, groupSet)
 	case *InExpr:
+		return checkGrouped(x.E, groupSet)
+	case *SubstrExpr:
 		return checkGrouped(x.E, groupSet)
 	case *BetweenExpr:
 		if err := checkGrouped(x.E, groupSet); err != nil {
@@ -804,6 +1101,8 @@ func rewriteAggs(e Expr, aggName map[*FuncCall]string) Expr {
 		return &LikeExpr{E: rewriteAggs(x.E, aggName), Pattern: x.Pattern, Not: x.Not, P: x.P}
 	case *InExpr:
 		return &InExpr{E: rewriteAggs(x.E, aggName), Strs: x.Strs, Ints: x.Ints, Not: x.Not, P: x.P}
+	case *SubstrExpr:
+		return &SubstrExpr{E: rewriteAggs(x.E, aggName), Start: x.Start, Length: x.Length, P: x.P}
 	case *BetweenExpr:
 		return &BetweenExpr{E: rewriteAggs(x.E, aggName), Lo: rewriteAggs(x.Lo, aggName),
 			Hi: rewriteAggs(x.Hi, aggName), P: x.P}
@@ -835,10 +1134,10 @@ func aggFuncName(c *FuncCall) (plan.AggFuncName, error) {
 }
 
 // lowerConj lowers a conjunct list into one predicate.
-func (b *binder) lowerConj(s vector.Schema, conj []Expr) (plan.Expr, error) {
+func lowerConj(s vector.Schema, conj []Expr) (plan.Expr, error) {
 	var out plan.Expr
 	for i, c := range conj {
-		e, err := b.lowerExpr(s, c, false)
+		e, err := lowerExpr(s, c, false)
 		if err != nil {
 			return plan.Expr{}, err
 		}
@@ -851,299 +1150,11 @@ func (b *binder) lowerConj(s vector.Schema, conj []Expr) (plan.Expr, error) {
 	return out, nil
 }
 
-// deriveSkipSet classifies pushed conjuncts into scan-evaluable per-column
-// predicates: literal ranges and equalities over integer, date, decimal,
-// float and string columns, plus IN lists over integers and strings. It
-// returns the derived set (nil when nothing is pushable) and the residual
-// conjuncts the set does not fully subsume — an empty residual lets the
-// rewriter elide the Select above the scan entirely, because the scan
-// evaluates the whole predicate itself (with MinMax block skipping per
-// column kind as a bonus).
-func deriveSkipSet(s vector.Schema, conj []Expr) (*plan.ScanPredSet, []Expr) {
-	acc := &predAccum{schema: s}
-	var residual []Expr
-	for _, c := range conj {
-		if !acc.classify(c) {
-			residual = append(residual, c)
-		}
-	}
-	if len(acc.set.Preds) == 0 {
-		return nil, conj
-	}
-	return &acc.set, residual
-}
-
-// colClass buckets a column (or literal) by comparison semantics.
-type colClass uint8
-
-const (
-	classNone  colClass = iota
-	classInt            // plain int32/int64 and dates: compared as int64
-	classDec            // decimal storage: compared as float64(v)*scale
-	classFloat          // float64
-	classStr            // strings
-)
-
-// predAccum accumulates classified conjuncts, intersecting range predicates
-// on the same column so `d >= lo and d < hi` becomes one ColPred.
-type predAccum struct {
-	schema vector.Schema
-	set    plan.ScanPredSet
-}
-
-func (a *predAccum) classOf(e Expr) (string, colClass) {
-	c, isCol := e.(*ColRef)
-	if !isCol {
-		return "", classNone
-	}
-	i := a.schema.Index(c.Name)
-	if i < 0 {
-		return "", classNone
-	}
-	t := a.schema[i].Type
-	switch {
-	case t.Logical == vector.Decimal:
-		return c.Name, classDec
-	case t.Kind == vector.Int32 || t.Kind == vector.Int64:
-		return c.Name, classInt
-	case t.Kind == vector.Float64:
-		return c.Name, classFloat
-	case t.Kind == vector.String:
-		return c.Name, classStr
-	}
-	return "", classNone
-}
-
-// litVal is one classified literal operand.
-type litVal struct {
-	cls colClass
-	i   int64
-	f   float64
-	s   string
-}
-
-func litOf(e Expr) (litVal, bool) {
-	switch x := e.(type) {
-	case *IntLit:
-		return litVal{cls: classInt, i: x.V, f: float64(x.V)}, true
-	case *FloatLit:
-		return litVal{cls: classFloat, f: x.V}, true
-	case *DateLit:
-		// f mirrors i: a date literal compared against a float/decimal
-		// column (odd but legal) compares as the day number widened to
-		// float, exactly what the interpreter does with the int32 const.
-		d := int64(vector.AddMonths(vector.MustDate(x.V), x.Months))
-		return litVal{cls: classInt, i: d, f: float64(d)}, true
-	case *StrLit:
-		return litVal{cls: classStr, s: x.V}, true
-	}
-	return litVal{}, false
-}
-
-// classify records conjunct c in the set when it is scan-evaluable,
-// reporting whether the set now fully subsumes it. A partially usable
-// conjunct (e.g. BETWEEN with only one literal bound) may still contribute
-// skip bounds but reports false, keeping itself in the residual.
-func (a *predAccum) classify(c Expr) bool {
-	switch x := c.(type) {
-	case *BinExpr:
-		col, cls := a.classOf(x.L)
-		lit, okLit := litOf(x.R)
-		op := x.Op
-		if cls == classNone || !okLit {
-			// reversed: literal op column
-			if col, cls = a.classOf(x.R); cls == classNone {
-				return false
-			}
-			if lit, okLit = litOf(x.L); !okLit {
-				return false
-			}
-			op = flipCmp(op)
-		}
-		return a.addCmp(col, cls, op, lit)
-	case *BetweenExpr:
-		col, cls := a.classOf(x.E)
-		if cls == classNone {
-			return false
-		}
-		lo, okLo := litOf(x.Lo)
-		hi, okHi := litOf(x.Hi)
-		pushedLo := okLo && a.addCmp(col, cls, ">=", lo)
-		pushedHi := okHi && a.addCmp(col, cls, "<=", hi)
-		return pushedLo && pushedHi
-	case *InExpr:
-		if x.Not {
-			return false
-		}
-		col, cls := a.classOf(x.E)
-		switch {
-		case cls == classInt && len(x.Ints) > 0 && len(x.Strs) == 0:
-			a.set.Preds = append(a.set.Preds, plan.ColPred{
-				Col: col, Op: plan.PredIntIn, Ints: append([]int64(nil), x.Ints...)})
-			return true
-		case cls == classStr && len(x.Strs) > 0 && len(x.Ints) == 0:
-			a.set.Preds = append(a.set.Preds, plan.ColPred{
-				Col: col, Op: plan.PredStrIn, Strs: append([]string(nil), x.Strs...)})
-			return true
-		}
-		return false
-	}
-	return false
-}
-
-// addCmp folds one comparison into the column's accumulated range.
-func (a *predAccum) addCmp(col string, cls colClass, op string, lit litVal) bool {
-	switch cls {
-	case classInt:
-		if lit.cls != classInt {
-			return false // int col vs float literal: stays a float compare upstream
-		}
-		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
-		switch op {
-		case ">=":
-			lo = lit.i
-		case ">":
-			if lit.i == math.MaxInt64 {
-				lo, hi = math.MaxInt64, math.MinInt64 // v > max: unsatisfiable
-			} else {
-				lo = lit.i + 1
-			}
-		case "<=":
-			hi = lit.i
-		case "<":
-			if lit.i == math.MinInt64 {
-				lo, hi = math.MaxInt64, math.MinInt64 // v < min: unsatisfiable
-			} else {
-				hi = lit.i - 1
-			}
-		case "=":
-			lo, hi = lit.i, lit.i
-		default:
-			return false
-		}
-		p := a.rangePred(col, plan.PredIntRange)
-		if lo > p.IntLo {
-			p.IntLo = lo
-		}
-		if hi < p.IntHi {
-			p.IntHi = hi
-		}
-		return true
-	case classDec, classFloat:
-		if lit.cls != classInt && lit.cls != classFloat {
-			return false
-		}
-		switch op {
-		case ">=", ">", "<=", "<", "=":
-		default:
-			return false
-		}
-		predOp := plan.PredDecRange
-		if cls == classFloat {
-			predOp = plan.PredFloatRange
-		}
-		p := a.rangePred(col, predOp)
-		switch op {
-		case ">=", ">":
-			if lit.f > p.FloatLo || (lit.f == p.FloatLo && op == ">") {
-				p.FloatLo, p.LoStrict = lit.f, op == ">"
-			}
-		case "<=", "<":
-			if lit.f < p.FloatHi || (lit.f == p.FloatHi && op == "<") {
-				p.FloatHi, p.HiStrict = lit.f, op == "<"
-			}
-		case "=":
-			// Intersect with [v, v]. A non-strict bound at the same value
-			// is WEAKER than an accumulated strict one — keep the strict
-			// bound, or `x > 50 AND x = 50` would push the satisfiable
-			// [50,50] instead of the empty (50,50].
-			if lit.f > p.FloatLo {
-				p.FloatLo, p.LoStrict = lit.f, false
-			}
-			if lit.f < p.FloatHi {
-				p.FloatHi, p.HiStrict = lit.f, false
-			}
-		default:
-			return false
-		}
-		return true
-	case classStr:
-		if lit.cls != classStr {
-			return false
-		}
-		switch op {
-		case ">=", ">", "<=", "<", "=":
-		default:
-			return false
-		}
-		p := a.rangePred(col, plan.PredStrRange)
-		switch op {
-		case ">=", ">":
-			if !p.HasStrLo || lit.s > p.StrLo || (lit.s == p.StrLo && op == ">") {
-				p.StrLo, p.HasStrLo, p.LoStrict = lit.s, true, op == ">"
-			}
-		case "<=", "<":
-			if !p.HasStrHi || lit.s < p.StrHi || (lit.s == p.StrHi && op == "<") {
-				p.StrHi, p.HasStrHi, p.HiStrict = lit.s, true, op == "<"
-			}
-		case "=":
-			// As with floats: never weaken an accumulated strict bound at
-			// the same value (`s > 'n' AND s = 'n'` is empty).
-			if !p.HasStrLo || lit.s > p.StrLo {
-				p.StrLo, p.HasStrLo, p.LoStrict = lit.s, true, false
-			}
-			if !p.HasStrHi || lit.s < p.StrHi {
-				p.StrHi, p.HasStrHi, p.HiStrict = lit.s, true, false
-			}
-		default:
-			return false
-		}
-		return true
-	}
-	return false
-}
-
-// rangePred returns (creating on demand) the accumulated range predicate of
-// the given shape for a column.
-func (a *predAccum) rangePred(col string, op plan.PredOp) *plan.ColPred {
-	for i := range a.set.Preds {
-		if a.set.Preds[i].Col == col && a.set.Preds[i].Op == op {
-			return &a.set.Preds[i]
-		}
-	}
-	p := plan.ColPred{Col: col, Op: op}
-	switch op {
-	case plan.PredIntRange:
-		p.IntLo, p.IntHi = math.MinInt64, math.MaxInt64
-	case plan.PredDecRange, plan.PredFloatRange:
-		p.FloatLo, p.FloatHi = math.Inf(-1), math.Inf(1)
-		if op == plan.PredDecRange {
-			p.Scale = 0.01
-		}
-	}
-	a.set.Preds = append(a.set.Preds, p)
-	return &a.set.Preds[len(a.set.Preds)-1]
-}
-
-func flipCmp(op string) string {
-	switch op {
-	case "<":
-		return ">"
-	case "<=":
-		return ">="
-	case ">":
-		return "<"
-	case ">=":
-		return "<="
-	}
-	return op
-}
-
 // lowerExpr lowers a scalar AST expression over a concrete schema. top marks
 // projection/group positions where a bare decimal column stays raw; anywhere
 // nested, decimal columns convert to float64 (SQL decimal semantics), which
 // mirrors the plan.Dec usage of the hand-built queries.
-func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error) {
+func lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error) {
 	switch x := e.(type) {
 	case *ColRef:
 		i := s.Index(x.Name)
@@ -1167,11 +1178,11 @@ func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error)
 		return plan.Date(x.V), nil
 	case *BinExpr:
 		if x.Op == "and" || x.Op == "or" {
-			le, err := b.lowerExpr(s, x.L, false)
+			le, err := lowerExpr(s, x.L, false)
 			if err != nil {
 				return plan.Expr{}, err
 			}
-			re, err := b.lowerExpr(s, x.R, false)
+			re, err := lowerExpr(s, x.R, false)
 			if err != nil {
 				return plan.Expr{}, err
 			}
@@ -1180,7 +1191,7 @@ func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error)
 			}
 			return plan.Or(le, re), nil
 		}
-		le, re, lt, rt, err := b.lowerPair(s, x.L, x.R)
+		le, re, lt, rt, err := lowerPair(s, x.L, x.R)
 		if err != nil {
 			return plan.Expr{}, err
 		}
@@ -1221,7 +1232,7 @@ func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error)
 		}
 		return plan.Expr{}, errf(x.P, "unsupported operator %q", x.Op)
 	case *NotExpr:
-		ce, err := b.lowerExpr(s, x.E, false)
+		ce, err := lowerExpr(s, x.E, false)
 		if err != nil {
 			return plan.Expr{}, err
 		}
@@ -1231,13 +1242,13 @@ func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error)
 			return plan.Expr{}, errf(x.P, "aggregate %s() is not allowed here", x.Name)
 		}
 		// year()
-		ce, err := b.lowerExpr(s, x.Arg, false)
+		ce, err := lowerExpr(s, x.Arg, false)
 		if err != nil {
 			return plan.Expr{}, err
 		}
 		return plan.Year(ce), nil
 	case *LikeExpr:
-		ce, err := b.lowerExpr(s, x.E, false)
+		ce, err := lowerExpr(s, x.E, false)
 		if err != nil {
 			return plan.Expr{}, err
 		}
@@ -1245,8 +1256,17 @@ func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error)
 			return plan.NotLike(ce, x.Pattern), nil
 		}
 		return plan.Like(ce, x.Pattern), nil
+	case *SubstrExpr:
+		ce, err := lowerExpr(s, x.E, false)
+		if err != nil {
+			return plan.Expr{}, err
+		}
+		if ct, cterr := ce.Type(s); cterr == nil && ct.Kind != vector.String {
+			return plan.Expr{}, errf(x.P, "SUBSTRING requires a string argument, got %s", ct)
+		}
+		return plan.Substr(ce, int(x.Start), int(x.Length)), nil
 	case *InExpr:
-		ce, err := b.lowerExpr(s, x.E, false)
+		ce, err := lowerExpr(s, x.E, false)
 		if err != nil {
 			return plan.Expr{}, err
 		}
@@ -1279,25 +1299,25 @@ func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error)
 		}
 		return in, nil
 	case *BetweenExpr:
-		ce, err := b.lowerExpr(s, x.E, false)
+		ce, err := lowerExpr(s, x.E, false)
 		if err != nil {
 			return plan.Expr{}, err
 		}
-		lo, err := b.adaptTo(s, ce, x.Lo)
+		lo, err := adaptTo(s, ce, x.Lo)
 		if err != nil {
 			return plan.Expr{}, err
 		}
-		hi, err := b.adaptTo(s, ce, x.Hi)
+		hi, err := adaptTo(s, ce, x.Hi)
 		if err != nil {
 			return plan.Expr{}, err
 		}
 		return plan.Between(ce, lo, hi), nil
 	case *CaseExpr:
-		we, err := b.lowerExpr(s, x.When, false)
+		we, err := lowerExpr(s, x.When, false)
 		if err != nil {
 			return plan.Expr{}, err
 		}
-		te, ee, tt, et, err := b.lowerPair(s, x.Then, x.Else)
+		te, ee, tt, et, err := lowerPair(s, x.Then, x.Else)
 		if err != nil {
 			return plan.Expr{}, err
 		}
@@ -1305,6 +1325,12 @@ func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error)
 			return plan.Expr{}, errf(x.P, "CASE branches mix %s and %s", tt, et)
 		}
 		return plan.Case(we, te, ee), nil
+	case *SubqueryExpr:
+		return plan.Expr{}, errf(x.P, "scalar subquery is only supported in top-level AND conjuncts")
+	case *ExistsExpr:
+		return plan.Expr{}, errf(x.P, "EXISTS is only supported as a top-level WHERE conjunct")
+	case *InSubquery:
+		return plan.Expr{}, errf(x.P, "IN (SELECT ...) is only supported as a top-level WHERE conjunct")
 	}
 	return plan.Expr{}, errf(e.pos(), "unsupported expression %s", e)
 }
@@ -1313,13 +1339,13 @@ func (b *binder) lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error)
 // literal to float when the other side is float-typed (so `l_quantity < 24`
 // over a decimal column compares as floats, matching the builder queries).
 // The inferred operand types are returned for the caller's checks.
-func (b *binder) lowerPair(s vector.Schema, lAst, rAst Expr) (plan.Expr, plan.Expr, vector.Type, vector.Type, error) {
+func lowerPair(s vector.Schema, lAst, rAst Expr) (plan.Expr, plan.Expr, vector.Type, vector.Type, error) {
 	var lt, rt vector.Type
-	le, err := b.lowerExpr(s, lAst, false)
+	le, err := lowerExpr(s, lAst, false)
 	if err != nil {
 		return plan.Expr{}, plan.Expr{}, lt, rt, err
 	}
-	re, err := b.lowerExpr(s, rAst, false)
+	re, err := lowerExpr(s, rAst, false)
 	if err != nil {
 		return plan.Expr{}, plan.Expr{}, lt, rt, err
 	}
@@ -1344,8 +1370,8 @@ func (b *binder) lowerPair(s vector.Schema, lAst, rAst Expr) (plan.Expr, plan.Ex
 
 // adaptTo lowers a literal bound, promoting integers to float when the
 // subject expression is float-typed.
-func (b *binder) adaptTo(s vector.Schema, subject plan.Expr, ast Expr) (plan.Expr, error) {
-	e, err := b.lowerExpr(s, ast, false)
+func adaptTo(s vector.Schema, subject plan.Expr, ast Expr) (plan.Expr, error) {
+	e, err := lowerExpr(s, ast, false)
 	if err != nil {
 		return plan.Expr{}, err
 	}

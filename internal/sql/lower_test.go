@@ -59,6 +59,26 @@ func TestLowerErrors(t *testing.T) {
 		{"select a from t order by 3", `1:26: ORDER BY position 3 is out of range (1..1)`},
 		{"select s, count(*) from t group by s order by sum(a)",
 			`1:47: aggregate sum(a) in ORDER BY must also appear in the select list`},
+		{"select a from t where exists (select * from u)",
+			`1:23: EXISTS subquery must be correlated with the outer query (inner_col = outer_col)`},
+		{"select exists (select * from u) from t",
+			`1:8: EXISTS is only supported as a top-level WHERE conjunct`},
+		{"select a from t where a > (select max(id) from u) or b > 1",
+			`1:27: scalar subquery is only supported in top-level AND conjuncts`},
+		{"select a from t where a in (select id, label from u)",
+			`1:25: IN subquery must select exactly one column`},
+		{"select a from t where a + 1 in (select id from u)",
+			`1:25: IN (SELECT ...) requires a plain column on the left`},
+		{"select a from t where a > (select id from u)",
+			`1:27: scalar subquery must compute an aggregate`},
+		{"select s, count(*) from t group by s having exists (select * from u where id = t.id)",
+			`1:45: EXISTS and IN subqueries are not supported in HAVING`},
+		{"select a from t having a > 1",
+			`1:26: HAVING requires GROUP BY or an aggregate`},
+		{"select a from t where s in (select id from u)",
+			`subquery column (int64) and outer column s (string) have incompatible types`},
+		{"select substring(a from 1 for 2) from t",
+			`1:8: SUBSTRING requires a string argument`},
 	}
 	cat := testCat()
 	for _, c := range cases {
@@ -192,14 +212,22 @@ func TestLowerShapes(t *testing.T) {
 		t.Fatalf("group by %v, want [y]", agg.GroupBy)
 	}
 
-	// Qualified refs: binding to the first occurrence of a duplicated name
-	// is allowed, a shadowed later occurrence is rejected.
+	// Qualified refs to a duplicated name: the first occurrence keeps its
+	// name, later value-read occurrences get a physical rename (u_id) so
+	// both sides stay addressable in the join output.
 	if _, err := Compile("select t.id from t join u on t.id = u.id", cat); err != nil {
 		t.Fatalf("t.id (first occurrence) should bind: %v", err)
 	}
-	_, err = Compile("select u.id from t join u on t.id = u.id", cat)
-	if err == nil || !strings.Contains(err.Error(), `1:8: u.id is shadowed by t.id`) {
-		t.Fatalf("u.id should be rejected as shadowed, got %v", err)
+	n, err = Compile("select u.id from t join u on t.id = u.id", cat)
+	if err != nil {
+		t.Fatalf("u.id should bind via a physical rename: %v", err)
+	}
+	pr, ok := n.(*plan.ProjectNode)
+	if !ok {
+		t.Fatalf("top node is %T, want a projection reading the renamed column", n)
+	}
+	if got := pr.Exprs[0].Expr.Name; got != "u_id" || pr.Exprs[0].Name != "id" {
+		t.Fatalf("u.id lowered as %s := Col(%s), want id := Col(u_id)", pr.Exprs[0].Name, got)
 	}
 
 	// ORDER BY ordinal selects the n-th output column.

@@ -251,7 +251,7 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 	}
 
-	// FROM with a chain of inner joins.
+	// FROM with a chain of inner/left-outer joins.
 	if _, err := p.expect("from"); err != nil {
 		return nil, err
 	}
@@ -261,14 +261,25 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	}
 	stmt.From = append(stmt.From, first)
 	for {
-		p.accept("inner")
-		if !p.accept("join") {
-			break
+		left := false
+		if t := p.peek(); t.kind == tKeyword && t.text == "left" {
+			p.next()
+			p.accept("outer")
+			if _, err := p.expect("join"); err != nil {
+				return nil, err
+			}
+			left = true
+		} else {
+			p.accept("inner")
+			if !p.accept("join") {
+				break
+			}
 		}
 		f, err := p.parseTableRef()
 		if err != nil {
 			return nil, err
 		}
+		f.Left = left
 		if _, err := p.expect("on"); err != nil {
 			return nil, err
 		}
@@ -308,6 +319,12 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 	}
 
+	if p.accept("having") {
+		if stmt.Having, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+
 	if p.accept("order") {
 		if _, err := p.expect("by"); err != nil {
 			return nil, err
@@ -343,12 +360,41 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 }
 
 func (p *parser) parseTableRef() (FromItem, error) {
+	if t := p.peek(); t.kind == tSymbol && t.text == "(" {
+		// Derived table: ( SELECT ... ) [AS] alias. The alias is mandatory —
+		// there is no base table name to fall back on.
+		p.next()
+		sub, err := p.parseSelect()
+		if err != nil {
+			return FromItem{}, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return FromItem{}, err
+		}
+		p.accept("as")
+		a := p.peek()
+		if a.kind != tIdent {
+			got := a.text
+			if a.kind == tEOF {
+				got = "end of input"
+			}
+			return FromItem{}, errf(a.pos, "derived table requires an alias, found %q", got)
+		}
+		p.next()
+		return FromItem{Alias: a.text, Sub: sub, Pos: t.pos}, nil
+	}
 	t, err := p.expectIdent("table name")
 	if err != nil {
 		return FromItem{}, err
 	}
 	f := FromItem{Table: t.text, Alias: t.text, Pos: t.pos}
-	if a := p.peek(); a.kind == tIdent {
+	if p.accept("as") {
+		a, err := p.expectIdent("alias")
+		if err != nil {
+			return FromItem{}, err
+		}
+		f.Alias = a.text
+	} else if a := p.peek(); a.kind == tIdent {
 		f.Alias = p.next().text
 	}
 	return f, nil
@@ -402,6 +448,13 @@ func (p *parser) parseNot() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		// NOT EXISTS folds into the subquery node so the planner sees one
+		// canonical form.
+		if ex, ok := e.(*ExistsExpr); ok {
+			ex.Not = !ex.Not
+			ex.P = t.pos
+			return ex, nil
+		}
 		return &NotExpr{E: e, P: t.pos}, nil
 	}
 	return p.parsePredicate()
@@ -446,6 +499,16 @@ func (p *parser) parsePredicateTail(l Expr, negated bool) (Expr, error) {
 	case "in":
 		if _, err := p.expect("("); err != nil {
 			return nil, err
+		}
+		if s := p.peek(); s.kind == tKeyword && s.text == "select" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &InSubquery{E: l, Sub: sub, Not: negated, P: t.pos}, nil
 		}
 		in := &InExpr{E: l, Not: negated, P: t.pos}
 		for {
@@ -537,6 +600,16 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch {
 	case t.kind == tSymbol && t.text == "(":
 		p.next()
+		if s := p.peek(); s.kind == tKeyword && s.text == "select" {
+			sub, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Sub: sub, P: t.pos}, nil
+		}
 		e, err := p.parseExpr()
 		if err != nil {
 			return nil, err
@@ -580,6 +653,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 		return p.parseDateLit()
 	case t.kind == tKeyword && t.text == "case":
 		return p.parseCase()
+	case t.kind == tKeyword && t.text == "exists":
+		return p.parseExists()
+	case t.kind == tKeyword && t.text == "substring":
+		return p.parseSubstring()
 	case t.kind == tIdent:
 		return p.parseIdentExpr()
 	}
@@ -657,6 +734,64 @@ func (p *parser) parseCase() (Expr, error) {
 		return nil, err
 	}
 	return &CaseExpr{When: when, Then: then, Else: els, P: t.pos}, nil
+}
+
+// parseExists parses EXISTS ( SELECT ... ).
+func (p *parser) parseExists() (Expr, error) {
+	t := p.next() // exists
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if s := p.peek(); !(s.kind == tKeyword && s.text == "select") {
+		got := s.text
+		if s.kind == tEOF {
+			got = "end of input"
+		}
+		return nil, errf(s.pos, "expected SELECT after EXISTS (, found %q", got)
+	}
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &ExistsExpr{Sub: sub, P: t.pos}, nil
+}
+
+// parseSubstring parses SUBSTRING(e FROM start FOR length) with integer
+// literal bounds.
+func (p *parser) parseSubstring() (Expr, error) {
+	t := p.next() // substring
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("from"); err != nil {
+		return nil, err
+	}
+	s := p.peek()
+	if s.kind != tInt {
+		return nil, errf(s.pos, "expected integer start in SUBSTRING, found %q", s.text)
+	}
+	p.next()
+	start, _ := strconv.ParseInt(s.text, 10, 64)
+	if _, err := p.expect("for"); err != nil {
+		return nil, err
+	}
+	n := p.peek()
+	if n.kind != tInt {
+		return nil, errf(n.pos, "expected integer length in SUBSTRING, found %q", n.text)
+	}
+	p.next()
+	length, _ := strconv.ParseInt(n.text, 10, 64)
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &SubstrExpr{E: e, Start: start, Length: length, P: t.pos}, nil
 }
 
 // parseIdentExpr parses a column reference (possibly qualified) or a

@@ -41,6 +41,30 @@ func TestParseGolden(t *testing.T) {
 			"select a + b * c - d from t -- trailing comment\n order by 2 asc",
 			"select ((a + (b * c)) - d) from t order by 2",
 		},
+		{
+			"select a from t where exists (select * from u where u.id = t.id)",
+			"select a from t where (exists (select * from u where (u.id = t.id)))",
+		},
+		{
+			"select a from t where a not in (select id from u) and not exists (select * from u)",
+			"select a from t where ((a not in (select id from u)) and (not exists (select * from u)))",
+		},
+		{
+			"select s, sum(a) from t group by s having sum(a) > (select avg(a) from t)",
+			"select s, sum(a) from t group by s having (sum(a) > (select avg(a) from t))",
+		},
+		{
+			"select x from (select a as x from t) d left outer join u on x = u.id",
+			"select x from (select a as x from t) d left join u on (x = u.id)",
+		},
+		{
+			"select substring(s from 1 for 2) as code from t where substring(s from 3 for 1) = 'x'",
+			"select substring(s from 1 for 2) as code from t where (substring(s from 3 for 1) = 'x')",
+		},
+		{
+			"select x from (select a as x from t) as d join u as v on x = v.id",
+			"select x from (select a as x from t) d join u v on (x = v.id)",
+		},
 	}
 	for _, c := range cases {
 		stmt, err := Parse(c.in)
@@ -71,6 +95,13 @@ func TestParseErrors(t *testing.T) {
 		{"select a from t join u", `1:23: expected "on", found "end of input"`},
 		{"select a from t; select b from t", `1:18: unexpected "select" after end of statement`},
 		{"select a from t\nwhere b =", `2:10: expected expression, found "end of input"`},
+		{"select a from t where exists (a > 1)", `1:31: expected SELECT after EXISTS (, found "a"`},
+		{"select substring(s from x for 2) from t", `1:25: expected integer start in SUBSTRING, found "x"`},
+		{"select substring(s from 1, 2) from t", `1:26: expected "for", found ","`},
+		{"select a from (select a from t)", `1:32: derived table requires an alias, found "end of input"`},
+		{"select a from (select a from t) as", `1:35: derived table requires an alias, found "end of input"`},
+		{"select a from t as where a = 1", `1:20: expected alias, found "where"`},
+		{"select a from t where a in (select)", `1:35: expected expression, found ")"`},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.in)

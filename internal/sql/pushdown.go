@@ -1,0 +1,354 @@
+package sql
+
+import (
+	"math"
+	"strings"
+
+	"vectorh/internal/plan"
+	"vectorh/internal/vector"
+)
+
+// deriveSkipSet classifies pushed conjuncts into scan-evaluable per-column
+// predicates: literal ranges and equalities over integer, date, decimal,
+// float and string columns, IN lists over integers and strings, and prefix
+// LIKE patterns as string ranges. It returns the derived set (nil when
+// nothing is pushable) and the residual conjuncts the set does not fully
+// subsume — an empty residual lets the rewriter elide the Select above the
+// scan entirely, because the scan evaluates the whole predicate itself (with
+// MinMax block skipping per column kind as a bonus).
+func deriveSkipSet(s vector.Schema, conj []Expr) (*plan.ScanPredSet, []Expr) {
+	acc := &predAccum{schema: s}
+	var residual []Expr
+	for _, c := range conj {
+		if !acc.classify(c) {
+			residual = append(residual, c)
+		}
+	}
+	if len(acc.set.Preds) == 0 {
+		return nil, conj
+	}
+	return &acc.set, residual
+}
+
+// colClass buckets a column (or literal) by comparison semantics.
+type colClass uint8
+
+const (
+	classNone  colClass = iota
+	classInt            // plain int32/int64 and dates: compared as int64
+	classDec            // decimal storage: compared as float64(v)*scale
+	classFloat          // float64
+	classStr            // strings
+)
+
+// predAccum accumulates classified conjuncts, intersecting range predicates
+// on the same column so `d >= lo and d < hi` becomes one ColPred.
+type predAccum struct {
+	schema vector.Schema
+	set    plan.ScanPredSet
+}
+
+func (a *predAccum) classOf(e Expr) (string, colClass) {
+	c, isCol := e.(*ColRef)
+	if !isCol {
+		return "", classNone
+	}
+	i := a.schema.Index(c.Name)
+	if i < 0 {
+		return "", classNone
+	}
+	t := a.schema[i].Type
+	switch {
+	case t.Logical == vector.Decimal:
+		return c.Name, classDec
+	case t.Kind == vector.Int32 || t.Kind == vector.Int64:
+		return c.Name, classInt
+	case t.Kind == vector.Float64:
+		return c.Name, classFloat
+	case t.Kind == vector.String:
+		return c.Name, classStr
+	}
+	return "", classNone
+}
+
+// litVal is one classified literal operand.
+type litVal struct {
+	cls colClass
+	i   int64
+	f   float64
+	s   string
+}
+
+func litOf(e Expr) (litVal, bool) {
+	switch x := e.(type) {
+	case *IntLit:
+		return litVal{cls: classInt, i: x.V, f: float64(x.V)}, true
+	case *FloatLit:
+		return litVal{cls: classFloat, f: x.V}, true
+	case *DateLit:
+		// f mirrors i: a date literal compared against a float/decimal
+		// column (odd but legal) compares as the day number widened to
+		// float, exactly what the interpreter does with the int32 const.
+		d := int64(vector.AddMonths(vector.MustDate(x.V), x.Months))
+		return litVal{cls: classInt, i: d, f: float64(d)}, true
+	case *StrLit:
+		return litVal{cls: classStr, s: x.V}, true
+	}
+	return litVal{}, false
+}
+
+// classify records conjunct c in the set when it is scan-evaluable,
+// reporting whether the set now fully subsumes it. A partially usable
+// conjunct (e.g. BETWEEN with only one literal bound, or a prefix LIKE whose
+// prefix has no successor) may still contribute skip bounds but reports
+// false, keeping itself in the residual.
+func (a *predAccum) classify(c Expr) bool {
+	switch x := c.(type) {
+	case *BinExpr:
+		col, cls := a.classOf(x.L)
+		lit, okLit := litOf(x.R)
+		op := x.Op
+		if cls == classNone || !okLit {
+			// reversed: literal op column
+			if col, cls = a.classOf(x.R); cls == classNone {
+				return false
+			}
+			if lit, okLit = litOf(x.L); !okLit {
+				return false
+			}
+			op = flipCmp(op)
+		}
+		return a.addCmp(col, cls, op, lit)
+	case *BetweenExpr:
+		col, cls := a.classOf(x.E)
+		if cls == classNone {
+			return false
+		}
+		lo, okLo := litOf(x.Lo)
+		hi, okHi := litOf(x.Hi)
+		pushedLo := okLo && a.addCmp(col, cls, ">=", lo)
+		pushedHi := okHi && a.addCmp(col, cls, "<=", hi)
+		return pushedLo && pushedHi
+	case *LikeExpr:
+		return a.classifyLike(x)
+	case *InExpr:
+		if x.Not {
+			return false
+		}
+		col, cls := a.classOf(x.E)
+		switch {
+		case cls == classInt && len(x.Ints) > 0 && len(x.Strs) == 0:
+			a.set.Preds = append(a.set.Preds, plan.ColPred{
+				Col: col, Op: plan.PredIntIn, Ints: append([]int64(nil), x.Ints...)})
+			return true
+		case cls == classStr && len(x.Strs) > 0 && len(x.Ints) == 0:
+			a.set.Preds = append(a.set.Preds, plan.ColPred{
+				Col: col, Op: plan.PredStrIn, Strs: append([]string(nil), x.Strs...)})
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// classifyLike pushes LIKE patterns the scan can evaluate as string ranges:
+// a wildcard-free pattern is an equality, and `prefix%` the half-open range
+// [prefix, successor(prefix)) — exactly the rows a byte-wise prefix match
+// accepts, so both shapes fully subsume the conjunct. (The expression LIKE
+// treats only '%' as a wildcard, which is what makes the equality rewrite
+// sound.) An all-0xff prefix has no successor: the lower bound still skips
+// blocks, but the conjunct stays residual.
+func (a *predAccum) classifyLike(x *LikeExpr) bool {
+	if x.Not {
+		return false
+	}
+	col, cls := a.classOf(x.E)
+	if cls != classStr {
+		return false
+	}
+	pat := x.Pattern
+	if !strings.Contains(pat, "%") {
+		return a.addCmp(col, classStr, "=", litVal{cls: classStr, s: pat})
+	}
+	if strings.Count(pat, "%") != 1 || !strings.HasSuffix(pat, "%") {
+		return false
+	}
+	prefix := strings.TrimSuffix(pat, "%")
+	if prefix == "" {
+		return true // LIKE '%' accepts every row: nothing to evaluate
+	}
+	p := a.rangePred(col, plan.PredStrRange)
+	if !p.HasStrLo || prefix > p.StrLo {
+		p.StrLo, p.HasStrLo, p.LoStrict = prefix, true, false
+	}
+	succ, ok := prefixSuccessor(prefix)
+	if !ok {
+		return false
+	}
+	if !p.HasStrHi || succ < p.StrHi || (succ == p.StrHi && !p.HiStrict) {
+		p.StrHi, p.HasStrHi, p.HiStrict = succ, true, true
+	}
+	return true
+}
+
+// prefixSuccessor returns the smallest string greater than every string with
+// the given prefix: increment the last non-0xff byte and truncate. ok is
+// false when the prefix is all 0xff bytes and no successor exists.
+func prefixSuccessor(prefix string) (string, bool) {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xff {
+			b[i]++
+			return string(b[:i+1]), true
+		}
+	}
+	return "", false
+}
+
+// addCmp folds one comparison into the column's accumulated range.
+func (a *predAccum) addCmp(col string, cls colClass, op string, lit litVal) bool {
+	switch cls {
+	case classInt:
+		if lit.cls != classInt {
+			return false // int col vs float literal: stays a float compare upstream
+		}
+		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+		switch op {
+		case ">=":
+			lo = lit.i
+		case ">":
+			if lit.i == math.MaxInt64 {
+				lo, hi = math.MaxInt64, math.MinInt64 // v > max: unsatisfiable
+			} else {
+				lo = lit.i + 1
+			}
+		case "<=":
+			hi = lit.i
+		case "<":
+			if lit.i == math.MinInt64 {
+				lo, hi = math.MaxInt64, math.MinInt64 // v < min: unsatisfiable
+			} else {
+				hi = lit.i - 1
+			}
+		case "=":
+			lo, hi = lit.i, lit.i
+		default:
+			return false
+		}
+		p := a.rangePred(col, plan.PredIntRange)
+		if lo > p.IntLo {
+			p.IntLo = lo
+		}
+		if hi < p.IntHi {
+			p.IntHi = hi
+		}
+		return true
+	case classDec, classFloat:
+		if lit.cls != classInt && lit.cls != classFloat {
+			return false
+		}
+		switch op {
+		case ">=", ">", "<=", "<", "=":
+		default:
+			return false
+		}
+		predOp := plan.PredDecRange
+		if cls == classFloat {
+			predOp = plan.PredFloatRange
+		}
+		p := a.rangePred(col, predOp)
+		switch op {
+		case ">=", ">":
+			if lit.f > p.FloatLo || (lit.f == p.FloatLo && op == ">") {
+				p.FloatLo, p.LoStrict = lit.f, op == ">"
+			}
+		case "<=", "<":
+			if lit.f < p.FloatHi || (lit.f == p.FloatHi && op == "<") {
+				p.FloatHi, p.HiStrict = lit.f, op == "<"
+			}
+		case "=":
+			// Intersect with [v, v]. A non-strict bound at the same value
+			// is WEAKER than an accumulated strict one — keep the strict
+			// bound, or `x > 50 AND x = 50` would push the satisfiable
+			// [50,50] instead of the empty (50,50].
+			if lit.f > p.FloatLo {
+				p.FloatLo, p.LoStrict = lit.f, false
+			}
+			if lit.f < p.FloatHi {
+				p.FloatHi, p.HiStrict = lit.f, false
+			}
+		default:
+			return false
+		}
+		return true
+	case classStr:
+		if lit.cls != classStr {
+			return false
+		}
+		switch op {
+		case ">=", ">", "<=", "<", "=":
+		default:
+			return false
+		}
+		p := a.rangePred(col, plan.PredStrRange)
+		switch op {
+		case ">=", ">":
+			if !p.HasStrLo || lit.s > p.StrLo || (lit.s == p.StrLo && op == ">") {
+				p.StrLo, p.HasStrLo, p.LoStrict = lit.s, true, op == ">"
+			}
+		case "<=", "<":
+			if !p.HasStrHi || lit.s < p.StrHi || (lit.s == p.StrHi && op == "<") {
+				p.StrHi, p.HasStrHi, p.HiStrict = lit.s, true, op == "<"
+			}
+		case "=":
+			// As with floats: never weaken an accumulated strict bound at
+			// the same value (`s > 'n' AND s = 'n'` is empty).
+			if !p.HasStrLo || lit.s > p.StrLo {
+				p.StrLo, p.HasStrLo, p.LoStrict = lit.s, true, false
+			}
+			if !p.HasStrHi || lit.s < p.StrHi {
+				p.StrHi, p.HasStrHi, p.HiStrict = lit.s, true, false
+			}
+		default:
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// rangePred returns (creating on demand) the accumulated range predicate of
+// the given shape for a column.
+func (a *predAccum) rangePred(col string, op plan.PredOp) *plan.ColPred {
+	for i := range a.set.Preds {
+		if a.set.Preds[i].Col == col && a.set.Preds[i].Op == op {
+			return &a.set.Preds[i]
+		}
+	}
+	p := plan.ColPred{Col: col, Op: op}
+	switch op {
+	case plan.PredIntRange:
+		p.IntLo, p.IntHi = math.MinInt64, math.MaxInt64
+	case plan.PredDecRange, plan.PredFloatRange:
+		p.FloatLo, p.FloatHi = math.Inf(-1), math.Inf(1)
+		if op == plan.PredDecRange {
+			p.Scale = 0.01
+		}
+	}
+	a.set.Preds = append(a.set.Preds, p)
+	return &a.set.Preds[len(a.set.Preds)-1]
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}

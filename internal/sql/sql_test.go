@@ -198,6 +198,8 @@ func TestPushdownClassifierEdgeCases(t *testing.T) {
 // aggregation query (stable: fixed data, fixed config). The WHERE clause is
 // fully subsumed by the scan predicate set, so no Select appears above the
 // sales scan: the scan filters (and MinMax-skips) the date range itself.
+// The ~N rows annotations are the cost model's cardinality estimates; the
+// join order the planner picks is auditable from them.
 func TestExplainGolden(t *testing.T) {
 	e := newEngine(t)
 	n, err := Compile(`
@@ -214,15 +216,15 @@ func TestExplainGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := strings.TrimLeft(`
-Sort
+Sort ~14 rows
   DXchgUnion->n0
-    Project[2 exprs]
+    Project[2 exprs] ~14 rows
       Aggr(final)[1 keys,1 aggs]
         DXchgHashSplit
           Aggr(partial)[1 keys,1 aggs]
-            HashJoin[0,replicated-build]
-              MScan[sales] (partitioned) pred(sold in [18276,max])
-              MScan[regions] (replicated)
+            HashJoin[0,replicated-build] ~134 rows
+              MScan[sales] (partitioned) pred(sold in [18276,max]) ~134 rows
+              MScan[regions] (replicated) ~4 rows
 `, "\n")
 	if got != want {
 		t.Fatalf("explain mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
@@ -251,12 +253,12 @@ func TestExplainGoldenMultiConjunct(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := strings.TrimLeft(`
-Project[1 exprs]
+Project[1 exprs] ~14 rows
   Aggr(final)[0 keys,1 aggs]
     DXchgUnion->n0
       Aggr(partial)[0 keys,1 aggs]
-        Select[(($1 + 1) > 12)]
-          MScan[sales] (partitioned) pred(sold in [18276,18306] & amount in [10,95) & id in [1 2 3 500])
+        Select[(($1 + 1) > 12)] ~134 rows
+          MScan[sales] (partitioned) pred(sold in [18276,18306] & amount in [10,95) & id in [1 2 3 500]) ~400 rows
 `, "\n")
 	if got != want {
 		t.Fatalf("explain mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)

@@ -29,8 +29,8 @@ func newDB(t *testing.T) *vectorh.DB {
 // query in SQLQueries must return rows identical to its hand-built plan
 // counterpart when run through vectorh.DB.QuerySQL on the same engine.
 func TestSQLQueriesMatchBuilders(t *testing.T) {
-	if len(SQLQueries) < 8 {
-		t.Fatalf("want at least 8 SQL query texts, have %d", len(SQLQueries))
+	if len(SQLQueries) != NumQueries {
+		t.Fatalf("want SQL text for all %d TPC-H queries, have %d", NumQueries, len(SQLQueries))
 	}
 	d := Generate(0.004, 7)
 	db := newDB(t)
