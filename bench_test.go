@@ -192,6 +192,27 @@ func BenchmarkTPCHJoinOrder(b *testing.B) {
 // BenchmarkUpdateImpact regenerates the bottom block of Figure 7: RF1/RF2
 // times and the GeoDiff of query performance after updates (paper: VectorH
 // 102.8% vs Hive 138.2%).
+// BenchmarkTPCHConcurrency drives the full serving-layer scaling experiment
+// (1..256 prepared-statement sessions over loopback TCP). Run with
+// -mutexprofile to see where sessions contend.
+func BenchmarkTPCHConcurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Concurrency(benchSF, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllMatch {
+			b.Fatal("a remote result diverged from in-process execution")
+		}
+		if res.PlanCacheHitRate < 0.9 {
+			b.Fatalf("plan cache hit rate %.1f%%, want >= 90%%", 100*res.PlanCacheHitRate)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Report())
+		}
+	}
+}
+
 func BenchmarkUpdateImpact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.UpdateImpact(benchSF, 3, []int{1, 3, 6, 12, 14})

@@ -46,13 +46,18 @@ type refreshBench struct {
 }
 
 // concurrencyBench records the serving-layer experiment: aggregate
-// queries/sec of the SQL TPC-H workload at 1/4/16 concurrent client
-// sessions through vectorh-serve (see `-exp concurrency`).
+// queries/sec plus per-query latency percentiles of the SQL TPC-H workload
+// at 1/4/16/64/256 concurrent prepared-statement sessions through
+// vectorh-serve (see `-exp concurrency`). Before holds the curve recorded
+// prior to the plan-cache/contention work; a refresh moves the previous
+// points there, so the file carries its own before/after comparison.
 type concurrencyBench struct {
-	MaxConcurrent int                     `json:"max_concurrent"`
-	Validated     int                     `json:"queries_validated"`
-	AllMatch      bool                    `json:"all_match"`
-	Points        []concurrencyBenchPoint `json:"points"`
+	MaxConcurrent    int                     `json:"max_concurrent"`
+	Validated        int                     `json:"queries_validated"`
+	AllMatch         bool                    `json:"all_match"`
+	PlanCacheHitRate float64                 `json:"plan_cache_hit_rate,omitempty"`
+	Before           []concurrencyBenchPoint `json:"before,omitempty"`
+	Points           []concurrencyBenchPoint `json:"points"`
 }
 
 type concurrencyBenchPoint struct {
@@ -60,6 +65,9 @@ type concurrencyBenchPoint struct {
 	Queries  int     `json:"queries"`
 	ElapsedM int64   `json:"elapsed_ms"`
 	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms,omitempty"`
+	P95Ms    float64 `json:"p95_ms,omitempty"`
+	P99Ms    float64 `json:"p99_ms,omitempty"`
 }
 
 // selectivityBench records the scan-selectivity sweep: per predicate
@@ -236,6 +244,10 @@ func runConcurrency(sf float64, nodes int, path string) error {
 	if !res.AllMatch {
 		return fmt.Errorf("concurrency validation failed: a remote result diverged from in-process execution")
 	}
+	if res.PlanCacheHitRate < 0.9 {
+		return fmt.Errorf("plan cache hit rate %.1f%% is below the 90%% gate for a repeated-query workload",
+			100*res.PlanCacheHitRate)
+	}
 	const threads = 2
 	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
 	if old, err := os.ReadFile(path); err == nil {
@@ -249,11 +261,28 @@ func runConcurrency(sf float64, nodes int, path string) error {
 		}
 		file.SF, file.Nodes, file.Threads = sf, nodes, threads
 	}
-	cb := &concurrencyBench{MaxConcurrent: res.MaxConcurrent, Validated: res.Validated, AllMatch: res.AllMatch}
+	cb := &concurrencyBench{
+		MaxConcurrent:    res.MaxConcurrent,
+		Validated:        res.Validated,
+		AllMatch:         res.AllMatch,
+		PlanCacheHitRate: res.PlanCacheHitRate,
+	}
+	// Preserve the previously recorded curve as the "before" column (once:
+	// the first refresh after a curve was recorded moves it there).
+	if prev := file.Concurrency; prev != nil {
+		if len(prev.Before) > 0 {
+			cb.Before = prev.Before
+		} else {
+			cb.Before = prev.Points
+		}
+	}
 	for _, p := range res.Points {
 		cb.Points = append(cb.Points, concurrencyBenchPoint{
 			Sessions: p.Sessions, Queries: p.Queries,
 			ElapsedM: p.Elapsed.Milliseconds(), QPS: p.QPS,
+			P50Ms: float64(p.P50.Microseconds()) / 1000,
+			P95Ms: float64(p.P95.Microseconds()) / 1000,
+			P99Ms: float64(p.P99.Microseconds()) / 1000,
 		})
 	}
 	file.Concurrency = cb

@@ -13,6 +13,8 @@
 //	vectorh> update orders set o_orderpriority = '1-URGENT' where o_orderkey = 7; delete from region where r_regionkey = 5;
 //	vectorh> \d          -- list tables (embedded mode)
 //	vectorh> \q 6        -- run the TPC-H Q6 SQL text
+//	vectorh> \prepare q6 select sum(l_extendedprice * l_discount) from lineitem where l_quantity < ?;
+//	vectorh> \execute q6 24
 //	vectorh> \timing     -- toggle per-statement wall clock
 //	vectorh> \rf1 10     -- run refresh stream RF1 (10 new orders) as SQL (embedded mode)
 //	vectorh> \rf2 10     -- run refresh stream RF2 (delete 10 orders) as SQL (embedded mode)
@@ -37,7 +39,6 @@ import (
 
 	"vectorh"
 	"vectorh/internal/colstore"
-	"vectorh/internal/plan"
 	"vectorh/internal/server"
 	"vectorh/internal/sql"
 	"vectorh/internal/tpch"
@@ -141,6 +142,11 @@ type shell struct {
 	timing  bool
 	timeout time.Duration
 	failed  bool
+
+	// named prepared statements (\prepare); exactly one side is set per
+	// entry depending on mode.
+	wireStmts  map[string]*server.PreparedStmt
+	localStmts map[string]*sql.Prepared
 }
 
 // exit terminates the process: non-zero when any statement failed, so
@@ -185,9 +191,19 @@ func (sh *shell) meta(cmd string) bool {
 			sh.fail(err)
 			return false
 		}
-		fmt.Printf("sessions=%d active=%d queued=%d completed=%d cancelled=%d failed=%d rejected=%d rows=%d max_concurrent=%d\n",
+		fmt.Printf("sessions=%d active=%d queued=%d completed=%d cancelled=%d failed=%d rejected=%d rows=%d stmts=%d max_concurrent=%d\n",
 			st.Sessions, st.ActiveQueries, st.QueuedQueries, st.CompletedQueries,
-			st.CancelledQueries, st.FailedQueries, st.RejectedQueries, st.RowsServed, st.MaxConcurrent)
+			st.CancelledQueries, st.FailedQueries, st.RejectedQueries, st.RowsServed,
+			st.OpenStatements, st.MaxConcurrent)
+		if pc := st.PlanCache; pc != nil {
+			total := pc.Hits + pc.Misses
+			rate := 0.0
+			if total > 0 {
+				rate = 100 * float64(pc.Hits) / float64(total)
+			}
+			fmt.Printf("plan cache: hits=%d misses=%d (%.1f%% hit rate) evictions=%d invalidations=%d entries=%d\n",
+				pc.Hits, pc.Misses, rate, pc.Evictions, pc.Invalidations, pc.Entries)
+		}
 	case "\\d":
 		if sh.db == nil {
 			fmt.Println("\\d requires embedded mode (table listing is not part of the wire protocol yet)")
@@ -219,6 +235,49 @@ func (sh *shell) meta(cmd string) bool {
 		}
 		fmt.Println(text)
 		sh.run(text)
+	case "\\prepare":
+		// \prepare name select ... where x = ? and y < ?
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\prepare"))
+		name, text, ok := strings.Cut(rest, " ")
+		if !ok || name == "" || strings.TrimSpace(text) == "" {
+			fmt.Println("usage: \\prepare NAME SQL-with-? ")
+			return false
+		}
+		text = strings.TrimSuffix(strings.TrimSpace(text), ";")
+		if sh.remote != nil {
+			ps, err := sh.remote.Prepare(text)
+			if err != nil {
+				sh.fail(err)
+				return false
+			}
+			if sh.wireStmts == nil {
+				sh.wireStmts = make(map[string]*server.PreparedStmt)
+			}
+			if old := sh.wireStmts[name]; old != nil {
+				old.Close()
+			}
+			sh.wireStmts[name] = ps
+			fmt.Printf("prepared %q (%d parameters)\n", name, ps.NumParams())
+		} else {
+			ps, err := sql.Prepare(text)
+			if err != nil {
+				sh.fail(err)
+				return false
+			}
+			if sh.localStmts == nil {
+				sh.localStmts = make(map[string]*sql.Prepared)
+			}
+			sh.localStmts[name] = ps
+			fmt.Printf("prepared %q (%d parameters)\n", name, ps.NumParams())
+		}
+	case "\\execute":
+		// \execute name param1 param2 ... — bare tokens are typed by shape
+		// (int, float, else string); quote with '...' to force a string.
+		if len(fields) < 2 {
+			fmt.Println("usage: \\execute NAME [PARAM ...]")
+			return false
+		}
+		sh.executeStmt(fields[1], parseParams(fields[2:]))
 	case "\\rf1", "\\rf2":
 		if sh.db == nil {
 			fmt.Println(fields[0] + " requires embedded mode")
@@ -244,9 +303,84 @@ func (sh *shell) meta(cmd string) bool {
 			sh.execDML(s)
 		}
 	default:
-		fmt.Printf("unknown command %s (try \\d, \\q N, \\timing, \\stats, \\rf1 N, \\rf2 N, \\quit)\n", fields[0])
+		fmt.Printf("unknown command %s (try \\d, \\q N, \\timing, \\stats, \\prepare, \\execute, \\rf1 N, \\rf2 N, \\quit)\n", fields[0])
 	}
 	return false
+}
+
+// parseParams types bare REPL tokens by shape: integer, float, else string
+// (surrounding single quotes stripped).
+func parseParams(args []string) []any {
+	out := make([]any, len(args))
+	for i, a := range args {
+		if n, err := strconv.ParseInt(a, 10, 64); err == nil {
+			out[i] = n
+			continue
+		}
+		if f, err := strconv.ParseFloat(a, 64); err == nil {
+			out[i] = f
+			continue
+		}
+		out[i] = strings.Trim(a, "'")
+	}
+	return out
+}
+
+// executeStmt runs a named prepared statement with the given values.
+func (sh *shell) executeStmt(name string, params []any) {
+	ctx, cancel := sh.stmtCtx()
+	defer cancel()
+	start := time.Now()
+	if sh.remote != nil {
+		ps := sh.wireStmts[name]
+		if ps == nil {
+			sh.fail(fmt.Errorf("no prepared statement %q (use \\prepare)", name))
+			return
+		}
+		res, err := ps.Query(ctx, params...)
+		if err != nil {
+			sh.fail(err)
+			return
+		}
+		printResult(wireSchema(res.Schema), res.Rows)
+		sh.printTiming(len(res.Rows), start)
+		return
+	}
+	ps := sh.localStmts[name]
+	if ps == nil {
+		sh.fail(fmt.Errorf("no prepared statement %q (use \\prepare)", name))
+		return
+	}
+	bound, err := ps.Bind(params)
+	if err != nil {
+		sh.fail(err)
+		return
+	}
+	if !ps.IsSelect() {
+		sh.execDML(bound)
+		return
+	}
+	schema, err := sh.db.SchemaSQL(bound)
+	if err != nil {
+		sh.fail(err)
+		return
+	}
+	rows, err := sh.db.QuerySQLContext(ctx, bound)
+	if err != nil {
+		sh.fail(err)
+		return
+	}
+	printResult(schema, rows)
+	sh.printTiming(len(rows), start)
+}
+
+// printTiming prints the row count, with wall clock when \timing is on.
+func (sh *shell) printTiming(rows int, start time.Time) {
+	if sh.timing {
+		fmt.Printf("(%d rows, %v)\n", rows, time.Since(start).Round(time.Microsecond))
+	} else {
+		fmt.Printf("(%d rows)\n", rows)
+	}
 }
 
 // run executes the buffered input: each ';'-separated statement in order
@@ -301,13 +435,10 @@ func (sh *shell) runQuery(stmt string) {
 			schema = wireSchema(res.Schema)
 		}
 	} else {
-		var n plan.Node
-		n, err = sql.Compile(stmt, sh.db.Engine)
+		// Both calls go through the DB's plan cache: one compile, one hit.
+		schema, err = sh.db.SchemaSQL(stmt)
 		if err == nil {
-			schema, err = n.Schema(sh.db.Engine)
-		}
-		if err == nil {
-			rows, err = sh.db.QueryContext(ctx, n)
+			rows, err = sh.db.QuerySQLContext(ctx, stmt)
 		}
 	}
 	if err != nil {

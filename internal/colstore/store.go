@@ -519,6 +519,7 @@ type Scanner struct {
 	ri     int
 	cursor int64
 	cache  []cachedBlock
+	bc     *BlockCache // optional shared decoded-block cache
 	stats  ScanStats
 }
 
@@ -526,10 +527,16 @@ type Scanner struct {
 type ScanStats struct {
 	BlocksRead   int64 // column blocks fetched and decompressed
 	BytesDecoded int64 // compressed payload bytes decoded
+	CacheHits    int64 // blocks served from the shared decoded-block cache
 }
 
 // Stats returns the scanner's cumulative counters.
 func (s *Scanner) Stats() ScanStats { return s.stats }
+
+// SetCache attaches a shared decoded-block cache: blocks already decoded by
+// any scanner (this query or a concurrent one) are served as zero-copy
+// column views instead of being re-read and re-decompressed.
+func (s *Scanner) SetCache(bc *BlockCache) { s.bc = bc }
 
 type cachedBlock struct {
 	lo, hi int64
@@ -749,6 +756,19 @@ func (s *Scanner) ensureBlock(i int, row int64) (*cachedBlock, error) {
 		return nil, fmt.Errorf("colstore: row %d not covered by column %s", row, c.Name)
 	}
 	b := c.Blocks[lo]
+	var key blockKey
+	if s.bc != nil {
+		if b.Chunk >= 0 {
+			key = blockKey{s.meta.ChunkPath(b.Chunk), int64(b.Slot) * int64(s.meta.Format.BlockSize), b.Bytes}
+		} else {
+			key = blockKey{s.meta.PartialPath(s.meta.PartialGen), int64(b.Slot), b.Bytes}
+		}
+		if d, ok := s.bc.get(key); ok {
+			s.stats.CacheHits++
+			cb.lo, cb.hi, cb.data = b.RowStart, b.RowStart+int64(b.Rows), d
+			return cb, nil
+		}
+	}
 	payload, err := readPayload(s.fs, s.meta, s.node, b)
 	if err != nil {
 		return nil, err
@@ -763,5 +783,8 @@ func (s *Scanner) ensureBlock(i int, row int64) (*cachedBlock, error) {
 		return nil, fmt.Errorf("colstore: block of %s decoded %d rows, meta says %d", c.Name, got, b.Rows)
 	}
 	cb.lo, cb.hi, cb.data = b.RowStart, b.RowStart+int64(b.Rows), d
+	if s.bc != nil {
+		s.bc.put(key, d)
+	}
 	return cb, nil
 }

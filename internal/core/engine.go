@@ -37,6 +37,11 @@ type Config struct {
 	MsgBytes       int             // exchange message size
 	PDTFlushBytes  int             // update-propagation trigger; default 8 MiB
 	NodeResources  yarn.Resource   // per-node capacity; default 16GB/16c
+
+	// BlockCacheBytes bounds the engine-shared decoded-block cache
+	// (0 = default 64 MiB, negative = disabled). Experiments that measure
+	// raw decode work per query disable it.
+	BlockCacheBytes int64
 }
 
 func (c *Config) fill() {
@@ -80,65 +85,74 @@ type Partition struct {
 	Key         txn.PartKey
 	Responsible string // node owning the partition's WAL and PDTs
 
-	mu   sync.Mutex
-	meta *colstore.PartitionMeta
-	refs map[*colstore.PartitionMeta]int      // open scans per metadata generation
-	dead map[*colstore.PartitionMeta][]string // superseded files pending deletion
+	// mu is read-mostly: scans pin the current generation and snapshot the
+	// PDT masters under RLock (so concurrent scan opens never serialize on
+	// each other), while writers publish a new generation and reset PDTs
+	// under the exclusive lock.
+	mu  sync.RWMutex
+	cur *metaGen
+}
+
+// metaGen is one refcounted metadata generation. The refcount is atomic so
+// pinning under the partition's shared read lock never mutates map state;
+// retirement bookkeeping (dead files) is written by the publisher under the
+// exclusive lock and claimed exactly once via claimed.
+type metaGen struct {
+	meta    *colstore.PartitionMeta
+	refs    atomic.Int64
+	retired atomic.Bool
+	claimed atomic.Bool
+	dead    []string // superseded files; set before retired is published
+}
+
+// takeDead claims the generation's dead files for deletion, exactly once,
+// and only when the generation is retired with no scans pinning it.
+func (g *metaGen) takeDead() []string {
+	if g.retired.Load() && g.refs.Load() == 0 && g.claimed.CompareAndSwap(false, true) {
+		return g.dead
+	}
+	return nil
 }
 
 // CurrentMeta returns the partition's current storage metadata generation.
 // The returned value is immutable; writers publish successors via clone +
 // pointer swap.
 func (p *Partition) CurrentMeta() *colstore.PartitionMeta {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.meta
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.cur.meta
 }
 
-// acquireLocked pins the current metadata generation for an open scan.
-// Caller holds p.mu.
-func (p *Partition) acquireLocked() *colstore.PartitionMeta {
-	if p.refs == nil {
-		p.refs = make(map[*colstore.PartitionMeta]int)
-	}
-	p.refs[p.meta]++
-	return p.meta
+// pinLocked pins the current metadata generation for an open scan. Caller
+// holds p.mu (shared or exclusive).
+func (p *Partition) pinLocked() *metaGen {
+	g := p.cur
+	g.refs.Add(1)
+	return g
 }
 
 // release unpins a metadata generation; when the last scan of a retired
-// generation finishes, its superseded files are deleted.
-func (p *Partition) release(m *colstore.PartitionMeta, fs *hdfs.Cluster) {
-	p.mu.Lock()
-	var files []string
-	if p.refs[m]--; p.refs[m] <= 0 {
-		delete(p.refs, m)
-		if m != p.meta {
-			files = p.dead[m]
-			delete(p.dead, m)
-		}
-	}
-	p.mu.Unlock()
-	deleteAll(fs, files)
+// generation finishes, its superseded files are deleted. Lock-free: the
+// publisher and the last releaser race for the claim, and exactly one wins.
+func (p *Partition) release(g *metaGen, fs *hdfs.Cluster) {
+	g.refs.Add(-1)
+	deleteAll(fs, g.takeDead())
 }
 
 // publishLocked swaps in a new metadata generation, retiring the old one.
 // deadFiles lists files the new generation no longer references; they are
 // returned for immediate deletion when no scan pins the old generation, or
-// parked until its last scan releases. Caller holds p.mu.
+// claimed by the old generation's last release. Caller holds p.mu
+// exclusively.
 func (p *Partition) publishLocked(newMeta *colstore.PartitionMeta, deadFiles []string) (deletable []string) {
-	old := p.meta
-	p.meta = newMeta
+	old := p.cur
+	p.cur = &metaGen{meta: newMeta}
 	if len(deadFiles) == 0 {
 		return nil
 	}
-	if p.refs[old] > 0 {
-		if p.dead == nil {
-			p.dead = make(map[*colstore.PartitionMeta][]string)
-		}
-		p.dead[old] = append(p.dead[old], deadFiles...)
-		return nil
-	}
-	return deadFiles
+	old.dead = deadFiles
+	old.retired.Store(true)
+	return old.takeDead()
 }
 
 func deleteAll(fs *hdfs.Cluster, files []string) {
@@ -153,7 +167,10 @@ func deleteAll(fs *hdfs.Cluster, files []string) {
 // transaction state. One Engine simulates the whole VectorH deployment; the
 // session master is Nodes()[0] unless failures move it.
 type Engine struct {
-	mu  sync.Mutex
+	// mu guards the catalog and worker-set views. It is read-mostly: query
+	// compilation, scan setup and stats reads take the shared lock, while
+	// DDL, node failure and row-count refreshes take it exclusively.
+	mu  sync.RWMutex
 	cfg Config
 
 	// writeMu serializes mutators of table storage — bulk load, trickle DML,
@@ -181,6 +198,16 @@ type Engine struct {
 	scanBlocksRead   atomic.Int64
 	scanBytesDecoded atomic.Int64
 	scanSpansPruned  atomic.Int64
+	scanCacheHits    atomic.Int64
+
+	// catalogEpoch counts catalog- and data-changing events (DDL, DML
+	// commits, bulk loads, propagation, node failure). Plan caches key on it:
+	// a cached plan compiled at an older epoch is discarded, so stale plans
+	// are never served.
+	catalogEpoch atomic.Int64
+
+	// blockCache is the engine-shared decoded-block cache (nil = disabled).
+	blockCache *colstore.BlockCache
 }
 
 // ScanStats is the engine-wide physical scan work since startup. Experiments
@@ -198,6 +225,52 @@ func (e *Engine) ScanStats() ScanStats {
 		BlocksRead:   e.scanBlocksRead.Load(),
 		BytesDecoded: e.scanBytesDecoded.Load(),
 		SpansPruned:  e.scanSpansPruned.Load(),
+	}
+}
+
+// CatalogEpoch returns the current catalog epoch. Every DDL statement, DML
+// commit, bulk load, PDT propagation and topology change bumps it; compiled
+// plans are valid only for the epoch they were built at.
+func (e *Engine) CatalogEpoch() int64 { return e.catalogEpoch.Load() }
+
+// bumpEpoch advances the catalog epoch after a catalog- or data-changing
+// event.
+func (e *Engine) bumpEpoch() { e.catalogEpoch.Add(1) }
+
+// BlockCacheStats reports the shared decoded-block cache's effectiveness
+// (zero value when the cache is disabled).
+func (e *Engine) BlockCacheStats() colstore.BlockCacheStats {
+	if e.blockCache == nil {
+		return colstore.BlockCacheStats{}
+	}
+	return e.blockCache.Stats()
+}
+
+// EngineStats is a batched snapshot of the engine's observability counters:
+// one call reads everything the serving layer reports, instead of each
+// stats request taking Engine.mu once per counter.
+type EngineStats struct {
+	Scan         ScanStats
+	ScanCacheHit int64
+	CatalogEpoch int64
+	BlockCache   colstore.BlockCacheStats
+	Tables       int
+	Workers      int
+}
+
+// Stats returns a batched engine stats snapshot. The counters are atomics;
+// only the catalog sizes take the (shared) engine lock, once.
+func (e *Engine) Stats() EngineStats {
+	e.mu.RLock()
+	tables, workers := len(e.tables), len(e.active)
+	e.mu.RUnlock()
+	return EngineStats{
+		Scan:         e.ScanStats(),
+		ScanCacheHit: e.scanCacheHits.Load(),
+		CatalogEpoch: e.CatalogEpoch(),
+		BlockCache:   e.BlockCacheStats(),
+		Tables:       tables,
+		Workers:      workers,
 	}
 }
 
@@ -232,7 +305,16 @@ func New(cfg Config) (*Engine, error) {
 	e.active = workers
 	e.net = mpi.NewNetwork(len(workers))
 	e.mgr = txn.NewManager(wal.Open(e.fs, "/wal/global", e.master()))
+	switch {
+	case cfg.BlockCacheBytes == 0:
+		e.blockCache = colstore.NewBlockCache(64 << 20)
+	case cfg.BlockCacheBytes > 0:
+		e.blockCache = colstore.NewBlockCache(cfg.BlockCacheBytes)
+	}
 	e.mgr.OnCommit = func(part txn.PartKey, entries []pdt.Entry, epoch int64) {
+		// Every DML commit invalidates cached plans: statistics a compiled
+		// plan baked in (row counts, column ranges) may have shifted.
+		e.bumpEpoch()
 		// Log shipping: replicated-table commits are broadcast to every
 		// worker so their cached PDT images stay current. In this
 		// single-process simulation all workers share the master PDT
@@ -252,8 +334,8 @@ func (e *Engine) master() string { return e.active[0] }
 
 // Nodes returns the current worker set.
 func (e *Engine) Nodes() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return append([]string(nil), e.active...)
 }
 
@@ -274,8 +356,8 @@ func (e *Engine) Manager() *txn.Manager { return e.mgr }
 
 // Table returns catalog metadata, satisfying rewriter.Catalog.
 func (e *Engine) Table(name string) (rewriter.TableInfo, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t, ok := e.tables[name]
 	if !ok {
 		return rewriter.TableInfo{}, fmt.Errorf("core: unknown table %q", name)
@@ -341,20 +423,21 @@ func (e *Engine) CreateTable(info rewriter.TableInfo) error {
 		locs := aff[partNames[p]]
 		resp := locs[0]
 		e.policy.set(meta.Dir(), locs)
-		part := &Partition{meta: meta, Key: partKey(info.Name, p), Responsible: resp}
+		part := &Partition{cur: &metaGen{meta: meta}, Key: partKey(info.Name, p), Responsible: resp}
 		walPath := fmt.Sprintf("/wal/%s/p%04d", info.Name, p)
 		e.mgr.AddPartition(part.Key, 0, wal.Open(e.fs, walPath, resp))
 		t.Parts = append(t.Parts, part)
 	}
 	e.tables[info.Name] = t
+	e.bumpEpoch()
 	return nil
 }
 
 // TableRows returns the visible row count of a table.
 func (e *Engine) TableRows(name string) (int64, error) {
-	e.mu.Lock()
+	e.mu.RLock()
 	t, ok := e.tables[name]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("core: unknown table %q", name)
 	}
@@ -375,9 +458,9 @@ func (e *Engine) TableRows(name string) (int64, error) {
 // carries a summary — the SQL planner's selectivity model then falls back
 // to its default guess instead of trusting a zero range.
 func (e *Engine) ColumnRange(table, col string) (lo, hi int64, ok bool) {
-	e.mu.Lock()
+	e.mu.RLock()
 	t, found := e.tables[table]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !found {
 		return 0, 0, false
 	}
@@ -487,6 +570,7 @@ func (e *Engine) KillNode(name string) error {
 		}
 	}
 	e.fs.ReReplicate()
+	e.bumpEpoch()
 	return nil
 }
 
@@ -551,8 +635,8 @@ func (p *placementPolicy) ChooseTarget(path, writer string, replicas int, exclud
 // PartitionMetaForTest exposes a partition's storage metadata for benchmarks
 // and reports (e.g. the Figure-1 compressed-size chart).
 func (e *Engine) PartitionMetaForTest(table string, part int) *colstore.PartitionMeta {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t, ok := e.tables[table]
 	if !ok || part >= len(t.Parts) {
 		return nil
@@ -562,8 +646,8 @@ func (e *Engine) PartitionMetaForTest(table string, part int) *colstore.Partitio
 
 // SortedTables lists catalog tables (stable order, for reports).
 func (e *Engine) SortedTables() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var names []string
 	for n := range e.tables {
 		names = append(names, n)

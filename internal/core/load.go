@@ -30,9 +30,9 @@ func partitionOf(key int64, parts int) int {
 func (e *Engine) Load(table string, batches []*vector.Batch) error {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
-	e.mu.Lock()
+	e.mu.RLock()
 	t, ok := e.tables[table]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("core: unknown table %q", table)
 	}
@@ -144,6 +144,7 @@ func (e *Engine) appendStable(t *Table, part *Partition, b *vector.Batch) error 
 	err = e.mgr.ResetAfterFlush(part.Key, newMeta.Rows)
 	part.mu.Unlock()
 	deleteAll(e.fs, deletable)
+	e.bumpEpoch()
 	if err != nil {
 		return err
 	}
@@ -182,9 +183,9 @@ func (e *Engine) InsertRows(table string, b *vector.Batch) error {
 func (e *Engine) InsertRowsContext(ctx context.Context, table string, b *vector.Batch) error {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
-	e.mu.Lock()
+	e.mu.RLock()
 	t, ok := e.tables[table]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("core: unknown table %q", table)
 	}
@@ -260,13 +261,13 @@ type widenOp struct {
 func (e *Engine) updateWhere(ctx context.Context, table string, pred plan.Expr, setCols []string, setExprs []plan.Expr) (int64, error) {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
-	e.mu.Lock()
+	e.mu.RLock()
 	t, ok := e.tables[table]
 	nodeOf := map[string]int{}
 	for i, n := range e.active {
 		nodeOf[n] = i
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("core: unknown table %q", table)
 	}
@@ -453,6 +454,7 @@ func (e *Engine) applyWidens(part *Partition, widens []widenOp) {
 	part.mu.Lock()
 	part.publishLocked(newMeta, nil)
 	part.mu.Unlock()
+	e.bumpEpoch()
 }
 
 func widenAll(m *colstore.PartitionMeta, col string, n int64, f float64, s string) {
@@ -491,9 +493,9 @@ func (e *Engine) maybePropagate(t *Table) error {
 func (e *Engine) PropagatePartition(table string, partIdx int) error {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
-	e.mu.Lock()
+	e.mu.RLock()
 	t, ok := e.tables[table]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("core: unknown table %q", table)
 	}
@@ -505,12 +507,12 @@ func (e *Engine) PropagatePartition(table string, partIdx int) error {
 
 // propagatePartition is PropagatePartition with e.writeMu held.
 func (e *Engine) propagatePartition(t *Table, part *Partition) error {
-	e.mu.Lock()
+	e.mu.RLock()
 	nodeOf := map[string]int{}
 	for i, n := range e.active {
 		nodeOf[n] = i
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if err := e.mgr.PropagateWriteToRead(part.Key); err != nil {
 		return err
 	}
@@ -590,6 +592,7 @@ func (e *Engine) propagatePartition(t *Table, part *Partition) error {
 	err = e.mgr.ResetAfterFlush(part.Key, newMeta.Rows)
 	part.mu.Unlock()
 	deleteAll(e.fs, deletable)
+	e.bumpEpoch()
 	return err
 }
 

@@ -108,10 +108,10 @@ func (e *Engine) queryStream(ctx context.Context, q plan.Node, qo QueryOptions, 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	e.mu.Lock()
+	e.mu.RLock()
 	nodes := len(e.active)
 	net := e.net
-	e.mu.Unlock()
+	e.mu.RUnlock()
 
 	opts := rewriter.DefaultOptions(nodes, e.cfg.ThreadsPerNode)
 	if qo.LocalJoin != nil {
@@ -208,9 +208,9 @@ func (e *Engine) queryStream(ctx context.Context, q plan.Node, qo QueryOptions, 
 
 // Explain returns the distributed physical plan without executing it.
 func (e *Engine) Explain(q plan.Node) (string, error) {
-	e.mu.Lock()
+	e.mu.RLock()
 	nodes := len(e.active)
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	phys, est, err := rewriter.RewriteEst(q, e, rewriter.DefaultOptions(nodes, e.cfg.ThreadsPerNode))
 	if err != nil {
 		return "", err

@@ -33,8 +33,8 @@ import (
 
 // ResponsibleParts implements rewriter.ScanProvider.
 func (e *Engine) ResponsibleParts(table string, node int) []int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	t, ok := e.tables[table]
 	if !ok || node >= len(e.active) {
 		return nil
@@ -55,13 +55,13 @@ func (e *Engine) PartitionScan(table string, partIdx int, cols []string, pred *r
 }
 
 func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
-	e.mu.Lock()
+	e.mu.RLock()
 	t, ok := e.tables[table]
 	var nodeName string
 	if node < len(e.active) {
 		nodeName = e.active[node]
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)
 	}
@@ -77,13 +77,13 @@ func (e *Engine) ReplicatedScan(table string, cols []string, pred *rewriter.Scan
 }
 
 func (e *Engine) replicatedScanCtx(ctx context.Context, table string, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
-	e.mu.Lock()
+	e.mu.RLock()
 	t, ok := e.tables[table]
 	var nodeName string
 	if node < len(e.active) {
 		nodeName = e.active[node]
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)
 	}
@@ -129,6 +129,7 @@ type mscan struct {
 	ctx    context.Context
 
 	// Acquired at Open in one critical section, released at Close.
+	gen      *metaGen
 	meta     *colstore.PartitionMeta
 	readPDT  *pdt.PDT
 	writePDT *pdt.PDT
@@ -168,14 +169,18 @@ func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols [
 // (intersected into the qualifying ranges) and — unless the set is
 // skip-only — a vectorized row kernel.
 func (m *mscan) Open() error {
-	m.part.mu.Lock()
+	// Shared read lock: any number of scans open concurrently; only a writer
+	// publishing a new generation (and resetting PDTs) excludes them, which
+	// keeps the block image and delta image of one scan consistent.
+	m.part.mu.RLock()
 	read, write, err := m.eng.mgr.Snapshot(m.part.Key)
 	if err != nil {
-		m.part.mu.Unlock()
+		m.part.mu.RUnlock()
 		return err
 	}
-	m.meta = m.part.acquireLocked()
-	m.part.mu.Unlock()
+	m.gen = m.part.pinLocked()
+	m.part.mu.RUnlock()
+	m.meta = m.gen.meta
 	m.readPDT, m.writePDT = read, write
 
 	ranges := m.meta.FullRange()
@@ -234,6 +239,7 @@ func (m *mscan) Open() error {
 		m.releaseMeta()
 		return err
 	}
+	sc.SetCache(m.eng.blockCache)
 	m.sc = sc
 	schema := m.meta.Schema()
 	m.readM = pdt.NewMerger(m.readPDT, schema, m.colIdx)
@@ -438,9 +444,9 @@ func (m *mscan) filterBatch(b *vector.Batch) *vector.Batch {
 }
 
 func (m *mscan) releaseMeta() {
-	if m.meta != nil {
-		m.part.release(m.meta, m.eng.fs)
-		m.meta = nil
+	if m.gen != nil {
+		m.part.release(m.gen, m.eng.fs)
+		m.gen, m.meta = nil, nil
 	}
 }
 
@@ -455,6 +461,7 @@ func (m *mscan) Close() error {
 		st := m.sc.Stats()
 		m.eng.scanBlocksRead.Add(st.BlocksRead)
 		m.eng.scanBytesDecoded.Add(st.BytesDecoded)
+		m.eng.scanCacheHits.Add(st.CacheHits)
 		m.eng.scanSpansPruned.Add(m.spansPruned)
 		m.spansPruned = 0
 		m.sc.Close()

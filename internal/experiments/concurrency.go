@@ -19,6 +19,9 @@ type ConcurrencyPoint struct {
 	Queries  int // total queries completed across sessions
 	Elapsed  time.Duration
 	QPS      float64
+	// Per-query wall-clock latency percentiles (prepare excluded; queue
+	// wait included — under admission control the tail IS the queue).
+	P50, P95, P99 time.Duration
 }
 
 // ConcurrencyResult is the multi-session throughput experiment: the
@@ -32,6 +35,12 @@ type ConcurrencyResult struct {
 	Points        []ConcurrencyPoint
 	Validated     int  // queries checked row-identical vs in-process execution
 	AllMatch      bool // every validated query matched
+	// PlanCacheHitRate is hits/(hits+misses) of the shared compiled-plan
+	// cache over the whole run. A repeated-query workload should sit well
+	// above 0.9: every session executes the same 22 statements through
+	// wire-level prepared statements, so only the first compile of each
+	// distinct text (and post-DML epoch flushes) misses.
+	PlanCacheHitRate float64
 }
 
 // Report renders the experiment.
@@ -40,23 +49,28 @@ func (r *ConcurrencyResult) Report() string {
 	fmt.Fprintf(&sb, "serving-layer concurrency (sf=%g, %d nodes, admission limit %d):\n",
 		r.SF, r.Nodes, r.MaxConcurrent)
 	for _, p := range r.Points {
-		fmt.Fprintf(&sb, "  %2d sessions  %4d queries in %-12v  %7.1f q/s\n",
-			p.Sessions, p.Queries, p.Elapsed.Round(time.Millisecond), p.QPS)
+		fmt.Fprintf(&sb, "  %3d sessions  %5d queries in %-12v  %7.1f q/s   p50 %-9v p95 %-9v p99 %v\n",
+			p.Sessions, p.Queries, p.Elapsed.Round(time.Millisecond), p.QPS,
+			p.P50.Round(time.Microsecond), p.P95.Round(time.Microsecond), p.P99.Round(time.Microsecond))
 	}
 	status := "OK"
 	if !r.AllMatch {
 		status = "MISMATCH"
 	}
 	fmt.Fprintf(&sb, "  validation: %d remote results vs in-process execution: %s\n", r.Validated, status)
+	fmt.Fprintf(&sb, "  plan cache hit rate: %.1f%%\n", 100*r.PlanCacheHitRate)
 	return sb.String()
 }
 
 // Concurrency runs the serving-layer experiment: start vectorh-serve
 // in-process over loopback TCP, then drive the SQL TPC-H workload from 1,
-// 4 and 16 concurrent client sessions, recording aggregate queries/sec.
-// Every session's first pass is validated row-identical (floats rounded —
-// exchange arrival order perturbs the last bits) against in-process
-// execution of the same statements.
+// 4, 16, 64 and 256 concurrent client sessions, recording aggregate
+// queries/sec and per-query latency percentiles. Each session registers the
+// 22 statements as wire-level prepared statements once, then executes by
+// handle, so all compilation beyond the first of each text is served by the
+// shared plan cache. Every session's first pass is validated row-identical
+// (floats rounded — exchange arrival order perturbs the last bits) against
+// in-process execution of the same statements.
 func Concurrency(sf float64, nodes int) (*ConcurrencyResult, error) {
 	const threads, partitions = 2, 6
 	eng, err := NewEngine(nodes, threads, partitions)
@@ -84,74 +98,136 @@ func Concurrency(sf float64, nodes int) (*ConcurrencyResult, error) {
 	}
 
 	res := &ConcurrencyResult{SF: sf, Nodes: nodes, MaxConcurrent: 8, AllMatch: true}
-	srv := server.New(db, server.Options{MaxConcurrent: res.MaxConcurrent})
+	// QueueWait must cover the deepest backlog: at 256 sessions over 8
+	// slots a query can sit queued for minutes — that is measured tail
+	// latency, not a rejection.
+	srv := server.New(db, server.Options{MaxConcurrent: res.MaxConcurrent, QueueWait: 5 * time.Minute})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	defer srv.Close()
 
-	const passes = 3 // each session runs the full workload this many times
-	for _, sessions := range []int{1, 4, 16} {
-		clients := make([]*server.Client, sessions)
-		for i := range clients {
-			c, err := server.Dial(addr.String())
-			if err != nil {
-				return nil, err
-			}
-			defer c.Close()
-			clients[i] = c
+	for _, sessions := range []int{1, 4, 16, 64, 256} {
+		// Each session runs the full workload `passes` times; one pass at
+		// the widest levels keeps the experiment's runtime bounded while
+		// still measuring thousands of queries per point.
+		passes := 3
+		if sessions >= 64 {
+			passes = 1
 		}
-		var wg sync.WaitGroup
-		errs := make(chan error, sessions)
-		var mu sync.Mutex
-		validated, mismatches := 0, 0
-		start := time.Now()
-		for _, c := range clients {
-			wg.Add(1)
-			go func(c *server.Client) {
-				defer wg.Done()
-				for pass := 0; pass < passes; pass++ {
-					for _, q := range qs {
-						r, err := c.Query(context.Background(), tpch.SQLQueries[q])
-						if err != nil {
-							errs <- fmt.Errorf("Q%02d: %w", q, err)
-							return
-						}
-						if pass == 0 {
-							match := eqStrings(normRows(r.Rows), want[q])
-							mu.Lock()
-							validated++
-							if !match {
-								mismatches++
-							}
-							mu.Unlock()
-						}
-					}
-				}
-				errs <- nil
-			}(c)
+		point, validated, mismatches, err := runLevel(db, addr.String(), qs, want, sessions, passes)
+		if err != nil {
+			return nil, err
 		}
-		wg.Wait()
-		elapsed := time.Since(start)
-		for range clients {
-			if err := <-errs; err != nil {
-				return nil, err
-			}
-		}
-		total := sessions * passes * len(qs)
-		res.Points = append(res.Points, ConcurrencyPoint{
-			Sessions: sessions,
-			Queries:  total,
-			Elapsed:  elapsed,
-			QPS:      float64(total) / elapsed.Seconds(),
-		})
+		res.Points = append(res.Points, point)
 		res.Validated += validated
 		if mismatches > 0 {
 			res.AllMatch = false
 		}
 	}
+	pc := db.PlanCacheStats()
+	if total := pc.Hits + pc.Misses; total > 0 {
+		res.PlanCacheHitRate = float64(pc.Hits) / float64(total)
+	}
 	return res, nil
+}
+
+// runLevel drives one load level and returns its point plus validation
+// counts.
+func runLevel(db *vectorh.DB, addr string, qs []int, want map[int][]string,
+	sessions, passes int) (ConcurrencyPoint, int, int, error) {
+	clients := make([]*server.Client, sessions)
+	stmts := make([][]*server.PreparedStmt, sessions)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := range clients {
+		c, err := server.Dial(addr)
+		if err != nil {
+			return ConcurrencyPoint{}, 0, 0, err
+		}
+		clients[i] = c
+		stmts[i] = make([]*server.PreparedStmt, len(qs))
+		for j, q := range qs {
+			ps, err := c.Prepare(tpch.SQLQueries[q])
+			if err != nil {
+				return ConcurrencyPoint{}, 0, 0, fmt.Errorf("prepare Q%02d: %w", q, err)
+			}
+			stmts[i][j] = ps
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	lats := make([][]time.Duration, sessions)
+	var mu sync.Mutex
+	validated, mismatches := 0, 0
+	start := time.Now()
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, passes*len(qs))
+			for pass := 0; pass < passes; pass++ {
+				for j, q := range qs {
+					t0 := time.Now()
+					r, err := stmts[i][j].Query(context.Background())
+					if err != nil {
+						errs <- fmt.Errorf("Q%02d: %w", q, err)
+						return
+					}
+					mine = append(mine, time.Since(t0))
+					if pass == 0 {
+						match := eqStrings(normRows(r.Rows), want[q])
+						mu.Lock()
+						validated++
+						if !match {
+							mismatches++
+						}
+						mu.Unlock()
+					}
+				}
+			}
+			lats[i] = mine
+			errs <- nil
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for range clients {
+		if err := <-errs; err != nil {
+			return ConcurrencyPoint{}, 0, 0, err
+		}
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	total := sessions * passes * len(qs)
+	return ConcurrencyPoint{
+		Sessions: sessions,
+		Queries:  total,
+		Elapsed:  elapsed,
+		QPS:      float64(total) / elapsed.Seconds(),
+		P50:      percentile(all, 0.50),
+		P95:      percentile(all, 0.95),
+		P99:      percentile(all, 0.99),
+	}, validated, mismatches, nil
+}
+
+// percentile reads the q-quantile from sorted latencies.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
 }
 
 func normRows(rows [][]any) []string {

@@ -27,17 +27,32 @@ import (
 
 // NewEngine builds a benchmark-sized VectorH instance.
 func NewEngine(nodes, threads, partitions int) (*core.Engine, error) {
+	return core.New(benchConfig(nodes, threads))
+}
+
+// NewEngineNoCache builds the same instance with the shared decoded-block
+// cache disabled, for experiments that meter physical decode work per
+// iteration — with the cache on, every pass after the first would read and
+// decode (almost) nothing and the counters would measure cache hits, not
+// scan selectivity.
+func NewEngineNoCache(nodes, threads, partitions int) (*core.Engine, error) {
+	cfg := benchConfig(nodes, threads)
+	cfg.BlockCacheBytes = -1
+	return core.New(cfg)
+}
+
+func benchConfig(nodes, threads int) core.Config {
 	names := make([]string, nodes)
 	for i := range names {
 		names[i] = fmt.Sprintf("node%d", i+1)
 	}
-	return core.New(core.Config{
+	return core.Config{
 		Nodes:          names,
 		ThreadsPerNode: threads,
 		BlockSize:      1 << 20,
 		Format:         colstore.Format{BlockSize: 64 << 10, BlocksPerChunk: 256, MaxRowsPerBlock: 8192},
 		MsgBytes:       64 << 10,
-	})
+	}
 }
 
 // --- E1: Figure 1 — data format micro-benchmarks ---

@@ -82,7 +82,8 @@ var selectivityWindows = []struct{ label, lo, hi string }{
 // of the pre-pushdown Select-above-scan pipeline, and validating that both
 // return the same aggregate.
 func Selectivity(sf float64, nodes int) (*SelectivityResult, error) {
-	eng, err := NewEngine(nodes, 2, 2*nodes)
+	// No block cache: this experiment meters decode work per iteration.
+	eng, err := NewEngineNoCache(nodes, 2, 2*nodes)
 	if err != nil {
 		return nil, err
 	}

@@ -131,30 +131,57 @@ type sendBuffer struct {
 	bytes int
 }
 
-func (sb *sendBuffer) add(e *Exchange, src *vector.Batch, phys int32, extra int32, withExtra bool) {
-	if sb.vecs == nil {
-		for _, v := range src.Vecs {
-			sb.vecs = append(sb.vecs, vector.New(v.Kind(), 256))
-		}
-		if withExtra {
-			sb.vecs = append(sb.vecs, vector.New(vector.Int32, 256))
-		}
-	}
-	before := sb.bytes
-	for i, v := range src.Vecs {
-		sb.vecs[i].AppendFrom(v, int(phys))
+// init lays out the buffer's vectors to mirror src (plus the receiver-thread
+// column in thread-to-node mode).
+func (sb *sendBuffer) init(src *vector.Batch, withExtra bool) {
+	for _, v := range src.Vecs {
+		sb.vecs = append(sb.vecs, vector.New(v.Kind(), 256))
 	}
 	if withExtra {
-		// The receiver-thread column (one byte per tuple in the paper;
-		// an int32 here — the accounting difference is noted in
-		// DESIGN.md).
-		sb.vecs[len(sb.vecs)-1].AppendInt32(extra)
+		// The receiver-thread column (one byte per tuple in the paper; an
+		// int32 here — the accounting difference is noted in DESIGN.md).
+		sb.vecs = append(sb.vecs, vector.New(vector.Int32, 256))
 	}
-	sb.bytes = 0
-	for _, v := range sb.vecs {
-		sb.bytes += v.Bytes()
+}
+
+// addGather bulk-appends the selected rows of src, tagging each with the
+// receiver thread when withExtra is set. Routing is batch-wise: the caller
+// groups a batch's rows per destination once and appends each group with one
+// gather per column, so the sender's cost is O(rows·cols) appends with byte
+// accounting per group — not a full buffer re-sum per row, which dominated
+// exchange-heavy profiles.
+func (sb *sendBuffer) addGather(e *Exchange, src *vector.Batch, sel []int32, thread int32, withExtra bool) {
+	if sb.vecs == nil {
+		sb.init(src, withExtra)
 	}
-	e.bufDelta(sb.bytes - before)
+	delta := 0
+	for i, v := range src.Vecs {
+		sb.vecs[i].AppendGather(v, sel)
+		delta += v.GatherBytes(sel)
+	}
+	if withExtra {
+		tv := sb.vecs[len(sb.vecs)-1]
+		for range sel {
+			tv.AppendInt32(thread)
+		}
+		delta += len(sel) * 4
+	}
+	sb.bytes += delta
+	e.bufDelta(delta)
+}
+
+// addAll bulk-appends every row of a dense (Sel-free) batch.
+func (sb *sendBuffer) addAll(e *Exchange, src *vector.Batch) {
+	if sb.vecs == nil {
+		sb.init(src, false)
+	}
+	delta := 0
+	for i, v := range src.Vecs {
+		sb.vecs[i].AppendRange(v, 0, v.Len())
+		delta += v.Bytes()
+	}
+	sb.bytes += delta
+	e.bufDelta(delta)
 }
 
 func (sb *sendBuffer) take(e *Exchange) *vector.Batch {
@@ -364,6 +391,21 @@ func runSplitSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator,
 	} else {
 		bufs = make([]sendBuffer, len(consumersPerNode))
 	}
+	// Per-stream routing tables and reusable selection lists: rows of each
+	// batch are grouped by destination stream first, then appended buffer-wise
+	// with one gather per column.
+	destOf := make([]int, totalStreams)
+	threadOf := make([]int32, totalStreams)
+	for s := 0; s < totalStreams; s++ {
+		if t2t {
+			destOf[s] = s
+		} else {
+			dn := streamNode[s]
+			destOf[s] = dn
+			threadOf[s] = int32(s - firstStreamOf(dn, consumersPerNode))
+		}
+	}
+	sels := make([][]int32, totalStreams)
 	fail := func(err error) {
 		// Deliver the error through rank 0 so some consumer sees it.
 		comm.SendQuit(node, 0, errBatch(err), ex.quit)
@@ -396,27 +438,26 @@ func runSplitSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator,
 			return
 		}
 		scratch = rvals
+		for i := range sels {
+			sels[i] = sels[i][:0]
+		}
 		for r := 0; r < b.Len(); r++ {
 			stream := int(rvals[r] % uint64(totalStreams))
 			phys := int32(r)
 			if b.Sel != nil {
 				phys = b.Sel[r]
 			}
-			if t2t {
-				bufs[stream].add(ex, b, phys, 0, false)
-				if bufs[stream].bytes >= ex.cfg.msgBytes() {
-					if !comm.SendQuit(node, stream, bufs[stream].take(ex), ex.quit) {
-						return
-					}
-				}
-			} else {
-				dn := streamNode[stream]
-				thread := int32(stream - firstStreamOf(dn, consumersPerNode))
-				bufs[dn].add(ex, b, phys, thread, true)
-				if bufs[dn].bytes >= ex.cfg.msgBytes() {
-					if !comm.SendQuit(node, dn, bufs[dn].take(ex), ex.quit) {
-						return
-					}
+			sels[stream] = append(sels[stream], phys)
+		}
+		for s, sel := range sels {
+			if len(sel) == 0 {
+				continue
+			}
+			d := destOf[s]
+			bufs[d].addGather(ex, b, sel, threadOf[s], !t2t)
+			if bufs[d].bytes >= ex.cfg.msgBytes() {
+				if !comm.SendQuit(node, d, bufs[d].take(ex), ex.quit) {
+					return
 				}
 			}
 		}
@@ -588,12 +629,10 @@ func runForwardSender(ex *Exchange, comm *mpi.Comm, node int, p exec.Operator, d
 		if b == nil {
 			break
 		}
-		for r := 0; r < b.Len(); r++ {
-			phys := int32(r)
-			if b.Sel != nil {
-				phys = b.Sel[r]
-			}
-			buf.add(ex, b, phys, 0, false)
+		if b.Sel == nil {
+			buf.addAll(ex, b)
+		} else {
+			buf.addGather(ex, b, b.Sel, 0, false)
 		}
 		if buf.bytes >= ex.cfg.msgBytes() {
 			out := buf.take(ex)

@@ -20,8 +20,10 @@ import (
 // is what lets Cancel (or a cancelled context) reach a query already in
 // flight.
 type Client struct {
-	conn   net.Conn
-	nextID atomic.Int64
+	conn     net.Conn
+	nextID   atomic.Int64
+	nextStmt atomic.Int64
+	closed   atomic.Bool
 
 	writeMu sync.Mutex
 
@@ -30,6 +32,11 @@ type Client struct {
 	readErr error
 	done    chan struct{}
 }
+
+// errClientClosed is returned by any operation attempted after Close. It is
+// an ordinary error, never a panic: a racing cancel frame (a context firing
+// while Close tears the session down) must degrade cleanly.
+var errClientClosed = errors.New("server: client closed")
 
 // Result is a fully collected query result.
 type Result struct {
@@ -49,8 +56,14 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
-// Close tears the session down; in-flight requests fail.
+// Close tears the session down; in-flight requests fail with a clean
+// connection-lost error. Close is idempotent and safe to race with
+// in-flight Query/Exec/Cancel traffic.
 func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		<-c.done
+		return nil
+	}
 	err := c.conn.Close()
 	<-c.done // reader drained; every pending channel is closed
 	return err
@@ -92,6 +105,9 @@ func (c *Client) readLoop() {
 }
 
 func (c *Client) register() (int64, chan *Response, error) {
+	if c.closed.Load() {
+		return 0, nil, errClientClosed
+	}
 	id := c.nextID.Add(1)
 	ch := make(chan *Response, 16)
 	c.mu.Lock()
@@ -110,6 +126,9 @@ func (c *Client) unregister(id int64) {
 }
 
 func (c *Client) writeFrame(v any) error {
+	if c.closed.Load() || c.conn == nil {
+		return errClientClosed
+	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	return WriteFrame(c.conn, v)
@@ -230,6 +249,106 @@ func (c *Client) QueryStream(ctx context.Context, query string, yield func(schem
 		}
 		return nil
 	})
+}
+
+// PreparedStmt is a server-side '?' template bound to one client session.
+// Execute round-trips only the handle and the positional values; the server
+// splices them into the template and runs the result through the shared
+// plan cache, so repeated executions skip SQL compilation entirely.
+type PreparedStmt struct {
+	c         *Client
+	id        int64
+	numParams int
+}
+
+// Prepare registers a parameterized statement template on the server.
+func (c *Client) Prepare(query string) (*PreparedStmt, error) {
+	id := c.nextStmt.Add(1)
+	resp, err := c.roundTrip(&Request{Op: OpPrepare, SQL: query, Stmt: id})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != RespStmt {
+		return nil, fmt.Errorf("server: unexpected %q response to prepare", resp.Type)
+	}
+	return &PreparedStmt{c: c, id: id, numParams: resp.NumParams}, nil
+}
+
+// NumParams returns the number of '?' markers in the template.
+func (p *PreparedStmt) NumParams() int { return p.numParams }
+
+// Query executes a prepared SELECT with the given parameter values and
+// collects the streamed result.
+func (p *PreparedStmt) Query(ctx context.Context, params ...any) (*Result, error) {
+	res := &Result{}
+	err := p.QueryStream(ctx, params, func(schema []ColDesc, rows [][]any) error {
+		res.Schema = schema
+		res.Rows = append(res.Rows, rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// QueryStream executes a prepared SELECT, invoking yield like
+// Client.QueryStream.
+func (p *PreparedStmt) QueryStream(ctx context.Context, params []any, yield func(schema []ColDesc, rows [][]any) error) error {
+	var schema []ColDesc
+	var types []vector.Type
+	return p.c.run(ctx, &Request{Op: OpExecute, Stmt: p.id, Params: normParams(params)}, func(resp *Response) error {
+		switch resp.Type {
+		case RespSchema:
+			schema = resp.Schema
+			var err error
+			types, err = schemaTypes(schema)
+			if err != nil {
+				return err
+			}
+			return yield(schema, nil)
+		case RespRows:
+			if types == nil {
+				return errors.New("server: rows frame before schema frame")
+			}
+			for _, row := range resp.Rows {
+				if err := decodeRow(row, types); err != nil {
+					return err
+				}
+			}
+			return yield(schema, resp.Rows)
+		}
+		return nil
+	})
+}
+
+// Exec executes a prepared DML statement, returning affected rows.
+func (p *PreparedStmt) Exec(ctx context.Context, params ...any) (int64, error) {
+	var affected int64
+	err := p.c.run(ctx, &Request{Op: OpExecute, Stmt: p.id, Params: normParams(params)},
+		func(resp *Response) error {
+			if resp.Type == RespDone {
+				affected = resp.Affected
+			}
+			return nil
+		})
+	return affected, err
+}
+
+// Close drops the statement on the server.
+func (p *PreparedStmt) Close() error {
+	_, err := p.c.roundTrip(&Request{Op: OpCloseStmt, Stmt: p.id})
+	return err
+}
+
+// normParams gives Params a non-nil identity so an execute frame for a
+// zero-parameter statement still carries `"params":[]` (the server
+// distinguishes "no values" from a malformed frame by count, not presence).
+func normParams(params []any) []any {
+	if params == nil {
+		return []any{}
+	}
+	return params
 }
 
 // run drives one request to its terminal frame, racing the context: on

@@ -32,12 +32,15 @@ const (
 
 // Request ops.
 const (
-	OpQuery   = "query"   // SQL SELECT; streamed response
-	OpExec    = "exec"    // SQL DML; done{affected}
-	OpExplain = "explain" // SQL SELECT; plan text
-	OpCancel  = "cancel"  // cancel the in-flight request named by Target
-	OpPing    = "ping"    // liveness; pong
-	OpStats   = "stats"   // server metrics snapshot
+	OpQuery     = "query"      // SQL SELECT; streamed response
+	OpExec      = "exec"       // SQL DML; done{affected}
+	OpExplain   = "explain"    // SQL SELECT; plan text
+	OpCancel    = "cancel"     // cancel the in-flight request named by Target
+	OpPing      = "ping"       // liveness; pong
+	OpStats     = "stats"      // server metrics snapshot
+	OpPrepare   = "prepare"    // register a '?' template under Stmt; stmt{num_params}
+	OpExecute   = "execute"    // run prepared Stmt with Params; query/exec response shape
+	OpCloseStmt = "close-stmt" // drop the statement registered under Stmt
 )
 
 // Response types.
@@ -49,6 +52,7 @@ const (
 	RespPlan   = "plan"
 	RespPong   = "pong"
 	RespStats  = "stats"
+	RespStmt   = "stmt"
 )
 
 // Request is one client frame.
@@ -58,6 +62,8 @@ type Request struct {
 	SQL       string `json:"sql,omitempty"`
 	Target    int64  `json:"target,omitempty"`     // cancel: id of the request to cancel
 	TimeoutMs int64  `json:"timeout_ms,omitempty"` // query/exec deadline; 0 = none
+	Stmt      int64  `json:"stmt,omitempty"`       // prepare/execute/close-stmt: statement handle (client-chosen)
+	Params    []any  `json:"params,omitempty"`     // execute: positional values for the template's '?' markers
 }
 
 // ColDesc describes one result column (the client needs the physical kind
@@ -85,18 +91,29 @@ func (e *WireError) Error() string {
 	return e.Msg
 }
 
+// PlanCacheInfo is the compiled-plan cache block inside a stats snapshot.
+type PlanCacheInfo struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	Entries       int64 `json:"entries"`
+}
+
 // StatsSnapshot is the serving-layer metrics block returned by OpStats.
 type StatsSnapshot struct {
-	Sessions         int64 `json:"sessions"`
-	TotalSessions    int64 `json:"total_sessions"`
-	ActiveQueries    int64 `json:"active_queries"`
-	QueuedQueries    int64 `json:"queued_queries"`
-	CompletedQueries int64 `json:"completed_queries"`
-	CancelledQueries int64 `json:"cancelled_queries"`
-	FailedQueries    int64 `json:"failed_queries"`
-	RejectedQueries  int64 `json:"rejected_queries"` // admission queue timeouts
-	RowsServed       int64 `json:"rows_served"`
-	MaxConcurrent    int   `json:"max_concurrent"`
+	Sessions         int64          `json:"sessions"`
+	TotalSessions    int64          `json:"total_sessions"`
+	ActiveQueries    int64          `json:"active_queries"`
+	QueuedQueries    int64          `json:"queued_queries"`
+	CompletedQueries int64          `json:"completed_queries"`
+	CancelledQueries int64          `json:"cancelled_queries"`
+	FailedQueries    int64          `json:"failed_queries"`
+	RejectedQueries  int64          `json:"rejected_queries"` // admission queue timeouts
+	RowsServed       int64          `json:"rows_served"`
+	OpenStatements   int64          `json:"open_statements"` // prepared statements across live sessions
+	MaxConcurrent    int            `json:"max_concurrent"`
+	PlanCache        *PlanCacheInfo `json:"plan_cache,omitempty"`
 }
 
 // Response is one server frame.
@@ -110,6 +127,7 @@ type Response struct {
 	Plan      string         `json:"plan,omitempty"`
 	Err       *WireError     `json:"err,omitempty"`
 	Stats     *StatsSnapshot `json:"stats,omitempty"`
+	NumParams int            `json:"num_params,omitempty"` // stmt: '?' count in the template
 }
 
 // WriteFrame marshals v and writes one frame.

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -34,7 +35,7 @@ func TestFrameGoldenEncode(t *testing.T) {
 	if err := unmarshalStrictNumbers(payload, &got); err != nil {
 		t.Fatal(err)
 	}
-	if got != req {
+	if !reflect.DeepEqual(got, req) {
 		t.Fatalf("round trip: got %+v want %+v", got, req)
 	}
 }

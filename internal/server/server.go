@@ -58,6 +58,7 @@ type metrics struct {
 	failed        atomic.Int64
 	rejected      atomic.Int64
 	rowsServed    atomic.Int64
+	openStmts     atomic.Int64
 }
 
 // Server serves SQL over the frame protocol on a TCP listener. One Server
@@ -161,8 +162,10 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Stats returns a point-in-time metrics snapshot.
+// Stats returns a point-in-time metrics snapshot, including the shared
+// compiled-plan cache counters.
 func (s *Server) Stats() StatsSnapshot {
+	pc := s.db.PlanCacheStats()
 	return StatsSnapshot{
 		Sessions:         s.m.sessions.Load(),
 		TotalSessions:    s.m.totalSessions.Load(),
@@ -173,7 +176,15 @@ func (s *Server) Stats() StatsSnapshot {
 		FailedQueries:    s.m.failed.Load(),
 		RejectedQueries:  s.m.rejected.Load(),
 		RowsServed:       s.m.rowsServed.Load(),
+		OpenStatements:   s.m.openStmts.Load(),
 		MaxConcurrent:    s.opt.MaxConcurrent,
+		PlanCache: &PlanCacheInfo{
+			Hits:          pc.Hits,
+			Misses:        pc.Misses,
+			Evictions:     pc.Evictions,
+			Invalidations: pc.Invalidations,
+			Entries:       pc.Entries,
+		},
 	}
 }
 
@@ -186,14 +197,17 @@ type session struct {
 
 	mu       sync.Mutex
 	inflight map[int64]context.CancelCauseFunc
-	wg       sync.WaitGroup // request workers
+	stmts    map[int64]*sql.Prepared // prepared statements, keyed by client handle
+	wg       sync.WaitGroup          // request workers
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	s.m.sessions.Add(1)
 	s.m.totalSessions.Add(1)
-	sess := &session{srv: s, conn: conn, inflight: make(map[int64]context.CancelCauseFunc)}
+	sess := &session{srv: s, conn: conn,
+		inflight: make(map[int64]context.CancelCauseFunc),
+		stmts:    make(map[int64]*sql.Prepared)}
 	sess.readLoop()
 	// Connection gone (or server closing): cancel whatever is still
 	// running on this session and wait for the workers before closing.
@@ -201,6 +215,8 @@ func (s *Server) serveConn(conn net.Conn) {
 	for _, cancel := range sess.inflight {
 		cancel(errors.New("session closed"))
 	}
+	s.m.openStmts.Add(-int64(len(sess.stmts)))
+	sess.stmts = nil
 	sess.mu.Unlock()
 	sess.wg.Wait()
 	conn.Close()
@@ -230,6 +246,23 @@ func (ss *session) readLoop() {
 		case OpCancel:
 			ss.cancelRequest(req.Target)
 			ss.send(&Response{ID: req.ID, Type: RespDone})
+		case OpPrepare:
+			ss.handlePrepare(req)
+		case OpCloseStmt:
+			ss.handleCloseStmt(req)
+		case OpExecute:
+			// Bind in the read loop (cheap text splicing); execution itself
+			// runs on a worker like any query/exec.
+			bound, isSelect, err := ss.bindStmt(req)
+			if err != nil {
+				ss.sendErr(req.ID, err)
+				continue
+			}
+			op := OpQuery
+			if !isSelect {
+				op = OpExec
+			}
+			ss.startWork(Request{ID: req.ID, Op: op, SQL: bound, TimeoutMs: req.TimeoutMs})
 		case OpQuery, OpExec, OpExplain:
 			ss.startWork(req)
 		default:
@@ -237,6 +270,58 @@ func (ss *session) readLoop() {
 				Err: &WireError{Msg: fmt.Sprintf("unknown op %q", req.Op)}})
 		}
 	}
+}
+
+// handlePrepare lexes and validates a '?' template and registers it under
+// the client-chosen handle. Preparing is pure frontend work (no plan is
+// built), so it bypasses admission control.
+func (ss *session) handlePrepare(req Request) {
+	p, err := sql.Prepare(req.SQL)
+	if err != nil {
+		ss.sendErr(req.ID, err)
+		return
+	}
+	ss.mu.Lock()
+	if ss.stmts == nil {
+		ss.mu.Unlock()
+		ss.sendErr(req.ID, errors.New("session closing"))
+		return
+	}
+	_, replaced := ss.stmts[req.Stmt]
+	ss.stmts[req.Stmt] = p
+	ss.mu.Unlock()
+	if !replaced {
+		ss.srv.m.openStmts.Add(1)
+	}
+	ss.send(&Response{ID: req.ID, Type: RespStmt, NumParams: p.NumParams()})
+}
+
+func (ss *session) handleCloseStmt(req Request) {
+	ss.mu.Lock()
+	_, ok := ss.stmts[req.Stmt]
+	delete(ss.stmts, req.Stmt)
+	ss.mu.Unlock()
+	if ok {
+		ss.srv.m.openStmts.Add(-1)
+	}
+	ss.send(&Response{ID: req.ID, Type: RespDone})
+}
+
+// bindStmt splices an execute frame's positional parameters into the
+// registered template, yielding ordinary SQL text in normalized form (the
+// plan-cache key shape), plus whether it is a SELECT.
+func (ss *session) bindStmt(req Request) (string, bool, error) {
+	ss.mu.Lock()
+	p := ss.stmts[req.Stmt]
+	ss.mu.Unlock()
+	if p == nil {
+		return "", false, fmt.Errorf("unknown statement handle %d", req.Stmt)
+	}
+	bound, err := p.Bind(req.Params)
+	if err != nil {
+		return "", false, err
+	}
+	return bound, p.IsSelect(), nil
 }
 
 func (ss *session) cancelRequest(id int64) {

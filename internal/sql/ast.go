@@ -162,6 +162,19 @@ func (e *DateLit) String() string {
 	return s
 }
 
+// ParamExpr is a positional statement parameter ('?'). Parameters exist only
+// in prepared-statement templates: Prepare assigns 1-based indices in lexical
+// order, and Bind splices literal values back into the token stream before
+// compilation, so a ParamExpr that survives to lowering is an error
+// ("unbound parameter").
+type ParamExpr struct {
+	Idx int // 1-based position
+	P   Pos
+}
+
+func (e *ParamExpr) pos() Pos       { return e.P }
+func (e *ParamExpr) String() string { return "?" }
+
 // BinExpr is a binary operation: arithmetic, comparison, AND, OR.
 type BinExpr struct {
 	Op   string // + - * / = <> < <= > >= and or

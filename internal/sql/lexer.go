@@ -235,7 +235,7 @@ func lex(src string) ([]token, error) {
 				continue
 			}
 			switch c {
-			case ',', '(', ')', '.', '*', '+', '-', '/', '=', '<', '>', ';':
+			case ',', '(', ')', '.', '*', '+', '-', '/', '=', '<', '>', ';', '?':
 				toks = append(toks, token{tSymbol, string(c), p})
 				adv(1)
 			default:

@@ -1325,6 +1325,8 @@ func lowerExpr(s vector.Schema, e Expr, top bool) (plan.Expr, error) {
 			return plan.Expr{}, errf(x.P, "CASE branches mix %s and %s", tt, et)
 		}
 		return plan.Case(we, te, ee), nil
+	case *ParamExpr:
+		return plan.Expr{}, errf(x.P, "unbound parameter ?%d (bind values with a prepared statement)", x.Idx)
 	case *SubqueryExpr:
 		return plan.Expr{}, errf(x.P, "scalar subquery is only supported in top-level AND conjuncts")
 	case *ExistsExpr:

@@ -177,8 +177,9 @@ func (p *parser) parseDelete() (*DeleteStmt, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks   []token
+	i      int
+	params int // '?' parameters seen so far (1-based indices)
 }
 
 func (p *parser) peek() token  { return p.toks[p.i] }
@@ -649,6 +650,10 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case t.kind == tString:
 		p.next()
 		return &StrLit{V: t.text, P: t.pos}, nil
+	case t.kind == tSymbol && t.text == "?":
+		p.next()
+		p.params++
+		return &ParamExpr{Idx: p.params, P: t.pos}, nil
 	case t.kind == tKeyword && t.text == "date":
 		return p.parseDateLit()
 	case t.kind == tKeyword && t.text == "case":

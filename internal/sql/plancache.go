@@ -1,0 +1,199 @@
+package sql
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"vectorh/internal/plan"
+	"vectorh/internal/vector"
+)
+
+// PlanCache caches compiled SELECT plans keyed by the statement's normalized
+// token text, so repeated queries — the dominant shape of a multi-session
+// serving workload, especially with prepared statements — skip parsing,
+// binding, decorrelation and join ordering entirely and reuse one lowered
+// plan.Node across sessions. Cached plans are logical trees: execution
+// instantiates fresh operators per query, so sharing a node between
+// concurrent executions is safe.
+//
+// Consistency is enforced by the engine's catalog epoch: every DDL statement,
+// DML commit, bulk load and background rewrite bumps the epoch, and the cache
+// flushes wholesale the first time it is consulted under a new epoch. A plan
+// can therefore never be served against a catalog (or statistics snapshot)
+// newer than the one it was compiled for.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	epoch   int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+type planEntry struct {
+	key    string
+	node   plan.Node
+	schema vector.Schema
+}
+
+// PlanCacheStats is a point-in-time snapshot of the cache counters.
+type PlanCacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"` // entries dropped by epoch flushes
+	Entries       int64 `json:"entries"`
+}
+
+// NewPlanCache creates a cache bounded to capEntries compiled plans
+// (128 when capEntries <= 0).
+func NewPlanCache(capEntries int) *PlanCache {
+	if capEntries <= 0 {
+		capEntries = 128
+	}
+	return &PlanCache{
+		cap:     capEntries,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Stats returns the cache's cumulative counters and current size.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	n := int64(c.lru.Len())
+	c.mu.Unlock()
+	return PlanCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       n,
+	}
+}
+
+// flushLocked drops every entry (epoch change).
+func (c *PlanCache) flushLocked() {
+	n := int64(c.lru.Len())
+	if n > 0 {
+		c.invalidations.Add(n)
+	}
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+}
+
+func (c *PlanCache) lookup(key string, epoch int64) (plan.Node, vector.Schema, bool) {
+	c.mu.Lock()
+	if epoch != c.epoch {
+		c.flushLocked()
+		c.epoch = epoch
+	}
+	el, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, nil, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*planEntry)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return e.node, e.schema, true
+}
+
+func (c *PlanCache) store(key string, epoch int64, n plan.Node, s vector.Schema) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		c.flushLocked()
+		c.epoch = epoch
+	}
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&planEntry{key: key, node: n, schema: s})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*planEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Compile returns a lowered plan and output schema for src, consulting the
+// cache first. The boolean reports whether the plan came from the cache.
+// Only SELECT statements are cached; anything else (and any statement that
+// fails to lex) falls through to a direct Compile so errors surface
+// unchanged.
+func (c *PlanCache) Compile(src string, cat plan.Catalog, epoch int64) (plan.Node, vector.Schema, bool, error) {
+	key, cacheable := NormalizeSQL(src)
+	if !cacheable {
+		n, err := Compile(src, cat)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		s, err := n.Schema(cat)
+		return n, s, false, err
+	}
+	if n, s, ok := c.lookup(key, epoch); ok {
+		return n, s, true, nil
+	}
+	n, err := Compile(src, cat)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	s, err := n.Schema(cat)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	c.store(key, epoch, n, s)
+	return n, s, false, nil
+}
+
+// NormalizeSQL reduces a statement to its canonical token text: keywords and
+// identifiers lower-cased (the lexer already does this), whitespace and
+// comments collapsed, string literals re-quoted. Two statements that differ
+// only in formatting therefore share one cache entry. The boolean is false
+// when src does not lex or is not a SELECT — such statements are not
+// cacheable.
+func NormalizeSQL(src string) (string, bool) {
+	toks, err := lex(src)
+	if err != nil {
+		return "", false
+	}
+	if len(toks) == 0 || !(toks[0].kind == tKeyword && toks[0].text == "select") {
+		return "", false
+	}
+	var sb strings.Builder
+	sb.Grow(len(src))
+	for i, t := range toks {
+		if t.kind == tEOF {
+			break
+		}
+		if t.kind == tSymbol && t.text == ";" {
+			continue
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		writeToken(&sb, t)
+	}
+	return sb.String(), true
+}
+
+// writeToken renders one token back to SQL text.
+func writeToken(sb *strings.Builder, t token) {
+	if t.kind == tString {
+		sb.WriteByte('\'')
+		sb.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+		sb.WriteByte('\'')
+		return
+	}
+	sb.WriteString(t.text)
+}

@@ -324,6 +324,22 @@ func (v *Vec) Slice(lo, hi int) *Vec {
 	return out
 }
 
+// GatherBytes estimates the payload bytes of the elements sel selects —
+// what AppendGather(src, sel) would add to a destination, under the same
+// accounting as Bytes. Negative (padding) indices count as zero values.
+func (v *Vec) GatherBytes(sel []int32) int {
+	if v.kind == String {
+		total := 0
+		for _, i := range sel {
+			if i >= 0 {
+				total += len(v.str[i])
+			}
+		}
+		return total + len(sel)*16
+	}
+	return len(sel) * v.kind.Width()
+}
+
 // Bytes returns an estimate of the in-memory payload size.
 func (v *Vec) Bytes() int {
 	if v.kind == String {

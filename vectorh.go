@@ -19,8 +19,10 @@ package vectorh
 
 import (
 	"context"
+	"sync"
 
 	"vectorh/internal/core"
+	"vectorh/internal/plan"
 	"vectorh/internal/rewriter"
 	"vectorh/internal/sql"
 	"vectorh/internal/vector"
@@ -67,6 +69,9 @@ var (
 // entirely or not at all.
 type DB struct {
 	*core.Engine
+
+	planOnce sync.Once
+	plans    *sql.PlanCache
 }
 
 // Open starts a database.
@@ -76,6 +81,52 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	return &DB{Engine: e}, nil
+}
+
+// planCache lazily creates the shared compiled-plan cache (a DB built by
+// struct literal, as tests and experiments do, gets one on first use).
+func (db *DB) planCache() *sql.PlanCache {
+	db.planOnce.Do(func() { db.plans = sql.NewPlanCache(0) })
+	return db.plans
+}
+
+// compile lowers query through the plan cache, keyed on normalized token
+// text and the engine's current catalog epoch (so DDL, DML commits and
+// background rewrites invalidate cached plans).
+func (db *DB) compile(query string) (plan.Node, vector.Schema, error) {
+	n, s, _, err := db.planCache().Compile(query, db.Engine, db.Engine.CatalogEpoch())
+	return n, s, err
+}
+
+// PlanCacheStats returns the compiled-plan cache counters.
+func (db *DB) PlanCacheStats() sql.PlanCacheStats {
+	return db.planCache().Stats()
+}
+
+// Prepare parses a parameterized statement template ('?' markers). Use
+// QueryPrepared / ExecPrepared to run it with bound values; repeated
+// executions share one cached plan per distinct parameter binding.
+func (db *DB) Prepare(src string) (*sql.Prepared, error) {
+	return sql.Prepare(src)
+}
+
+// QueryPrepared binds params into a prepared SELECT and executes it through
+// the plan cache, returning all result rows.
+func (db *DB) QueryPrepared(ctx context.Context, stmt *sql.Prepared, params ...any) ([][]any, error) {
+	bound, err := stmt.Bind(params)
+	if err != nil {
+		return nil, err
+	}
+	return db.QuerySQLContext(ctx, bound)
+}
+
+// ExecPrepared binds params into a prepared DML statement and executes it.
+func (db *DB) ExecPrepared(ctx context.Context, stmt *sql.Prepared, params ...any) (int64, error) {
+	bound, err := stmt.Bind(params)
+	if err != nil {
+		return 0, err
+	}
+	return db.ExecSQLContext(ctx, bound)
 }
 
 // QuerySQL parses, binds and executes one SQL SELECT statement, returning
@@ -96,7 +147,7 @@ func (db *DB) QuerySQL(query string) ([][]any, error) {
 // promptly. The serving layer (internal/server) builds its per-query
 // deadlines and client-initiated cancellation on this entry point.
 func (db *DB) QuerySQLContext(ctx context.Context, query string) ([][]any, error) {
-	n, err := sql.Compile(query, db.Engine)
+	n, _, err := db.compile(query)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +159,7 @@ func (db *DB) QuerySQLContext(ctx context.Context, query string) ([][]any, error
 // result. A non-nil error from yield (or a cancelled context) stops the
 // execution.
 func (db *DB) QueryStreamSQL(ctx context.Context, query string, yield func(rows [][]any) error) error {
-	n, err := sql.Compile(query, db.Engine)
+	n, _, err := db.compile(query)
 	if err != nil {
 		return err
 	}
@@ -119,7 +170,7 @@ func (db *DB) QueryStreamSQL(ctx context.Context, query string, yield func(rows 
 // ExplainSQL compiles a SQL statement and returns the distributed physical
 // plan without executing it.
 func (db *DB) ExplainSQL(query string) (string, error) {
-	n, err := sql.Compile(query, db.Engine)
+	n, _, err := db.compile(query)
 	if err != nil {
 		return "", err
 	}
@@ -152,10 +203,9 @@ func (db *DB) ExecSQLContext(ctx context.Context, stmt string) (int64, error) {
 
 // SchemaSQL compiles a SQL statement and returns its output schema (column
 // names and types), for clients that render results.
+// A repeated query's schema comes straight from its cache entry, so a
+// serving layer that asks for the schema and then executes compiles once.
 func (db *DB) SchemaSQL(query string) (Schema, error) {
-	n, err := sql.Compile(query, db.Engine)
-	if err != nil {
-		return nil, err
-	}
-	return n.Schema(db.Engine)
+	_, s, err := db.compile(query)
+	return s, err
 }
