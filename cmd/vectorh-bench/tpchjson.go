@@ -157,7 +157,7 @@ func runTPCHBench(sf float64, nodes int, path, set string, perQuery time.Duratio
 		if err := json.Unmarshal(old, &file); err != nil {
 			// Refuse to overwrite: the baseline column cannot be
 			// regenerated once the change it predates has landed.
-			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+			return fmt.Errorf("%s exists but is not valid JSON (%w); fix or remove it first", path, err)
 		}
 		if file.SF != sf || file.Nodes != nodes {
 			fmt.Fprintf(os.Stderr,
@@ -201,7 +201,7 @@ func runRefresh(sf float64, nodes int, path string) error {
 	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
 	if old, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(old, &file); err != nil {
-			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+			return fmt.Errorf("%s exists but is not valid JSON (%w); fix or remove it first", path, err)
 		}
 		if file.SF != sf || file.Nodes != nodes {
 			fmt.Fprintf(os.Stderr,
@@ -252,7 +252,7 @@ func runConcurrency(sf float64, nodes int, path string) error {
 	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
 	if old, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(old, &file); err != nil {
-			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+			return fmt.Errorf("%s exists but is not valid JSON (%w); fix or remove it first", path, err)
 		}
 		if file.SF != sf || file.Nodes != nodes {
 			fmt.Fprintf(os.Stderr,
@@ -313,7 +313,7 @@ func runSelectivity(sf float64, nodes int, path string) error {
 	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
 	if old, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(old, &file); err != nil {
-			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+			return fmt.Errorf("%s exists but is not valid JSON (%w); fix or remove it first", path, err)
 		}
 		if file.SF != sf || file.Nodes != nodes {
 			fmt.Fprintf(os.Stderr,
@@ -359,7 +359,7 @@ func runJoinOrder(sf float64, nodes int, path string) error {
 	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
 	if old, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(old, &file); err != nil {
-			return fmt.Errorf("%s exists but is not valid JSON (%v); fix or remove it first", path, err)
+			return fmt.Errorf("%s exists but is not valid JSON (%w); fix or remove it first", path, err)
 		}
 		if file.SF != sf || file.Nodes != nodes {
 			fmt.Fprintf(os.Stderr,

@@ -1,0 +1,113 @@
+// vectorh-lint is the engine's invariant checker: a multichecker over the
+// custom analyzers in internal/lint (ctxpropagate, lockdiscipline,
+// pairedrelease, hotpathalloc, errpos).
+//
+// Two ways to run it:
+//
+//	vectorh-lint ./...                                # standalone
+//	go vet -vettool=$(which vectorh-lint) ./...       # as a vet tool
+//
+// Standalone mode loads packages via `go list -export` and prints findings
+// as file:line:col: message (analyzer), exiting 1 when any are found. Vet
+// mode speaks cmd/go's unit-check protocol, so findings integrate with the
+// build cache (clean packages are not re-analyzed). Select a subset of
+// analyzers with e.g. -ctxpropagate=false.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vectorh/internal/lint"
+	"vectorh/internal/lint/driver"
+)
+
+func main() {
+	// Two handshakes cmd/go performs before trusting a vet tool, both
+	// answered before normal flag parsing: `-V=full` fingerprints the tool
+	// for the build cache, `-flags` asks which flags it may forward.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		driver.PrintVersion(os.Stdout)
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		printFlagsJSON()
+		return
+	}
+
+	enabled := map[string]*bool{}
+	for _, a := range lint.All {
+		enabled[a.Name] = flag.Bool(a.Name, true, a.Doc)
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: vectorh-lint [packages]\n   or: go vet -vettool=vectorh-lint [packages]\n\nanalyzers:\n")
+		for _, a := range lint.All {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.All {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && driver.IsVetConfig(args[0]) {
+		driver.RunUnitchecker(args[0], analyzers) // exits
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	pkgs, fset, err := driver.LoadPatterns(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vectorh-lint: %v\n", err)
+		os.Exit(1)
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vectorh-lint: %s: %v\n", pkg.Path, err)
+			os.Exit(1)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "vectorh-lint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+// printFlagsJSON answers cmd/go's `-flags` probe: a JSON description of the
+// flags the driver accepts, so `go vet -vettool=... -ctxpropagate=false`
+// forwards correctly.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := make([]jsonFlag, 0, len(lint.All))
+	for _, a := range lint.All {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

@@ -77,17 +77,15 @@ func (c *BlockCache) Stats() BlockCacheStats {
 
 func (c *BlockCache) get(k blockKey) (colData, bool) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	el, ok := c.entries[k]
 	if !ok {
-		c.mu.Unlock()
 		c.misses.Add(1)
 		return colData{}, false
 	}
 	c.lru.MoveToFront(el)
-	d := el.Value.(*blockEntry).data
-	c.mu.Unlock()
 	c.hits.Add(1)
-	return d, true
+	return el.Value.(*blockEntry).data, true
 }
 
 func (c *BlockCache) put(k blockKey, d colData) {
@@ -96,8 +94,8 @@ func (c *BlockCache) put(k blockKey, d colData) {
 		return // a single oversized block would evict everything for nothing
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, dup := c.entries[k]; dup {
-		c.mu.Unlock()
 		return
 	}
 	c.entries[k] = c.lru.PushFront(&blockEntry{key: k, data: d, bytes: sz})
@@ -113,7 +111,6 @@ func (c *BlockCache) put(k blockKey, d colData) {
 		c.sizeB -= ev.bytes
 		c.evictions.Add(1)
 	}
-	c.mu.Unlock()
 }
 
 // approxColBytes estimates the in-memory footprint of decoded column data.

@@ -1,0 +1,22 @@
+//go:build vectorh_debug
+
+package core
+
+import "fmt"
+
+// debugCheckRefs panics when a metadata-generation refcount goes negative:
+// a scan released a pin it never took (or released twice). n is the count
+// after the decrement.
+func debugCheckRefs(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("core: metadata generation released below zero (refs=%d)", n))
+	}
+}
+
+// debugCheckUnpinned panics when a scan finishes Close with its metadata
+// pin still held — releaseMeta must have run on every path.
+func debugCheckUnpinned(m *mscan) {
+	if m.gen != nil {
+		panic("core: mscan closed with its metadata generation still pinned")
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !vectorh_debug
+
+package core
+
+// Release-build no-ops; build with -tags vectorh_debug to enable the
+// scan-pin refcount assertions.
+
+func debugCheckRefs(n int64) {}
+
+func debugCheckUnpinned(m *mscan) {}

@@ -135,7 +135,7 @@ func (p *Partition) pinLocked() *metaGen {
 // generation finishes, its superseded files are deleted. Lock-free: the
 // publisher and the last releaser race for the claim, and exactly one wins.
 func (p *Partition) release(g *metaGen, fs *hdfs.Cluster) {
-	g.refs.Add(-1)
+	debugCheckRefs(g.refs.Add(-1))
 	deleteAll(fs, g.takeDead())
 }
 
@@ -601,17 +601,21 @@ func (p *placementPolicy) get(dir string) []string {
 	return p.targets[dir]
 }
 
-// ChooseTarget implements hdfs.BlockPlacementPolicy.
-func (p *placementPolicy) ChooseTarget(path, writer string, replicas int, exclude, alive []string) []string {
+// match returns the pinned node list for the directory owning path, or nil.
+func (p *placementPolicy) match(path string) []string {
 	p.mu.Lock()
-	var want []string
+	defer p.mu.Unlock()
 	for dir, nodes := range p.targets {
 		if strings.HasPrefix(path, dir+"/") {
-			want = nodes
-			break
+			return nodes
 		}
 	}
-	p.mu.Unlock()
+	return nil
+}
+
+// ChooseTarget implements hdfs.BlockPlacementPolicy.
+func (p *placementPolicy) ChooseTarget(path, writer string, replicas int, exclude, alive []string) []string {
+	want := p.match(path)
 	if want == nil {
 		return p.fallback.ChooseTarget(path, writer, replicas, exclude, alive)
 	}

@@ -152,6 +152,17 @@ func (e *Engine) appendStable(t *Table, part *Partition, b *vector.Batch) error 
 	return nil
 }
 
+// nodeSlots snapshots the active-node ordering (name → slot) under e.mu.
+func (e *Engine) nodeSlots() map[string]int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	nodeOf := make(map[string]int, len(e.active))
+	for i, n := range e.active {
+		nodeOf[n] = i
+	}
+	return nodeOf
+}
+
 func (e *Engine) bumpRows(t *Table) {
 	var total int64
 	for _, p := range t.Parts {
@@ -175,6 +186,7 @@ func (e *Engine) bumpRows(t *Table) {
 // immediately after commit, and query performance stays unaffected (§8
 // "Impact of Updates").
 func (e *Engine) InsertRows(table string, b *vector.Batch) error {
+	//lint:ctx compatibility shim for context-free callers; cancellable path is InsertRowsContext
 	return e.InsertRowsContext(context.Background(), table, b)
 }
 
@@ -230,6 +242,7 @@ func (e *Engine) InsertRowsContext(ctx context.Context, table string, b *vector.
 // Deletes are recorded positionally in the PDTs (compact for contiguous
 // ranges) at each partition's responsible node.
 func (e *Engine) DeleteWhere(table string, pred plan.Expr) (int64, error) {
+	//lint:ctx compatibility shim for context-free callers; cancellable path is DeleteWhereContext
 	return e.DeleteWhereContext(context.Background(), table, pred)
 }
 
@@ -241,6 +254,7 @@ func (e *Engine) DeleteWhereContext(ctx context.Context, table string, pred plan
 // UpdateWhere trickle-modifies the named columns of matching rows with
 // values computed by the given expressions (over the full table schema).
 func (e *Engine) UpdateWhere(table string, pred plan.Expr, setCols []string, setExprs []plan.Expr) (int64, error) {
+	//lint:ctx compatibility shim for context-free callers; cancellable path is UpdateWhereContext
 	return e.UpdateWhereContext(context.Background(), table, pred, setCols, setExprs)
 }
 
@@ -263,11 +277,8 @@ func (e *Engine) updateWhere(ctx context.Context, table string, pred plan.Expr, 
 	defer e.writeMu.Unlock()
 	e.mu.RLock()
 	t, ok := e.tables[table]
-	nodeOf := map[string]int{}
-	for i, n := range e.active {
-		nodeOf[n] = i
-	}
 	e.mu.RUnlock()
+	nodeOf := e.nodeSlots()
 	if !ok {
 		return 0, fmt.Errorf("core: unknown table %q", table)
 	}
@@ -507,12 +518,7 @@ func (e *Engine) PropagatePartition(table string, partIdx int) error {
 
 // propagatePartition is PropagatePartition with e.writeMu held.
 func (e *Engine) propagatePartition(t *Table, part *Partition) error {
-	e.mu.RLock()
-	nodeOf := map[string]int{}
-	for i, n := range e.active {
-		nodeOf[n] = i
-	}
-	e.mu.RUnlock()
+	nodeOf := e.nodeSlots()
 	if err := e.mgr.PropagateWriteToRead(part.Key); err != nil {
 		return err
 	}

@@ -67,6 +67,7 @@ func (e *Engine) QueryContext(ctx context.Context, q plan.Node) ([][]any, error)
 
 // QueryOpts runs a query with explicit options.
 func (e *Engine) QueryOpts(q plan.Node, qo QueryOptions) (*QueryResult, error) {
+	//lint:ctx compatibility shim for context-free callers; cancellable path is QueryOptsContext
 	return e.QueryOptsContext(context.Background(), q, qo)
 }
 

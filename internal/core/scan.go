@@ -49,19 +49,27 @@ func (e *Engine) ResponsibleParts(table string, node int) []int {
 	return out
 }
 
+// tableAndNode resolves a table and the name of the executing node slot
+// under one catalog read lock.
+func (e *Engine) tableAndNode(table string, node int) (*Table, string, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[table]
+	var nodeName string
+	if node >= 0 && node < len(e.active) {
+		nodeName = e.active[node]
+	}
+	return t, nodeName, ok
+}
+
 // PartitionScan implements rewriter.ScanProvider.
 func (e *Engine) PartitionScan(table string, partIdx int, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
+	//lint:ctx ScanProvider interface method without a context; query paths use ctxScans
 	return e.partitionScanCtx(context.Background(), table, partIdx, cols, pred, node)
 }
 
 func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
-	e.mu.RLock()
-	t, ok := e.tables[table]
-	var nodeName string
-	if node < len(e.active) {
-		nodeName = e.active[node]
-	}
-	e.mu.RUnlock()
+	t, nodeName, ok := e.tableAndNode(table, node)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)
 	}
@@ -73,17 +81,12 @@ func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int
 
 // ReplicatedScan implements rewriter.ScanProvider.
 func (e *Engine) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
+	//lint:ctx ScanProvider interface method without a context; query paths use ctxScans
 	return e.replicatedScanCtx(context.Background(), table, cols, pred, node)
 }
 
 func (e *Engine) replicatedScanCtx(ctx context.Context, table string, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
-	e.mu.RLock()
-	t, ok := e.tables[table]
-	var nodeName string
-	if node < len(e.active) {
-		nodeName = e.active[node]
-	}
-	e.mu.RUnlock()
+	t, nodeName, ok := e.tableAndNode(table, node)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)
 	}
@@ -168,18 +171,27 @@ func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols [
 // happens here too: each conjunct contributes a MinMax block predicate
 // (intersected into the qualifying ranges) and — unless the set is
 // skip-only — a vectorized row kernel.
-func (m *mscan) Open() error {
-	// Shared read lock: any number of scans open concurrently; only a writer
-	// publishing a new generation (and resetting PDTs) excludes them, which
-	// keeps the block image and delta image of one scan consistent.
+// snapshotAndPin pins the partition's metadata generation and snapshots
+// the PDT masters under one shared read lock: any number of scans open
+// concurrently; only a writer publishing a new generation (and resetting
+// PDTs) excludes them, which keeps the block image and delta image of one
+// scan consistent.
+func (m *mscan) snapshotAndPin() (read, write *pdt.PDT, err error) {
 	m.part.mu.RLock()
-	read, write, err := m.eng.mgr.Snapshot(m.part.Key)
+	defer m.part.mu.RUnlock()
+	read, write, err = m.eng.mgr.Snapshot(m.part.Key)
 	if err != nil {
-		m.part.mu.RUnlock()
-		return err
+		return nil, nil, err
 	}
 	m.gen = m.part.pinLocked()
-	m.part.mu.RUnlock()
+	return read, write, nil
+}
+
+func (m *mscan) Open() error {
+	read, write, err := m.snapshotAndPin()
+	if err != nil {
+		return err
+	}
 	m.meta = m.gen.meta
 	m.readPDT, m.writePDT = read, write
 
@@ -411,6 +423,7 @@ func (m *mscan) gatherSpan(start int64, n int, sel []int32, all bool) (*vector.B
 		}
 		b.Vecs[i] = v
 	}
+	vector.CheckBatch(b)
 	return b, nil
 }
 
@@ -440,7 +453,9 @@ func (m *mscan) filterBatch(b *vector.Batch) *vector.Batch {
 	if all {
 		return b
 	}
-	return &vector.Batch{Vecs: b.Vecs, Sel: sel}
+	out := &vector.Batch{Vecs: b.Vecs, Sel: sel}
+	vector.CheckBatch(out)
+	return out
 }
 
 func (m *mscan) releaseMeta() {
@@ -470,6 +485,7 @@ func (m *mscan) Close() error {
 	m.readM, m.writeM = nil, nil
 	m.readPDT, m.writePDT = nil, nil
 	m.releaseMeta()
+	debugCheckUnpinned(m)
 	m.stage = 3
 	return nil
 }

@@ -137,6 +137,7 @@ func compileRowFilter(p plan.ColPred, t vector.Type) (filterFn, error) {
 		if t.Kind != vector.String {
 			return nil, fmt.Errorf("core: string IN predicate on %s column %q", t, p.Col)
 		}
+		//lint:hotpath built once per scan open, not per batch; probed by the row kernel below
 		set := make(map[string]struct{}, len(p.Strs))
 		for _, s := range p.Strs {
 			set[s] = struct{}{}

@@ -104,7 +104,9 @@ func (s *Select) Next() (*vector.Batch, error) {
 		if len(sel) == b.Len() && b.Sel == nil {
 			return b, nil // everything qualifies: pass through
 		}
-		return &vector.Batch{Vecs: b.Vecs, Sel: sel}, nil
+		out := &vector.Batch{Vecs: b.Vecs, Sel: sel}
+		vector.CheckBatch(out)
+		return out, nil
 	}
 }
 

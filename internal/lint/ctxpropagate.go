@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPropagate enforces the cancellation contract PR 4 threaded through the
+// engine: a query must be abortable from the wire down to the scan loop, so
+// library code never mints its own root context — it accepts one.
+//
+// Rules:
+//  1. A function that already has a context.Context parameter must not call
+//     context.Background() or context.TODO(); thread the parameter.
+//  2. Library packages (internal/..., non-test) must not call
+//     context.Background()/TODO() at all. Exceptions: the nil-default idiom
+//     (`if ctx == nil { ctx = context.Background() }`), which is how
+//     compat entry points tolerate legacy callers, is recognized and
+//     allowed; anything else needs a //lint:ctx audit comment.
+//  3. When a signature takes a context.Context it is the first parameter.
+//  4. A declared context parameter must be used (threaded) by the body —
+//     an ignored ctx means some callee below cannot be cancelled.
+var CtxPropagate = &Analyzer{
+	Name: "ctxpropagate",
+	Key:  "ctx",
+	Doc: "context must thread from entry points into scans and exchanges: no " +
+		"context.Background()/TODO() in library code (the nil-default idiom is allowed), " +
+		"ctx is the first parameter, and a declared ctx parameter is used",
+	Run: runCtxPropagate,
+}
+
+func runCtxPropagate(pass *Pass) error {
+	library := isLibraryPkg(pass.Pkg.Path()) && pass.Pkg.Name() != "main"
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRootContextCall(pass, n, stack, library)
+			case *ast.FuncDecl:
+				checkCtxSignature(pass, n.Type, n)
+			case *ast.FuncLit:
+				checkCtxSignature(pass, n.Type, nil)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkRootContextCall(pass *Pass, call *ast.CallExpr, stack []ast.Node, library bool) {
+	name := ""
+	switch {
+	case isPkgFunc(pass.TypesInfo, call, "context", "Background"):
+		name = "Background"
+	case isPkgFunc(pass.TypesInfo, call, "context", "TODO"):
+		name = "TODO"
+	default:
+		return
+	}
+	if inNilCtxGuard(pass.TypesInfo, stack) {
+		return
+	}
+	if param := enclosingCtxParam(pass.TypesInfo, stack); param != "" {
+		pass.Reportf(call.Pos(),
+			"context.%s() inside a function that already has a context.Context parameter %q; thread it instead",
+			name, param)
+		return
+	}
+	if library {
+		pass.Reportf(call.Pos(),
+			"context.%s() in library code: accept a context.Context from the caller (or add a //lint:ctx audit comment)",
+			name)
+	}
+}
+
+// inNilCtxGuard reports whether the stack passes through the body of an
+// `if <ctx-typed expr> == nil { ... }` statement — the sanctioned
+// defaulting idiom for entry points that tolerate a nil context.
+func inNilCtxGuard(info *types.Info, stack []ast.Node) bool {
+	for i, n := range stack {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// The guard must be entered through the if body, not the else.
+		if i+1 >= len(stack) || stack[i+1] != ifStmt.Body {
+			continue
+		}
+		bin, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op.String() != "==" {
+			continue
+		}
+		for _, side := range []ast.Expr{bin.X, bin.Y} {
+			if tv, ok := info.Types[side]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enclosingCtxParam returns the name of the innermost enclosing function's
+// context.Context parameter, or "" when it has none (or it is blank).
+func enclosingCtxParam(info *types.Info, stack []ast.Node) string {
+	fn := enclosingFunc(stack)
+	if fn == nil {
+		return ""
+	}
+	ft := funcType(fn)
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// checkCtxSignature enforces ctx-is-first and ctx-is-used. decl is non-nil
+// for FuncDecls (literals are skipped for the usage rule: closures routinely
+// capture an outer ctx instead).
+func checkCtxSignature(pass *Pass, ft *ast.FuncType, decl *ast.FuncDecl) {
+	if ft.Params == nil {
+		return
+	}
+	flat := 0 // flattened parameter index
+	for fi, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if ok && isContextType(tv.Type) {
+			if flat != 0 {
+				pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+			}
+			if decl != nil && decl.Body != nil && fi == 0 {
+				checkCtxUsed(pass, decl, field)
+			}
+		}
+		flat += n
+	}
+}
+
+// checkCtxUsed reports a named, non-blank ctx parameter that the body never
+// references: the function promises cancellability it cannot deliver.
+func checkCtxUsed(pass *Pass, decl *ast.FuncDecl, field *ast.Field) {
+	for _, name := range field.Names {
+		if name.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[name]
+		if obj == nil {
+			continue
+		}
+		used := false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				used = true
+				return false
+			}
+			return !used
+		})
+		if !used {
+			pass.Reportf(name.Pos(),
+				"context parameter %q is never used: thread it into blocking callees or name it _",
+				name.Name)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package driver loads type-checked packages for the lint analyzers without
+// depending on golang.org/x/tools: package metadata and compiled export data
+// come from `go list -export` (standalone mode) or from the JSON config file
+// `go vet -vettool` hands to its tool (unitchecker mode). Both modes feed
+// the same importer: the standard library's gc-export-data reader with a
+// lookup function over the export files the go command already built.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// exportImporter builds a types.Importer that resolves every import from a
+// map of import path → compiled export data file. importMap translates
+// source-level import paths (vendoring); it may be nil.
+func exportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typecheck parses and checks one package's files.
+func typecheck(fset *token.FileSet, path string, filenames []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", "amd64")}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: pkg, Info: info}, nil
+}
+
+// absJoin resolves name against dir unless it is already absolute.
+func absJoin(dir, name string) string {
+	if filepath.IsAbs(name) {
+		return name
+	}
+	return filepath.Join(dir, name)
+}

@@ -1,0 +1,85 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os/exec"
+)
+
+// golist mode: standalone `vectorh-lint ./...`. One `go list -export -deps`
+// invocation yields, for every package in the dependency closure, both the
+// file lists of the target packages and the compiled export data of their
+// imports; each target is then type-checked independently against that
+// export data, exactly as the compiler itself would see it.
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// LoadPatterns loads and type-checks the packages matching the go package
+// patterns (e.g. "./...") in the current directory's module.
+func LoadPatterns(patterns []string) ([]*Package, *token.FileSet, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Incomplete",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+
+	var targets []*listPkg
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports, nil)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Incomplete {
+			return nil, nil, fmt.Errorf("package %s did not build; fix compile errors before linting", t.ImportPath)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, name := range t.GoFiles {
+			files[i] = absJoin(t.Dir, name)
+		}
+		pkg, err := typecheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, fset, nil
+}

@@ -1,0 +1,92 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// LoadDir parses and type-checks a single directory of Go files as a package
+// with the given import path. It exists for the analyzer golden tests: the
+// testdata packages live outside the module's build graph, so their stdlib
+// imports are resolved by asking `go list -export` for export data on the
+// fly. The declared import path controls which package-role rules
+// (config.go) apply to the golden package.
+func LoadDir(dir, pkgPath string) (*Package, *token.FileSet, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				importSet[path] = true
+			}
+		}
+	}
+
+	exports, err := exportDataFor(importSet)
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := exportImporter(fset, exports, nil)
+	pkg, err := typecheck(fset, pkgPath, names, imp)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, fset, nil
+}
+
+// exportDataFor maps each package in the transitive closure of the given
+// import paths to its compiled export data file.
+func exportDataFor(importSet map[string]bool) (map[string]string, error) {
+	exports := map[string]string{}
+	if len(importSet) == 0 {
+		return exports, nil
+	}
+	args := []string{"list", "-export", "-deps", "-json=ImportPath,Export"}
+	for path := range importSet {
+		args = append(args, path)
+	}
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,120 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vectorh/internal/lint"
+)
+
+// unitchecker mode: `go vet -vettool=vectorh-lint ./...`. The go command
+// drives the tool once per package with a JSON config file argument naming
+// the package's sources and the export-data files of its dependencies, and
+// expects: analysis facts serialized to cfg.VetxOutput (we have none — an
+// empty file satisfies the cache), diagnostics on stderr, and exit status 2
+// when diagnostics were reported. Dependencies are visited with VetxOnly
+// set, asking only for facts; those invocations must be cheap no-ops.
+
+// vetConfig mirrors the JSON schema cmd/go writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsVetConfig reports whether arg names a vet unit-check config file.
+func IsVetConfig(arg string) bool {
+	return strings.HasSuffix(arg, ".cfg")
+}
+
+// RunUnitchecker executes the analyzers per the vet tool protocol and exits.
+func RunUnitchecker(cfgFile string, analyzers []*lint.Analyzer) {
+	code, err := unitcheck(cfgFile, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vectorh-lint: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func unitcheck(cfgFile string, analyzers []*lint.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Facts-only visit of a dependency: we define no facts.
+		return 0, nil
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	files := make([]string, len(cfg.GoFiles))
+	for i, name := range cfg.GoFiles {
+		files[i] = absJoin(cfg.Dir, name)
+	}
+	pkg, err := typecheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	diags, err := lint.Run(fset, pkg.Files, pkg.Types, pkg.Info, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// PrintVersion implements the `-V=full` handshake cmd/go performs before
+// trusting a vet tool: a single line `<basename> version devel ... buildID=<hex>`
+// derived from the executable's contents, so the build cache invalidates
+// when the tool changes.
+func PrintVersion(w io.Writer) {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}

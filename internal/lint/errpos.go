@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrPos enforces the error contracts of the SQL layer and the package
+// boundaries around it:
+//
+//  1. Everywhere: fmt.Errorf must wrap error operands with %w, not flatten
+//     them through %v/%s — callers unwrap with errors.Is/As across package
+//     boundaries, and a flattened chain breaks that silently.
+//  2. In internal/sql: errors are constructed through the positional errf
+//     helper so every user-facing message carries a 1-based line:col.
+//     fmt.Errorf is allowed only when it wraps (%w) an already-positioned
+//     error at a boundary; bare errors.New is never allowed. Sites that
+//     genuinely have no source position carry a //lint:errpos audit comment.
+var ErrPos = &Analyzer{
+	Name: "errpos",
+	Key:  "errpos",
+	Doc: "SQL-layer errors carry line:col via errf; error operands are " +
+		"wrapped with %w at package boundaries, not flattened with %v",
+	Run: runErrPos,
+}
+
+func runErrPos(pass *Pass) error {
+	sqlPkg := isSQLPkg(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass.TypesInfo, call, "fmt", "Errorf"):
+				checkErrorfVerbs(pass, call)
+				if sqlPkg && !errorfWraps(pass, call) {
+					pass.Reportf(call.Pos(),
+						"SQL front-end error without a position: use errf(pos, ...) so the message carries line:col, wrap an existing error with %%w, or add //lint:errpos")
+				}
+			case isPkgFunc(pass.TypesInfo, call, "errors", "New"):
+				if sqlPkg {
+					pass.Reportf(call.Pos(),
+						"errors.New in the SQL front-end: use errf(pos, ...) so the message carries line:col (//lint:errpos for position-free sentinels)")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// formatVerbs extracts the argument-consuming verbs of a printf-style format
+// string, in order. It understands %%, flags, width/precision and `*`.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*') // consumes an int arg
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '0' && c <= '9') || c == '[' || c == ']' {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			if format[i] != '%' {
+				verbs = append(verbs, format[i])
+			}
+		}
+	}
+	return verbs
+}
+
+// constFormat returns the constant string value of the call's first argument.
+func constFormat(pass *Pass, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func errorfWraps(pass *Pass, call *ast.CallExpr) bool {
+	format, ok := constFormat(pass, call)
+	if !ok {
+		return false
+	}
+	for _, v := range formatVerbs(format) {
+		if v == 'w' {
+			return true
+		}
+	}
+	return false
+}
+
+// checkErrorfVerbs flags error-typed operands formatted with %v or %s.
+func checkErrorfVerbs(pass *Pass, call *ast.CallExpr) {
+	format, ok := constFormat(pass, call)
+	if !ok {
+		return
+	}
+	verbs := formatVerbs(format)
+	args := call.Args[1:]
+	errType := types.Universe.Lookup("error").Type()
+	for i, v := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if v != 'v' && v != 's' {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[args[i]]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if types.AssignableTo(tv.Type, errType) && !types.Identical(tv.Type, types.Typ[types.UntypedNil]) {
+			pass.Reportf(args[i].Pos(),
+				"error formatted with %%%c flattens the chain: wrap with %%w so callers can errors.Is/As through the boundary", v)
+		}
+	}
+}

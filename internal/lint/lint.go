@@ -1,0 +1,330 @@
+// Package lint is the engine's invariant suite: a set of static analyzers
+// that encode the unwritten rules PRs 2–7 left behind — context must thread
+// from every public entry point into scans and exchanges, pool buffers and
+// scan pins must be released on every path, Engine locks have a fixed order,
+// and hot paths must never regress to map[string]/fmt.Sprintf per-row work.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built on the standard library only, because the module
+// is dependency-free by design. Analyzers are pure functions over parsed and
+// type-checked syntax; loading packages is the job of internal/lint/driver,
+// which feeds them either from `go list -export` (standalone) or from a
+// `go vet -vettool` unit-check config.
+//
+// Suppression: a finding is dropped when the offending line — or the line
+// directly above it — carries a `//lint:<key> <reason>` comment, where <key>
+// is the analyzer's suppression key (ctx, unlock, release, hotpath, errpos).
+// The reason is mandatory by convention: the comment is an audit record that
+// a human looked at the site and judged the invariant upheld by other means.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI flags.
+	Name string
+	// Doc is the one-paragraph description shown by `vectorh-lint -help`.
+	Doc string
+	// Key is the suppression key honored in //lint:<key> comments.
+	Key string
+	// Run reports findings on one package through pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned in the file set of the pass.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// All is the full invariant suite, in reporting order.
+var All = []*Analyzer{CtxPropagate, LockDiscipline, PairedRelease, HotPathAlloc, ErrPos}
+
+// Run executes the given analyzers over one type-checked package and returns
+// the surviving findings sorted by position: suppressed findings (a
+// //lint:<key> comment on the finding's line or the line above) and findings
+// inside _test.go files are dropped. Test files are exempt because the
+// invariants guard production control flow — tests legitimately use
+// context.Background, ad-hoc maps and unguarded locks.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := collectSuppressions(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.report = func(d Diagnostic) {
+			posn := fset.Position(d.Pos)
+			if strings.HasSuffix(posn.Filename, "_test.go") {
+				return
+			}
+			if sup.suppressed(a.Key, posn) {
+				return
+			}
+			out = append(out, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// suppressions maps file → line → suppression keys present on that line.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(key string, posn token.Position) bool {
+	lines := s[posn.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[posn.Line][key] || lines[posn.Line-1][key]
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				key, _, _ := strings.Cut(text, " ")
+				if key == "" {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lines := s[posn.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s[posn.Filename] = lines
+				}
+				keys := lines[posn.Line]
+				if keys == nil {
+					keys = make(map[string]bool)
+					lines[posn.Line] = keys
+				}
+				keys[key] = true
+			}
+		}
+	}
+	return s
+}
+
+// ---- shared syntax/type helpers ----
+
+// walkStack traverses root keeping the ancestor stack (outermost first,
+// excluding n itself). Return false from f to skip n's children.
+func walkStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := f(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// enclosingFunc returns the innermost function declaration or literal on the
+// stack, or nil.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// funcType returns the signature syntax of a FuncDecl or FuncLit.
+func funcType(fn ast.Node) *ast.FuncType {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Type
+	case *ast.FuncLit:
+		return fn.Type
+	}
+	return nil
+}
+
+// funcBody returns the body of a FuncDecl or FuncLit.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// calleeFunc resolves the called function object of a call expression, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether call invokes pkgPath.name.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// exprString renders a (small) expression for receiver identity comparison:
+// `e.mu` and `e.mu` render identically, `e.mu` and `p.mu` do not.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	}
+	return fmt.Sprintf("%T", e)
+}
+
+// containsLock reports whether a value of type t must not be copied: it is,
+// or transitively contains, a sync primitive or a sync/atomic counter (the
+// engine's scan-pin generations count refs in atomic.Int64 fields — copying
+// one forks the refcount and double-frees superseded files).
+func containsLock(t types.Type) bool {
+	return containsLockDepth(t, 0)
+}
+
+func containsLockDepth(t types.Type, depth int) bool {
+	if depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				switch obj.Name() {
+				case "Mutex", "RWMutex", "Once", "WaitGroup", "Cond", "Pool", "Map":
+					return true
+				}
+			case "sync/atomic":
+				switch obj.Name() {
+				case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+					return true
+				}
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockDepth(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// lockTypeName names the first non-copyable component found in t, for
+// diagnostics ("sync.Mutex", "atomic.Int64", ...).
+func lockTypeName(t types.Type) string {
+	name := ""
+	var visit func(t types.Type, depth int) bool
+	visit = func(t types.Type, depth int) bool {
+		if depth > 10 {
+			return false
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if pkg := obj.Pkg(); pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic") {
+				if containsLockDepth(t, depth) {
+					short := "sync"
+					if pkg.Path() == "sync/atomic" {
+						short = "atomic"
+					}
+					name = short + "." + obj.Name()
+					return true
+				}
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if visit(u.Field(i).Type(), depth+1) {
+					return true
+				}
+			}
+		case *types.Array:
+			return visit(u.Elem(), depth+1)
+		}
+		return false
+	}
+	visit(t, 0)
+	if name == "" {
+		name = "a sync primitive"
+	}
+	return name
+}

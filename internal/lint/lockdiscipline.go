@@ -1,0 +1,354 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline encodes the Engine's locking rules:
+//
+//  1. Fixed lock order: writeMu (the storage-mutator lock) is acquired
+//     BEFORE mu (the catalog lock) — every mutator does
+//     `e.writeMu.Lock(); e.mu.Lock()`. Acquiring a writeMu while any mu is
+//     held inverts the order and can deadlock against every writer.
+//  2. A Lock()/RLock() in a function with multiple return paths must be
+//     paired with an immediate `defer Unlock()`, be released within the
+//     same straight-line statement sequence (no branches, returns or calls
+//     into control flow between acquire and release), or carry a
+//     //lint:unlock audit comment.
+//  3. Values containing sync primitives or sync/atomic counters (mutexes,
+//     scan-pin generations with atomic refcounts) must not be copied:
+//     value receivers, by-value parameters, assignments, range clauses and
+//     returns of such types are flagged.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Key:  "unlock",
+	Doc: "fixed Engine lock order (writeMu before mu), Lock paired with defer " +
+		"Unlock on multi-return paths, and no value copies of lock-bearing structs",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCopyLocksSignature(pass, fd)
+		}
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockOrder(pass, n.Body)
+					checkLockPairing(pass, n.Body, countReturns(n.Body))
+				}
+			case *ast.FuncLit:
+				checkLockOrder(pass, n.Body)
+				checkLockPairing(pass, n.Body, countReturns(n.Body))
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopyValue(pass, rhs, "assignment copies")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopyValue(pass, v, "variable initialization copies")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopyValue(pass, r, "return copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					t := rangeValueType(pass.TypesInfo, n.Value)
+					if t != nil && containsLock(t) {
+						pass.Reportf(n.Value.Pos(), "range clause copies %s (contains %s); iterate by index or over pointers",
+							t.String(), lockTypeName(t))
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					checkCopyValue(pass, arg, "call passes")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- rule 3: copylocks ----
+
+func checkCopyLocksSignature(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if ok && !isPointer(tv.Type) && containsLock(tv.Type) {
+				pass.Reportf(field.Pos(), "value receiver copies %s (contains %s); use a pointer receiver",
+					tv.Type.String(), lockTypeName(tv.Type))
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			tv, ok := pass.TypesInfo.Types[field.Type]
+			if ok && !isPointer(tv.Type) && containsLock(tv.Type) {
+				pass.Reportf(field.Pos(), "by-value parameter copies %s (contains %s); pass a pointer",
+					tv.Type.String(), lockTypeName(tv.Type))
+			}
+		}
+	}
+}
+
+// checkCopyValue flags expressions that copy an existing lock-bearing value:
+// reads of variables, fields, derefs and elements. Composite literals and
+// function calls construct fresh values and are allowed.
+func checkCopyValue(pass *Pass, e ast.Expr, how string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || isPointer(tv.Type) || !containsLock(tv.Type) {
+		return
+	}
+	// &x.mu style: the parent took the address; Inspect visits the child
+	// SelectorExpr too, but its type check above still sees the value type.
+	// The address-of case never reaches here because checkCopyValue is only
+	// called on assignment/return/argument positions, where a unary & parent
+	// would be the expression instead.
+	pass.Reportf(e.Pos(), "%s %s by value (contains %s); use a pointer",
+		how, tv.Type.String(), lockTypeName(tv.Type))
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// rangeValueType resolves the type of a range clause's value variable: a
+// `:=`-defined ident lives in Defs, an assigned expression in Types.
+func rangeValueType(info *types.Info, v ast.Expr) types.Type {
+	if id, ok := v.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	if tv, ok := info.Types[v]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// ---- rules 1 and 2: lock order and pairing ----
+
+// lockCall describes one mutex method call: receiver expression rendered as
+// a string, method name, and whether it is deferred.
+type lockCall struct {
+	recv     string // "e.mu", "p.writeMu", ...
+	method   string // Lock, RLock, Unlock, RUnlock
+	deferred bool
+	pos      token.Pos
+}
+
+// asLockCall decodes X.<method>() where method is a mutex operation.
+func asLockCall(call *ast.CallExpr, deferred bool) (lockCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return lockCall{}, false
+	}
+	return lockCall{recv: exprString(sel.X), method: sel.Sel.Name, deferred: deferred, pos: call.Pos()}, true
+}
+
+// fieldName returns the final selector component of a receiver rendering
+// ("mu" for "e.mu"), or the whole name for a bare identifier.
+func fieldName(recv string) string {
+	if i := strings.LastIndexByte(recv, '.'); i >= 0 {
+		return recv[i+1:]
+	}
+	return recv
+}
+
+// checkLockOrder walks body in source order tracking which `mu` receivers
+// are held, and flags any `writeMu` acquisition while one is held. Deferred
+// unlocks do not release during the body, so `mu.RLock(); defer mu.RUnlock()`
+// correctly holds mu for the rest of the function.
+func checkLockOrder(pass *Pass, body *ast.BlockStmt) {
+	held := map[string]token.Pos{} // receiver → acquire position
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate lock scope, walked on its own
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if lc, ok := asLockCall(call, false); ok {
+					applyLockEvent(pass, held, lc)
+				}
+			}
+		case *ast.DeferStmt:
+			if lc, ok := asLockCall(n.Call, true); ok {
+				applyLockEvent(pass, held, lc)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+func applyLockEvent(pass *Pass, held map[string]token.Pos, lc lockCall) {
+	field := fieldName(lc.recv)
+	switch lc.method {
+	case "Lock", "RLock":
+		if field == "writeMu" && !lc.deferred {
+			for recv := range held {
+				pass.Reportf(lc.pos,
+					"%s acquired while %s is held: the engine lock order is writeMu before mu",
+					lc.recv, recv)
+			}
+		}
+		if field == "mu" {
+			held[lc.recv] = lc.pos
+		}
+	case "Unlock", "RUnlock":
+		if !lc.deferred {
+			delete(held, lc.recv)
+		}
+	}
+}
+
+// countReturns counts return statements in body, not descending into nested
+// function literals.
+func countReturns(body *ast.BlockStmt) int {
+	n := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// checkLockPairing enforces rule 2 on every statement list in body.
+func checkLockPairing(pass *Pass, body *ast.BlockStmt, returns int) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, stmt := range list {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			lc, ok := asLockCall(call, false)
+			if !ok || (lc.method != "Lock" && lc.method != "RLock") {
+				continue
+			}
+			if pairedInline(list[i+1:], lc) {
+				continue
+			}
+			if returns <= 1 {
+				continue
+			}
+			pass.Reportf(lc.pos,
+				"%s.%s() on a multi-return path without defer %s.%s(): add the defer, release in straight-line code, or add //lint:unlock",
+				lc.recv, lc.method, lc.recv, unlockName(lc.method))
+		}
+		return true
+	})
+}
+
+func unlockName(lockMethod string) string {
+	if lockMethod == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// pairedInline reports whether the acquisition is safely released by the
+// statements that follow it in the same list: either an immediate
+// `defer X.Unlock()` (directly or inside a deferred closure), or a matching
+// inline Unlock reached through straight-line statements only.
+func pairedInline(rest []ast.Stmt, lc lockCall) bool {
+	want := unlockName(lc.method)
+	for i, stmt := range rest {
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			if ulc, ok := asLockCall(s.Call, true); ok && ulc.recv == lc.recv && ulc.method == want {
+				return true
+			}
+			if deferClosureUnlocks(s, lc.recv, want) {
+				return true
+			}
+			// A defer of something else right after the Lock is fine to skip
+			// over only at position 0 (the canonical lock-then-defer-cleanup
+			// shape still needs its own unlock defer first).
+			if i == 0 {
+				continue
+			}
+			return false
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if ulc, ok := asLockCall(call, false); ok && ulc.recv == lc.recv && ulc.method == want {
+					return true
+				}
+			}
+		case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+			// straight-line work inside the critical section
+		default:
+			// control flow (if/for/switch/select/return/go/...) before the
+			// unlock: the release is no longer provably on every path.
+			return false
+		}
+	}
+	return false
+}
+
+// deferClosureUnlocks reports whether d is `defer func() { ...X.Unlock()... }()`.
+func deferClosureUnlocks(d *ast.DeferStmt, recv, want string) bool {
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if ulc, ok := asLockCall(call, false); ok && ulc.recv == recv && ulc.method == want {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PairedRelease checks that scoped resources are either released in the
+// acquiring function or visibly handed off. The engine has three such
+// protocols, all with the same shape:
+//
+//   - vector.Pool scratch buffers: GetSel/GetHashes/GetBools must be returned
+//     via PutSel/PutHashes/PutBools before the operator moves to its next
+//     batch — a leaked buffer silently degrades the pool back to
+//     per-batch allocation.
+//   - colstore scan pins: Partition.pinLocked increments a generation
+//     refcount that Partition.release must decrement, or superseded files
+//     are never deleted.
+//
+// The analysis is per-function and ownership-based: an acquired value must
+// be passed to its release method (inline or deferred) somewhere in the
+// function, or escape it — returned, stored into a field or composite, or
+// passed to another function, which transfers ownership to code the analyzer
+// will check at its own site. A value that does neither (used only locally,
+// or discarded outright) is a leak. //lint:release suppresses audited sites.
+var PairedRelease = &Analyzer{
+	Name: "pairedrelease",
+	Key:  "release",
+	Doc: "vector.Pool Get/Put, scan-pin acquire/release and similar protocols " +
+		"must balance on every path: acquired values are released in-function " +
+		"or visibly handed off",
+	Run: runPairedRelease,
+}
+
+// releasePair describes one acquire/release protocol. Receivers are matched
+// by the defining type's name so golden test packages exercise the same
+// rules as the real internal/vector and internal/core types.
+type releasePair struct {
+	acquire  string
+	release  string
+	recvType string
+}
+
+var releasePairs = []releasePair{
+	{"GetSel", "PutSel", "Pool"},
+	{"GetHashes", "PutHashes", "Pool"},
+	{"GetBools", "PutBools", "Pool"},
+	{"pinLocked", "release", "Partition"},
+}
+
+func runPairedRelease(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAcquires(pass, fd)
+		}
+	}
+	return nil
+}
+
+// methodPair resolves a call to one of the tracked acquire methods.
+func methodPair(info *types.Info, call *ast.CallExpr) (releasePair, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return releasePair{}, false
+	}
+	recv := recvTypeName(fn)
+	for _, p := range releasePairs {
+		if fn.Name() == p.acquire && recv == p.recvType {
+			return p, true
+		}
+	}
+	return releasePair{}, false
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func checkAcquires(pass *Pass, fd *ast.FuncDecl) {
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pair, ok := methodPair(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		checkOneAcquire(pass, fd, call, pair, stack)
+		return true
+	})
+}
+
+// checkOneAcquire classifies the syntactic context of the acquire call and,
+// when its result lands in a local variable, verifies release-or-escape.
+func checkOneAcquire(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, pair releasePair, stack []ast.Node) {
+	// Walk out of value-preserving wrappers: pool.GetSel(n)[:n] etc.
+	top := ast.Node(call)
+	i := len(stack) - 1
+	for ; i >= 0; i-- {
+		switch w := stack[i].(type) {
+		case *ast.SliceExpr, *ast.ParenExpr:
+			top = stack[i]
+			continue
+		case *ast.IndexExpr:
+			if w.X == top {
+				top = stack[i]
+				continue
+			}
+		}
+		break
+	}
+	if i < 0 {
+		return
+	}
+	switch parent := stack[i].(type) {
+	case *ast.AssignStmt:
+		// find which LHS receives this RHS
+		for ri, rhs := range parent.Rhs {
+			if ast.Node(rhs) != top {
+				continue
+			}
+			if ri >= len(parent.Lhs) {
+				return
+			}
+			id, ok := parent.Lhs[ri].(*ast.Ident)
+			if !ok {
+				// stored straight into a field or element: a hand-off the
+				// releasing code reaches through the container
+				return
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "%s result discarded: the buffer can never be %s'd", pair.acquire, pair.release)
+				return
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return
+			}
+			if !releasedOrEscaped(pass, fd, obj, pair) {
+				pass.Reportf(call.Pos(),
+					"%q acquired via %s is neither released via %s nor handed off in %s; release it (defer works) or add //lint:release",
+					id.Name, pair.acquire, pair.release, fd.Name.Name)
+			}
+			return
+		}
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(), "%s result discarded: the buffer can never be %s'd", pair.acquire, pair.release)
+	default:
+		// argument to another call, return value, composite literal element:
+		// ownership visibly moves; the receiving site is checked on its own.
+	}
+}
+
+// releasedOrEscaped scans the function for a use of obj that releases it or
+// transfers ownership out of the function.
+func releasedOrEscaped(pass *Pass, fd *ast.FuncDecl, obj types.Object, pair releasePair) bool {
+	done := false
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if done {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != obj {
+			return true
+		}
+		if useReleasesOrEscapes(pass, id, stack, pair) {
+			done = true
+		}
+		return true
+	})
+	return done
+}
+
+// useReleasesOrEscapes classifies one use of the acquired variable.
+func useReleasesOrEscapes(pass *Pass, id *ast.Ident, stack []ast.Node, pair releasePair) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.CallExpr:
+			child := stackChild(stack, i, id)
+			if parent.Fun == child {
+				return false // the resource invoked as a function: not a transfer
+			}
+			if tv, ok := pass.TypesInfo.Types[parent.Fun]; ok && tv.IsType() {
+				continue // conversion: the value flows through unchanged
+			}
+			if b := builtinName(pass.TypesInfo, parent); b != "" {
+				switch b {
+				case "len", "cap", "copy", "delete", "clear", "min", "max", "print", "println":
+					return false // reads the resource, keeps ownership here
+				default:
+					return true // append/panic/...: conservatively a hand-off
+				}
+			}
+			// A real call: either the paired release, or ownership moves to
+			// the callee (whose own body is checked at its own site).
+			return true
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CompositeLit:
+			return true
+		case *ast.AssignStmt:
+			child := stackChild(stack, i, id)
+			for _, lhs := range parent.Lhs {
+				if lhs == child {
+					// writing INTO the variable (reassignment, v = v[:n], or
+					// v[i] = x through an index): not an escape
+					return false
+				}
+			}
+			for _, lhs := range parent.Lhs {
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					// v stored into a field or element: handed off
+					if containsNode(parent.Rhs, child) {
+						return true
+					}
+				}
+			}
+			return false
+		case *ast.SelectorExpr:
+			// g.field / g.method: extracts a different value; the resource
+			// itself stays put. (A release call g.pool.Put(...) tracks the
+			// ARGUMENT ident, which never climbs through a SelectorExpr.)
+			return false
+		case *ast.IndexExpr:
+			if parent.X == stackChild(stack, i, id) {
+				return false // element read: sel[i] is not the buffer
+			}
+			return false
+		case *ast.BinaryExpr:
+			return false // comparison/arithmetic result is not the resource
+		case *ast.StarExpr:
+			return false // deref copies the pointee, not the handle
+		case *ast.SliceExpr, *ast.ParenExpr, *ast.UnaryExpr, *ast.KeyValueExpr:
+			continue // value-preserving wrappers: keep climbing
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// builtinName returns the name of the builtin being called, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// stackChild returns the node just inside stack[i] on the path to id.
+func stackChild(stack []ast.Node, i int, id *ast.Ident) ast.Node {
+	if i+1 < len(stack) {
+		return stack[i+1]
+	}
+	return id
+}
+
+func containsNode(exprs []ast.Expr, n ast.Node) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(x ast.Node) bool {
+			if x == n {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,72 @@
+// Package ctxgolden exercises the ctxpropagate analyzer: flag cases are
+// annotated with want comments, conforming and suppressed cases are not.
+package ctxgolden
+
+import "context"
+
+// mintRoot creates a root context in library code with no excuse.
+func mintRoot() context.Context {
+	return context.Background() // want "context.Background() in library code"
+}
+
+// mintTODO is the same violation via TODO.
+func mintTODO() context.Context {
+	return context.TODO() // want "context.TODO() in library code"
+}
+
+// shadowsParam has a perfectly good ctx and ignores it.
+func shadowsParam(ctx context.Context) context.Context {
+	c := context.TODO() // want "already has a context.Context parameter \"ctx\""
+	_ = ctx
+	return c
+}
+
+// nilDefault is the sanctioned compat idiom: legacy callers pass nil.
+func nilDefault(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // ok: nil-default guard
+	}
+	return ctx
+}
+
+// nilDefaultReturn is the expression form of the same idiom.
+func nilDefaultReturn(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background() // ok: nil-default guard
+	}
+	return ctx
+}
+
+// audited carries the audit comment: a deliberate root for a daemon.
+func audited() context.Context {
+	return context.Background() //lint:ctx deliberate root context for the serve loop
+}
+
+// ctxSecond violates parameter ordering.
+func ctxSecond(name string, ctx context.Context) string { // want "context.Context must be the first parameter"
+	_ = ctx
+	return name
+}
+
+// ctxFirst is the conforming order.
+func ctxFirst(ctx context.Context, name string) string {
+	_ = ctx
+	return name
+}
+
+// unusedCtx promises cancellability it never delivers.
+func unusedCtx(ctx context.Context, n int) int { // want "context parameter \"ctx\" is never used"
+	return n + 1
+}
+
+// blankCtx opts out explicitly; the blank name is the audit.
+func blankCtx(_ context.Context, n int) int {
+	return n + 1
+}
+
+var sink any
+
+func init() {
+	sink = []any{mintRoot, mintTODO, shadowsParam, nilDefault, nilDefaultReturn,
+		audited, ctxSecond, ctxFirst, unusedCtx, blankCtx}
+}

@@ -1,0 +1,58 @@
+// Package sqlgolden exercises the errpos analyzer under the SQL front-end
+// package path, where every user-facing error must carry a position.
+package sqlgolden
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pos/Error/errf mirror the real front-end's positioned-error machinery.
+type Pos struct{ Line, Col int }
+
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sql: %d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg) }
+
+func errf(p Pos, format string, args ...any) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+// parse reports through errf: conforming.
+func parse(p Pos, tok string) error {
+	if tok == "" {
+		return errf(p, "unexpected end of statement")
+	}
+	return nil
+}
+
+// bare loses the position the caller needs to print a caret.
+func bare(tok string) error {
+	return fmt.Errorf("unexpected token %q", tok) // want "SQL front-end error without a position"
+}
+
+// sentinel is position-free by construction: flagged, annotate or type it.
+var errClosed = errors.New("statement closed") // want "errors.New in the SQL front-end"
+
+// auditedSentinel carries the audit comment.
+//
+//lint:errpos lifecycle sentinel compared with errors.Is, never printed with a caret
+var errDrained = errors.New("statement drained")
+
+// boundary wraps an inner positioned error: %w keeps the chain intact.
+func boundary(p Pos, err error) error {
+	if err != nil {
+		return fmt.Errorf("prepare: %w", err)
+	}
+	return errf(p, "empty prepare")
+}
+
+// flatten both loses the position AND breaks the unwrap chain.
+func flatten(err error) error {
+	return fmt.Errorf("prepare: %v", err) // want "SQL front-end error without a position" "flattens the chain"
+}
+
+var _ = []any{parse, bare, errClosed, errDrained, boundary, flatten}

@@ -1,0 +1,47 @@
+// Package wiregolden exercises the errpos analyzer's package-boundary rule
+// outside the SQL front-end: only the %w-wrapping discipline applies here.
+package wiregolden
+
+import (
+	"errors"
+	"fmt"
+)
+
+// flattenV breaks errors.Is/As through the boundary.
+func flattenV(err error) error {
+	return fmt.Errorf("frame: %v", err) // want "flattens the chain"
+}
+
+// flattenS is the %s spelling of the same bug.
+func flattenS(err error) error {
+	return fmt.Errorf("frame: %s", err) // want "flattens the chain"
+}
+
+// wrapped preserves the chain: conforming.
+func wrapped(err error) error {
+	return fmt.Errorf("frame: %w", err)
+}
+
+// nonError formats a plain string with %v: fine.
+func nonError(name string) error {
+	return fmt.Errorf("unknown table %v", name)
+}
+
+// mixed wraps the error and formats the rest.
+func mixed(op string, n int, err error) error {
+	return fmt.Errorf("%s after %d frames: %w", op, n, err)
+}
+
+// sentinels are allowed outside the SQL front-end.
+var errShutdown = errors.New("server shutting down")
+
+// custom error types satisfying error are caught too.
+type frameErr struct{ n int }
+
+func (e *frameErr) Error() string { return fmt.Sprintf("frame %d", e.n) }
+
+func flattenCustom(e *frameErr) error {
+	return fmt.Errorf("decode: %v", e) // want "flattens the chain"
+}
+
+var _ = []any{flattenV, flattenS, wrapped, nonError, mixed, errShutdown, flattenCustom}

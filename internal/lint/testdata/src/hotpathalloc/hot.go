@@ -1,0 +1,57 @@
+// Package hotgolden exercises the hotpathalloc analyzer. The harness checks
+// it twice: under a hot-path import path (internal/exec), where the wants
+// below must fire, and under a cold package path, where the same sources
+// must produce no findings at all.
+package hotgolden
+
+import "fmt"
+
+// lookup is the stringly-keyed idiom PR 2 removed from the hash layer.
+var lookup map[string]int // want "map[string] in hot-path code"
+
+// rowKeys builds per-row strings: three distinct per-row allocation smells.
+func rowKeys(rows []string) string {
+	out := ""
+	for _, r := range rows {
+		out += r                       // want "string += in a hot-path loop"
+		s := fmt.Sprintf("%d", len(r)) // want "fmt.Sprintf in a hot-path loop"
+		t := r + "!"                   // want "string concatenation in a hot-path loop"
+		_, _ = s, t
+	}
+	return out
+}
+
+// makeTable allocates the forbidden map shape locally.
+func makeTable(n int) int {
+	m := make(map[string]int, n) // want "map[string] in hot-path code"
+	return len(m)
+}
+
+// intKeys is fine: integer-keyed maps are not the serialization idiom.
+func intKeys(n int) int {
+	m := make(map[int64]int32, n)
+	return len(m)
+}
+
+// assertion formats only on the failure path: panic arguments are exempt.
+func assertion(rows []string) {
+	for i, r := range rows {
+		if len(r) == 0 {
+			panic(fmt.Sprintf("empty row %d", i))
+		}
+	}
+}
+
+// hoisted formats once outside the loop: conforming.
+func hoisted(rows []string) []string {
+	header := fmt.Sprintf("n=%d", len(rows))
+	out := make([]string, 0, len(rows)+1)
+	out = append(out, header)
+	out = append(out, rows...)
+	return out
+}
+
+// auditedSetup is cold catalog code that happens to live here.
+//
+//lint:hotpath one-time setup table, never touched per batch
+var auditedSetup map[string]bool

@@ -1,0 +1,11 @@
+package hotgolden
+
+// initTables wires the package vars; the literals repeat the forbidden map
+// shape, so the sites carry their own audit comments.
+func initTables() {
+	lookup = map[string]int{} //lint:hotpath one-time setup, not per-row
+	//lint:hotpath one-time setup, not per-row
+	auditedSetup = map[string]bool{}
+}
+
+var _ = initTables

@@ -1,0 +1,156 @@
+// Package lockgolden exercises the lockdiscipline analyzer.
+package lockgolden
+
+import "sync"
+
+// engine mirrors the real Engine's two-lock layout: writeMu serializes
+// writers, mu guards the catalog, and the fixed order is writeMu before mu.
+type engine struct {
+	mu      sync.RWMutex
+	writeMu sync.Mutex
+	n       int
+}
+
+// goodOrder takes the locks in the documented order.
+func (e *engine) goodOrder() int {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n > 0 {
+		return e.n
+	}
+	return 0
+}
+
+// badOrder acquires writeMu while holding mu: deadlock bait.
+func (e *engine) badOrder() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	e.writeMu.Lock() // want "acquired while e.mu is held"
+	defer e.writeMu.Unlock()
+	if e.n > 0 {
+		return e.n
+	}
+	return 0
+}
+
+// reorderedAfterRelease is fine: mu is released before writeMu is taken.
+func (e *engine) reorderedAfterRelease() int {
+	e.mu.RLock()
+	n := e.n
+	e.mu.RUnlock()
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if n > 0 {
+		return n
+	}
+	return 0
+}
+
+// straightLine releases inline with no control flow in the critical section.
+func (e *engine) straightLine() int {
+	e.mu.RLock()
+	n := e.n
+	e.mu.RUnlock()
+	if n > 42 {
+		return 42
+	}
+	return n
+}
+
+// manualMultiReturn unlocks on each path by hand: flagged, because nothing
+// stops the next edit from adding an early return between them.
+func (e *engine) manualMultiReturn(x int) int {
+	e.mu.Lock() // want "multi-return path without defer"
+	if x > 0 {
+		e.mu.Unlock()
+		return x
+	}
+	e.mu.Unlock()
+	return 0
+}
+
+// auditedManual is the same shape with the audit comment.
+func (e *engine) auditedManual(x int) int {
+	e.mu.Lock() //lint:unlock both paths release before returning
+	if x > 0 {
+		e.mu.Unlock()
+		return x
+	}
+	e.mu.Unlock()
+	return 0
+}
+
+// singleReturn needs no defer: one way out.
+func (e *engine) singleReturn() int {
+	e.mu.RLock()
+	n := e.n
+	if n < 0 {
+		n = 0
+	}
+	e.mu.RUnlock()
+	return n
+}
+
+// deferredClosure releases through a deferred closure: allowed.
+func (e *engine) deferredClosure(x int) int {
+	e.mu.Lock()
+	defer func() {
+		e.n++
+		e.mu.Unlock()
+	}()
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// byValueParam copies the engine, forking its mutexes.
+func byValueParam(e engine) int { // want "by-value parameter copies"
+	return e.n
+}
+
+// valueReceiver does the same through the receiver.
+func (e engine) valueReceiver() int { // want "value receiver copies"
+	return e.n
+}
+
+// assignCopy copies a lock-bearing struct through a dereference.
+func assignCopy(e *engine) {
+	cp := *e // want "assignment copies"
+	sink(&cp)
+}
+
+// fieldCopy copies just the mutex out of the struct.
+func fieldCopy(e *engine) {
+	var m = e.mu // want "variable initialization copies"
+	sink(&m)
+}
+
+// rangeCopy copies each element, mutex included.
+func rangeCopy(engines []engine) int {
+	total := 0
+	for _, e := range engines { // want "range clause copies"
+		total += e.n
+	}
+	return total
+}
+
+// pointerUses are all conforming: no value ever moves.
+func pointerUses(engines []*engine) int {
+	total := 0
+	for _, e := range engines {
+		total += e.n
+	}
+	return total
+}
+
+func sink(any) {}
+
+var keep = []any{
+	(*engine).goodOrder, (*engine).badOrder, (*engine).reorderedAfterRelease,
+	(*engine).straightLine, (*engine).manualMultiReturn, (*engine).auditedManual,
+	(*engine).singleReturn, (*engine).deferredClosure,
+	byValueParam, engine.valueReceiver, assignCopy, fieldCopy, rangeCopy, pointerUses,
+}

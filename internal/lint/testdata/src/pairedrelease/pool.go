@@ -1,0 +1,145 @@
+// Package prgolden exercises the pairedrelease analyzer. The Pool and
+// Partition types mirror the method shapes of internal/vector.Pool and
+// internal/core.Partition; the analyzer matches on method name plus receiver
+// type name, so these stand-ins bind to the same rules.
+package prgolden
+
+// Pool mimics vector.Pool's scratch-buffer recycling protocol.
+type Pool struct {
+	sels   [][]int32
+	hashes [][]uint64
+	bools  [][]bool
+}
+
+func (p *Pool) GetSel(capHint int) []int32 { return make([]int32, 0, capHint) }
+func (p *Pool) PutSel(ss ...[]int32)       { p.sels = append(p.sels, ss...) }
+func (p *Pool) GetHashes(n int) []uint64   { return make([]uint64, n) }
+func (p *Pool) PutHashes(h []uint64)       { p.hashes = append(p.hashes, h) }
+func (p *Pool) GetBools(n int) []bool      { return make([]bool, n) }
+func (p *Pool) PutBools(b []bool)          { p.bools = append(p.bools, b) }
+
+type operator struct {
+	pool Pool
+	keep []int32
+}
+
+// balancedDefer releases through defer: the canonical shape.
+func (o *operator) balancedDefer(n int) int {
+	sel := o.pool.GetSel(n)
+	defer o.pool.PutSel(sel)
+	total := 0
+	for i := range sel {
+		total += int(sel[i])
+	}
+	return total
+}
+
+// balancedInline releases at the end, with a resliced alias.
+func (o *operator) balancedInline(n int) uint64 {
+	hs := o.pool.GetHashes(n)[:n]
+	var acc uint64
+	for _, h := range hs {
+		acc ^= h
+	}
+	o.pool.PutHashes(hs)
+	return acc
+}
+
+// variadicRelease returns two buffers through one variadic Put.
+func (o *operator) variadicRelease(n int) {
+	cand := o.pool.GetSel(n)
+	sel := o.pool.GetSel(n)
+	o.pool.PutSel(cand, sel)
+}
+
+// leak acquires and forgets: the finding this analyzer exists for.
+func (o *operator) leak(n int) int {
+	sel := o.pool.GetSel(n) // want "neither released via PutSel nor handed off"
+	total := 0
+	for i := range sel {
+		total += int(sel[i])
+	}
+	return total
+}
+
+// leakBools leaks a different buffer kind on an error-shaped path.
+func (o *operator) leakBools(n int) bool {
+	match := o.pool.GetBools(n) // want "neither released via PutBools nor handed off"
+	if n > 16 {
+		return false
+	}
+	return len(match) > 0
+}
+
+// discard drops the buffer on the floor outright.
+func (o *operator) discard(n int) {
+	o.pool.GetSel(n) // want "result discarded"
+}
+
+// discardBlank is the blank-identifier flavor of the same leak.
+func (o *operator) discardBlank(n int) {
+	_ = o.pool.GetHashes(n) // want "result discarded"
+}
+
+// storedField hands the buffer off into the operator's state: whoever owns
+// the operator owns the buffer now.
+func (o *operator) storedField(n int) {
+	o.keep = o.pool.GetSel(n)
+}
+
+// returned transfers ownership to the caller.
+func (o *operator) returned(n int) []int32 {
+	return o.pool.GetSel(n)
+}
+
+// passedThrough escapes into another function, which owns releasing it.
+func (o *operator) passedThrough(n int) int {
+	sel := o.pool.GetSel(n)
+	return consume(sel)
+}
+
+// audited carries the audit comment for a lifetime the analyzer can't see.
+func (o *operator) audited(n int) []int32 {
+	sel := o.pool.GetSel(n) //lint:release returned to pool by the batch consumer
+	var last []int32
+	for i := range sel {
+		last = sel[i:]
+	}
+	return last
+}
+
+func consume(sel []int32) int { return len(sel) }
+
+// Partition mimics core.Partition's refcounted scan-pin protocol.
+type Partition struct{ refs int64 }
+
+type metaGen struct{ id int }
+
+func (p *Partition) pinLocked() *metaGen { p.refs++; return &metaGen{} }
+func (p *Partition) release(g *metaGen)  { p.refs-- }
+
+type scanState struct {
+	part *Partition
+	gen  *metaGen
+}
+
+// openPins pins into a field: the scan's Close releases it later.
+func (s *scanState) openPins() {
+	s.gen = s.part.pinLocked()
+}
+
+// pinBalanced releases in-function.
+func pinBalanced(p *Partition) int {
+	g := p.pinLocked()
+	defer p.release(g)
+	return g.id
+}
+
+// pinLeak takes a pin it can never release on the early path.
+func pinLeak(p *Partition) int {
+	g := p.pinLocked() // want "neither released via release nor handed off"
+	if g.id > 0 {
+		return g.id
+	}
+	return 0
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode drives the wire-frame reader with arbitrary bytes: the
+// length-prefixed framing is the first thing a malicious peer controls, so
+// ReadFrame must never panic, never allocate past its limit, and must
+// round-trip everything WriteFrame produces.
+func FuzzFrameDecode(f *testing.F) {
+	add := func(payload []byte) {
+		var b bytes.Buffer
+		var hdr [frameHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		b.Write(hdr[:])
+		b.Write(payload)
+		f.Add(b.Bytes(), 1<<16)
+	}
+	add([]byte(`{"id":1,"op":"query","sql":"SELECT 1"}`))
+	add([]byte(`{}`))
+	add(bytes.Repeat([]byte{0xff}, 512))
+	f.Add([]byte{}, 64)                                // empty stream: clean EOF
+	f.Add([]byte{0, 0, 0, 0}, 64)                      // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'}, 64)     // 4 GiB claim, 1 byte body
+	f.Add([]byte{0, 0, 0, 8, 'h', 'i'}, 64)            // truncated payload
+	f.Add([]byte{0, 0, 0, 2, '{', '}', 0, 0, 0, 1}, 0) // second header truncated
+
+	f.Fuzz(func(t *testing.T, data []byte, maxBytes int) {
+		if maxBytes > 1<<20 {
+			maxBytes = 1 << 20 // keep allocation claims bounded under fuzzing
+		}
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r, maxBytes)
+			if err != nil {
+				if err == io.EOF && r.Len() != 0 {
+					t.Fatalf("clean EOF with %d bytes unread", r.Len())
+				}
+				break
+			}
+			limit := maxBytes
+			if limit <= 0 {
+				limit = DefaultMaxFrameBytes
+			}
+			if len(payload) == 0 || len(payload) > limit {
+				t.Fatalf("ReadFrame returned %d bytes with limit %d", len(payload), limit)
+			}
+			// The session layer feeds every accepted frame to the JSON
+			// decoder; whatever that does, it must not panic.
+			var req Request
+			_ = json.Unmarshal(payload, &req)
+		}
+
+		// Round-trip: a response we write must come back byte-identical.
+		var buf bytes.Buffer
+		resp := &Response{ID: 7, Type: RespRows, Rows: [][]any{{"x", float64(1)}}}
+		if err := WriteFrame(&buf, resp); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("ReadFrame after WriteFrame: %v", err)
+		}
+		want, _ := json.Marshal(resp)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame round-trip mismatch:\n got: %s\nwant: %s", got, want)
+		}
+	})
+}

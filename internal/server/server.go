@@ -83,6 +83,7 @@ type Server struct {
 // New builds a server over a database.
 func New(db *vectorh.DB, opt Options) *Server {
 	opt.fill()
+	//lint:ctx the server owns the process-lifetime root context; Close cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		db:     db,
@@ -102,16 +103,28 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		ln.Close()
 		return nil, errors.New("server: closed")
 	}
 	s.ln = ln
-	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr(), nil
+}
+
+// track registers conn and reserves a waitgroup slot for its handler; it
+// reports false when the server is closing and the conn must not be served.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -121,15 +134,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		if !s.track(conn) {
 			conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
-		s.wg.Add(1)
-		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
 }
@@ -138,19 +146,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // session handlers to drain — after Close returns, no server goroutine is
 // left running.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	ln, conns, first := s.beginClose()
+	if !first {
 		s.wg.Wait()
 		return nil
 	}
-	s.closed = true
-	ln := s.ln
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
 	s.cancel()
 	if ln != nil {
 		ln.Close()
@@ -160,6 +160,23 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return nil
+}
+
+// beginClose flips the closed flag and snapshots what must be torn down.
+// first is false when another Close already won the race.
+func (s *Server) beginClose() (ln net.Listener, conns []net.Conn, first bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, false
+	}
+	s.closed = true
+	ln = s.ln
+	conns = make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	return ln, conns, true
 }
 
 // Stats returns a point-in-time metrics snapshot, including the shared
@@ -281,19 +298,28 @@ func (ss *session) handlePrepare(req Request) {
 		ss.sendErr(req.ID, err)
 		return
 	}
-	ss.mu.Lock()
-	if ss.stmts == nil {
-		ss.mu.Unlock()
+	replaced, ok := ss.storeStmt(req.Stmt, p)
+	if !ok {
 		ss.sendErr(req.ID, errors.New("session closing"))
 		return
 	}
-	_, replaced := ss.stmts[req.Stmt]
-	ss.stmts[req.Stmt] = p
-	ss.mu.Unlock()
 	if !replaced {
 		ss.srv.m.openStmts.Add(1)
 	}
 	ss.send(&Response{ID: req.ID, Type: RespStmt, NumParams: p.NumParams()})
+}
+
+// storeStmt registers p under the client-chosen handle. ok is false when
+// the session is already tearing down (its statement table is gone).
+func (ss *session) storeStmt(handle int64, p *sql.Prepared) (replaced, ok bool) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.stmts == nil {
+		return false, false
+	}
+	_, replaced = ss.stmts[handle]
+	ss.stmts[handle] = p
+	return replaced, true
 }
 
 func (ss *session) handleCloseStmt(req Request) {

@@ -74,6 +74,7 @@ type DMLEngineContext interface {
 // Exec compiles and runs one DML statement, returning the number of
 // affected rows.
 func Exec(src string, eng DMLEngine) (int64, error) {
+	//lint:ctx compatibility shim for context-free callers; cancellable path is ExecContext
 	return ExecContext(context.Background(), src, eng)
 }
 

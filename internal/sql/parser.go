@@ -180,7 +180,23 @@ type parser struct {
 	toks   []token
 	i      int
 	params int // '?' parameters seen so far (1-based indices)
+	depth  int // current expression/subquery nesting, bounded by maxParseDepth
 }
+
+// maxParseDepth bounds recursive descent so hostile input (kilobytes of
+// nested parentheses) reports a positioned error instead of exhausting the
+// goroutine stack.
+const maxParseDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return errf(p.peek().pos, "statement nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token  { return p.toks[p.i] }
 func (p *parser) peek2() token { return p.toks[min(p.i+1, len(p.toks)-1)] }
@@ -220,6 +236,10 @@ func (p *parser) expectIdent(what string) (token, error) {
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if _, err := p.expect("select"); err != nil {
 		return nil, err
 	}
@@ -404,7 +424,13 @@ func (p *parser) parseTableRef() (FromItem, error) {
 // Precedence climbing: OR < AND < NOT < predicate (comparison, LIKE, IN,
 // BETWEEN) < additive < multiplicative < primary.
 
-func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
 
 func (p *parser) parseOr() (Expr, error) {
 	l, err := p.parseAnd()

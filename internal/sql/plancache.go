@@ -90,19 +90,18 @@ func (c *PlanCache) flushLocked() {
 
 func (c *PlanCache) lookup(key string, epoch int64) (plan.Node, vector.Schema, bool) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if epoch != c.epoch {
 		c.flushLocked()
 		c.epoch = epoch
 	}
 	el, ok := c.entries[key]
 	if !ok {
-		c.mu.Unlock()
 		c.misses.Add(1)
 		return nil, nil, false
 	}
 	c.lru.MoveToFront(el)
 	e := el.Value.(*planEntry)
-	c.mu.Unlock()
 	c.hits.Add(1)
 	return e.node, e.schema, true
 }

@@ -98,6 +98,7 @@ func (p *Prepared) Src() string { return p.src }
 // no literal form in this dialect).
 func (p *Prepared) Bind(params []any) (string, error) {
 	if len(params) != p.numParams {
+		//lint:errpos bind-time error: parameters are client values, there is no source position to point at
 		return "", fmt.Errorf("statement wants %d parameters, got %d", p.numParams, len(params))
 	}
 	var sb strings.Builder
@@ -139,6 +140,7 @@ func writeParam(sb *strings.Builder, v any) error {
 	case json.Number:
 		sb.WriteString(x.String())
 	default:
+		//lint:errpos bind-time error: parameters are client values, there is no source position to point at
 		return fmt.Errorf("unsupported parameter type %T", v)
 	}
 	return nil

@@ -1,0 +1,55 @@
+//go:build vectorh_debug
+
+package vector
+
+import "fmt"
+
+// DebugAsserts reports whether the vectorh_debug build tag is active.
+const DebugAsserts = true
+
+// CheckBatch panics when b's vectors disagree on physical length or when
+// its selection vector points past the physical rows. Compiled to a no-op
+// without the vectorh_debug build tag, so hot paths may call it freely.
+func CheckBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	n := b.physLen()
+	for i, v := range b.Vecs {
+		if v.Len() != n {
+			panic(fmt.Sprintf("vector: batch column %d has %d rows, column 0 has %d", i, v.Len(), n))
+		}
+	}
+	for _, s := range b.Sel {
+		if int(s) < 0 || int(s) >= n {
+			panic(fmt.Sprintf("vector: selection index %d out of range [0,%d)", s, n))
+		}
+	}
+}
+
+// poolDebug tracks per-kind outstanding buffer counts so a Put without a
+// matching Get (a double-put, or a foreign buffer entering the pool) fails
+// loudly instead of silently corrupting reuse.
+type poolDebug struct {
+	sels, hashes, bools int
+}
+
+func (d *poolDebug) get(kind *int) { *kind++ }
+
+func (d *poolDebug) put(kind *int, what string) {
+	*kind--
+	if *kind < 0 {
+		panic("vector: Put" + what + " without a matching Get" + what)
+	}
+}
+
+func (d *poolDebug) getSel()    { d.get(&d.sels) }
+func (d *poolDebug) putSel()    { d.put(&d.sels, "Sel") }
+func (d *poolDebug) getHashes() { d.get(&d.hashes) }
+func (d *poolDebug) putHashes() { d.put(&d.hashes, "Hashes") }
+func (d *poolDebug) getBools()  { d.get(&d.bools) }
+func (d *poolDebug) putBools()  { d.put(&d.bools, "Bools") }
+
+// Outstanding returns the number of buffers handed out and not yet
+// returned, for leak assertions in tests.
+func (p *Pool) Outstanding() int { return p.dbg.sels + p.dbg.hashes + p.dbg.bools }

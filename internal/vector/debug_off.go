@@ -1,0 +1,21 @@
+//go:build !vectorh_debug
+
+package vector
+
+// DebugAsserts reports whether the vectorh_debug build tag is active.
+const DebugAsserts = false
+
+// CheckBatch is a no-op in release builds; build with -tags vectorh_debug
+// to enable batch shape and selection-vector bounds assertions.
+func CheckBatch(b *Batch) {}
+
+// poolDebug is empty in release builds: the hooks compile to nothing and
+// the embedded field adds no size to Pool.
+type poolDebug struct{}
+
+func (poolDebug) getSel()    {}
+func (poolDebug) putSel()    {}
+func (poolDebug) getHashes() {}
+func (poolDebug) putHashes() {}
+func (poolDebug) getBools()  {}
+func (poolDebug) putBools()  {}

@@ -1,0 +1,95 @@
+//go:build vectorh_debug
+
+package vector
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs f and returns the panic message, failing when f returns
+// normally.
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		f()
+		t.Fatal("expected a vectorh_debug panic, got none")
+	}()
+	return msg
+}
+
+func TestCheckBatchMisalignedColumns(t *testing.T) {
+	a := New(Int64, 4)
+	b := New(Int64, 4)
+	a.AppendAny(int64(1))
+	a.AppendAny(int64(2))
+	b.AppendAny(int64(3))
+	msg := mustPanic(t, func() { CheckBatch(NewBatch(a, b)) })
+	if !strings.Contains(msg, "column 1 has 1 rows") {
+		t.Fatalf("wrong panic: %q", msg)
+	}
+}
+
+func TestCheckBatchSelOutOfRange(t *testing.T) {
+	v := New(Int64, 4)
+	v.AppendAny(int64(7))
+	bad := &Batch{Vecs: []*Vec{v}, Sel: []int32{0, 3}}
+	msg := mustPanic(t, func() { CheckBatch(bad) })
+	if !strings.Contains(msg, "selection index 3 out of range") {
+		t.Fatalf("wrong panic: %q", msg)
+	}
+}
+
+func TestCheckBatchAcceptsWellFormed(t *testing.T) {
+	v := New(Int64, 4)
+	v.AppendAny(int64(7))
+	v.AppendAny(int64(8))
+	CheckBatch(&Batch{Vecs: []*Vec{v}, Sel: []int32{1, 0}})
+	CheckBatch(nil)
+}
+
+func TestPoolDoublePutSel(t *testing.T) {
+	var p Pool
+	s := p.GetSel(8)
+	p.PutSel(s)
+	msg := mustPanic(t, func() { p.PutSel(s) })
+	if !strings.Contains(msg, "PutSel without a matching GetSel") {
+		t.Fatalf("wrong panic: %q", msg)
+	}
+}
+
+func TestPoolForeignPutHashes(t *testing.T) {
+	var p Pool
+	msg := mustPanic(t, func() { p.PutHashes(make([]uint64, 16)) })
+	if !strings.Contains(msg, "PutHashes without a matching GetHashes") {
+		t.Fatalf("wrong panic: %q", msg)
+	}
+}
+
+func TestPoolForeignPutBools(t *testing.T) {
+	var p Pool
+	msg := mustPanic(t, func() { p.PutBools(make([]bool, 16)) })
+	if !strings.Contains(msg, "PutBools without a matching GetBools") {
+		t.Fatalf("wrong panic: %q", msg)
+	}
+}
+
+func TestPoolOutstanding(t *testing.T) {
+	var p Pool
+	s := p.GetSel(8)
+	h := p.GetHashes(8)
+	if got := p.Outstanding(); got != 2 {
+		t.Fatalf("Outstanding() = %d, want 2", got)
+	}
+	p.PutSel(s)
+	p.PutHashes(h)
+	if got := p.Outstanding(); got != 0 {
+		t.Fatalf("Outstanding() after puts = %d, want 0", got)
+	}
+}

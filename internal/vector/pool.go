@@ -20,11 +20,13 @@ type Pool struct {
 	sels   [][]int32
 	hashes [][]uint64
 	bools  [][]bool
+	dbg    poolDebug // zero-size unless built with -tags vectorh_debug
 }
 
 // GetSel returns an empty int32 buffer (selection vector, candidate list,
 // counter array) with at least the given capacity.
 func (p *Pool) GetSel(capHint int) []int32 {
+	p.dbg.getSel()
 	if n := len(p.sels); n > 0 {
 		s := p.sels[n-1]
 		p.sels = p.sels[:n-1]
@@ -39,6 +41,7 @@ func (p *Pool) GetSel(capHint int) []int32 {
 func (p *Pool) PutSel(ss ...[]int32) {
 	for _, s := range ss {
 		if cap(s) > 0 {
+			p.dbg.putSel()
 			p.sels = append(p.sels, s)
 		}
 	}
@@ -46,6 +49,7 @@ func (p *Pool) PutSel(ss ...[]int32) {
 
 // GetHashes returns a hash buffer of length n (contents undefined).
 func (p *Pool) GetHashes(n int) []uint64 {
+	p.dbg.getHashes()
 	if l := len(p.hashes); l > 0 {
 		h := p.hashes[l-1]
 		p.hashes = p.hashes[:l-1]
@@ -59,12 +63,14 @@ func (p *Pool) GetHashes(n int) []uint64 {
 // PutHashes returns a hash buffer to the pool.
 func (p *Pool) PutHashes(h []uint64) {
 	if cap(h) > 0 {
+		p.dbg.putHashes()
 		p.hashes = append(p.hashes, h)
 	}
 }
 
 // GetBools returns a zeroed bool buffer of length n.
 func (p *Pool) GetBools(n int) []bool {
+	p.dbg.getBools()
 	if l := len(p.bools); l > 0 {
 		b := p.bools[l-1]
 		p.bools = p.bools[:l-1]
@@ -82,6 +88,7 @@ func (p *Pool) GetBools(n int) []bool {
 // PutBools returns a bool buffer to the pool.
 func (p *Pool) PutBools(b []bool) {
 	if cap(b) > 0 {
+		p.dbg.putBools()
 		p.bools = append(p.bools, b)
 	}
 }

@@ -234,6 +234,7 @@ func (rm *ResourceManager) kill(c *Container) {
 // newest first) until the request fits. It returns the container and the
 // victims killed.
 func (rm *ResourceManager) AllocateWithPreemption(app *Application, node string, res Resource) (*Container, []*Container, error) {
+	//lint:unlock OnKill callbacks must run outside rm.mu (they re-enter the RM); every branch unlocks before invoking them
 	rm.mu.Lock()
 	ns, ok := rm.nodes[node]
 	if !ok {
