@@ -7,9 +7,11 @@
 package vectorh_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"vectorh"
 	"vectorh/internal/baseline"
 	"vectorh/internal/experiments"
 	"vectorh/internal/tpch"
@@ -225,6 +227,57 @@ func BenchmarkUpdateImpact(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkTPCHProfileOverhead measures the cost of per-operator profiling:
+// the same TPC-H query executed plain ("off", the default path — no wrapper
+// operators are inserted, so it pays nothing per batch) and under EXPLAIN
+// ANALYZE ("on", every operator wrapped, phase spans recorded). Compare the
+// two sub-benchmark timings to read the overhead; both runs are validated
+// row-count-identical. Named so CI's bench smoke picks it up and the
+// profiled execution path cannot silently rot.
+func BenchmarkTPCHProfileOverhead(b *testing.B) {
+	d := tpch.Generate(benchSF, 9)
+	eng, err := experiments.NewEngine(3, 2, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tpch.LoadIntoEngine(eng, d, 6); err != nil {
+		b.Fatal(err)
+	}
+	db := &vectorh.DB{Engine: eng}
+	query := tpch.SQLQueries[1]
+	plainRows, err := db.QuerySQL(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows, err := db.QuerySQL(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != len(plainRows) {
+				b.Fatalf("plain run returned %d rows, want %d", len(rows), len(plainRows))
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := db.QueryProfileSQL(context.Background(), query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(p.Rows) != len(plainRows) {
+				b.Fatalf("profiled run returned %d rows, want %d", len(p.Rows), len(plainRows))
+			}
+			if len(p.Operators) == 0 {
+				b.Fatal("profiled run recorded no operators")
+			}
+		}
+	})
 }
 
 // BenchmarkProfileQ1 regenerates the Appendix per-operator profile of Q1.

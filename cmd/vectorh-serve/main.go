@@ -18,6 +18,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +39,9 @@ func main() {
 	threads := flag.Int("threads", 2, "exchange threads per node")
 	maxConcurrent := flag.Int("max-concurrent", 4, "admission control: max concurrently executing queries")
 	queueWait := flag.Duration("queue-wait", 10*time.Second, "admission control: max queue wait before rejecting")
+	metricsAddr := flag.String("metrics-addr", "", "optional HTTP listen address serving Prometheus metrics at /metrics")
+	slowLog := flag.String("slow-log", "", "path of the structured slow-query log (JSON lines; - for stderr)")
+	slowThreshold := flag.Duration("slow-threshold", 500*time.Millisecond, "queries at or above this duration are slow-logged")
 	flag.Parse()
 
 	names := make([]string, *nodes)
@@ -61,7 +66,18 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loaded in %v\n", time.Since(start).Round(time.Millisecond))
 
-	srv := server.New(db, server.Options{MaxConcurrent: *maxConcurrent, QueueWait: *queueWait})
+	opt := server.Options{MaxConcurrent: *maxConcurrent, QueueWait: *queueWait}
+	var slowFile *os.File
+	if *slowLog == "-" {
+		opt.SlowQueryLog, opt.SlowQueryThreshold = os.Stderr, *slowThreshold
+	} else if *slowLog != "" {
+		slowFile, err = os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		opt.SlowQueryLog, opt.SlowQueryThreshold = slowFile, *slowThreshold
+	}
+	srv := server.New(db, opt)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)
@@ -69,16 +85,43 @@ func main() {
 	fmt.Printf("listening on %s (sf=%g, %d nodes, max %d concurrent queries)\n",
 		bound, *sf, *nodes, *maxConcurrent)
 
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			text, err := srv.Metrics()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			fmt.Fprint(w, text)
+		})
+		metricsSrv = &http.Server{Handler: mux}
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+		go metricsSrv.Serve(ln) //lint:ctx metrics sidecar; lifetime is the process
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "shutting down...")
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fatal(err)
 	}
 	st := srv.Stats()
-	fmt.Fprintf(os.Stderr, "served %d sessions, %d queries completed, %d cancelled, %d rows\n",
-		st.TotalSessions, st.CompletedQueries, st.CancelledQueries, st.RowsServed)
+	fmt.Fprintf(os.Stderr, "served %d sessions, %d queries completed, %d cancelled, %d rows (%d slow-logged)\n",
+		st.TotalSessions, st.CompletedQueries, st.CancelledQueries, st.RowsServed, st.SlowQueries)
+	if slowFile != nil {
+		slowFile.Close()
+	}
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@
 //	$ go run ./cmd/vectorh-sql -connect 127.0.0.1:15432
 //	vectorh> select count(*) from lineitem;
 //	vectorh> explain select n_name, sum(l_extendedprice) from lineitem ...;
+//	vectorh> explain analyze select count(*) from lineitem where l_quantity < 24;
 //	vectorh> insert into region (r_regionkey, r_name, r_comment) values (5, 'ATLANTIS', 'sunk');
 //	vectorh> update orders set o_orderpriority = '1-URGENT' where o_orderkey = 7; delete from region where r_regionkey = 5;
 //	vectorh> \d          -- list tables (embedded mode)
@@ -204,6 +205,15 @@ func (sh *shell) meta(cmd string) bool {
 			fmt.Printf("plan cache: hits=%d misses=%d (%.1f%% hit rate) evictions=%d invalidations=%d entries=%d\n",
 				pc.Hits, pc.Misses, rate, pc.Evictions, pc.Invalidations, pc.Entries)
 		}
+		if p := st.Process; p != nil {
+			fmt.Printf("process: uptime=%s goroutines=%d heap=%.1fMB gc=%d (%.2fms paused) alloc=%dMB\n",
+				(time.Duration(p.UptimeSec) * time.Second).String(), p.Goroutines,
+				float64(p.HeapBytes)/(1<<20), p.NumGC,
+				float64(p.GCPauseNs)/1e6, p.TotalAllocMB)
+		}
+		if st.SlowQueries > 0 {
+			fmt.Printf("slow queries logged: %d\n", st.SlowQueries)
+		}
 	case "\\d":
 		if sh.db == nil {
 			fmt.Println("\\d requires embedded mode (table listing is not part of the wire protocol yet)")
@@ -398,6 +408,30 @@ func (sh *shell) runOne(stmt string) {
 	}
 	lower := strings.ToLower(stmt)
 	switch {
+	case strings.HasPrefix(lower, "explain analyze"):
+		// EXPLAIN ANALYZE really runs the query (rows discarded) and prints
+		// the plan annotated with actual row counts, per-operator timings,
+		// phase spans, and scan IO.
+		body := stmt[len("explain analyze"):]
+		ctx, cancel := sh.stmtCtx()
+		defer cancel()
+		var text string
+		var err error
+		if sh.remote != nil {
+			text, err = sh.remote.Profile(ctx, body)
+		} else {
+			var p *vectorh.QueryProfile
+			p, err = sh.db.QueryProfileSQL(ctx, body)
+			if err == nil {
+				text = p.Render()
+			}
+		}
+		if err != nil {
+			sh.fail(err)
+			return
+		}
+		fmt.Print(text)
+		return
 	case strings.HasPrefix(lower, "explain"):
 		var plan string
 		var err error
@@ -427,12 +461,14 @@ func (sh *shell) runQuery(stmt string) {
 	var schema vectorh.Schema
 	var rows [][]any
 	var err error
+	var queue, exec time.Duration
 	if sh.remote != nil {
 		var res *server.Result
 		res, err = sh.remote.Query(ctx, stmt)
 		if err == nil {
 			rows = res.Rows
 			schema = wireSchema(res.Schema)
+			queue, exec = res.Queue, res.Exec
 		}
 	} else {
 		// Both calls go through the DB's plan cache: one compile, one hit.
@@ -446,9 +482,16 @@ func (sh *shell) runQuery(stmt string) {
 		return
 	}
 	printResult(schema, rows)
-	if sh.timing {
+	switch {
+	case sh.timing && exec > 0:
+		// Client round-trip plus the server-side split: admission queue wait
+		// vs actual execution.
+		fmt.Printf("(%d rows, %v round-trip; server exec=%v queue=%v)\n",
+			len(rows), time.Since(start).Round(time.Microsecond),
+			exec.Round(time.Microsecond), queue.Round(time.Microsecond))
+	case sh.timing:
 		fmt.Printf("(%d rows, %v)\n", len(rows), time.Since(start).Round(time.Microsecond))
-	} else {
+	default:
 		fmt.Printf("(%d rows)\n", len(rows))
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"vectorh/internal/hdfs"
 	"vectorh/internal/mpi"
 	"vectorh/internal/mpp"
+	"vectorh/internal/obs"
 	"vectorh/internal/pdt"
 	"vectorh/internal/rewriter"
 	"vectorh/internal/txn"
@@ -206,8 +207,17 @@ type Engine struct {
 	// are never served.
 	catalogEpoch atomic.Int64
 
+	// PDT flush propagation counters (§5 "Update Propagation").
+	pdtFlushes      atomic.Int64
+	pdtFlushEntries atomic.Int64
+
 	// blockCache is the engine-shared decoded-block cache (nil = disabled).
 	blockCache *colstore.BlockCache
+
+	// reg is the engine's metrics registry: every subsystem (scans, block
+	// cache, PDT flushes, and — via Obs() — the plan cache and serving
+	// layer) registers here, so one Prometheus scrape covers the system.
+	reg *obs.Registry
 }
 
 // ScanStats is the engine-wide physical scan work since startup. Experiments
@@ -274,12 +284,65 @@ func (e *Engine) Stats() EngineStats {
 	}
 }
 
+// Obs returns the engine's metrics registry. Never nil: higher layers (plan
+// cache, server admission) register their metrics into it so the whole
+// system shares one exposition endpoint.
+func (e *Engine) Obs() *obs.Registry { return e.reg }
+
+// registerMetrics binds the engine's pre-existing atomics into the registry
+// as scrape-time callbacks; nothing is double-counted and the hot paths keep
+// writing the same atomics they always did.
+func (e *Engine) registerMetrics() {
+	r := e.reg
+	r.CounterFunc("vectorh_scan_blocks_read_total", "Column blocks fetched and decompressed.",
+		func() float64 { return float64(e.scanBlocksRead.Load()) })
+	r.CounterFunc("vectorh_scan_bytes_decoded_total", "Compressed payload bytes decoded by scans.",
+		func() float64 { return float64(e.scanBytesDecoded.Load()) })
+	r.CounterFunc("vectorh_scan_spans_pruned_total", "Row spans rejected before any payload column decode.",
+		func() float64 { return float64(e.scanSpansPruned.Load()) })
+	r.CounterFunc("vectorh_scan_cache_hits_total", "Scan block reads served by the decoded-block cache.",
+		func() float64 { return float64(e.scanCacheHits.Load()) })
+	r.CounterFunc("vectorh_block_cache_hits_total", "Decoded-block cache hits.",
+		func() float64 { return float64(e.BlockCacheStats().Hits) })
+	r.CounterFunc("vectorh_block_cache_misses_total", "Decoded-block cache misses.",
+		func() float64 { return float64(e.BlockCacheStats().Misses) })
+	r.CounterFunc("vectorh_block_cache_evictions_total", "Decoded-block cache evictions.",
+		func() float64 { return float64(e.BlockCacheStats().Evictions) })
+	r.GaugeFunc("vectorh_block_cache_bytes", "Decoded bytes resident in the block cache.",
+		func() float64 { return float64(e.BlockCacheStats().Bytes) })
+	r.CounterFunc("vectorh_pdt_flushes_total", "PDT flush propagations to stable storage.",
+		func() float64 { return float64(e.pdtFlushes.Load()) })
+	r.CounterFunc("vectorh_pdt_flush_entries_total", "PDT entries merged into blocks by flush propagation.",
+		func() float64 { return float64(e.pdtFlushEntries.Load()) })
+	r.CounterFunc("vectorh_log_shipped_entries_total", "Log-shipping deliveries for replicated tables.",
+		func() float64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			return float64(e.ShippedEntries)
+		})
+	r.GaugeFunc("vectorh_catalog_epoch", "Catalog epoch (bumped by DDL, DML commits, loads, topology changes).",
+		func() float64 { return float64(e.CatalogEpoch()) })
+	r.GaugeFunc("vectorh_tables", "Tables in the catalog.",
+		func() float64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			return float64(len(e.tables))
+		})
+	r.GaugeFunc("vectorh_workers", "Active worker nodes.",
+		func() float64 {
+			e.mu.RLock()
+			defer e.mu.RUnlock()
+			return float64(len(e.active))
+		})
+}
+
 // New creates and starts an engine: it brings up the simulated HDFS and
 // YARN, negotiates the worker set through the dbAgent, and initializes the
 // transaction manager with a global WAL.
 func New(cfg Config) (*Engine, error) {
 	cfg.fill()
-	e := &Engine{cfg: cfg, tables: make(map[string]*Table)}
+	e := &Engine{cfg: cfg, tables: make(map[string]*Table), reg: obs.NewRegistry()}
+	e.registerMetrics()
 	e.policy = &placementPolicy{targets: make(map[string][]string), fallback: hdfs.NewDefaultPolicy(7)}
 	e.fs = hdfs.NewCluster(cfg.Nodes, hdfs.Config{
 		BlockSize:   cfg.BlockSize,

@@ -530,6 +530,8 @@ func (e *Engine) propagatePartition(t *Table, part *Partition) error {
 	if ins+del+mod == 0 {
 		return nil
 	}
+	e.pdtFlushes.Add(1)
+	e.pdtFlushEntries.Add(int64(ins + del + mod))
 	schema := t.Info.Schema
 	partIdx := part.CurrentMeta().Partition
 

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"vectorh/internal/exec"
 	"vectorh/internal/mpp"
+	"vectorh/internal/obs"
 	"vectorh/internal/plan"
 	"vectorh/internal/rewriter"
 )
@@ -24,8 +26,13 @@ type QueryOptions struct {
 	// stays above the scan — the pre-pushdown pipeline, used by the
 	// selectivity experiment and the row-identity parity gates.
 	ScanPushdown *bool
-	// Profile enables the per-operator profile of the Appendix.
+	// Profile enables the per-operator profile of the Appendix and the
+	// EXPLAIN ANALYZE rendering (Analyzed/Operators on the result). The off
+	// path inserts no wrappers at all, so it costs nothing per batch.
 	Profile bool
+	// Trace, when non-nil, receives the rewrite and execute phase spans and
+	// (under Profile) the aggregated per-operator profiles.
+	Trace *obs.Trace
 }
 
 // QueryResult carries rows plus execution metadata.
@@ -34,6 +41,15 @@ type QueryResult struct {
 	Explain string
 	Elapsed time.Duration
 	Profile []ProfileEntry
+
+	// EXPLAIN ANALYZE output, filled when QueryOptions.Profile is set: the
+	// plan tree annotated with estimated vs actual rows, batch counts and
+	// per-operator wall time (Analyzed), the per-node aggregates behind it
+	// (Operators, heaviest first), and the query's exact scan IO (Scan),
+	// summed from the retained counters of its scan operators.
+	Analyzed  string
+	Operators []obs.OpProfile
+	Scan      ScanIO
 }
 
 // ProfileEntry is one operator's measurements (time and cum tuples), the
@@ -89,8 +105,15 @@ func (e *Engine) QueryOptsContext(ctx context.Context, q plan.Node, qo QueryOpti
 // `rows` frames). A non-nil error from yield cancels the execution. It
 // returns the executed plan's metadata with Rows left nil.
 func (e *Engine) QueryStreamContext(ctx context.Context, q plan.Node, yield func(rows [][]any) error) (*QueryResult, error) {
+	return e.QueryStreamOpts(ctx, q, QueryOptions{}, yield)
+}
+
+// QueryStreamOpts is QueryStreamContext with explicit options — the serving
+// layer's profiled path (slow-query logging) streams rows while the
+// per-operator wrappers accumulate.
+func (e *Engine) QueryStreamOpts(ctx context.Context, q plan.Node, qo QueryOptions, yield func(rows [][]any) error) (*QueryResult, error) {
 	res := &QueryResult{}
-	if err := e.queryStream(ctx, q, QueryOptions{}, res, yield); err != nil {
+	if err := e.queryStream(ctx, q, qo, res, yield); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -127,7 +150,19 @@ func (e *Engine) queryStream(ctx context.Context, q plan.Node, qo QueryOptions, 
 	if qo.ScanPushdown != nil {
 		opts.PushFilterIntoScan = *qo.ScanPushdown
 	}
-	phys, err := rewriter.Rewrite(q, e, opts)
+	// Profiled runs use the estimating rewrite so EXPLAIN ANALYZE can put
+	// the cost model's ~N next to the measured actuals; the plain path keeps
+	// the cheaper non-estimating rewrite.
+	rewriteDone := qo.Trace.StartPhase("rewrite")
+	var phys rewriter.Phys
+	var est map[rewriter.Phys]int64
+	var err error
+	if qo.Profile {
+		phys, est, err = rewriter.RewriteEst(q, e, opts)
+	} else {
+		phys, err = rewriter.Rewrite(q, e, opts)
+	}
+	rewriteDone()
 	if err != nil {
 		return err
 	}
@@ -141,7 +176,7 @@ func (e *Engine) queryStream(ctx context.Context, q plan.Node, qo QueryOptions, 
 		MsgBytes: e.cfg.MsgBytes,
 	}
 	if qo.Profile {
-		env.Profile = make(map[string]*exec.Profiled)
+		env.Profile = &rewriter.Profile{}
 	}
 	streams, err := rewriter.Instantiate(phys, env)
 	if err != nil {
@@ -198,13 +233,96 @@ func (e *Engine) queryStream(ctx context.Context, q plan.Node, qo QueryOptions, 
 	}
 	res.Explain = rewriter.Explain(phys)
 	res.Elapsed = time.Since(start)
+	qo.Trace.AddPhase("execute", res.Elapsed)
 	if qo.Profile {
-		for name, p := range env.Profile {
-			res.Profile = append(res.Profile, ProfileEntry{Operator: name, Nanos: p.NanosSelf, Tuples: p.TuplesOut})
+		for _, sp := range env.Profile.Streams {
+			res.Profile = append(res.Profile, ProfileEntry{
+				Operator: sp.Prof.Name,
+				Nanos:    atomic.LoadInt64(&sp.Prof.NanosSelf),
+				Tuples:   atomic.LoadInt64(&sp.Prof.TuplesOut),
+			})
 		}
 		sort.Slice(res.Profile, func(i, j int) bool { return res.Profile[i].Nanos > res.Profile[j].Nanos })
+		res.Analyzed, res.Operators, res.Scan = buildAnalyzed(phys, est, env.Profile)
+		for _, op := range res.Operators {
+			qo.Trace.AddOp(op)
+		}
 	}
 	return nil
+}
+
+// scanIOReporter is implemented by scan operators that retain their IO
+// totals past Close for per-operator attribution.
+type scanIOReporter interface{ ScanIOStats() ScanIO }
+
+// buildAnalyzed aggregates the profiled streams of each plan node and
+// renders the EXPLAIN ANALYZE tree: the cost model's ~N estimate next to the
+// measured rows, batches, peak batch size and cumulative wall time, plus
+// blocks/bytes/pruned-spans for scans. It also returns the flat per-node
+// aggregates (heaviest first) and the query's total scan IO.
+func buildAnalyzed(phys rewriter.Phys, est map[rewriter.Phys]int64, prof *rewriter.Profile) (string, []obs.OpProfile, ScanIO) {
+	type agg struct {
+		op    obs.OpProfile
+		hasIO bool
+	}
+	byPhys := make(map[rewriter.Phys]*agg, len(prof.Streams))
+	order := make([]rewriter.Phys, 0, len(prof.Streams))
+	var total ScanIO
+	for _, sp := range prof.Streams {
+		a := byPhys[sp.Phys]
+		if a == nil {
+			a = &agg{}
+			a.op.Label = rewriter.Label(sp.Phys)
+			byPhys[sp.Phys] = a
+			order = append(order, sp.Phys)
+		}
+		a.op.Nanos += time.Duration(atomic.LoadInt64(&sp.Prof.NanosSelf))
+		a.op.Rows += atomic.LoadInt64(&sp.Prof.TuplesOut)
+		a.op.Batches += atomic.LoadInt64(&sp.Prof.Batches)
+		if pb := atomic.LoadInt64(&sp.Prof.PeakBatch); pb > a.op.PeakBatch {
+			a.op.PeakBatch = pb
+		}
+		a.op.Streams++
+		if r, ok := sp.Prof.Child.(scanIOReporter); ok {
+			io := r.ScanIOStats()
+			a.op.BlocksRead += io.BlocksRead
+			a.op.BytesDecoded += io.BytesDecoded
+			a.op.SpansPruned += io.SpansPruned
+			a.op.CacheHits += io.CacheHits
+			a.hasIO = true
+			total.BlocksRead += io.BlocksRead
+			total.BytesDecoded += io.BytesDecoded
+			total.CacheHits += io.CacheHits
+			total.SpansPruned += io.SpansPruned
+		}
+	}
+	analyzed := rewriter.ExplainFunc(phys, func(p rewriter.Phys) string {
+		a := byPhys[p]
+		rows, hasEst := est[p]
+		if a == nil && !hasEst {
+			return ""
+		}
+		var sb strings.Builder
+		if hasEst {
+			fmt.Fprintf(&sb, " ~%d rows", rows)
+		}
+		if a != nil {
+			fmt.Fprintf(&sb, " (actual rows=%d batches=%d peak=%d time=%.3fms streams=%d",
+				a.op.Rows, a.op.Batches, a.op.PeakBatch, float64(a.op.Nanos)/1e6, a.op.Streams)
+			if a.hasIO {
+				fmt.Fprintf(&sb, " blocks=%d bytes=%d pruned=%d cached=%d",
+					a.op.BlocksRead, a.op.BytesDecoded, a.op.SpansPruned, a.op.CacheHits)
+			}
+			sb.WriteByte(')')
+		}
+		return sb.String()
+	})
+	ops := make([]obs.OpProfile, 0, len(order))
+	for _, p := range order {
+		ops = append(ops, byPhys[p].op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Nanos > ops[j].Nanos })
+	return analyzed, ops, total
 }
 
 // Explain returns the distributed physical plan without executing it.

@@ -147,7 +147,25 @@ type mscan struct {
 	leadSlots []int // predicate column slots: the only columns stage 0 decodes eagerly
 
 	spansPruned int64 // spans dropped before any payload column was decoded
+
+	// IO totals retained at Close (after folding into the engine-wide
+	// counters) so EXPLAIN ANALYZE can attribute blocks and bytes to this
+	// scan operator after the query has finished.
+	io ScanIO
 }
+
+// ScanIO is the per-scan-operator IO attribution reported by EXPLAIN
+// ANALYZE: what this one scan read, decoded, skipped and hit in cache.
+type ScanIO struct {
+	BlocksRead   int64
+	BytesDecoded int64
+	CacheHits    int64
+	SpansPruned  int64
+}
+
+// ScanIOStats returns the scan's retained IO totals; valid once the scan is
+// closed (the engine closes every operator before reading profiles).
+func (m *mscan) ScanIOStats() ScanIO { return m.io }
 
 func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols []string, pred *rewriter.ScanPredSet, node string) (exec.Operator, error) {
 	schema := t.Info.Schema
@@ -478,6 +496,10 @@ func (m *mscan) Close() error {
 		m.eng.scanBytesDecoded.Add(st.BytesDecoded)
 		m.eng.scanCacheHits.Add(st.CacheHits)
 		m.eng.scanSpansPruned.Add(m.spansPruned)
+		m.io.BlocksRead += st.BlocksRead
+		m.io.BytesDecoded += st.BytesDecoded
+		m.io.CacheHits += st.CacheHits
+		m.io.SpansPruned += m.spansPruned
 		m.spansPruned = 0
 		m.sc.Close()
 		m.sc = nil

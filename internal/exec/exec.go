@@ -186,13 +186,18 @@ func (l *Limit) Close() error { return l.Child.Close() }
 // --- profiling wrapper (the Appendix profile of the paper) ---
 
 // Profiled wraps an operator, measuring wall time spent inside it and the
-// tuples it produced; used to regenerate the Appendix per-operator profile.
+// tuples, batches, and peak batch size it produced; used to regenerate the
+// Appendix per-operator profile and to drive EXPLAIN ANALYZE. The wrapper is
+// only inserted into a plan when profiling is requested, so the profiling-off
+// path pays nothing — no wrapper, no timestamps, no atomics.
 type Profiled struct {
 	Name  string
 	Child Operator
 
 	NanosSelf int64
 	TuplesOut int64
+	Batches   int64
+	PeakBatch int64
 }
 
 // Open implements Operator.
@@ -209,7 +214,15 @@ func (p *Profiled) Next() (*vector.Batch, error) {
 	b, err := p.Child.Next()
 	atomic.AddInt64(&p.NanosSelf, int64(time.Since(t0)))
 	if b != nil {
-		atomic.AddInt64(&p.TuplesOut, int64(b.Len()))
+		n := int64(b.Len())
+		atomic.AddInt64(&p.TuplesOut, n)
+		atomic.AddInt64(&p.Batches, 1)
+		for {
+			peak := atomic.LoadInt64(&p.PeakBatch)
+			if n <= peak || atomic.CompareAndSwapInt64(&p.PeakBatch, peak, n) {
+				break
+			}
+		}
 	}
 	return b, err
 }

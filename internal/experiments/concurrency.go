@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -41,6 +42,11 @@ type ConcurrencyResult struct {
 	// wire-level prepared statements, so only the first compile of each
 	// distinct text (and post-DML epoch flushes) misses.
 	PlanCacheHitRate float64
+	// SlowQueries counts executions at or above SlowThreshold captured by
+	// the structured slow-query log during the run — under deep backlogs the
+	// log records exactly the tail the latency percentiles summarize.
+	SlowQueries   int64
+	SlowThreshold time.Duration
 }
 
 // Report renders the experiment.
@@ -59,6 +65,7 @@ func (r *ConcurrencyResult) Report() string {
 	}
 	fmt.Fprintf(&sb, "  validation: %d remote results vs in-process execution: %s\n", r.Validated, status)
 	fmt.Fprintf(&sb, "  plan cache hit rate: %.1f%%\n", 100*r.PlanCacheHitRate)
+	fmt.Fprintf(&sb, "  slow-query log: %d executions at or above %v\n", r.SlowQueries, r.SlowThreshold)
 	return sb.String()
 }
 
@@ -97,11 +104,15 @@ func Concurrency(sf float64, nodes int) (*ConcurrencyResult, error) {
 		want[q] = normRows(rows)
 	}
 
-	res := &ConcurrencyResult{SF: sf, Nodes: nodes, MaxConcurrent: 8, AllMatch: true}
+	res := &ConcurrencyResult{SF: sf, Nodes: nodes, MaxConcurrent: 8, AllMatch: true,
+		SlowThreshold: 100 * time.Millisecond}
 	// QueueWait must cover the deepest backlog: at 256 sessions over 8
 	// slots a query can sit queued for minutes — that is measured tail
-	// latency, not a rejection.
-	srv := server.New(db, server.Options{MaxConcurrent: res.MaxConcurrent, QueueWait: 5 * time.Minute})
+	// latency, not a rejection. The slow-query log runs alongside (entries
+	// discarded, count reported) to exercise the profiled execution path
+	// under real concurrency.
+	srv := server.New(db, server.Options{MaxConcurrent: res.MaxConcurrent, QueueWait: 5 * time.Minute,
+		SlowQueryLog: io.Discard, SlowQueryThreshold: res.SlowThreshold})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -130,6 +141,7 @@ func Concurrency(sf float64, nodes int) (*ConcurrencyResult, error) {
 	if total := pc.Hits + pc.Misses; total > 0 {
 		res.PlanCacheHitRate = float64(pc.Hits) / float64(total)
 	}
+	res.SlowQueries = srv.Stats().SlowQueries
 	return res, nil
 }
 

@@ -1,0 +1,336 @@
+// Package obs is the engine-wide observability substrate: a dependency-free
+// metrics registry (atomic counters, gauges, log-bucketed latency histograms
+// with quantile extraction) with Prometheus text exposition, a per-query
+// trace of compile/execute phase spans, and a threshold-based structured
+// slow-query log. Every layer of the engine — scan IO, PDT flushes, plan
+// cache, server admission — reports through one Registry so a single scrape
+// (or one EXPLAIN ANALYZE) shows where time and bytes went.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus contract; negative deltas
+// are not rejected but make the exposition non-monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta using a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histBuckets is the number of power-of-two latency buckets. Bucket i holds
+// observations d (in nanoseconds) with bits.Len64(d) == i, i.e. the
+// half-open range [2^(i-1), 2^i); bucket 0 holds d == 0. 42 buckets cover
+// up to ~36 minutes, beyond which observations clamp into the last bucket.
+const histBuckets = 42
+
+// Histogram is a log2-bucketed latency histogram. Observations are
+// durations; buckets double in width so the structure is fixed-size and
+// lock-free while still resolving quantiles to within a factor of two
+// (linear interpolation inside a bucket does better in practice).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration. Safe for concurrent use; performs no
+// allocation.
+func (h *Histogram) Observe(d time.Duration) {
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	i := bits.Len64(uint64(n))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// bucketBounds returns the inclusive lower and exclusive upper bound of
+// bucket i in nanoseconds.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) with linear interpolation
+// inside the resolved bucket. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketBounds(i)
+			// Position of the target inside this bucket, in (0, 1].
+			frac := float64(rank-cum) / float64(n)
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	lo, _ := bucketBounds(histBuckets - 1)
+	return time.Duration(lo)
+}
+
+// Summary returns the p50/p95/p99 quantiles in one call.
+func (h *Histogram) Summary() (p50, p95, p99 time.Duration) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
+// snapshot copies the bucket counts for rendering.
+func (h *Histogram) snapshot() (counts [histBuckets]int64, count, sum int64) {
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts, h.count.Load(), h.sum.Load()
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// metric is one registered entry.
+type metric struct {
+	name string
+	help string
+	kind metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // CounterFunc / GaugeFunc
+}
+
+// Registry is a named collection of metrics. Registration is get-or-create:
+// registering the same name twice returns the first instance, so independent
+// subsystems can share a metric by name. Registering the same name with a
+// different metric type panics — that is always a programming error.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind.String() != kind.String() {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = &Histogram{}
+	}
+	r.metrics[name] = m
+	return m
+}
+
+// Counter registers (or fetches) a counter by name.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, kindCounter)
+	if m.counter == nil {
+		panic(fmt.Sprintf("obs: metric %q is a counter func, not a counter", name))
+	}
+	return m.counter
+}
+
+// Gauge registers (or fetches) a gauge by name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, kindGauge)
+	if m.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %q is a gauge func, not a gauge", name))
+	}
+	return m.gauge
+}
+
+// Histogram registers (or fetches) a latency histogram by name.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, kindHistogram).hist
+}
+
+// CounterFunc registers a counter whose value is computed at scrape time —
+// the bridge for pre-existing atomics (engine scan totals, session counts)
+// that should appear in the exposition without being migrated. The latest
+// registration wins so reconnecting components can rebind their callback.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	m := r.register(name, help, kindCounterFunc)
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	m := r.register(name, help, kindGaugeFunc)
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// formatFloat renders a metric value the way Prometheus expects: integers
+// without an exponent, everything else in shortest-round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by name for stable output.
+// Histogram buckets are exposed in seconds, as the convention demands.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+
+	var b strings.Builder
+	for _, m := range ms {
+		if m.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
+		case kindCounterFunc, kindGaugeFunc:
+			r.mu.Lock()
+			fn := m.fn
+			r.mu.Unlock()
+			v := 0.0
+			if fn != nil {
+				v = fn()
+			}
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(v))
+		case kindHistogram:
+			counts, count, sum := m.hist.snapshot()
+			// Trim the empty bucket runs at both ends: cumulative counts
+			// plus the +Inf bucket keep the exposition well-formed.
+			first, last := len(counts), -1
+			for i, n := range counts {
+				if n > 0 {
+					if i < first {
+						first = i
+					}
+					last = i
+				}
+			}
+			var cum int64
+			for i := first; i <= last; i++ {
+				cum += counts[i]
+				_, hi := bucketBounds(i)
+				fmt.Fprintf(&b, "%s_bucket{le=\"%g\"} %d\n", m.name, float64(hi)/1e9, cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, count)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(float64(sum)/1e9))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCounters hammers one counter, one gauge, and one histogram
+// from 16 goroutines and asserts exact totals — under -race this is also the
+// data-race gate for the registry hot paths.
+func TestConcurrentCounters(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 10000
+	)
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_depth", "depth")
+	h := r.Histogram("test_latency_seconds", "latency")
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(id*perG+j) * time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := g.Value(); got != goroutines*perG {
+		t.Errorf("gauge = %v, want %d", got, goroutines*perG)
+	}
+	if got := h.Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	// Sum of 0..159999 microseconds.
+	wantSum := time.Duration(goroutines*perG*(goroutines*perG-1)/2) * time.Microsecond
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestConcurrentRegistration asserts that racing get-or-create registrations
+// of the same name all observe one shared counter.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared_total", "shared").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "shared").Value(); got != 16000 {
+		t.Errorf("shared counter = %d, want 16000", got)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic re-registering counter as gauge")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+// TestHistogramQuantiles pins quantile extraction on a known distribution:
+// 1000 observations at exact powers of two land in known buckets, so the
+// interpolated quantiles have closed-form expected values.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 900 observations in [1ms, 2ms), 90 in [16ms, 32ms), 10 in [256ms, 512ms).
+	for i := 0; i < 900; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(16 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(256 * time.Millisecond)
+	}
+
+	// The histogram resolves a quantile to within the log2 bucket holding
+	// it; bucketOf returns that bucket's bounds for an observed duration.
+	bucketOf := func(d time.Duration) (lo, hi time.Duration) {
+		i := 0
+		for n := int64(d); n > 0; n >>= 1 {
+			i++
+		}
+		return time.Duration(int64(1) << (i - 1)), time.Duration(int64(1) << i)
+	}
+	cases := []struct {
+		q  float64
+		in time.Duration // the observation whose bucket the quantile must land in
+	}{
+		{0.50, time.Millisecond},
+		{0.90, time.Millisecond},
+		{0.95, 16 * time.Millisecond},
+		{0.99, 16 * time.Millisecond},
+		{0.999, 256 * time.Millisecond},
+		{1.0, 256 * time.Millisecond},
+	}
+	for _, c := range cases {
+		lo, hi := bucketOf(c.in)
+		got := h.Quantile(c.q)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v, want in bucket [%v, %v]", c.q, got, lo, hi)
+		}
+	}
+
+	p50, p95, p99 := h.Summary()
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotonic: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * time.Second)  // clamps to 0
+	h.Observe(100 * time.Minute) // clamps into the last bucket
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+}
+
+// TestWritePrometheusGolden pins the exact exposition text for a small
+// registry — the contract the serve smoke scrape greps against.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vectorh_queries_total", "Queries executed.").Add(42)
+	r.Gauge("vectorh_sessions_active", "Active sessions.").Set(3)
+	r.GaugeFunc("vectorh_heap_bytes", "Heap in use.", func() float64 { return 1048576 })
+	h := r.Histogram("vectorh_exec_seconds", "Execution latency.")
+	h.Observe(3 * time.Microsecond) // bucket [2^11, 2^12) ns → le 4.096e-06
+	h.Observe(3 * time.Microsecond)
+	h.Observe(100 * time.Microsecond) // bucket [2^16, 2^17) ns → le 1.31072e-04
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP vectorh_exec_seconds Execution latency.
+# TYPE vectorh_exec_seconds histogram
+vectorh_exec_seconds_bucket{le="4.096e-06"} 2
+vectorh_exec_seconds_bucket{le="8.192e-06"} 2
+vectorh_exec_seconds_bucket{le="1.6384e-05"} 2
+vectorh_exec_seconds_bucket{le="3.2768e-05"} 2
+vectorh_exec_seconds_bucket{le="6.5536e-05"} 2
+vectorh_exec_seconds_bucket{le="0.000131072"} 3
+vectorh_exec_seconds_bucket{le="+Inf"} 3
+vectorh_exec_seconds_sum 0.000106
+vectorh_exec_seconds_count 3
+# HELP vectorh_heap_bytes Heap in use.
+# TYPE vectorh_heap_bytes gauge
+vectorh_heap_bytes 1048576
+# HELP vectorh_queries_total Queries executed.
+# TYPE vectorh_queries_total counter
+vectorh_queries_total 42
+# HELP vectorh_sessions_active Active sessions.
+# TYPE vectorh_sessions_active gauge
+vectorh_sessions_active 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("Prometheus text mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestQueryHashStable(t *testing.T) {
+	a := QueryHash("select * from t where x = ?")
+	b := QueryHash("select * from t where x = ?")
+	c := QueryHash("select * from u where x = ?")
+	if a != b {
+		t.Errorf("same text hashed differently: %s vs %s", a, b)
+	}
+	if a == c {
+		t.Errorf("different text collided: %s", a)
+	}
+	if len(a) != 16 {
+		t.Errorf("hash %q not 16 hex digits", a)
+	}
+}

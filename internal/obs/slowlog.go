@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowOp is one line item of a slow-query entry: an operator that made the
+// top-N by cumulative wall time.
+type SlowOp struct {
+	Op      string `json:"op"`
+	Micros  int64  `json:"us"`
+	Rows    int64  `json:"rows"`
+	Batches int64  `json:"batches,omitempty"`
+}
+
+// SlowPhase is a compile/execute phase span in microseconds.
+type SlowPhase struct {
+	Name   string `json:"name"`
+	Micros int64  `json:"us"`
+}
+
+// SlowEntry is one JSON line of the slow-query log.
+type SlowEntry struct {
+	Time     string      `json:"time"`
+	Hash     string      `json:"hash"`
+	CacheHit bool        `json:"cache_hit"`
+	TotalUs  int64       `json:"total_us"`
+	QueueUs  int64       `json:"queue_us,omitempty"`
+	Rows     int64       `json:"rows"`
+	Phases   []SlowPhase `json:"phases,omitempty"`
+	TopOps   []SlowOp    `json:"top_ops,omitempty"`
+	Err      string      `json:"err,omitempty"`
+}
+
+// SlowLog writes queries slower than a threshold as JSON lines. A nil
+// SlowLog (or a zero threshold) is disabled and all methods are no-ops, so
+// call sites need no guards.
+type SlowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+	logged    atomic.Int64
+}
+
+// NewSlowLog returns a slow-query log writing entries for queries that took
+// at least threshold. Returns nil (disabled) when w is nil or threshold <= 0.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	if w == nil || threshold <= 0 {
+		return nil
+	}
+	return &SlowLog{w: w, threshold: threshold}
+}
+
+// Enabled reports whether queries of duration d would be logged. Callers use
+// this to decide whether to run the query with profiling on.
+func (s *SlowLog) Enabled() bool { return s != nil }
+
+// Threshold returns the configured threshold (0 when disabled).
+func (s *SlowLog) Threshold() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.threshold
+}
+
+// Logged returns the number of entries written so far.
+func (s *SlowLog) Logged() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.logged.Load()
+}
+
+// Record writes one entry if total meets the threshold. The entry's TotalUs
+// is filled from total; Time is stamped here (UTC, RFC3339 with millis).
+func (s *SlowLog) Record(total time.Duration, e SlowEntry) {
+	if s == nil || total < s.threshold {
+		return
+	}
+	e.TotalUs = total.Microseconds()
+	if e.Time == "" {
+		e.Time = time.Now().UTC().Format("2006-01-02T15:04:05.000Z")
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	s.w.Write(line)
+	s.mu.Unlock()
+	s.logged.Add(1)
+}
+
+// EntryFromTrace builds the phase and top-operator sections of a slow entry
+// from a completed trace.
+func EntryFromTrace(tr *Trace, topN int) (phases []SlowPhase, tops []SlowOp) {
+	if tr == nil {
+		return nil, nil
+	}
+	for _, p := range tr.Phases() {
+		phases = append(phases, SlowPhase{Name: p.Name, Micros: p.Nanos.Microseconds()})
+	}
+	for _, op := range tr.TopOps(topN) {
+		tops = append(tops, SlowOp{Op: op.Label, Micros: op.Nanos.Microseconds(), Rows: op.Rows, Batches: op.Batches})
+	}
+	return phases, tops
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThreshold(t *testing.T) {
+	var buf strings.Builder
+	sl := NewSlowLog(&buf, 10*time.Millisecond)
+
+	sl.Record(5*time.Millisecond, SlowEntry{Hash: "fast"}) // below threshold
+	sl.Record(25*time.Millisecond, SlowEntry{
+		Hash:     "deadbeefdeadbeef",
+		CacheHit: true,
+		QueueUs:  1200,
+		Rows:     4,
+		Phases:   []SlowPhase{{Name: "parse", Micros: 80}, {Name: "execute", Micros: 24000}},
+		TopOps:   []SlowOp{{Op: "HashJoin", Micros: 18000, Rows: 6001215}},
+	})
+
+	if got := sl.Logged(); got != 1 {
+		t.Fatalf("logged = %d, want 1", got)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	var e SlowEntry
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("entry is not valid JSON: %v\n%s", err, lines[0])
+	}
+	if e.Hash != "deadbeefdeadbeef" || !e.CacheHit || e.TotalUs != 25000 || e.QueueUs != 1200 {
+		t.Errorf("entry fields wrong: %+v", e)
+	}
+	if len(e.Phases) != 2 || e.Phases[1].Name != "execute" {
+		t.Errorf("phases wrong: %+v", e.Phases)
+	}
+	if len(e.TopOps) != 1 || e.TopOps[0].Op != "HashJoin" {
+		t.Errorf("top ops wrong: %+v", e.TopOps)
+	}
+	if e.Time == "" {
+		t.Error("entry missing timestamp")
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	if sl := NewSlowLog(nil, time.Second); sl.Enabled() {
+		t.Error("nil writer should disable the slow log")
+	}
+	var buf strings.Builder
+	if sl := NewSlowLog(&buf, 0); sl.Enabled() {
+		t.Error("zero threshold should disable the slow log")
+	}
+	var nilLog *SlowLog
+	nilLog.Record(time.Hour, SlowEntry{}) // must not panic
+	if nilLog.Logged() != 0 || nilLog.Threshold() != 0 {
+		t.Error("nil slow log should be inert")
+	}
+}
+
+func TestTracePhasesAccumulate(t *testing.T) {
+	tr := NewTrace()
+	tr.AddPhase("bind", 2*time.Millisecond)
+	tr.AddPhase("bind", 3*time.Millisecond) // sub-block contributes to same phase
+	tr.AddPhase("execute", time.Millisecond)
+	ph := tr.Phases()
+	if len(ph) != 2 || ph[0].Name != "bind" || ph[0].Nanos != 5*time.Millisecond {
+		t.Errorf("phases = %+v", ph)
+	}
+	if got := FormatPhases(ph); got != "bind=5ms execute=1ms" {
+		t.Errorf("FormatPhases = %q", got)
+	}
+}
+
+func TestTraceTopOps(t *testing.T) {
+	tr := NewTrace()
+	tr.AddOp(OpProfile{Label: "Scan", Nanos: 5})
+	tr.AddOp(OpProfile{Label: "Join", Nanos: 50})
+	tr.AddOp(OpProfile{Label: "Agg", Nanos: 20})
+	tr.AddOp(OpProfile{Label: "Sort", Nanos: 1})
+	top := tr.TopOps(2)
+	if len(top) != 2 || top[0].Label != "Join" || top[1].Label != "Agg" {
+		t.Errorf("TopOps = %+v", top)
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.AddPhase("x", time.Second)
+	tr.StartPhase("y")()
+	tr.SetCacheHit(true)
+	tr.AddOp(OpProfile{})
+	if tr.Phases() != nil || tr.Ops() != nil || tr.CacheHit() {
+		t.Error("nil trace should be inert")
+	}
+}
+
+func TestEntryFromTrace(t *testing.T) {
+	tr := NewTrace()
+	tr.AddPhase("parse", 100*time.Microsecond)
+	for i := 0; i < 5; i++ {
+		tr.AddOp(OpProfile{Label: "op", Nanos: time.Duration(i) * time.Millisecond, Rows: int64(i)})
+	}
+	phases, tops := EntryFromTrace(tr, 3)
+	if len(phases) != 1 || phases[0].Micros != 100 {
+		t.Errorf("phases = %+v", phases)
+	}
+	if len(tops) != 3 || tops[0].Micros != 4000 {
+		t.Errorf("tops = %+v", tops)
+	}
+}

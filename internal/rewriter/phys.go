@@ -54,9 +54,36 @@ type Env struct {
 	Threads  int // consumer threads per node for exchanges
 	Mode     mpp.Mode
 	MsgBytes int
-	Profile  map[string]*exec.Profiled // filled when non-nil (Appendix profile)
+	Profile  *Profile // when non-nil, every stream is wrapped in exec.Profiled
 
 	memo map[Phys][][]exec.Operator
+}
+
+// StreamProf is one profiled operator stream: the plan node it belongs to,
+// its placement (node, stream), and the live wrapper whose atomics accumulate
+// while the query runs.
+type StreamProf struct {
+	Phys   Phys
+	Node   int
+	Stream int
+	Prof   *exec.Profiled
+}
+
+// Profile is the per-query sink of profiled streams. Keeping the Phys
+// pointer (rather than a formatted key) lets EXPLAIN ANALYZE aggregate the
+// parallel streams of each plan node and line actuals up with the cost
+// model's estimates, which are also keyed by Phys.
+type Profile struct {
+	Streams []StreamProf
+}
+
+// ByPhys groups the profiled streams by plan node.
+func (pr *Profile) ByPhys() map[Phys][]StreamProf {
+	m := make(map[Phys][]StreamProf, len(pr.Streams))
+	for _, sp := range pr.Streams {
+		m[sp.Phys] = append(m[sp.Phys], sp)
+	}
+	return m
 }
 
 func (e *Env) ctx() context.Context {
@@ -82,7 +109,7 @@ func (e *Env) instantiate(p Phys) ([][]exec.Operator, error) {
 			for s := range streams[n] {
 				key := fmt.Sprintf("%s@n%d.%d", p.label(), n, s)
 				prof := &exec.Profiled{Name: key, Child: streams[n][s]}
-				e.Profile[key] = prof
+				e.Profile.Streams = append(e.Profile.Streams, StreamProf{Phys: p, Node: n, Stream: s, Prof: prof})
 				streams[n][s] = prof
 			}
 		}
@@ -111,13 +138,25 @@ func Explain(p Phys) string { return ExplainEst(p, nil) }
 // auditable: a join lists its probe child first, and each child shows the
 // estimate the ordering decision was based on.
 func ExplainEst(p Phys, est map[Phys]int64) string {
+	return ExplainFunc(p, func(n Phys) string {
+		if rows, ok := est[n]; ok {
+			return fmt.Sprintf(" ~%d rows", rows)
+		}
+		return ""
+	})
+}
+
+// ExplainFunc renders the physical plan tree, appending annotate(node) to
+// each node's label line. EXPLAIN ANALYZE uses this to print estimates and
+// measured actuals side by side.
+func ExplainFunc(p Phys, annotate func(Phys) string) string {
 	var sb strings.Builder
 	var rec func(p Phys, depth int)
 	rec = func(p Phys, depth int) {
 		sb.WriteString(strings.Repeat("  ", depth))
 		sb.WriteString(p.label())
-		if rows, ok := est[p]; ok {
-			fmt.Fprintf(&sb, " ~%d rows", rows)
+		if annotate != nil {
+			sb.WriteString(annotate(p))
 		}
 		sb.WriteByte('\n')
 		for _, c := range p.children() {
@@ -127,6 +166,9 @@ func ExplainEst(p Phys, est map[Phys]int64) string {
 	rec(p, 0)
 	return sb.String()
 }
+
+// Label exposes a plan node's display label for per-operator reporting.
+func Label(p Phys) string { return p.label() }
 
 // --- scans ---
 

@@ -38,11 +38,15 @@ type Client struct {
 // while Close tears the session down) must degrade cleanly.
 var errClientClosed = errors.New("server: client closed")
 
-// Result is a fully collected query result.
+// Result is a fully collected query result. Queue and Exec are the
+// server-side admission-wait / execution split carried in the done frame;
+// they are zero when the server predates the split.
 type Result struct {
 	Schema  []ColDesc
 	Rows    [][]any
 	Elapsed time.Duration
+	Queue   time.Duration
+	Exec    time.Duration
 }
 
 // Dial connects to a serving instance.
@@ -193,6 +197,35 @@ func (c *Client) Explain(query string) (string, error) {
 	return resp.Plan, nil
 }
 
+// Metrics fetches the server's metrics registry in Prometheus text
+// exposition format.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.roundTrip(&Request{Op: OpMetrics})
+	if err != nil {
+		return "", err
+	}
+	return resp.Metrics, nil
+}
+
+// Profile runs a SELECT under EXPLAIN ANALYZE on the server and returns the
+// rendered profile (annotated plan, phase spans, scan IO totals). The query
+// executes fully server-side; rows are discarded there, so only the text
+// crosses the wire. Unlike Explain, profiling counts against the admission
+// limit (it really runs the query), hence the context.
+func (c *Client) Profile(ctx context.Context, query string) (string, error) {
+	var plan string
+	err := c.run(ctx, &Request{Op: OpProfile, SQL: query}, func(resp *Response) error {
+		if resp.Type == RespPlan {
+			plan = resp.Plan
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return plan, nil
+}
+
 // Exec runs one DML statement, returning affected rows.
 func (c *Client) Exec(ctx context.Context, stmt string) (int64, error) {
 	var affected int64
@@ -205,14 +238,35 @@ func (c *Client) Exec(ctx context.Context, stmt string) (int64, error) {
 	return affected, err
 }
 
-// Query runs a SELECT and collects the streamed result. Cancelling ctx
+// Query runs a SELECT and collects the streamed result, including the
+// server-side queue/exec timing split from the done frame. Cancelling ctx
 // sends a wire-level cancel for the in-flight query; the engine stops its
 // scans and exchange senders at the next batch boundary.
 func (c *Client) Query(ctx context.Context, query string) (*Result, error) {
 	res := &Result{}
-	err := c.QueryStream(ctx, query, func(schema []ColDesc, rows [][]any) error {
-		res.Schema = schema
-		res.Rows = append(res.Rows, rows...)
+	var types []vector.Type
+	err := c.run(ctx, &Request{Op: OpQuery, SQL: query}, func(resp *Response) error {
+		switch resp.Type {
+		case RespSchema:
+			res.Schema = resp.Schema
+			var err error
+			types, err = schemaTypes(resp.Schema)
+			return err
+		case RespRows:
+			if types == nil {
+				return errors.New("server: rows frame before schema frame")
+			}
+			for _, row := range resp.Rows {
+				if err := decodeRow(row, types); err != nil {
+					return err
+				}
+			}
+			res.Rows = append(res.Rows, resp.Rows...)
+		case RespDone:
+			res.Elapsed = time.Duration(resp.ElapsedUs) * time.Microsecond
+			res.Queue = time.Duration(resp.QueueUs) * time.Microsecond
+			res.Exec = time.Duration(resp.ExecUs) * time.Microsecond
+		}
 		return nil
 	})
 	if err != nil {

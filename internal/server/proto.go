@@ -41,18 +41,21 @@ const (
 	OpPrepare   = "prepare"    // register a '?' template under Stmt; stmt{num_params}
 	OpExecute   = "execute"    // run prepared Stmt with Params; query/exec response shape
 	OpCloseStmt = "close-stmt" // drop the statement registered under Stmt
+	OpMetrics   = "metrics"    // Prometheus text exposition of the metrics registry
+	OpProfile   = "profile"    // SQL SELECT under EXPLAIN ANALYZE; plan{analyzed text}
 )
 
 // Response types.
 const (
-	RespSchema = "schema"
-	RespRows   = "rows"
-	RespDone   = "done"
-	RespError  = "error"
-	RespPlan   = "plan"
-	RespPong   = "pong"
-	RespStats  = "stats"
-	RespStmt   = "stmt"
+	RespSchema  = "schema"
+	RespRows    = "rows"
+	RespDone    = "done"
+	RespError   = "error"
+	RespPlan    = "plan"
+	RespPong    = "pong"
+	RespStats   = "stats"
+	RespStmt    = "stmt"
+	RespMetrics = "metrics"
 )
 
 // Request is one client frame.
@@ -100,6 +103,17 @@ type PlanCacheInfo struct {
 	Entries       int64 `json:"entries"`
 }
 
+// ProcessStats is the process-health block of a stats snapshot: uptime,
+// scheduler and heap pressure, and cumulative GC pauses.
+type ProcessStats struct {
+	UptimeSec    int64 `json:"uptime_sec"`
+	Goroutines   int   `json:"goroutines"`
+	HeapBytes    int64 `json:"heap_bytes"`     // bytes of allocated heap objects in use
+	GCPauseNs    int64 `json:"gc_pause_ns"`    // cumulative stop-the-world pause
+	NumGC        int64 `json:"num_gc"`         // completed GC cycles
+	TotalAllocMB int64 `json:"total_alloc_mb"` // cumulative allocation volume
+}
+
 // StatsSnapshot is the serving-layer metrics block returned by OpStats.
 type StatsSnapshot struct {
 	Sessions         int64          `json:"sessions"`
@@ -114,6 +128,8 @@ type StatsSnapshot struct {
 	OpenStatements   int64          `json:"open_statements"` // prepared statements across live sessions
 	MaxConcurrent    int            `json:"max_concurrent"`
 	PlanCache        *PlanCacheInfo `json:"plan_cache,omitempty"`
+	Process          *ProcessStats  `json:"process,omitempty"`
+	SlowQueries      int64          `json:"slow_queries,omitempty"` // slow-log entries written
 }
 
 // Response is one server frame.
@@ -124,7 +140,10 @@ type Response struct {
 	Rows      [][]any        `json:"rows,omitempty"`
 	Affected  int64          `json:"affected,omitempty"`
 	ElapsedUs int64          `json:"elapsed_us,omitempty"`
+	QueueUs   int64          `json:"queue_us,omitempty"` // done: admission queue wait
+	ExecUs    int64          `json:"exec_us,omitempty"`  // done: server-side execution time
 	Plan      string         `json:"plan,omitempty"`
+	Metrics   string         `json:"metrics,omitempty"` // metrics: Prometheus text
 	Err       *WireError     `json:"err,omitempty"`
 	Stats     *StatsSnapshot `json:"stats,omitempty"`
 	NumParams int            `json:"num_params,omitempty"` // stmt: '?' count in the template

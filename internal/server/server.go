@@ -4,13 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vectorh"
+	"vectorh/internal/obs"
 	"vectorh/internal/sql"
 	"vectorh/internal/vector"
 )
@@ -30,6 +33,15 @@ type Options struct {
 	RowsPerFrame int
 	// MaxFrameBytes bounds accepted request frames. Default 8 MiB.
 	MaxFrameBytes int
+	// SlowQueryThreshold enables the structured slow-query log: queries (and
+	// DML) at or above the threshold are written to SlowQueryLog as JSON
+	// lines. Queries on a slow-logging server execute with per-operator
+	// profiling on, so entries carry a phase breakdown and the top operators
+	// by time. Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query JSON lines (required to enable
+	// the log; writes are serialized).
+	SlowQueryLog io.Writer
 }
 
 func (o *Options) fill() {
@@ -78,20 +90,105 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	m metrics
+
+	started   time.Time
+	slow      *obs.SlowLog
+	queueHist *obs.Histogram // admission queue wait per admitted query
+	execHist  *obs.Histogram // server-side execution time per query
 }
 
-// New builds a server over a database.
+// New builds a server over a database. The server registers its admission,
+// session, plan-cache and latency metrics into the engine's registry, so one
+// scrape (the `metrics` op or the -metrics-addr listener) covers both layers.
 func New(db *vectorh.DB, opt Options) *Server {
 	opt.fill()
 	//lint:ctx the server owns the process-lifetime root context; Close cancels it
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
-		db:     db,
-		opt:    opt,
-		slot:   make(chan struct{}, opt.MaxConcurrent),
-		ctx:    ctx,
-		cancel: cancel,
-		conns:  make(map[net.Conn]struct{}),
+	s := &Server{
+		db:      db,
+		opt:     opt,
+		slot:    make(chan struct{}, opt.MaxConcurrent),
+		ctx:     ctx,
+		cancel:  cancel,
+		conns:   make(map[net.Conn]struct{}),
+		started: time.Now(),
+		slow:    obs.NewSlowLog(opt.SlowQueryLog, opt.SlowQueryThreshold),
+	}
+	s.registerMetrics(db.Obs())
+	return s
+}
+
+// registerMetrics binds the server's counters and latency histograms into
+// the engine registry. Registration is get-or-create and callback rebinding
+// is latest-wins, so a fresh Server over the same DB takes over the names.
+func (s *Server) registerMetrics(r *obs.Registry) {
+	s.queueHist = r.Histogram("vectorh_query_queue_seconds", "Admission queue wait per admitted query.")
+	s.execHist = r.Histogram("vectorh_query_exec_seconds", "Server-side execution time per query.")
+	r.GaugeFunc("vectorh_sessions_active", "Open client sessions.",
+		func() float64 { return float64(s.m.sessions.Load()) })
+	r.CounterFunc("vectorh_sessions_total", "Sessions accepted since start.",
+		func() float64 { return float64(s.m.totalSessions.Load()) })
+	r.GaugeFunc("vectorh_queries_active", "Queries holding an execution slot.",
+		func() float64 { return float64(s.m.active.Load()) })
+	r.GaugeFunc("vectorh_queries_queued", "Queries waiting in the admission queue.",
+		func() float64 { return float64(s.m.queued.Load()) })
+	r.CounterFunc("vectorh_queries_completed_total", "Queries completed successfully.",
+		func() float64 { return float64(s.m.completed.Load()) })
+	r.CounterFunc("vectorh_queries_cancelled_total", "Queries cancelled by client, deadline or shutdown.",
+		func() float64 { return float64(s.m.cancelled.Load()) })
+	r.CounterFunc("vectorh_queries_failed_total", "Queries failed with an error.",
+		func() float64 { return float64(s.m.failed.Load()) })
+	r.CounterFunc("vectorh_queries_rejected_total", "Queries rejected by admission control (queue wait exceeded).",
+		func() float64 { return float64(s.m.rejected.Load()) })
+	r.CounterFunc("vectorh_rows_served_total", "Result rows streamed to clients.",
+		func() float64 { return float64(s.m.rowsServed.Load()) })
+	r.GaugeFunc("vectorh_stmts_open", "Prepared statements across live sessions.",
+		func() float64 { return float64(s.m.openStmts.Load()) })
+	r.CounterFunc("vectorh_slow_queries_total", "Slow-query log entries written.",
+		func() float64 { return float64(s.slow.Logged()) })
+	r.CounterFunc("vectorh_plan_cache_hits_total", "Plan cache hits.",
+		func() float64 { return float64(s.db.PlanCacheStats().Hits) })
+	r.CounterFunc("vectorh_plan_cache_misses_total", "Plan cache misses.",
+		func() float64 { return float64(s.db.PlanCacheStats().Misses) })
+	r.CounterFunc("vectorh_plan_cache_evictions_total", "Plan cache LRU evictions.",
+		func() float64 { return float64(s.db.PlanCacheStats().Evictions) })
+	r.CounterFunc("vectorh_plan_cache_invalidations_total", "Plan cache entries dropped by epoch flushes.",
+		func() float64 { return float64(s.db.PlanCacheStats().Invalidations) })
+	r.GaugeFunc("vectorh_plan_cache_entries", "Compiled plans resident in the cache.",
+		func() float64 { return float64(s.db.PlanCacheStats().Entries) })
+	r.GaugeFunc("vectorh_process_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	r.GaugeFunc("vectorh_process_goroutines", "Live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("vectorh_process_heap_bytes", "Heap bytes in use.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+}
+
+// Metrics renders the full registry (engine + server) in Prometheus text
+// format.
+func (s *Server) Metrics() (string, error) {
+	var sb strings.Builder
+	if err := s.db.Obs().WritePrometheus(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// processStats samples the process-health block of a stats snapshot.
+func (s *Server) processStats() *ProcessStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &ProcessStats{
+		UptimeSec:    int64(time.Since(s.started).Seconds()),
+		Goroutines:   runtime.NumGoroutine(),
+		HeapBytes:    int64(ms.HeapInuse),
+		GCPauseNs:    int64(ms.PauseTotalNs),
+		NumGC:        int64(ms.NumGC),
+		TotalAllocMB: int64(ms.TotalAlloc >> 20),
 	}
 }
 
@@ -202,6 +299,8 @@ func (s *Server) Stats() StatsSnapshot {
 			Invalidations: pc.Invalidations,
 			Entries:       pc.Entries,
 		},
+		Process:     s.processStats(),
+		SlowQueries: s.slow.Logged(),
 	}
 }
 
@@ -260,6 +359,13 @@ func (ss *session) readLoop() {
 		case OpStats:
 			st := ss.srv.Stats()
 			ss.send(&Response{ID: req.ID, Type: RespStats, Stats: &st})
+		case OpMetrics:
+			text, err := ss.srv.Metrics()
+			if err != nil {
+				ss.sendErr(req.ID, err)
+				continue
+			}
+			ss.send(&Response{ID: req.ID, Type: RespMetrics, Metrics: text})
 		case OpCancel:
 			ss.cancelRequest(req.Target)
 			ss.send(&Response{ID: req.ID, Type: RespDone})
@@ -280,7 +386,7 @@ func (ss *session) readLoop() {
 				op = OpExec
 			}
 			ss.startWork(Request{ID: req.ID, Op: op, SQL: bound, TimeoutMs: req.TimeoutMs})
-		case OpQuery, OpExec, OpExplain:
+		case OpQuery, OpExec, OpExplain, OpProfile:
 			ss.startWork(req)
 		default:
 			ss.send(&Response{ID: req.ID, Type: RespError,
@@ -441,10 +547,13 @@ func (ss *session) runRequest(ctx context.Context, req Request) {
 		ss.send(&Response{ID: req.ID, Type: RespPlan, Plan: plan})
 		return
 	}
+	queueStart := time.Now()
 	if err := ss.admit(ctx); err != nil {
 		ss.sendErr(req.ID, err)
 		return
 	}
+	queueWait := time.Since(queueStart)
+	ss.srv.queueHist.Observe(queueWait)
 	defer func() { <-ss.srv.slot }()
 	ss.srv.m.active.Add(1)
 	defer ss.srv.m.active.Add(-1)
@@ -453,15 +562,22 @@ func (ss *session) runRequest(ctx context.Context, req Request) {
 	var err error
 	switch req.Op {
 	case OpQuery:
-		err = ss.runQuery(ctx, req)
+		err = ss.runQuery(ctx, req, queueWait)
+	case OpProfile:
+		err = ss.runProfile(ctx, req)
 	case OpExec:
 		var affected int64
 		affected, err = ss.srv.db.ExecSQLContext(ctx, req.SQL)
 		if err == nil {
+			elapsed := time.Since(start)
+			ss.srv.slowLogExec(req.SQL, elapsed, queueWait, affected)
 			err = ss.send(&Response{ID: req.ID, Type: RespDone, Affected: affected,
-				ElapsedUs: time.Since(start).Microseconds()})
+				ElapsedUs: elapsed.Microseconds(),
+				QueueUs:   queueWait.Microseconds(),
+				ExecUs:    elapsed.Microseconds()})
 		}
 	}
+	ss.srv.execHist.Observe(time.Since(start))
 	if err != nil {
 		if ctx.Err() != nil {
 			ss.srv.m.cancelled.Add(1)
@@ -474,7 +590,30 @@ func (ss *session) runRequest(ctx context.Context, req Request) {
 	ss.srv.m.completed.Add(1)
 }
 
-func (ss *session) runQuery(ctx context.Context, req Request) error {
+// queryHash returns the slow-log hash of a statement: normalized token text
+// when it lexes as a SELECT (so literal-differing invocations aggregate),
+// raw text otherwise.
+func queryHash(src string) string {
+	if norm, ok := sql.NormalizeSQL(src); ok {
+		return obs.QueryHash(norm)
+	}
+	return obs.QueryHash(src)
+}
+
+// slowLogExec records a DML statement in the slow-query log (no operator
+// breakdown — DML does not run under the profiled query path).
+func (s *Server) slowLogExec(src string, elapsed, queueWait time.Duration, affected int64) {
+	if !s.slow.Enabled() {
+		return
+	}
+	s.slow.Record(elapsed, obs.SlowEntry{
+		Hash:    queryHash(src),
+		QueueUs: queueWait.Microseconds(),
+		Rows:    affected,
+	})
+}
+
+func (ss *session) runQuery(ctx context.Context, req Request, queueWait time.Duration) error {
 	db := ss.srv.db
 	schema, err := db.SchemaSQL(req.SQL)
 	if err != nil {
@@ -485,6 +624,7 @@ func (ss *session) runQuery(ctx context.Context, req Request) error {
 	}
 	start := time.Now()
 	var pending [][]any
+	var served int64
 	flush := func() error {
 		if len(pending) == 0 {
 			return nil
@@ -494,24 +634,77 @@ func (ss *session) runQuery(ctx context.Context, req Request) error {
 			return err
 		}
 		ss.srv.m.rowsServed.Add(n)
+		served += n
 		pending = pending[:0]
 		return nil
 	}
-	err = db.QueryStreamSQL(ctx, req.SQL, func(rows [][]any) error {
+	yield := func(rows [][]any) error {
 		pending = append(pending, rows...)
 		if len(pending) >= ss.srv.opt.RowsPerFrame {
 			return flush()
 		}
 		return nil
-	})
+	}
+	// A slow-logging server runs queries with profiling on, so a slow entry
+	// can say where the time went (phase breakdown, top operators) — the
+	// instrumented run costs a timing wrapper per operator stream.
+	slow := ss.srv.slow
+	var prof *vectorh.QueryProfile
+	if slow.Enabled() {
+		prof, err = db.QueryStreamProfileSQL(ctx, req.SQL, yield)
+	} else {
+		err = db.QueryStreamSQL(ctx, req.SQL, yield)
+	}
 	if err != nil {
 		return err
 	}
 	if err := flush(); err != nil {
 		return err
 	}
+	elapsed := time.Since(start)
+	if slow.Enabled() {
+		entry := obs.SlowEntry{
+			Hash:    queryHash(req.SQL),
+			QueueUs: queueWait.Microseconds(),
+			Rows:    served,
+		}
+		if prof != nil {
+			entry.CacheHit = prof.CacheHit
+			for _, ph := range prof.Phases {
+				entry.Phases = append(entry.Phases, obs.SlowPhase{Name: ph.Name, Micros: ph.Nanos.Microseconds()})
+			}
+			ops := prof.Operators
+			if len(ops) > 3 {
+				ops = ops[:3]
+			}
+			for _, op := range ops {
+				entry.TopOps = append(entry.TopOps, obs.SlowOp{
+					Op: op.Label, Micros: op.Nanos.Microseconds(), Rows: op.Rows, Batches: op.Batches})
+			}
+		}
+		slow.Record(elapsed, entry)
+	}
 	return ss.send(&Response{ID: req.ID, Type: RespDone,
-		ElapsedUs: time.Since(start).Microseconds()})
+		ElapsedUs: elapsed.Microseconds(),
+		QueueUs:   queueWait.Microseconds(),
+		ExecUs:    elapsed.Microseconds()})
+}
+
+// runProfile executes a SELECT under EXPLAIN ANALYZE (full execution with
+// per-operator profiling, rows discarded) and returns the rendered analysis
+// as a plan frame.
+func (ss *session) runProfile(ctx context.Context, req Request) error {
+	start := time.Now()
+	p, err := ss.srv.db.QueryStreamProfileSQL(ctx, req.SQL, func(rows [][]any) error { return nil })
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := ss.send(&Response{ID: req.ID, Type: RespPlan, Plan: p.Render()}); err != nil {
+		return err
+	}
+	return ss.send(&Response{ID: req.ID, Type: RespDone,
+		ElapsedUs: elapsed.Microseconds(), ExecUs: elapsed.Microseconds()})
 }
 
 func (ss *session) sendErr(id int64, err error) {

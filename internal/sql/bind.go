@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"vectorh/internal/obs"
 	"vectorh/internal/plan"
 	"vectorh/internal/vector"
 )
@@ -67,6 +68,12 @@ type block struct {
 	// postSubs holds uncorrelated scalar subqueries referenced from HAVING;
 	// they join in above the aggregation rather than below it.
 	postSubs []*source
+
+	// tr receives bind/decorrelate/joinorder phase spans. It is set only on
+	// the top-level block of a traced compile — sub-blocks leave it nil so
+	// their time folds into whichever top-level phase invoked them instead
+	// of being counted twice.
+	tr *obs.Trace
 }
 
 // newBlock binds the FROM clause of stmt: base tables resolve against the

@@ -3,7 +3,9 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"vectorh/internal/obs"
 	"vectorh/internal/plan"
 	"vectorh/internal/vector"
 )
@@ -13,11 +15,20 @@ import (
 // vocabulary, so the Parallel Rewriter, Xchg parallelism and MinMax skipping
 // apply to SQL queries exactly as to hand-built plans.
 func Compile(src string, cat plan.Catalog) (plan.Node, error) {
+	return CompileTraced(src, cat, nil)
+}
+
+// CompileTraced is Compile with per-phase spans (parse, bind, decorrelate,
+// joinorder) recorded into tr. A nil trace makes every span a no-op, so this
+// is also the implementation of Compile.
+func CompileTraced(src string, cat plan.Catalog, tr *obs.Trace) (plan.Node, error) {
+	parseDone := tr.StartPhase("parse")
 	stmt, err := Parse(src)
+	parseDone()
 	if err != nil {
 		return nil, err
 	}
-	return Lower(stmt, cat)
+	return LowerTraced(stmt, cat, tr)
 }
 
 // Lower plans a parsed statement in phases: bind the FROM clause and every
@@ -25,10 +36,17 @@ func Compile(src string, cat plan.Catalog) (plan.Node, error) {
 // sources (decorrelate.go), order the join tree by estimated cardinality
 // (stats.go), and emit plan.Node operators (this file).
 func Lower(stmt *SelectStmt, cat plan.Catalog) (plan.Node, error) {
+	return LowerTraced(stmt, cat, nil)
+}
+
+// LowerTraced is Lower with phase spans recorded into tr; only the top-level
+// block carries the trace (sub-block time folds into its caller's phase).
+func LowerTraced(stmt *SelectStmt, cat plan.Catalog, tr *obs.Trace) (plan.Node, error) {
 	b, err := newBlock(stmt, cat, nil)
 	if err != nil {
 		return nil, err
 	}
+	b.tr = tr
 	return b.lower()
 }
 
@@ -199,6 +217,17 @@ type onConj struct {
 func (b *block) lower() (plan.Node, error) {
 	stmt, cat := b.stmt, b.cat
 
+	// Phase timing (top-level block only): mark closes the span opened at
+	// the previous mark, so the section boundaries below double as phase
+	// boundaries. Error returns simply leave the current span unrecorded.
+	phaseStart := time.Now()
+	mark := func(name string) {
+		if b.tr != nil {
+			b.tr.AddPhase(name, time.Since(phaseStart))
+			phaseStart = time.Now()
+		}
+	}
+
 	// ---- bind: resolve every reference, record column usage ----
 	if stmt.Star {
 		if len(stmt.GroupBy) > 0 {
@@ -256,6 +285,8 @@ func (b *block) lower() (plan.Node, error) {
 		}
 	}
 
+	mark("bind")
+
 	// ---- decorrelate: subquery predicates become hidden join sources ----
 	var kept []Expr
 	if stmt.Where != nil {
@@ -293,6 +324,8 @@ func (b *block) lower() (plan.Node, error) {
 		}
 	}
 
+	mark("decorrelate")
+
 	// ---- classify WHERE conjuncts: single-source pushdown vs residual ----
 	pushed := make(map[*source][]Expr)
 	var residual []Expr
@@ -316,6 +349,7 @@ func (b *block) lower() (plan.Node, error) {
 	// ---- order the join tree, fix physical output names ----
 	order := b.orderSources(pushed)
 	b.assignPhys(order)
+	mark("joinorder")
 
 	// ---- per-source subtrees: scan/derived + pushed filters + renames ----
 	nodes := make(map[*source]plan.Node, len(order))

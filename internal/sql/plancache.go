@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"vectorh/internal/obs"
 	"vectorh/internal/plan"
 	"vectorh/internal/vector"
 )
@@ -131,9 +132,17 @@ func (c *PlanCache) store(key string, epoch int64, n plan.Node, s vector.Schema)
 // fails to lex) falls through to a direct Compile so errors surface
 // unchanged.
 func (c *PlanCache) Compile(src string, cat plan.Catalog, epoch int64) (plan.Node, vector.Schema, bool, error) {
+	return c.CompileTraced(src, cat, epoch, nil)
+}
+
+// CompileTraced is Compile recording compile-phase spans and the cache-hit
+// flag into tr. A hit records only the hit (cached plans have no compile
+// phases); a miss records parse/bind/decorrelate/joinorder from the real
+// compile underneath.
+func (c *PlanCache) CompileTraced(src string, cat plan.Catalog, epoch int64, tr *obs.Trace) (plan.Node, vector.Schema, bool, error) {
 	key, cacheable := NormalizeSQL(src)
 	if !cacheable {
-		n, err := Compile(src, cat)
+		n, err := CompileTraced(src, cat, tr)
 		if err != nil {
 			return nil, nil, false, err
 		}
@@ -141,9 +150,10 @@ func (c *PlanCache) Compile(src string, cat plan.Catalog, epoch int64) (plan.Nod
 		return n, s, false, err
 	}
 	if n, s, ok := c.lookup(key, epoch); ok {
+		tr.SetCacheHit(true)
 		return n, s, true, nil
 	}
-	n, err := Compile(src, cat)
+	n, err := CompileTraced(src, cat, tr)
 	if err != nil {
 		return nil, nil, false, err
 	}

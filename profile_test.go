@@ -1,0 +1,173 @@
+package vectorh_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"vectorh/internal/core"
+	"vectorh/internal/sql"
+	"vectorh/internal/tpch"
+)
+
+// TestExplainAnalyzeAllTPCH runs every TPC-H SQL query under
+// QueryProfileSQL and asserts the EXPLAIN ANALYZE actuals are sane: the root
+// operator's measured row count equals the result row count, every operator
+// reports consistent batch/peak/time figures, at least one scan operator
+// attributes IO, and the compile/execute phase spans are present.
+func TestExplainAnalyzeAllTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads TPC-H")
+	}
+	db, _ := openTPCH(t, 0.01)
+
+	for q := 1; q <= 22; q++ {
+		sqlText, ok := tpch.SQLQueries[q]
+		if !ok {
+			t.Fatalf("Q%d missing from tpch.SQLQueries", q)
+		}
+		t.Run(fmt.Sprintf("Q%02d", q), func(t *testing.T) {
+			p, err := db.QueryProfileSQL(context.Background(), sqlText)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Analyzed == "" {
+				t.Fatal("no analyzed plan")
+			}
+			if !strings.Contains(p.Analyzed, "actual rows=") {
+				t.Errorf("analyzed plan lacks actuals:\n%s", p.Analyzed)
+			}
+			if !strings.Contains(p.Analyzed, "~") {
+				t.Errorf("analyzed plan lacks cardinality estimates:\n%s", p.Analyzed)
+			}
+			if len(p.Operators) == 0 {
+				t.Fatal("no operator profiles")
+			}
+
+			// The heaviest-first flat list and the tree agree on the root:
+			// find the root's aggregate via the first line of the tree.
+			var rootRows, rootBatches int64
+			var haveScanIO bool
+			for _, op := range p.Operators {
+				if op.Rows < 0 || op.Batches < 0 || op.Nanos < 0 {
+					t.Errorf("operator %s has negative figures: %+v", op.Label, op)
+				}
+				if op.Rows > 0 && op.Batches == 0 {
+					t.Errorf("operator %s produced %d rows in 0 batches", op.Label, op.Rows)
+				}
+				if op.PeakBatch > 0 && op.Rows > 0 && op.PeakBatch > op.Rows {
+					t.Errorf("operator %s peak batch %d exceeds total rows %d", op.Label, op.PeakBatch, op.Rows)
+				}
+				if op.BlocksRead > 0 || op.BytesDecoded > 0 || op.CacheHits > 0 {
+					haveScanIO = true
+				}
+				if strings.HasPrefix(strings.TrimSpace(p.Analyzed), op.Label) {
+					rootRows, rootBatches = op.Rows, op.Batches
+				}
+			}
+			if rootRows != int64(len(p.Rows)) {
+				t.Errorf("root actual rows=%d but result has %d rows", rootRows, len(p.Rows))
+			}
+			if len(p.Rows) > 0 && rootBatches == 0 {
+				t.Errorf("root produced %d rows but 0 batches", len(p.Rows))
+			}
+			if !haveScanIO {
+				t.Error("no scan operator attributed any IO")
+			}
+			if p.Scan.BlocksRead == 0 && p.Scan.BytesDecoded == 0 && p.Scan.CacheHits == 0 {
+				t.Error("per-query scan IO totals are empty")
+			}
+
+			// Phase spans: a cold compile records parse through joinorder;
+			// execute is always present and bounded by the elapsed time.
+			phases := map[string]time.Duration{}
+			for _, ph := range p.Phases {
+				phases[ph.Name] = ph.Nanos
+			}
+			if _, ok := phases["execute"]; !ok {
+				t.Errorf("missing execute phase: %v", p.Phases)
+			}
+			if !p.CacheHit {
+				for _, want := range []string{"parse", "bind", "joinorder", "rewrite"} {
+					if _, ok := phases[want]; !ok {
+						t.Errorf("cold compile missing %q phase: %v", want, p.Phases)
+					}
+				}
+			}
+			if phases["execute"] > p.Elapsed+time.Second {
+				t.Errorf("execute span %v exceeds elapsed %v", phases["execute"], p.Elapsed)
+			}
+
+			// The profiled run returns the same rows as the plain run.
+			plain, err := db.QuerySQL(sqlText)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(plain) != len(p.Rows) {
+				t.Errorf("profiled run returned %d rows, plain run %d", len(p.Rows), len(plain))
+			}
+		})
+	}
+}
+
+// TestProfileOffNoWrappers asserts the structural zero-overhead property:
+// without Profile, the result carries no profiling artifacts at all (no
+// wrapper is inserted, so the off path has nothing to pay per batch).
+func TestProfileOffNoWrappers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads TPC-H")
+	}
+	db, _ := openTPCH(t, 0.005)
+	n, err := sql.Compile(tpch.SQLQueries[6], db.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.QueryOpts(n, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil || res.Analyzed != "" || res.Operators != nil {
+		t.Errorf("unprofiled run carries profiling artifacts: %+v", res)
+	}
+	p, err := db.QueryProfileSQL(context.Background(), tpch.SQLQueries[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(p.Rows) {
+		t.Errorf("profiled %d rows vs plain %d rows", len(p.Rows), len(res.Rows))
+	}
+}
+
+// TestQueryProfileCacheHit pins the plan-cache flag: the second profiled run
+// of the same statement reports a hit and carries no compile phases.
+func TestQueryProfileCacheHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads TPC-H")
+	}
+	db, _ := openTPCH(t, 0.005)
+	ctx := context.Background()
+	first, err := db.QueryProfileSQL(ctx, tpch.SQLQueries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first run should be a cache miss")
+	}
+	second, err := db.QueryProfileSQL(ctx, tpch.SQLQueries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("second run should be a cache hit")
+	}
+	for _, ph := range second.Phases {
+		if ph.Name == "parse" || ph.Name == "bind" {
+			t.Errorf("cache hit still recorded compile phase %q", ph.Name)
+		}
+	}
+	if got := second.Render(); !strings.Contains(got, "plan cache hit") || !strings.Contains(got, "Scan IO:") {
+		t.Errorf("Render missing sections:\n%s", got)
+	}
+}

@@ -19,9 +19,13 @@ package vectorh
 
 import (
 	"context"
+	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"vectorh/internal/core"
+	"vectorh/internal/obs"
 	"vectorh/internal/plan"
 	"vectorh/internal/rewriter"
 	"vectorh/internal/sql"
@@ -165,6 +169,81 @@ func (db *DB) QueryStreamSQL(ctx context.Context, query string, yield func(rows 
 	}
 	_, err = db.QueryStreamContext(ctx, n, yield)
 	return err
+}
+
+// QueryProfile is the result of one profiled SQL execution — the substance
+// behind EXPLAIN ANALYZE: the rows themselves plus the annotated plan tree
+// (estimated vs actual rows, batches, per-operator wall time), the compile
+// and execute phase spans, the plan-cache outcome, the flat per-operator
+// aggregates (heaviest first) and the query's exact scan IO.
+type QueryProfile struct {
+	Rows      [][]any
+	Schema    Schema
+	Analyzed  string
+	Phases    []obs.Phase
+	CacheHit  bool
+	Operators []obs.OpProfile
+	Scan      core.ScanIO
+	Elapsed   time.Duration
+}
+
+// Render formats the profile the way the REPL prints EXPLAIN ANALYZE: the
+// annotated plan tree followed by the phase breakdown and scan IO totals.
+func (p *QueryProfile) Render() string {
+	var sb strings.Builder
+	sb.WriteString(p.Analyzed)
+	fmt.Fprintf(&sb, "Phases: %s (plan cache %s)\n",
+		obs.FormatPhases(p.Phases), map[bool]string{true: "hit", false: "miss"}[p.CacheHit])
+	fmt.Fprintf(&sb, "Scan IO: blocks=%d bytes=%d cache_hits=%d spans_pruned=%d\n",
+		p.Scan.BlocksRead, p.Scan.BytesDecoded, p.Scan.CacheHits, p.Scan.SpansPruned)
+	return sb.String()
+}
+
+// QueryProfileSQL executes a SELECT with per-operator profiling and phase
+// tracing — the API behind `EXPLAIN ANALYZE <sql>`. The profiled run pays
+// for its instrumentation (a timing wrapper around every operator stream);
+// the regular query paths insert no wrappers and are unaffected.
+func (db *DB) QueryProfileSQL(ctx context.Context, query string) (*QueryProfile, error) {
+	p := &QueryProfile{}
+	err := db.queryProfile(ctx, query, p, func(rows [][]any) error {
+		p.Rows = append(p.Rows, rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// QueryStreamProfileSQL is QueryProfileSQL streaming result rows to yield
+// instead of buffering them (Rows stays nil) — the serving layer's slow-query
+// logging path.
+func (db *DB) QueryStreamProfileSQL(ctx context.Context, query string, yield func(rows [][]any) error) (*QueryProfile, error) {
+	p := &QueryProfile{}
+	if err := db.queryProfile(ctx, query, p, yield); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (db *DB) queryProfile(ctx context.Context, query string, p *QueryProfile, yield func(rows [][]any) error) error {
+	tr := obs.NewTrace()
+	n, s, _, err := db.planCache().CompileTraced(query, db.Engine, db.Engine.CatalogEpoch(), tr)
+	if err != nil {
+		return err
+	}
+	res, err := db.QueryStreamOpts(ctx, n, core.QueryOptions{Profile: true, Trace: tr}, yield)
+	if err != nil {
+		return err
+	}
+	p.Schema = s
+	p.Analyzed = res.Analyzed
+	p.Phases = tr.Phases()
+	p.CacheHit = tr.CacheHit()
+	p.Operators = res.Operators
+	p.Scan = res.Scan
+	p.Elapsed = res.Elapsed
+	return nil
 }
 
 // ExplainSQL compiles a SQL statement and returns the distributed physical
