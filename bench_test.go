@@ -191,6 +191,29 @@ func BenchmarkTPCHJoinOrder(b *testing.B) {
 	}
 }
 
+// BenchmarkTPCHCompression runs the execute-on-compressed-data experiment:
+// the target TPC-H queries with compressed-domain execution (dictionary
+// verdicts, code-space sieves and join/group keys, frame-bounds skips) on
+// and off, validating row-identical results and reporting the decode /
+// materialization / skip work of each pipeline — the numbers
+// `vectorh-bench -exp compression` records into BENCH_tpch.json. Named so
+// CI's `-bench=TPCH` smoke step picks it up: the code-space kernels get the
+// same can't-silently-rot guarantee as the other scan paths.
+func BenchmarkTPCHCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Compression(benchSF, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllMatch() {
+			b.Fatal("the code-space pipeline diverged from the value-space pipeline")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Report())
+		}
+	}
+}
+
 // BenchmarkUpdateImpact regenerates the bottom block of Figure 7: RF1/RF2
 // times and the GeoDiff of query performance after updates (paper: VectorH
 // 102.8% vs Hive 138.2%).

@@ -11,6 +11,7 @@
 //	vectorh-bench -exp concurrency # multi-session throughput through vectorh-serve
 //	vectorh-bench -exp selectivity # scan pushdown vs Select-above-scan sweep
 //	vectorh-bench -exp joinorder   # hand-written vs optimizer-chosen join order
+//	vectorh-bench -exp compression # execute-on-compressed-data: code-space vs value-space
 //	vectorh-bench -exp profile  # Appendix: Q1 per-operator profile
 //	vectorh-bench -exp all
 //
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig1|fig2|fig5|load|tpch|updates|refresh|concurrency|selectivity|joinorder|profile|tpchbench|all")
+	exp := flag.String("exp", "all", "experiment: fig1|fig2|fig5|load|tpch|updates|refresh|concurrency|selectivity|joinorder|compression|profile|tpchbench|all")
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	nodes := flag.Int("nodes", 3, "simulated worker nodes")
 	jsonPath := flag.String("json", "BENCH_tpch.json", "tpchbench: output file")
@@ -111,6 +112,9 @@ func main() {
 		},
 		"joinorder": func() error {
 			return runJoinOrder(*sf, *nodes, *jsonPath)
+		},
+		"compression": func() error {
+			return runCompression(*sf, *nodes, *jsonPath)
 		},
 		"tpchbench": func() error {
 			return runTPCHBench(*sf, *nodes, *jsonPath, *set, *perQuery)

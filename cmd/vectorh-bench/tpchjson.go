@@ -94,6 +94,39 @@ type selectivityBenchPoint struct {
 	OffBytesDecoded int64   `json:"off_bytes_decoded"`
 }
 
+// compressionBench records the execute-on-compressed-data experiment: per
+// table the bytes-on-disk (raw vs encoded), and per target query the decode
+// bytes, skipped bytes, pruned spans and per-op cost with compressed-domain
+// execution on and off (see `-exp compression`).
+type compressionBench struct {
+	AllMatch bool                    `json:"all_match"`
+	Storage  []compressionBenchTable `json:"storage"`
+	Points   []compressionBenchPoint `json:"points"`
+}
+
+type compressionBenchTable struct {
+	Table        string  `json:"table"`
+	RawBytes     int64   `json:"raw_bytes"`
+	EncodedBytes int64   `json:"encoded_bytes"`
+	Ratio        float64 `json:"ratio"`
+}
+
+type compressionBenchPoint struct {
+	Query                string `json:"query"`
+	Rows                 int    `json:"rows"`
+	NsPerOp              int64  `json:"ns_per_op"`
+	AllocsPerOp          int64  `json:"allocs_per_op"`
+	BytesDecoded         int64  `json:"bytes_decoded"`
+	BytesMaterialized    int64  `json:"bytes_materialized"`
+	BytesSkipped         int64  `json:"bytes_skipped"`
+	SpansPruned          int64  `json:"spans_pruned"`
+	OffNsPerOp           int64  `json:"off_ns_per_op"`
+	OffBytesDecoded      int64  `json:"off_bytes_decoded"`
+	OffBytesMaterialized int64  `json:"off_bytes_materialized"`
+	OffBytesSkipped      int64  `json:"off_bytes_skipped"`
+	OffSpansPruned       int64  `json:"off_spans_pruned"`
+}
+
 // joinOrderBench records the join-order experiment: per join-heavy query,
 // the hand-written join order's ns/op next to the stats-driven optimizer's
 // (see `-exp joinorder`). Ratio is optimizer over hand; the planner's
@@ -123,6 +156,7 @@ type benchFile struct {
 	Concurrency *concurrencyBench `json:"concurrency,omitempty"`
 	Selectivity *selectivityBench `json:"selectivity,omitempty"`
 	JoinOrder   *joinOrderBench   `json:"joinorder,omitempty"`
+	Compression *compressionBench `json:"compression,omitempty"`
 }
 
 // runTPCHBench measures every TPC-H query and writes the JSON file, filling
@@ -340,6 +374,60 @@ func runSelectivity(sf float64, nodes int, path string) error {
 		return err
 	}
 	fmt.Printf("wrote selectivity block of %s\n", path)
+	return nil
+}
+
+// runCompression runs the execute-on-compressed-data experiment, prints its
+// report and records the numbers in the compression block of
+// BENCH_tpch.json (other blocks are preserved).
+func runCompression(sf float64, nodes int, path string) error {
+	res, err := experiments.Compression(sf, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	if !res.AllMatch() {
+		return fmt.Errorf("compression validation failed: the code-space pipeline diverged from the value-space pipeline")
+	}
+	const threads = 2 // experiments.Compression's engine configuration
+	file := benchFile{SF: sf, Nodes: nodes, Threads: threads}
+	if old, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(old, &file); err != nil {
+			return fmt.Errorf("%s exists but is not valid JSON (%w); fix or remove it first", path, err)
+		}
+		if file.SF != sf || file.Nodes != nodes {
+			fmt.Fprintf(os.Stderr,
+				"warning: %s was recorded at sf=%v nodes=%d, this run is sf=%v nodes=%d — the retained columns are not comparable\n",
+				path, file.SF, file.Nodes, sf, nodes)
+		}
+		file.SF, file.Nodes, file.Threads = sf, nodes, threads
+	}
+	cb := &compressionBench{AllMatch: res.AllMatch()}
+	for _, t := range res.Storage {
+		cb.Storage = append(cb.Storage, compressionBenchTable{
+			Table: t.Table, RawBytes: t.RawBytes, EncodedBytes: t.EncodedBytes, Ratio: t.Ratio(),
+		})
+	}
+	for _, p := range res.Points {
+		cb.Points = append(cb.Points, compressionBenchPoint{
+			Query: p.Query, Rows: p.Rows,
+			NsPerOp: p.NsPerOp, AllocsPerOp: p.AllocsPerOp,
+			BytesDecoded: p.BytesDecoded, BytesMaterialized: p.BytesMaterialized,
+			BytesSkipped: p.BytesSkipped, SpansPruned: p.SpansPruned,
+			OffNsPerOp: p.OffNsPerOp, OffBytesDecoded: p.OffBytesDecoded,
+			OffBytesMaterialized: p.OffBytesMaterialized,
+			OffBytesSkipped:      p.OffBytesSkipped, OffSpansPruned: p.OffSpansPruned,
+		})
+	}
+	file.Compression = cb
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote compression block of %s\n", path)
 	return nil
 }
 

@@ -211,6 +211,18 @@ func (sh *shell) meta(cmd string) bool {
 				float64(p.HeapBytes)/(1<<20), p.NumGC,
 				float64(p.GCPauseNs)/1e6, p.TotalAllocMB)
 		}
+		if sc := st.Scan; sc != nil {
+			fmt.Printf("scan: blocks=%d decoded=%.1fMB skipped=%.1fMB materialized=%.1fMB pruned=%d cache_hits=%d\n",
+				sc.BlocksRead, float64(sc.BytesDecoded)/(1<<20), float64(sc.BytesSkipped)/(1<<20),
+				float64(sc.BytesMaterialized)/(1<<20), sc.SpansPruned, sc.CacheHits)
+		}
+		for _, ts := range st.Storage {
+			if ts.EncodedBytes == 0 {
+				continue
+			}
+			fmt.Printf("compression: %-10s %5.2fx (%.1fMB raw -> %.1fMB encoded)\n",
+				ts.Table, ts.Ratio, float64(ts.RawBytes)/(1<<20), float64(ts.EncodedBytes)/(1<<20))
+		}
 		if st.SlowQueries > 0 {
 			fmt.Printf("slow queries logged: %d\n", st.SlowQueries)
 		}

@@ -114,10 +114,15 @@ func (c *BlockCache) put(k blockKey, d colData) {
 }
 
 // approxColBytes estimates the in-memory footprint of decoded column data.
+// A code-form block is charged its dictionary plus the code stream it will
+// occupy once unpacked (codes are memoized on the shared block handle).
 func approxColBytes(d colData) int64 {
 	n := int64(len(d.i64))*8 + int64(len(d.f64))*8
 	for _, s := range d.str {
 		n += int64(len(s)) + 16
+	}
+	if d.pd != nil {
+		n += int64(d.pd.Rows())*4 + strSliceBytes(d.pd.Dict.Values)
 	}
 	return n
 }

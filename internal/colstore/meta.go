@@ -67,6 +67,10 @@ type ColumnMeta struct {
 	Name   string      `json:"name"`
 	Type   vector.Type `json:"type"`
 	Blocks []BlockMeta `json:"blocks"`
+	// RawBytes is the uncompressed size estimate of every value stored in
+	// Blocks, accumulated at append time — the numerator of the partition's
+	// compression ratio (encoded bytes are the sum of Blocks[i].Bytes).
+	RawBytes int64 `json:"rawBytes,omitempty"`
 }
 
 // ChunkMeta describes one chunk file.
@@ -168,6 +172,19 @@ func (m *PartitionMeta) Files() []string {
 		out = append(out, m.PartialPath(m.PartialGen))
 	}
 	return out
+}
+
+// StorageBytes sums the partition's uncompressed-size estimate and encoded
+// on-disk bytes across every column — the observability feed for per-table
+// compression-ratio gauges.
+func (m *PartitionMeta) StorageBytes() (raw, encoded int64) {
+	for i := range m.Cols {
+		raw += m.Cols[i].RawBytes
+		for j := range m.Cols[i].Blocks {
+			encoded += int64(m.Cols[i].Blocks[j].Bytes)
+		}
+	}
+	return raw, encoded
 }
 
 // Marshal serializes the metadata (stored in the WAL by the engine).

@@ -14,11 +14,16 @@ import (
 const tagFloatRaw = 5
 
 // colData holds one decoded column block (one of the slices is used,
-// depending on the column kind).
+// depending on the column kind). String blocks that were PDICT-compressed
+// may instead be held in code form: pd carries the parsed dictionary while
+// the packed code stream stays compressed until someone asks for codes or
+// values — the storage half of executing on compressed data. str may later
+// be filled in next to pd by a scanner that needed value form.
 type colData struct {
 	i64 []int64
 	f64 []float64
 	str []string
+	pd  *compress.PDictBlock
 }
 
 func (d *colData) length(k vector.Kind) int {
@@ -26,6 +31,9 @@ func (d *colData) length(k vector.Kind) int {
 	case vector.Float64:
 		return len(d.f64)
 	case vector.String:
+		if d.pd != nil {
+			return d.pd.Rows()
+		}
 		return len(d.str)
 	default:
 		return len(d.i64)
@@ -112,8 +120,17 @@ func encodeBlock(k vector.Kind, d colData) []byte {
 	}
 }
 
-// decodeBlock inverts encodeBlock.
+// decodeBlock inverts encodeBlock, always producing value form.
 func decodeBlock(k vector.Kind, data []byte) (colData, error) {
+	return decodeBlockScan(k, data, false, nil)
+}
+
+// decodeBlockScan is the scanner-side decode: with codeForm set, a
+// PDICT-encoded string block is merely opened (dictionary parsed, code
+// stream left packed) instead of materialized. scratch, when non-nil, lends
+// the decoder its staging buffers; decode targets are still freshly
+// allocated because they escape as zero-copy vector views.
+func decodeBlockScan(k vector.Kind, data []byte, codeForm bool, scratch *compress.Scratch) (colData, error) {
 	if len(data) == 0 {
 		return colData{}, compress.ErrCorrupt
 	}
@@ -134,7 +151,11 @@ func decodeBlock(k vector.Kind, data []byte) (colData, error) {
 		}
 		return colData{f64: out}, nil
 	case vector.String:
-		str, err := compress.DecodeStrings(data, nil)
+		if codeForm && compress.IsPDict(data) {
+			pd, err := compress.PDictOpen(data)
+			return colData{pd: pd}, err
+		}
+		str, err := compress.DecodeStringsScratch(data, nil, scratch)
 		return colData{str: str}, err
 	default:
 		var (
@@ -142,12 +163,37 @@ func decodeBlock(k vector.Kind, data []byte) (colData, error) {
 			err error
 		)
 		if data[0] == 2 { // tagPFORDelta
-			i64, err = compress.PFORDeltaDecode(data, nil)
+			i64, err = compress.PFORDeltaDecodeScratch(data, nil, scratch)
 		} else {
-			i64, err = compress.PFORDecode(data, nil)
+			i64, err = compress.PFORDecodeScratch(data, nil, scratch)
 		}
 		return colData{i64: i64}, err
 	}
+}
+
+// valueBytes estimates the materialized in-memory footprint of value-form
+// column data (string rows count header + shared bytes; code-form blocks
+// count only their dictionary values, the part that was materialized).
+func valueBytes(k vector.Kind, d colData) int64 {
+	switch k {
+	case vector.Float64:
+		return int64(len(d.f64)) * 8
+	case vector.String:
+		if d.pd != nil {
+			return strSliceBytes(d.pd.Dict.Values)
+		}
+		return strSliceBytes(d.str)
+	default:
+		return int64(len(d.i64)) * 8
+	}
+}
+
+func strSliceBytes(ss []string) int64 {
+	n := int64(len(ss)) * 16
+	for _, s := range ss {
+		n += int64(len(s))
+	}
+	return n
 }
 
 // blockMinMax computes the MinMax summary for a block. Zero-row blocks keep
@@ -249,6 +295,9 @@ func NewAppender(fs *hdfs.Cluster, meta *PartitionMeta, node string) (*Appender,
 			}
 			a.pend[ci] = d
 			c.Blocks = c.Blocks[:n-1]
+			// The partial block's rows re-flush below; un-count their raw
+			// bytes so the running estimate is not doubled.
+			c.RawBytes -= int64(rawBytesEstimate(c.Type.Kind, d))
 		}
 		if n := len(c.Blocks); n > 0 {
 			a.flushedTo[ci] = c.Blocks[n-1].RowStart + int64(c.Blocks[n-1].Rows)
@@ -367,6 +416,7 @@ func (a *Appender) cutOneBlock(ci, avail int, force bool) (int, error) {
 	bm := BlockMeta{Chunk: chunk, Slot: slot, RowStart: a.flushedTo[ci], Rows: k, Bytes: len(enc)}
 	blockMinMax(c.Type.Kind, d.slice(c.Type.Kind, 0, k), &bm)
 	c.Blocks = append(c.Blocks, bm)
+	c.RawBytes += int64(rawBytesEstimate(c.Type.Kind, d.slice(c.Type.Kind, 0, k)))
 	a.flushedTo[ci] += int64(k)
 	a.pend[ci] = d.slice(c.Type.Kind, k, avail)
 	return k, nil
@@ -467,6 +517,7 @@ func (a *Appender) Close() error {
 		bm := BlockMeta{Chunk: -1, Slot: off, RowStart: a.flushedTo[ci], Rows: n, Bytes: len(enc)}
 		blockMinMax(c.Type.Kind, a.pend[ci], &bm)
 		c.Blocks = append(c.Blocks, bm)
+		c.RawBytes += int64(rawBytesEstimate(c.Type.Kind, a.pend[ci]))
 		if _, err := w.Write(enc); err != nil {
 			return err
 		}
@@ -481,6 +532,14 @@ func (a *Appender) readPayload(b BlockMeta) ([]byte, error) {
 }
 
 func readPayload(fs *hdfs.Cluster, m *PartitionMeta, node string, b BlockMeta) ([]byte, error) {
+	return readPayloadInto(fs, m, node, b, nil)
+}
+
+// readPayloadInto fetches a block's compressed bytes, reusing buf when it
+// has the capacity. Callers may only pass a reusable buffer when the decode
+// they feed it to copies everything out — PDictOpen retains sub-slices of
+// the payload, so code-form string reads must pass nil.
+func readPayloadInto(fs *hdfs.Cluster, m *PartitionMeta, node string, b BlockMeta, buf []byte) ([]byte, error) {
 	var path string
 	var off int64
 	if b.Chunk >= 0 {
@@ -494,7 +553,10 @@ func readPayload(fs *hdfs.Cluster, m *PartitionMeta, node string, b BlockMeta) (
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, b.Bytes)
+	if cap(buf) < b.Bytes {
+		buf = make([]byte, b.Bytes)
+	}
+	buf = buf[:b.Bytes]
 	if _, err := r.ReadAt(buf, off); err != nil {
 		return nil, err
 	}
@@ -521,6 +583,17 @@ type Scanner struct {
 	cache  []cachedBlock
 	bc     *BlockCache // optional shared decoded-block cache
 	stats  ScanStats
+
+	codeExec bool // serve PDICT string blocks as dictionary-code vectors
+
+	// Decode scratch reused across blocks: the compressed-payload read buffer
+	// and the decoder staging arrays. Decode targets are never reused — they
+	// escape upstream as zero-copy vector views.
+	scratch    compress.Scratch
+	payloadBuf []byte
+
+	totalBytes int64 // compressed bytes of every projected block (skip baseline)
+	hitBytes   int64 // compressed bytes served from the shared cache
 }
 
 // ScanStats counts the physical work a scanner performed.
@@ -528,19 +601,44 @@ type ScanStats struct {
 	BlocksRead   int64 // column blocks fetched and decompressed
 	BytesDecoded int64 // compressed payload bytes decoded
 	CacheHits    int64 // blocks served from the shared decoded-block cache
+
+	// BytesSkipped is the compressed bytes of the projection this scan never
+	// decoded — blocks outside the qualifying ranges (MinMax skipping), spans
+	// it partially decoded, and PDICT code streams it never unpacked —
+	// relative to a naive full decode of every projected block.
+	BytesSkipped int64
+	// BytesMaterialized is the estimated in-memory bytes of values this scan
+	// produced. Code vectors stay in the compressed domain and do not count;
+	// their dictionaries (and any fallback materialization) do.
+	BytesMaterialized int64
 }
 
 // Stats returns the scanner's cumulative counters.
-func (s *Scanner) Stats() ScanStats { return s.stats }
+func (s *Scanner) Stats() ScanStats {
+	st := s.stats
+	if skipped := s.totalBytes - st.BytesDecoded - s.hitBytes; skipped > 0 {
+		st.BytesSkipped = skipped
+	}
+	return st
+}
 
 // SetCache attaches a shared decoded-block cache: blocks already decoded by
 // any scanner (this query or a concurrent one) are served as zero-copy
 // column views instead of being re-read and re-decompressed.
 func (s *Scanner) SetCache(bc *BlockCache) { s.bc = bc }
 
+// SetCodeExec toggles execution on compressed data for this scan: when on,
+// PDICT string blocks surface dictionary-code vectors (and their
+// dictionaries via SpanDict) instead of materialized strings.
+func (s *Scanner) SetCodeExec(on bool) { s.codeExec = on }
+
 type cachedBlock struct {
 	lo, hi int64
 	data   colData
+	// codesCharged records that this scanner already counted the block's
+	// packed-code bytes as decoded (the charge is deferred until the code
+	// stream is actually unpacked).
+	codesCharged bool
 }
 
 // NewScanner opens a scan of the named columns over the given ranges (nil
@@ -567,6 +665,11 @@ func NewScanner(fs *hdfs.Cluster, meta *PartitionMeta, node string, cols []strin
 	s.cache = make([]cachedBlock, len(s.cols))
 	if len(ranges) > 0 {
 		s.cursor = ranges[0].Start
+	}
+	for _, ci := range s.cols {
+		for bi := range meta.Cols[ci].Blocks {
+			s.totalBytes += int64(meta.Cols[ci].Blocks[bi].Bytes)
+		}
 	}
 	return s, nil
 }
@@ -607,12 +710,16 @@ func (s *Scanner) NextSpan(lead []int) (int64, int, error) {
 	if n > vector.MaxSize {
 		n = vector.MaxSize
 	}
+	// Clamping needs only block boundaries, never decoded data — decode is
+	// deferred until ColVec/GatherCol actually asks for a column, so a span
+	// the predicate verdicts kill (SpanDict miss, frame bounds disjoint)
+	// skips its blocks entirely.
 	clamp := func(slot int) error {
-		cb, err := s.ensureBlock(slot, s.cursor)
+		b, err := s.blockFor(slot, s.cursor)
 		if err != nil {
 			return err
 		}
-		if avail := cb.hi - s.cursor; avail < n {
+		if avail := b.RowStart + int64(b.Rows) - s.cursor; avail < n {
 			n = avail
 		}
 		return nil
@@ -650,7 +757,18 @@ func (s *Scanner) ColVec(i int, start int64, n int) (*vector.Vec, error) {
 		case vector.Float64:
 			return vector.FromFloat64(cb.data.f64[lo:hi]), nil
 		case vector.String:
-			return vector.FromString(cb.data.str[lo:hi]), nil
+			if s.codeExec && cb.data.pd != nil {
+				codes, err := s.blockCodes(cb)
+				if err != nil {
+					return nil, err
+				}
+				return vector.FromDictCodes(codes[lo:hi], cb.data.pd.Dict), nil
+			}
+			str, err := s.blockStrings(cb)
+			if err != nil {
+				return nil, err
+			}
+			return vector.FromString(str[lo:hi]), nil
 		case vector.Int32:
 			out := make([]int32, n)
 			for j, v := range cb.data.i64[lo:hi] {
@@ -680,7 +798,11 @@ func (s *Scanner) ColVec(i int, start int64, n int) (*vector.Vec, error) {
 				out.AppendFloat64(v)
 			}
 		case vector.String:
-			for _, v := range cb.data.str[lo:hi] {
+			str, err := s.blockStrings(cb)
+			if err != nil {
+				return nil, err
+			}
+			for _, v := range str[lo:hi] {
 				out.AppendString(v)
 			}
 		case vector.Int32:
@@ -697,19 +819,84 @@ func (s *Scanner) ColVec(i int, start int64, n int) (*vector.Vec, error) {
 	return out, nil
 }
 
+// blockCodes returns the dictionary-code stream of a code-form cached
+// block, unpacking (and charging) it on first use by this scanner.
+func (s *Scanner) blockCodes(cb *cachedBlock) ([]uint32, error) {
+	codes, err := cb.data.pd.Codes()
+	if err != nil {
+		return nil, err
+	}
+	if !cb.codesCharged {
+		cb.codesCharged = true
+		s.stats.BytesDecoded += int64(cb.data.pd.CodeBytes())
+	}
+	return codes, nil
+}
+
+// blockStrings returns value-form strings for a cached string block,
+// materializing a code-form block on first use. The materialization is
+// scanner-local (cachedBlock.data is a copy), so the shared cache keeps the
+// compact code form.
+func (s *Scanner) blockStrings(cb *cachedBlock) ([]string, error) {
+	if cb.data.str != nil || cb.data.pd == nil {
+		return cb.data.str, nil
+	}
+	str, err := cb.data.pd.Materialize(make([]string, 0, cb.data.pd.Rows()))
+	if err != nil {
+		return nil, err
+	}
+	if !cb.codesCharged {
+		cb.codesCharged = true
+		s.stats.BytesDecoded += int64(cb.data.pd.CodeBytes())
+	}
+	s.stats.BytesMaterialized += strSliceBytes(str)
+	cb.data.str = str
+	return str, nil
+}
+
 // GatherCol decodes only the rows start+sel[j] of projection slot i (sel
 // ascending) — the payload half of a late-materializing scan: columns of
 // rows the predicate already rejected are copied never, and blocks whose
 // every row was rejected are not even decoded.
 func (s *Scanner) GatherCol(i int, start int64, sel []int32) (*vector.Vec, error) {
+	if len(sel) == 0 {
+		return vector.New(s.kinds[i], 0), nil
+	}
+	last := start + int64(sel[len(sel)-1])
+	cb, err := s.ensureRows(i, start+int64(sel[0]), last)
+	if err != nil {
+		return nil, err
+	}
+	if s.kinds[i] == vector.String && s.codeExec && cb.data.pd != nil && last < cb.hi {
+		// Every selected row lands in one code-form block: gather codes and
+		// stay in the compressed domain.
+		codes, err := s.blockCodes(cb)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]uint32, len(sel))
+		for k, rel := range sel {
+			out[k] = codes[int(start+int64(rel)-cb.lo)]
+		}
+		return vector.FromDictCodes(out, cb.data.pd.Dict), nil
+	}
 	out := vector.New(s.kinds[i], len(sel))
+	var str []string
+	if s.kinds[i] == vector.String {
+		if str, err = s.blockStrings(cb); err != nil {
+			return nil, err
+		}
+	}
 	for _, rel := range sel {
 		row := start + int64(rel)
-		cb := &s.cache[i]
 		if row < cb.lo || row >= cb.hi {
-			var err error
-			if cb, err = s.ensureBlock(i, row); err != nil {
+			if cb, err = s.ensureRows(i, row, last); err != nil {
 				return nil, err
+			}
+			if s.kinds[i] == vector.String {
+				if str, err = s.blockStrings(cb); err != nil {
+					return nil, err
+				}
 			}
 		}
 		j := int(row - cb.lo)
@@ -717,7 +904,7 @@ func (s *Scanner) GatherCol(i int, start int64, sel []int32) (*vector.Vec, error
 		case vector.Float64:
 			out.AppendFloat64(cb.data.f64[j])
 		case vector.String:
-			out.AppendString(cb.data.str[j])
+			out.AppendString(str[j])
 		case vector.Int32:
 			out.AppendInt32(int32(cb.data.i64[j]))
 		default:
@@ -725,6 +912,62 @@ func (s *Scanner) GatherCol(i int, start int64, sel []int32) (*vector.Vec, error
 		}
 	}
 	return out, nil
+}
+
+// ensureRows makes rows [row, min(maxRow, block end)] of slot i servable.
+// For a sparse request into an undecoded plain-PFOR block (the selected
+// span covers under a quarter of the block) it decodes only that row range
+// per-vector instead of inflating the whole block.
+func (s *Scanner) ensureRows(i int, row, maxRow int64) (*cachedBlock, error) {
+	cb := &s.cache[i]
+	if row >= cb.lo && row < cb.hi {
+		return cb, nil
+	}
+	if k := s.kinds[i]; k != vector.Int64 && k != vector.Int32 {
+		return s.ensureBlock(i, row)
+	}
+	b, err := s.blockFor(i, row)
+	if err != nil {
+		return nil, err
+	}
+	end := b.RowStart + int64(b.Rows)
+	if maxRow >= end {
+		maxRow = end - 1
+	}
+	span := int(maxRow - row + 1)
+	if span <= 0 || span*4 > b.Rows {
+		return s.loadBlock(i, b)
+	}
+	if s.bc != nil {
+		if d, ok := s.bc.get(s.keyOf(b)); ok {
+			s.stats.CacheHits++
+			s.hitBytes += int64(b.Bytes)
+			cb.lo, cb.hi, cb.data, cb.codesCharged = b.RowStart, end, d, true
+			return cb, nil
+		}
+	}
+	payload, err := readPayloadInto(s.fs, s.meta, s.node, *b, s.payloadBuf)
+	if err != nil {
+		return nil, err
+	}
+	s.payloadBuf = payload
+	if !compress.IsPFOR(payload) {
+		return s.loadBlock(i, b) // delta frames need the running sum: full decode
+	}
+	rowLo := int(row - b.RowStart)
+	dst, err := compress.PFORDecodeRange(payload, rowLo, rowLo+span, make([]int64, 0, span), &s.scratch)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.BlocksRead++
+	charge := int64(b.Bytes) * int64(span) / int64(b.Rows)
+	if charge == 0 {
+		charge = 1
+	}
+	s.stats.BytesDecoded += charge
+	s.stats.BytesMaterialized += int64(span) * 8
+	cb.lo, cb.hi, cb.data, cb.codesCharged = row, maxRow+1, colData{i64: dst}, false
+	return cb, nil
 }
 
 // Close releases the scanner's cached decoded blocks and terminates the
@@ -741,8 +984,17 @@ func (s *Scanner) ensureBlock(i int, row int64) (*cachedBlock, error) {
 	if row >= cb.lo && row < cb.hi {
 		return cb, nil
 	}
+	b, err := s.blockFor(i, row)
+	if err != nil {
+		return nil, err
+	}
+	return s.loadBlock(i, b)
+}
+
+// blockFor binary-searches the block directory of slot i for the block
+// covering row. It touches metadata only — no IO, no decode.
+func (s *Scanner) blockFor(i int, row int64) (*BlockMeta, error) {
 	c := &s.meta.Cols[s.cols[i]]
-	// Binary search the block directory.
 	lo, hi := 0, len(c.Blocks)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -755,36 +1007,111 @@ func (s *Scanner) ensureBlock(i int, row int64) (*cachedBlock, error) {
 	if lo >= len(c.Blocks) || c.Blocks[lo].RowStart > row {
 		return nil, fmt.Errorf("colstore: row %d not covered by column %s", row, c.Name)
 	}
-	b := c.Blocks[lo]
+	return &c.Blocks[lo], nil
+}
+
+func (s *Scanner) keyOf(b *BlockMeta) blockKey {
+	if b.Chunk >= 0 {
+		return blockKey{s.meta.ChunkPath(b.Chunk), int64(b.Slot) * int64(s.meta.Format.BlockSize), b.Bytes}
+	}
+	return blockKey{s.meta.PartialPath(s.meta.PartialGen), int64(b.Slot), b.Bytes}
+}
+
+// loadBlock fetches and decodes one whole block into slot i's cache, via
+// the shared cache when attached. In code-exec mode a PDICT string block is
+// only opened: its dictionary is parsed and charged as decoded, while the
+// packed code stream stays compressed until blockCodes/blockStrings first
+// needs it (and blocks pruned through SpanDict never do).
+func (s *Scanner) loadBlock(i int, b *BlockMeta) (*cachedBlock, error) {
+	cb := &s.cache[i]
+	kind := s.kinds[i]
 	var key blockKey
 	if s.bc != nil {
-		if b.Chunk >= 0 {
-			key = blockKey{s.meta.ChunkPath(b.Chunk), int64(b.Slot) * int64(s.meta.Format.BlockSize), b.Bytes}
-		} else {
-			key = blockKey{s.meta.PartialPath(s.meta.PartialGen), int64(b.Slot), b.Bytes}
-		}
+		key = s.keyOf(b)
 		if d, ok := s.bc.get(key); ok {
+			// Cache hits charge nothing: the decode happened elsewhere, and
+			// hitBytes keeps them out of this scan's skipped bytes.
 			s.stats.CacheHits++
-			cb.lo, cb.hi, cb.data = b.RowStart, b.RowStart+int64(b.Rows), d
+			s.hitBytes += int64(b.Bytes)
+			cb.lo, cb.hi, cb.data, cb.codesCharged = b.RowStart, b.RowStart+int64(b.Rows), d, true
 			return cb, nil
 		}
 	}
-	payload, err := readPayload(s.fs, s.meta, s.node, b)
+	codeForm := s.codeExec && kind == vector.String
+	var payload []byte
+	var err error
+	if codeForm {
+		// PDictOpen retains sub-slices of the payload; it must not come from
+		// the reusable read buffer.
+		payload, err = readPayload(s.fs, s.meta, s.node, *b)
+	} else {
+		payload, err = readPayloadInto(s.fs, s.meta, s.node, *b, s.payloadBuf)
+		if err == nil {
+			s.payloadBuf = payload
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	d, err := decodeBlock(c.Type.Kind, payload)
+	d, err := decodeBlockScan(kind, payload, codeForm, &s.scratch)
 	if err != nil {
 		return nil, err
 	}
 	s.stats.BlocksRead++
-	s.stats.BytesDecoded += int64(b.Bytes)
-	if got := d.length(c.Type.Kind); got != b.Rows {
-		return nil, fmt.Errorf("colstore: block of %s decoded %d rows, meta says %d", c.Name, got, b.Rows)
+	if d.pd != nil {
+		s.stats.BytesDecoded += int64(d.pd.DictBytes())
+	} else {
+		s.stats.BytesDecoded += int64(b.Bytes)
 	}
-	cb.lo, cb.hi, cb.data = b.RowStart, b.RowStart+int64(b.Rows), d
+	s.stats.BytesMaterialized += valueBytes(kind, d)
+	if got := d.length(kind); got != b.Rows {
+		return nil, fmt.Errorf("colstore: block of %s decoded %d rows, meta says %d", s.meta.Cols[s.cols[i]].Name, got, b.Rows)
+	}
+	cb.lo, cb.hi, cb.data, cb.codesCharged = b.RowStart, b.RowStart+int64(b.Rows), d, false
 	if s.bc != nil {
 		s.bc.put(key, d)
 	}
 	return cb, nil
+}
+
+// SpanDict returns the dictionary handle of the code-form block covering
+// row of string slot i, or nil when the block is value-form (raw+LZ
+// strings) or code execution is off. Opening the block parses only its
+// dictionary, so a scan that prunes on the result — the pushed literal is
+// absent — never touches the packed code stream.
+func (s *Scanner) SpanDict(i int, row int64) (*compress.StrDict, error) {
+	if !s.codeExec || s.kinds[i] != vector.String {
+		return nil, nil
+	}
+	cb, err := s.ensureBlock(i, row)
+	if err != nil {
+		return nil, err
+	}
+	if cb.data.pd == nil {
+		return nil, nil
+	}
+	return cb.data.pd.Dict, nil
+}
+
+// SpanValueBounds returns a conservative [lo, hi] value range for the whole
+// block covering row of integer slot i, without decoding it: the MinMax
+// summary when present, else the PFOR frame base/width widened by the
+// trailing exceptions. ok is false when no bound is available.
+func (s *Scanner) SpanValueBounds(i int, row int64) (lo, hi int64, ok bool) {
+	if k := s.kinds[i]; k != vector.Int64 && k != vector.Int32 {
+		return 0, 0, false
+	}
+	b, err := s.blockFor(i, row)
+	if err != nil {
+		return 0, 0, false
+	}
+	if b.HasMinMax {
+		return b.NumMin, b.NumMax, true
+	}
+	payload, err := readPayloadInto(s.fs, s.meta, s.node, *b, s.payloadBuf)
+	if err != nil {
+		return 0, 0, false
+	}
+	s.payloadBuf = payload
+	return compress.PFORBounds(payload)
 }

@@ -101,6 +101,105 @@ func unpackBits(dst []uint64, src []byte, n, width int) int {
 	return (n*width + 7) / 8
 }
 
+// unpackBits32 is unpackBits narrowed to uint32 codes (dictionary codes are
+// at most maxDictEntries plus per-block exceptions, far below 2^32): same
+// branch-free inflate, half the staging memory.
+func unpackBits32(dst []uint32, src []byte, n, width int) {
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			dst[i] = 0
+		}
+		return
+	}
+	mask := uint64(1)<<uint(width) - 1
+	var acc uint64
+	nbits, pos := 0, 0
+	for i := 0; i < n; i++ {
+		for nbits < width {
+			if pos < len(src) {
+				acc |= uint64(src[pos]) << uint(nbits)
+				pos++
+			}
+			nbits += 8
+		}
+		dst[i] = uint32(acc & mask)
+		acc >>= uint(width)
+		nbits -= width
+	}
+}
+
+// unpackOne extracts the width-bit value at index idx of a packed stream
+// without unpacking its neighbors — random access for exception-chain hops.
+func unpackOne(src []byte, idx, width int) uint64 {
+	if width == 0 {
+		return 0
+	}
+	bitoff := idx * width
+	var v uint64
+	got, rem := 0, width
+	for rem > 0 {
+		byteIdx := bitoff >> 3
+		bitIdx := bitoff & 7
+		take := 8 - bitIdx
+		if take > rem {
+			take = rem
+		}
+		var b byte
+		if byteIdx < len(src) {
+			b = src[byteIdx]
+		}
+		bits := uint64(b>>uint(bitIdx)) & (1<<uint(take) - 1)
+		v |= bits << uint(got)
+		got += take
+		bitoff += take
+		rem -= take
+	}
+	return v
+}
+
+// unpackBitsRange unpacks values [lo, hi) of a packed stream into
+// dst[0:hi-lo] — the phase-one loop of per-vector (sub-block) decode.
+func unpackBitsRange(dst []uint64, src []byte, lo, hi, width int) {
+	n := hi - lo
+	if width == 0 {
+		for i := 0; i < n; i++ {
+			dst[i] = 0
+		}
+		return
+	}
+	if width <= 56 {
+		mask := uint64(1)<<uint(width) - 1
+		startBit := lo * width
+		pos := startBit >> 3
+		skip := startBit & 7
+		var acc uint64
+		nbits := 0
+		if skip > 0 && pos < len(src) {
+			acc = uint64(src[pos]) >> uint(skip)
+			nbits = 8 - skip
+			pos++
+		} else if skip > 0 {
+			nbits = 8 - skip
+		}
+		for i := 0; i < n; i++ {
+			for nbits < width {
+				if pos < len(src) {
+					acc |= uint64(src[pos]) << uint(nbits)
+					pos++
+				}
+				nbits += 8
+			}
+			dst[i] = acc & mask
+			acc >>= uint(width)
+			nbits -= width
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = unpackOne(src, lo+i, width)
+	}
+}
+
 // bitsFor returns the minimal width able to represent v (0 for v == 0).
 func bitsFor(v uint64) int {
 	w := 0

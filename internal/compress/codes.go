@@ -1,0 +1,434 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// This file is the execution-on-compressed-data surface of the package:
+// accessors that expose the compressed representation itself — dictionary
+// codes, frame bounds, sub-block ranges — so the scan and the operators
+// above it can run on codes instead of materialized values (§4 of the
+// VectorH paper: the schemes are cheap enough to skip decoding entirely
+// when execution can run on codes).
+
+// StrDict is a per-block string dictionary handle. Values is immutable
+// after PDictOpen returns; code c denotes Values[c]. Exception strings of
+// the block are appended after the stored dictionary entries, deduplicated,
+// so distinct strings and distinct codes are in bijection — the property
+// code-space equality relies on.
+type StrDict struct {
+	Values []string
+
+	hashOnce sync.Once
+	hashes   []uint64
+}
+
+// Len returns the number of dictionary entries.
+func (d *StrDict) Len() int { return len(d.Values) }
+
+// Lookup returns the code of s, or -1 if s is not in the dictionary (and
+// therefore does not occur in the block). Linear scan: it runs once per
+// pushed literal per block, not per row.
+func (d *StrDict) Lookup(s string) int {
+	for i, v := range d.Values {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// CodeHashes returns hash(Values[c]) for every code, memoized on the
+// dictionary. All callers must pass the same hash function (the engine
+// always passes vector.HashString); the first call wins.
+func (d *StrDict) CodeHashes(hash func(string) uint64) []uint64 {
+	d.hashOnce.Do(func() {
+		hs := make([]uint64, len(d.Values))
+		for i, v := range d.Values {
+			hs[i] = hash(v)
+		}
+		d.hashes = hs
+	})
+	return d.hashes
+}
+
+// maxDecodeRows caps the row count a decoder will trust from a block
+// header. Real blocks hold at most a few thousand values; the cap exists so
+// a corrupted varint cannot drive a multi-gigabyte staging allocation. It
+// matters specifically for w==0 (constant-run) blocks, whose row count is
+// not bounded by any payload bytes.
+const maxDecodeRows = 1 << 22
+
+// rowsFit reports whether a claimed row count n at code width w is sane:
+// under the allocation cap, and (for w>0) small enough that n*w packed bits
+// actually fit in the remaining body. The multiplication is phrased as a
+// division so a hostile n cannot wrap the packed-size arithmetic into a
+// negative reslice.
+func rowsFit(n uint64, w int, body []byte) bool {
+	if n > maxDecodeRows {
+		return false
+	}
+	return w <= 0 || n <= uint64(len(body))*8/uint64(w)
+}
+
+// Scratch holds decoder-internal buffers that never escape a decode call,
+// so a long-lived caller (one colstore.Scanner) can reuse them across
+// blocks. Decode *targets* are not reusable — they are served upstream as
+// zero-copy vector views — but the code/delta staging arrays are.
+type Scratch struct {
+	codes  []uint64
+	deltas []int64
+}
+
+func (s *Scratch) u64(n int) []uint64 {
+	if s == nil {
+		return make([]uint64, n)
+	}
+	if cap(s.codes) < n {
+		s.codes = make([]uint64, n)
+	}
+	return s.codes[:n]
+}
+
+func (s *Scratch) i64(n int) []int64 {
+	if s == nil {
+		return make([]int64, 0, n)
+	}
+	if cap(s.deltas) < n {
+		s.deltas = make([]int64, 0, n)
+	}
+	s.deltas = s.deltas[:0]
+	return s.deltas
+}
+
+// PDictBlock is an opened PDICT block: the dictionary is parsed (including
+// exception strings, deduplicated into the dictionary) but the code stream
+// is not unpacked. A scan that prunes the block via the dictionary alone —
+// the pushed literal is absent, or every entry fails the predicate — never
+// touches the packed codes.
+type PDictBlock struct {
+	Dict *StrDict
+
+	n       int
+	w       int
+	packed  []byte
+	excPos  []int32
+	excCode []uint32
+
+	dictBytes int // encoded bytes of the dictionary + exception values
+	codeBytes int // encoded bytes of the packed code section
+
+	codesOnce sync.Once
+	codes     []uint32
+	codesErr  error
+}
+
+// Rows returns the number of values in the block.
+func (b *PDictBlock) Rows() int { return b.n }
+
+// DictBytes returns the encoded size of the value sections (dictionary +
+// exception strings) parsed by PDictOpen.
+func (b *PDictBlock) DictBytes() int { return b.dictBytes }
+
+// CodeBytes returns the encoded size of the packed code stream, the part
+// whose decode Codes() can skip.
+func (b *PDictBlock) CodeBytes() int { return b.codeBytes }
+
+// IsPDict reports whether an encoded string block uses the PDICT scheme
+// (as opposed to raw+LZ) and can therefore surface a code vector.
+func IsPDict(data []byte) bool { return len(data) > 0 && data[0] == tagPDict }
+
+// IsPFOR reports whether an encoded integer block uses plain PFOR (as
+// opposed to PFOR-DELTA), and therefore supports frame bounds and ranged
+// decode.
+func IsPFOR(data []byte) bool { return len(data) > 0 && data[0] == tagPFOR }
+
+// PDictOpen parses the dictionary and exception chain of a PDICT block
+// without unpacking the code stream. Exception values become additional
+// dictionary entries (deduplicated), so the returned dictionary covers
+// every string in the block and codes are canonical.
+func PDictOpen(data []byte) (*PDictBlock, error) {
+	if len(data) < 2 || data[0] != tagPDict {
+		return nil, fmt.Errorf("%w: expected PDICT", ErrCorrupt)
+	}
+	body := data[1:]
+	n, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	if n == 0 {
+		return &PDictBlock{Dict: &StrDict{}}, nil
+	}
+	dn, sz := binary.Uvarint(body)
+	if sz <= 0 || dn > maxDictEntries {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	dictStart := len(body)
+	vals := make([]string, dn, dn+4)
+	for i := range vals {
+		l, sz := binary.Uvarint(body)
+		if sz <= 0 || uint64(len(body)-sz) < l {
+			return nil, ErrCorrupt
+		}
+		body = body[sz:]
+		vals[i] = string(body[:l])
+		body = body[l:]
+	}
+	dictBytes := dictStart - len(body)
+	if len(body) < 1 {
+		return nil, ErrCorrupt
+	}
+	w := int(body[0])
+	body = body[1:]
+	fe, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	ne, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	if w > 64 || fe > n || !rowsFit(n, w, body) {
+		return nil, ErrCorrupt
+	}
+	need := (int(n)*w + 7) / 8
+	if len(body) < need {
+		return nil, ErrCorrupt
+	}
+	packed := body[:need]
+	body = body[need:]
+
+	b := &PDictBlock{
+		n:         int(n),
+		w:         w,
+		packed:    packed,
+		dictBytes: dictBytes,
+		codeBytes: need,
+	}
+	if ne > 0 {
+		if ne > n {
+			return nil, ErrCorrupt
+		}
+		// Dedup exception strings against the dictionary and each other so
+		// every distinct string keeps exactly one code.
+		//lint:hotpath block-open setup, sized by the dictionary, not per row
+		idx := make(map[string]uint32, len(vals)+int(ne))
+		for i, v := range vals {
+			idx[v] = uint32(i)
+		}
+		b.excPos = make([]int32, 0, ne)
+		b.excCode = make([]uint32, 0, ne)
+		cur := int(fe)
+		for i := uint64(0); i < ne; i++ {
+			l, sz := binary.Uvarint(body)
+			if sz <= 0 || uint64(len(body)-sz) < l {
+				return nil, ErrCorrupt
+			}
+			body = body[sz:]
+			s := string(body[:l])
+			b.dictBytes += sz + int(l)
+			body = body[l:]
+			if cur >= int(n) {
+				return nil, ErrCorrupt
+			}
+			c, ok := idx[s]
+			if !ok {
+				c = uint32(len(vals))
+				vals = append(vals, s)
+				idx[s] = c
+			}
+			b.excPos = append(b.excPos, int32(cur))
+			b.excCode = append(b.excCode, c)
+			cur += int(unpackOne(packed, cur, w)) + 1
+		}
+	}
+	b.Dict = &StrDict{Values: vals}
+	return b, nil
+}
+
+// Codes unpacks the code stream (memoized on the block; concurrent callers
+// share one unpack). Every returned code indexes Dict.Values.
+func (b *PDictBlock) Codes() ([]uint32, error) {
+	b.codesOnce.Do(func() {
+		if b.n == 0 {
+			return
+		}
+		codes := make([]uint32, b.n)
+		unpackBits32(codes, b.packed, b.n, b.w)
+		for i, p := range b.excPos {
+			codes[p] = b.excCode[i]
+		}
+		dn := uint32(len(b.Dict.Values))
+		for _, c := range codes {
+			if c >= dn {
+				b.codesErr = fmt.Errorf("%w: dict code out of range", ErrCorrupt)
+				return
+			}
+		}
+		b.codes = codes
+	})
+	return b.codes, b.codesErr
+}
+
+// Materialize appends the block's strings to dst, going through the code
+// vector — the PDT-delta merge path uses this to re-materialize before
+// merging deltas, which only exist in value space.
+func (b *PDictBlock) Materialize(dst []string) ([]string, error) {
+	codes, err := b.Codes()
+	if err != nil {
+		return nil, err
+	}
+	vals := b.Dict.Values
+	for _, c := range codes {
+		dst = append(dst, vals[c])
+	}
+	return dst, nil
+}
+
+// PFORBounds computes a conservative value range [lo, hi] for a PFOR block
+// from the frame base/width and the trailing exception values alone,
+// without unpacking the code stream. ok is false when the block is not
+// plain PFOR (delta frames bound deltas, not values), is empty, or the
+// frame arithmetic would wrap.
+func PFORBounds(data []byte) (lo, hi int64, ok bool) {
+	if len(data) < 2 || data[0] != tagPFOR {
+		return 0, 0, false
+	}
+	body := data[1:]
+	n, sz := binary.Uvarint(body)
+	if sz <= 0 || n == 0 {
+		return 0, 0, false
+	}
+	body = body[sz:]
+	ref, sz := binary.Varint(body)
+	if sz <= 0 {
+		return 0, 0, false
+	}
+	body = body[sz:]
+	if len(body) < 1 {
+		return 0, 0, false
+	}
+	w := int(body[0])
+	body = body[1:]
+	if w >= 64 {
+		return 0, 0, false
+	}
+	if _, sz = binary.Uvarint(body); sz <= 0 { // firstExc
+		return 0, 0, false
+	}
+	body = body[sz:]
+	ne, sz := binary.Uvarint(body)
+	if sz <= 0 || ne > n {
+		return 0, 0, false
+	}
+	body = body[sz:]
+	// Overflow-safe size check: a hostile row count must not wrap the
+	// packed-size arithmetic into a negative reslice.
+	if w > 0 && n > uint64(len(body))*8/uint64(w) {
+		return 0, 0, false
+	}
+	body = body[(int(n)*w+7)/8:]
+
+	lo = ref
+	hi = ref + (int64(1)<<uint(w) - 1)
+	if hi < lo { // frame wraps int64: codes are modulo-2^64 offsets
+		return 0, 0, false
+	}
+	for i := uint64(0); i < ne; i++ {
+		v, sz := binary.Varint(body)
+		if sz <= 0 {
+			return 0, 0, false
+		}
+		body = body[sz:]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, true
+}
+
+// PFORDecodeRange appends rows [lo, hi) of a PFOR block to dst without
+// inflating the rest of the block — the per-vector decode the two-phase
+// scan uses so late materialization skips decompression for pruned spans.
+func PFORDecodeRange(data []byte, lo, hi int, dst []int64, s *Scratch) ([]int64, error) {
+	if len(data) < 2 || data[0] != tagPFOR {
+		return nil, fmt.Errorf("%w: expected PFOR", ErrCorrupt)
+	}
+	body := data[1:]
+	n64, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	n := int(n64)
+	if lo < 0 || hi > n || lo > hi {
+		return nil, fmt.Errorf("%w: range [%d,%d) outside %d rows", ErrCorrupt, lo, hi, n)
+	}
+	if lo == hi {
+		return dst, nil
+	}
+	ref, sz := binary.Varint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	if len(body) < 1 {
+		return nil, ErrCorrupt
+	}
+	w := int(body[0])
+	body = body[1:]
+	fe, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	ne, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, ErrCorrupt
+	}
+	body = body[sz:]
+	if w > 64 || fe > uint64(n) {
+		return nil, ErrCorrupt
+	}
+	// Overflow-safe size check (see PFORBounds): reject before n*w can wrap.
+	if w > 0 && uint64(n) > uint64(len(body))*8/uint64(w) {
+		return nil, ErrCorrupt
+	}
+	need := (n*w + 7) / 8
+	packed := body[:need]
+	body = body[need:]
+
+	codes := s.u64(hi - lo)
+	unpackBitsRange(codes, packed, lo, hi, w)
+	base := len(dst)
+	for _, c := range codes {
+		dst = append(dst, int64(uint64(ref)+c))
+	}
+	// Walk the exception chain from its head; positions are ascending, so
+	// the walk stops as soon as it passes the requested range.
+	cur := int(fe)
+	for i := uint64(0); i < ne && cur < hi; i++ {
+		v, sz := binary.Varint(body)
+		if sz <= 0 {
+			return nil, ErrCorrupt
+		}
+		body = body[sz:]
+		if cur >= n {
+			return nil, ErrCorrupt
+		}
+		if cur >= lo {
+			dst[base+cur-lo] = v
+		}
+		cur += int(unpackOne(packed, cur, w)) + 1
+	}
+	return dst, nil
+}

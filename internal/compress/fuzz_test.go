@@ -1,0 +1,163 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzCompressRoundTrip drives every block codec with arbitrary inputs.
+// Two properties are enforced:
+//
+//  1. encode→decode is the identity — for PFOR and PFOR-DELTA over the
+//     derived integers (eager and ranged decodes, and the frame bounds must
+//     bracket every encoded value), and for PDICT over the derived strings
+//     (both the eager decoder and the lazy PDictOpen/Codes/Materialize
+//     path the code-form scanner uses);
+//  2. decoding arbitrarily mutated bytes must fail cleanly — an error or
+//     wrong values, never a panic or out-of-bounds access.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint16(0), byte(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint16(3), byte(0x80))
+	f.Add([]byte("abcabcabcabcabcabc\x00\xff\x7fabc"), uint16(17), byte(1))
+	ramp := make([]byte, 0, 256)
+	for i := 0; i < 32; i++ {
+		ramp = append(ramp, byte(i), 0, 0, 0, 0, 0, 0, byte(i%5))
+	}
+	f.Add(ramp, uint16(100), byte(0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte, mutPos uint16, mutXor byte) {
+		var s Scratch
+
+		// Integers: 8 input bytes per value.
+		n := len(data) / 8
+		if n > 4096 {
+			n = 4096
+		}
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+
+		encPFOR := PFOREncode(vals)
+		got, err := PFORDecodeScratch(encPFOR, nil, &s)
+		if err != nil {
+			t.Fatalf("PFOR decode of own encoding: %v", err)
+		}
+		eqI64(t, "PFOR", vals, got)
+		if lo, hi, ok := PFORBounds(encPFOR); ok {
+			for _, v := range vals {
+				if v < lo || v > hi {
+					t.Fatalf("PFORBounds [%d,%d] excludes encoded value %d", lo, hi, v)
+				}
+			}
+			rl, rh := n/3, 2*n/3+1
+			if rh > n {
+				rh = n
+			}
+			part, err := PFORDecodeRange(encPFOR, rl, rh, nil, &s)
+			if err != nil {
+				t.Fatalf("PFORDecodeRange [%d,%d): %v", rl, rh, err)
+			}
+			eqI64(t, "PFOR range", vals[rl:rh], part)
+		}
+
+		encDelta := PFORDeltaEncode(vals)
+		got, err = PFORDeltaDecodeScratch(encDelta, nil, &s)
+		if err != nil {
+			t.Fatalf("PFOR-DELTA decode of own encoding: %v", err)
+		}
+		eqI64(t, "PFOR-DELTA", vals, got)
+
+		// Strings: variable-length chunks of the input bytes.
+		var strs []string
+		for rest := data; len(rest) > 0 && len(strs) < 4096; {
+			w := int(rest[0]%13) + 1
+			if w > len(rest) {
+				w = len(rest)
+			}
+			strs = append(strs, string(rest[:w]))
+			rest = rest[w:]
+		}
+
+		encDict := PDictEncode(strs)
+		gotS, err := PDictDecodeScratch(encDict, nil, &s)
+		if err != nil {
+			t.Fatalf("PDICT decode of own encoding: %v", err)
+		}
+		eqStr(t, "PDICT", strs, gotS)
+		pd, err := PDictOpen(encDict)
+		if err != nil {
+			t.Fatalf("PDictOpen of own encoding: %v", err)
+		}
+		if pd.Rows() != len(strs) {
+			t.Fatalf("PDictOpen rows = %d, want %d", pd.Rows(), len(strs))
+		}
+		codes, err := pd.Codes()
+		if err != nil {
+			t.Fatalf("Codes of own encoding: %v", err)
+		}
+		for i, c := range codes {
+			if pd.Dict.Values[c] != strs[i] {
+				t.Fatalf("code[%d] maps to %q, want %q", i, pd.Dict.Values[c], strs[i])
+			}
+		}
+		mat, err := pd.Materialize(nil)
+		if err != nil {
+			t.Fatalf("Materialize of own encoding: %v", err)
+		}
+		eqStr(t, "PDICT materialize", strs, mat)
+
+		encAuto := EncodeStrings(strs)
+		gotS, err = DecodeStringsScratch(encAuto, nil, &s)
+		if err != nil {
+			t.Fatalf("EncodeStrings decode of own encoding: %v", err)
+		}
+		eqStr(t, "EncodeStrings", strs, gotS)
+
+		// Mutated bytes: every decoder over every (corrupted) encoding must
+		// fail cleanly. Values may be wrong — the mutation can land in a
+		// payload byte — but nothing may panic.
+		for _, enc := range [][]byte{encPFOR, encDelta, encDict, encAuto} {
+			if len(enc) == 0 {
+				continue
+			}
+			m := bytes.Clone(enc)
+			m[int(mutPos)%len(m)] ^= mutXor
+			_, _ = PFORDecodeScratch(m, nil, &s)
+			_, _ = PFORDeltaDecodeScratch(m, nil, &s)
+			_, _ = DecodeStringsScratch(m, nil, &s)
+			_, _, _ = PFORBounds(m)
+			_, _ = PFORDecodeRange(m, 0, 1, nil, &s)
+			if pb, err := PDictOpen(m); err == nil {
+				if _, err := pb.Codes(); err == nil {
+					_, _ = pb.Materialize(nil)
+				}
+			}
+		}
+	})
+}
+
+func eqI64(t *testing.T, what string, want, got []int64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: [%d] = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func eqStr(t *testing.T, what string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: [%d] = %q, want %q", what, i, got[i], want[i])
+		}
+	}
+}

@@ -76,6 +76,14 @@ func LZDecompress(src []byte) ([]byte, error) {
 		return nil, ErrCorrupt
 	}
 	src = src[sz:]
+	// Bound the declared length before trusting it with an allocation: a
+	// match token (>=2 stream bytes) expands to at most 131 output bytes
+	// and a literal run to at most its own length, so any valid stream
+	// satisfies this. A corrupted length either fails here or at the exact
+	// check after decoding.
+	if n > uint64(len(src))*131 {
+		return nil, ErrCorrupt
+	}
 	out := make([]byte, 0, n)
 	for len(src) > 0 {
 		c := src[0]

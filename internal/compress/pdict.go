@@ -99,6 +99,11 @@ func PDictEncode(vals []string) []byte {
 
 // PDictDecode decompresses a PDictEncode block, appending to dst.
 func PDictDecode(data []byte, dst []string) ([]string, error) {
+	return PDictDecodeScratch(data, dst, nil)
+}
+
+// PDictDecodeScratch is PDictDecode with caller-owned staging buffers.
+func PDictDecodeScratch(data []byte, dst []string, s *Scratch) ([]string, error) {
 	if len(data) < 2 || data[0] != tagPDict {
 		return nil, fmt.Errorf("%w: expected PDICT", ErrCorrupt)
 	}
@@ -141,11 +146,14 @@ func PDictDecode(data []byte, dst []string) ([]string, error) {
 		return nil, ErrCorrupt
 	}
 	body = body[sz:]
-	need := (int(n)*w + 7) / 8
-	if w > 64 || len(body) < need {
+	if w > 64 || !rowsFit(n, w, body) {
 		return nil, ErrCorrupt
 	}
-	codes := make([]uint64, n)
+	need := (int(n)*w + 7) / 8
+	if len(body) < need {
+		return nil, ErrCorrupt
+	}
+	codes := s.u64(int(n))
 	unpackBits(codes, body[:need], int(n), w)
 	body = body[need:]
 
@@ -191,12 +199,17 @@ func EncodeStrings(vals []string) []byte {
 
 // DecodeStrings decodes either string scheme, appending to dst.
 func DecodeStrings(data []byte, dst []string) ([]string, error) {
+	return DecodeStringsScratch(data, dst, nil)
+}
+
+// DecodeStringsScratch is DecodeStrings with caller-owned staging buffers.
+func DecodeStringsScratch(data []byte, dst []string, s *Scratch) ([]string, error) {
 	if len(data) == 0 {
 		return nil, ErrCorrupt
 	}
 	switch data[0] {
 	case tagPDict:
-		return PDictDecode(data, dst)
+		return PDictDecodeScratch(data, dst, s)
 	case tagRawString:
 		return rawStringDecode(data, dst)
 	default:

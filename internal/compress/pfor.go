@@ -37,18 +37,24 @@ func PFOREncode(vals []int64) []byte {
 
 // PFORDecode decompresses a PFOREncode block, appending to dst.
 func PFORDecode(data []byte, dst []int64) ([]int64, error) {
+	return PFORDecodeScratch(data, dst, nil)
+}
+
+// PFORDecodeScratch is PFORDecode with caller-owned staging buffers, so a
+// long-lived scanner stops re-allocating the code array per block.
+func PFORDecodeScratch(data []byte, dst []int64, s *Scratch) ([]int64, error) {
 	if len(data) < 2 || data[0] != tagPFOR {
 		return nil, fmt.Errorf("%w: expected PFOR", ErrCorrupt)
 	}
 	body := data[1:]
 	n, sz := binary.Uvarint(body)
-	if sz <= 0 {
+	if sz <= 0 || n > maxDecodeRows {
 		return nil, ErrCorrupt
 	}
 	if n == 0 {
 		return dst, nil
 	}
-	return decodePatched(body[sz:], int(n), dst)
+	return decodePatched(body[sz:], int(n), dst, s)
 }
 
 // PFORDeltaEncode compresses integers by delta-encoding consecutive values
@@ -73,12 +79,18 @@ func PFORDeltaEncode(vals []int64) []byte {
 
 // PFORDeltaDecode decompresses a PFORDeltaEncode block, appending to dst.
 func PFORDeltaDecode(data []byte, dst []int64) ([]int64, error) {
+	return PFORDeltaDecodeScratch(data, dst, nil)
+}
+
+// PFORDeltaDecodeScratch is PFORDeltaDecode with caller-owned staging
+// buffers for the delta and code arrays.
+func PFORDeltaDecodeScratch(data []byte, dst []int64, s *Scratch) ([]int64, error) {
 	if len(data) < 2 || data[0] != tagPFORDelta {
 		return nil, fmt.Errorf("%w: expected PFOR-DELTA", ErrCorrupt)
 	}
 	body := data[1:]
 	n, sz := binary.Uvarint(body)
-	if sz <= 0 {
+	if sz <= 0 || n > maxDecodeRows {
 		return nil, ErrCorrupt
 	}
 	body = body[sz:]
@@ -89,9 +101,12 @@ func PFORDeltaDecode(data []byte, dst []int64) ([]int64, error) {
 	if sz <= 0 {
 		return nil, ErrCorrupt
 	}
-	deltas, err := decodePatched(body[sz:], int(n), make([]int64, 0, n))
+	deltas, err := decodePatched(body[sz:], int(n), s.i64(int(n)), s)
 	if err != nil {
 		return nil, err
+	}
+	if s != nil {
+		s.deltas = deltas // keep the grown buffer for the next block
 	}
 	base := len(dst)
 	dst = append(dst, first)
@@ -216,7 +231,8 @@ func appendPatched(out []byte, vals []int64) []byte {
 }
 
 // decodePatched performs two-phase patched decompression of n symbols.
-func decodePatched(body []byte, n int, dst []int64) ([]int64, error) {
+// s may be nil; when set, its staging buffers are reused across calls.
+func decodePatched(body []byte, n int, dst []int64, s *Scratch) ([]int64, error) {
 	ref, sz := binary.Varint(body)
 	if sz <= 0 {
 		return nil, ErrCorrupt
@@ -237,14 +253,14 @@ func decodePatched(body []byte, n int, dst []int64) ([]int64, error) {
 		return nil, ErrCorrupt
 	}
 	body = body[sz:]
-	if w > 64 || fe > uint64(n) {
+	if w > 64 || fe > uint64(n) || !rowsFit(uint64(n), w, body) {
 		return nil, ErrCorrupt
 	}
 	need := (n*w + 7) / 8
 	if len(body) < need {
 		return nil, ErrCorrupt
 	}
-	codes := make([]uint64, n)
+	codes := s.u64(n)
 	unpackBits(codes, body[:need], n, w)
 	body = body[need:]
 

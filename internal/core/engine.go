@@ -196,10 +196,12 @@ type Engine struct {
 	ShippedEntries int64
 
 	// Engine-wide scan IO counters, folded in when each MScan closes.
-	scanBlocksRead   atomic.Int64
-	scanBytesDecoded atomic.Int64
-	scanSpansPruned  atomic.Int64
-	scanCacheHits    atomic.Int64
+	scanBlocksRead        atomic.Int64
+	scanBytesDecoded      atomic.Int64
+	scanSpansPruned       atomic.Int64
+	scanCacheHits         atomic.Int64
+	scanBytesSkipped      atomic.Int64
+	scanBytesMaterialized atomic.Int64
 
 	// catalogEpoch counts catalog- and data-changing events (DDL, DML
 	// commits, bulk loads, propagation, node failure). Plan caches key on it:
@@ -224,17 +226,21 @@ type Engine struct {
 // diff two snapshots around a query to attribute blocks read, compressed
 // bytes decoded, and spans dropped by scan-side predicates.
 type ScanStats struct {
-	BlocksRead   int64 // column blocks fetched and decompressed
-	BytesDecoded int64 // compressed payload bytes decoded
-	SpansPruned  int64 // row spans rejected before any payload column decode
+	BlocksRead        int64 // column blocks fetched and decompressed
+	BytesDecoded      int64 // compressed payload bytes decoded
+	SpansPruned       int64 // row spans rejected before any payload column decode
+	BytesSkipped      int64 // compressed bytes of projected blocks never decoded
+	BytesMaterialized int64 // value bytes produced into execution memory
 }
 
 // ScanStats returns a snapshot of the cumulative scan counters.
 func (e *Engine) ScanStats() ScanStats {
 	return ScanStats{
-		BlocksRead:   e.scanBlocksRead.Load(),
-		BytesDecoded: e.scanBytesDecoded.Load(),
-		SpansPruned:  e.scanSpansPruned.Load(),
+		BlocksRead:        e.scanBlocksRead.Load(),
+		BytesDecoded:      e.scanBytesDecoded.Load(),
+		SpansPruned:       e.scanSpansPruned.Load(),
+		BytesSkipped:      e.scanBytesSkipped.Load(),
+		BytesMaterialized: e.scanBytesMaterialized.Load(),
 	}
 }
 
@@ -284,6 +290,42 @@ func (e *Engine) Stats() EngineStats {
 	}
 }
 
+// TableStorage is one table's storage footprint: raw value bytes versus
+// encoded bytes on disk, summed over all partitions' current metadata
+// generations.
+type TableStorage struct {
+	Table        string `json:"table"`
+	RawBytes     int64  `json:"raw_bytes"`
+	EncodedBytes int64  `json:"encoded_bytes"`
+}
+
+// TableStorage reports the per-table compression footprint, sorted by table
+// name. Tables with no flushed blocks report zero bytes.
+func (e *Engine) TableStorage() []TableStorage {
+	e.mu.RLock()
+	tabs := make(map[string]*Table, len(e.tables))
+	for n, t := range e.tables {
+		tabs[n] = t
+	}
+	e.mu.RUnlock()
+	names := make([]string, 0, len(tabs))
+	for n := range tabs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]TableStorage, 0, len(names))
+	for _, n := range names {
+		var raw, enc int64
+		for _, p := range tabs[n].Parts {
+			r, c := p.CurrentMeta().StorageBytes()
+			raw += r
+			enc += c
+		}
+		out = append(out, TableStorage{Table: n, RawBytes: raw, EncodedBytes: enc})
+	}
+	return out
+}
+
 // Obs returns the engine's metrics registry. Never nil: higher layers (plan
 // cache, server admission) register their metrics into it so the whole
 // system shares one exposition endpoint.
@@ -302,6 +344,10 @@ func (e *Engine) registerMetrics() {
 		func() float64 { return float64(e.scanSpansPruned.Load()) })
 	r.CounterFunc("vectorh_scan_cache_hits_total", "Scan block reads served by the decoded-block cache.",
 		func() float64 { return float64(e.scanCacheHits.Load()) })
+	r.CounterFunc("vectorh_scan_bytes_skipped_total", "Compressed bytes of projected blocks scans never decoded.",
+		func() float64 { return float64(e.scanBytesSkipped.Load()) })
+	r.CounterFunc("vectorh_scan_bytes_materialized_total", "Value bytes scans produced into execution memory.",
+		func() float64 { return float64(e.scanBytesMaterialized.Load()) })
 	r.CounterFunc("vectorh_block_cache_hits_total", "Decoded-block cache hits.",
 		func() float64 { return float64(e.BlockCacheStats().Hits) })
 	r.CounterFunc("vectorh_block_cache_misses_total", "Decoded-block cache misses.",
@@ -492,8 +538,49 @@ func (e *Engine) CreateTable(info rewriter.TableInfo) error {
 		t.Parts = append(t.Parts, part)
 	}
 	e.tables[info.Name] = t
+	e.registerTableMetrics(info.Name)
 	e.bumpEpoch()
 	return nil
+}
+
+// metricName sanitizes a table name into a Prometheus metric-name suffix
+// (the registry has no label support, so per-table metrics fold the table
+// name into the metric name).
+func metricName(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9' || c == '_') {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
+// registerTableMetrics binds a per-table compression-ratio gauge: raw value
+// bytes over encoded bytes on disk, across all partitions of the current
+// metadata generations. A ratio of 1 means incompressible; 0 means the
+// table holds no flushed blocks yet (or was dropped).
+func (e *Engine) registerTableMetrics(name string) {
+	e.reg.GaugeFunc("vectorh_table_compression_ratio_"+metricName(name),
+		"Raw-to-encoded storage ratio of table "+name+".",
+		func() float64 {
+			e.mu.RLock()
+			t, ok := e.tables[name]
+			e.mu.RUnlock()
+			if !ok {
+				return 0
+			}
+			var raw, enc int64
+			for _, p := range t.Parts {
+				r, c := p.CurrentMeta().StorageBytes()
+				raw += r
+				enc += c
+			}
+			if enc == 0 {
+				return 0
+			}
+			return float64(raw) / float64(enc)
+		})
 }
 
 // TableRows returns the visible row count of a table.

@@ -321,7 +321,9 @@ func (e *Engine) updateWhere(ctx context.Context, table string, pred plan.Expr, 
 		// scan works on snapshotted PDTs, so the transaction's own
 		// uncommitted writes never disturb it.
 		node := nodeOf[part.Responsible]
-		scan, err := e.partitionScanCtx(ctx, table, part.CurrentMeta().Partition, schema.Names(), nil, node)
+		// Value-space scan: the batches feed SET-expression evaluation and
+		// PDT writes, which want materialized strings anyway.
+		scan, err := e.partitionScanCtx(ctx, table, part.CurrentMeta().Partition, schema.Names(), nil, node, false)
 		if err != nil {
 			tx.Abort()
 			return 0, err

@@ -26,6 +26,14 @@ type QueryOptions struct {
 	// stays above the scan — the pre-pushdown pipeline, used by the
 	// selectivity experiment and the row-identity parity gates.
 	ScanPushdown *bool
+	// CompressedExec (nil = on) controls execution on compressed data: off,
+	// scans materialize every string block to values and predicates run in
+	// value space — the baseline the compressed-execution parity gate and
+	// the compression experiment compare against. On, PDICT blocks surface
+	// dictionary-code vectors, pushed string conjuncts evaluate per
+	// dictionary entry, and frame bounds verdict integer conjuncts before
+	// any unpack.
+	CompressedExec *bool
 	// Profile enables the per-operator profile of the Appendix and the
 	// EXPLAIN ANALYZE rendering (Analyzed/Operators on the result). The off
 	// path inserts no wrappers at all, so it costs nothing per batch.
@@ -150,6 +158,11 @@ func (e *Engine) queryStream(ctx context.Context, q plan.Node, qo QueryOptions, 
 	if qo.ScanPushdown != nil {
 		opts.PushFilterIntoScan = *qo.ScanPushdown
 	}
+	codeExec := true
+	if qo.CompressedExec != nil {
+		codeExec = *qo.CompressedExec
+	}
+	opts.ExecOnCompressed = codeExec
 	// Profiled runs use the estimating rewrite so EXPLAIN ANALYZE can put
 	// the cost model's ~N next to the measured actuals; the plain path keeps
 	// the cheaper non-estimating rewrite.
@@ -169,7 +182,7 @@ func (e *Engine) queryStream(ctx context.Context, q plan.Node, qo QueryOptions, 
 	env := &rewriter.Env{
 		Ctx:      ctx,
 		Net:      net,
-		Provider: ctxScans{e: e, ctx: ctx},
+		Provider: ctxScans{e: e, ctx: ctx, codeExec: codeExec},
 		Nodes:    nodes,
 		Threads:  e.cfg.ThreadsPerNode,
 		Mode:     e.cfg.Mode,
@@ -289,11 +302,15 @@ func buildAnalyzed(phys rewriter.Phys, est map[rewriter.Phys]int64, prof *rewrit
 			a.op.BytesDecoded += io.BytesDecoded
 			a.op.SpansPruned += io.SpansPruned
 			a.op.CacheHits += io.CacheHits
+			a.op.BytesSkipped += io.BytesSkipped
+			a.op.BytesMaterialized += io.BytesMaterialized
 			a.hasIO = true
 			total.BlocksRead += io.BlocksRead
 			total.BytesDecoded += io.BytesDecoded
 			total.CacheHits += io.CacheHits
 			total.SpansPruned += io.SpansPruned
+			total.BytesSkipped += io.BytesSkipped
+			total.BytesMaterialized += io.BytesMaterialized
 		}
 	}
 	analyzed := rewriter.ExplainFunc(phys, func(p rewriter.Phys) string {
@@ -310,8 +327,9 @@ func buildAnalyzed(phys rewriter.Phys, est map[rewriter.Phys]int64, prof *rewrit
 			fmt.Fprintf(&sb, " (actual rows=%d batches=%d peak=%d time=%.3fms streams=%d",
 				a.op.Rows, a.op.Batches, a.op.PeakBatch, float64(a.op.Nanos)/1e6, a.op.Streams)
 			if a.hasIO {
-				fmt.Fprintf(&sb, " blocks=%d bytes=%d pruned=%d cached=%d",
-					a.op.BlocksRead, a.op.BytesDecoded, a.op.SpansPruned, a.op.CacheHits)
+				fmt.Fprintf(&sb, " blocks=%d bytes=%d pruned=%d cached=%d skipped=%d materialized=%d",
+					a.op.BlocksRead, a.op.BytesDecoded, a.op.SpansPruned, a.op.CacheHits,
+					a.op.BytesSkipped, a.op.BytesMaterialized)
 			}
 			sb.WriteByte(')')
 		}

@@ -65,10 +65,10 @@ func (e *Engine) tableAndNode(table string, node int) (*Table, string, bool) {
 // PartitionScan implements rewriter.ScanProvider.
 func (e *Engine) PartitionScan(table string, partIdx int, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
 	//lint:ctx ScanProvider interface method without a context; query paths use ctxScans
-	return e.partitionScanCtx(context.Background(), table, partIdx, cols, pred, node)
+	return e.partitionScanCtx(context.Background(), table, partIdx, cols, pred, node, true)
 }
 
-func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
+func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int, cols []string, pred *rewriter.ScanPredSet, node int, codeExec bool) (exec.Operator, error) {
 	t, nodeName, ok := e.tableAndNode(table, node)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)
@@ -76,16 +76,16 @@ func (e *Engine) partitionScanCtx(ctx context.Context, table string, partIdx int
 	if partIdx < 0 || partIdx >= len(t.Parts) {
 		return nil, fmt.Errorf("core: %s has no partition %d", table, partIdx)
 	}
-	return e.newMScan(ctx, t, t.Parts[partIdx], cols, pred, nodeName)
+	return e.newMScan(ctx, t, t.Parts[partIdx], cols, pred, nodeName, codeExec)
 }
 
 // ReplicatedScan implements rewriter.ScanProvider.
 func (e *Engine) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
 	//lint:ctx ScanProvider interface method without a context; query paths use ctxScans
-	return e.replicatedScanCtx(context.Background(), table, cols, pred, node)
+	return e.replicatedScanCtx(context.Background(), table, cols, pred, node, true)
 }
 
-func (e *Engine) replicatedScanCtx(ctx context.Context, table string, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
+func (e *Engine) replicatedScanCtx(ctx context.Context, table string, cols []string, pred *rewriter.ScanPredSet, node int, codeExec bool) (exec.Operator, error) {
 	t, nodeName, ok := e.tableAndNode(table, node)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %q", table)
@@ -93,25 +93,27 @@ func (e *Engine) replicatedScanCtx(ctx context.Context, table string, cols []str
 	if len(t.Parts) == 0 {
 		return nil, fmt.Errorf("core: table %q has no partitions", table)
 	}
-	return e.newMScan(ctx, t, t.Parts[0], cols, pred, nodeName)
+	return e.newMScan(ctx, t, t.Parts[0], cols, pred, nodeName, codeExec)
 }
 
 // ctxScans adapts the engine to rewriter.ScanProvider for one query
 // execution, threading the query's context into every storage scan so a
-// deadline or client cancel stops block reads at batch granularity.
+// deadline or client cancel stops block reads at batch granularity, plus
+// the query's compressed-execution toggle.
 type ctxScans struct {
-	e   *Engine
-	ctx context.Context
+	e        *Engine
+	ctx      context.Context
+	codeExec bool
 }
 
 // PartitionScan implements rewriter.ScanProvider.
 func (c ctxScans) PartitionScan(table string, part int, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
-	return c.e.partitionScanCtx(c.ctx, table, part, cols, pred, node)
+	return c.e.partitionScanCtx(c.ctx, table, part, cols, pred, node, c.codeExec)
 }
 
 // ReplicatedScan implements rewriter.ScanProvider.
 func (c ctxScans) ReplicatedScan(table string, cols []string, pred *rewriter.ScanPredSet, node int) (exec.Operator, error) {
-	return c.e.replicatedScanCtx(c.ctx, table, cols, pred, node)
+	return c.e.replicatedScanCtx(c.ctx, table, cols, pred, node, c.codeExec)
 }
 
 // ResponsibleParts implements rewriter.ScanProvider.
@@ -131,6 +133,13 @@ type mscan struct {
 	pred   *rewriter.ScanPredSet
 	ctx    context.Context
 
+	// codeExec enables compressed-domain execution for this scan (scanner
+	// serves dictionary-code vectors, predicates verdict against per-block
+	// dictionaries and PFOR frame bounds); codeSpace additionally requires
+	// the pushed predicate set to be marked legal for it.
+	codeExec  bool
+	codeSpace bool
+
 	// Acquired at Open in one critical section, released at Close.
 	gen      *metaGen
 	meta     *colstore.PartitionMeta
@@ -144,7 +153,8 @@ type mscan struct {
 
 	// Compiled filtering state (nil/empty for skip-only or no predicate).
 	filters   []rowFilter
-	leadSlots []int // predicate column slots: the only columns stage 0 decodes eagerly
+	leadSlots []int  // predicate column slots: the only columns stage 0 decodes eagerly
+	skip      []bool // per-span verdict scratch: filters proven all-pass, kernels elided
 
 	spansPruned int64 // spans dropped before any payload column was decoded
 
@@ -157,17 +167,19 @@ type mscan struct {
 // ScanIO is the per-scan-operator IO attribution reported by EXPLAIN
 // ANALYZE: what this one scan read, decoded, skipped and hit in cache.
 type ScanIO struct {
-	BlocksRead   int64
-	BytesDecoded int64
-	CacheHits    int64
-	SpansPruned  int64
+	BlocksRead        int64
+	BytesDecoded      int64
+	CacheHits         int64
+	SpansPruned       int64
+	BytesSkipped      int64 // compressed bytes never decoded (pruned blocks)
+	BytesMaterialized int64 // value bytes produced into execution memory
 }
 
 // ScanIOStats returns the scan's retained IO totals; valid once the scan is
 // closed (the engine closes every operator before reading profiles).
 func (m *mscan) ScanIOStats() ScanIO { return m.io }
 
-func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols []string, pred *rewriter.ScanPredSet, node string) (exec.Operator, error) {
+func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols []string, pred *rewriter.ScanPredSet, node string, codeExec bool) (exec.Operator, error) {
 	schema := t.Info.Schema
 	colIdx := make([]int, len(cols))
 	for i, c := range cols {
@@ -179,7 +191,7 @@ func (e *Engine) newMScan(ctx context.Context, t *Table, part *Partition, cols [
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &mscan{eng: e, part: part, node: node, cols: cols, colIdx: colIdx, pred: pred, ctx: ctx}, nil
+	return &mscan{eng: e, part: part, node: node, cols: cols, colIdx: colIdx, pred: pred, ctx: ctx, codeExec: codeExec}, nil
 }
 
 // Open implements exec.Operator. It pins the partition's storage metadata
@@ -251,7 +263,9 @@ func (m *mscan) Open() error {
 				m.releaseMeta()
 				return err
 			}
-			m.filters = append(m.filters, rowFilter{slot: slot, keep: keep})
+			rf := rowFilter{slot: slot, keep: keep}
+			fillCodeSpace(&rf, p)
+			m.filters = append(m.filters, rf)
 			seen := false
 			for _, s := range m.leadSlots {
 				if s == slot {
@@ -270,7 +284,12 @@ func (m *mscan) Open() error {
 		return err
 	}
 	sc.SetCache(m.eng.blockCache)
+	sc.SetCodeExec(m.codeExec)
 	m.sc = sc
+	m.codeSpace = m.codeExec && m.pred != nil && m.pred.CodeSpace && len(m.filters) > 0
+	if m.codeSpace {
+		m.skip = make([]bool, len(m.filters))
+	}
 	schema := m.meta.Schema()
 	m.readM = pdt.NewMerger(m.readPDT, schema, m.colIdx)
 	m.writeM = pdt.NewMerger(m.writePDT, schema, m.colIdx)
@@ -400,9 +419,29 @@ func (m *mscan) denseSpan(start int64, n int) (*vector.Batch, error) {
 // evalSpan runs the compiled conjuncts over a span, decoding predicate
 // columns lazily (a conjunct that kills the span stops later predicate
 // columns from being decoded at all).
+//
+// When the predicate set is marked CodeSpace, a verdict phase runs first,
+// entirely on compression metadata: integer conjuncts compare against block
+// value bounds (MinMax summaries or PFOR frame bounds) and string conjuncts
+// against the block dictionary. A dead verdict prunes the span before any
+// code stream is unpacked; an all-pass verdict elides that conjunct's row
+// kernel for the span.
 func (m *mscan) evalSpan(start int64, n int) (sel []int32, all, dead bool, err error) {
+	if m.codeSpace {
+		dead, err = m.verdictSpan(start)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if dead {
+			return nil, false, true, nil
+		}
+	}
 	all = true
-	for _, f := range m.filters {
+	for fi := range m.filters {
+		if m.codeSpace && m.skip[fi] {
+			continue
+		}
+		f := &m.filters[fi]
 		v, verr := m.sc.ColVec(f.slot, start, n)
 		if verr != nil {
 			return nil, false, false, verr
@@ -411,7 +450,7 @@ func (m *mscan) evalSpan(start int64, n int) (sel []int32, all, dead bool, err e
 		if !all {
 			cand = sel
 		}
-		out, okAll := f.keep(v, cand)
+		out, okAll := f.eval(v, cand)
 		if all && okAll {
 			continue
 		}
@@ -421,6 +460,53 @@ func (m *mscan) evalSpan(start int64, n int) (sel []int32, all, dead bool, err e
 		}
 	}
 	return sel, all, false, nil
+}
+
+// verdictSpan runs the pre-decode verdict phase over one span, filling
+// m.skip. Integer bound checks go first — they read only metadata — so a
+// span dead on an integer conjunct never even opens a string block's
+// dictionary.
+func (m *mscan) verdictSpan(start int64) (dead bool, err error) {
+	for fi := range m.filters {
+		m.skip[fi] = false
+	}
+	for fi := range m.filters {
+		f := &m.filters[fi]
+		if !f.hasBounds {
+			continue
+		}
+		lo, hi, ok := m.sc.SpanValueBounds(f.slot, start)
+		if !ok {
+			continue
+		}
+		if lo > f.hi || hi < f.lo {
+			return true, nil
+		}
+		if f.exact && lo >= f.lo && hi <= f.hi {
+			m.skip[fi] = true
+		}
+	}
+	for fi := range m.filters {
+		f := &m.filters[fi]
+		if f.strEval == nil {
+			continue
+		}
+		dict, derr := m.sc.SpanDict(f.slot, start)
+		if derr != nil {
+			return false, derr
+		}
+		if dict == nil {
+			continue
+		}
+		_, nTrue := f.dictMask(dict)
+		if nTrue == 0 {
+			return true, nil
+		}
+		if nTrue == dict.Len() {
+			m.skip[fi] = true
+		}
+	}
+	return false, nil
 }
 
 // gatherSpan materializes the output batch of a filtered span: fully
@@ -454,12 +540,13 @@ func (m *mscan) filterBatch(b *vector.Batch) *vector.Batch {
 	}
 	var sel []int32
 	all := true
-	for _, f := range m.filters {
+	for fi := range m.filters {
+		f := &m.filters[fi]
 		var cand []int32
 		if !all {
 			cand = sel
 		}
-		out, okAll := f.keep(b.Vecs[f.slot], cand)
+		out, okAll := f.eval(b.Vecs[f.slot], cand)
 		if all && okAll {
 			continue
 		}
@@ -496,10 +583,14 @@ func (m *mscan) Close() error {
 		m.eng.scanBytesDecoded.Add(st.BytesDecoded)
 		m.eng.scanCacheHits.Add(st.CacheHits)
 		m.eng.scanSpansPruned.Add(m.spansPruned)
+		m.eng.scanBytesSkipped.Add(st.BytesSkipped)
+		m.eng.scanBytesMaterialized.Add(st.BytesMaterialized)
 		m.io.BlocksRead += st.BlocksRead
 		m.io.BytesDecoded += st.BytesDecoded
 		m.io.CacheHits += st.CacheHits
 		m.io.SpansPruned += m.spansPruned
+		m.io.BytesSkipped += st.BytesSkipped
+		m.io.BytesMaterialized += st.BytesMaterialized
 		m.spansPruned = 0
 		m.sc.Close()
 		m.sc = nil

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"vectorh/internal/colstore"
+	"vectorh/internal/compress"
 	"vectorh/internal/plan"
 	"vectorh/internal/vector"
 )
@@ -27,10 +28,121 @@ import (
 // which case out aliases cand and may be nil).
 type filterFn func(v *vector.Vec, cand []int32) (out []int32, all bool)
 
-// rowFilter is one compiled conjunct bound to a projection slot.
+// rowFilter is one compiled conjunct bound to a projection slot, together
+// with its compressed-domain forms:
+//
+//   - strEval is the scalar evaluator of a string conjunct, applied once
+//     per dictionary entry instead of once per row — a span over a
+//     PDICT-encoded block is verdicted (and, when partial, sieved) through
+//     the resulting code mask without touching a single string;
+//   - hasBounds/lo/hi verdict an integer conjunct against block value
+//     bounds (MinMax summaries, or PFOR frame bounds when the summary is
+//     absent) before anything is unpacked. exact marks the bounds as the
+//     predicate itself: only then does "block entirely inside" prove every
+//     row passes (slack decimal bounds and IN-list envelopes support only
+//     the disjointness, skip-all direction).
 type rowFilter struct {
 	slot int
 	keep filterFn
+
+	strEval   func(string) bool
+	hasBounds bool
+	lo, hi    int64
+	exact     bool
+
+	// Cache-of-one dictionary mask: per-entry pass/fail for the block
+	// dictionary most recently seen, reused across the many spans and the
+	// verdict+sieve phases that share one block.
+	maskDict *compress.StrDict
+	mask     []bool
+	maskTrue int
+}
+
+// dictMask returns the conjunct's pass/fail mask over a block dictionary
+// and the number of passing entries, computing it once per dictionary.
+func (f *rowFilter) dictMask(d *compress.StrDict) ([]bool, int) {
+	if f.maskDict == d {
+		return f.mask, f.maskTrue
+	}
+	vals := d.Values
+	if cap(f.mask) < len(vals) {
+		f.mask = make([]bool, len(vals))
+	} else {
+		f.mask = f.mask[:len(vals)]
+	}
+	nTrue := 0
+	for i, s := range vals {
+		ok := f.strEval(s)
+		f.mask[i] = ok
+		if ok {
+			nTrue++
+		}
+	}
+	f.maskDict, f.maskTrue = d, nTrue
+	return f.mask, nTrue
+}
+
+// eval applies the conjunct to one vector. Dictionary vectors of a string
+// conjunct are sieved through the code mask — small-int compares, no string
+// materialization; everything else runs the value-space kernel.
+func (f *rowFilter) eval(v *vector.Vec, cand []int32) ([]int32, bool) {
+	if f.strEval != nil && v.IsDict() {
+		mask, nTrue := f.dictMask(v.Dict())
+		codes := v.DictCodes()
+		if nTrue == len(mask) {
+			return cand, true
+		}
+		return sieve(len(codes), cand, func(i int32) bool { return mask[codes[i]] })
+	}
+	return f.keep(v, cand)
+}
+
+// fillCodeSpace derives the conjunct's compressed-domain forms. Always
+// filled: the dict-aware eval path must work whenever the scanner serves
+// code vectors, independent of whether pre-decode verdicts are enabled.
+func fillCodeSpace(f *rowFilter, p plan.ColPred) {
+	switch p.Op {
+	case plan.PredStrRange:
+		f.strEval = strBoundsTest(p)
+	case plan.PredStrIn:
+		//lint:hotpath scan-open setup: probed per dictionary entry, not per row
+		set := make(map[string]struct{}, len(p.Strs))
+		for _, s := range p.Strs {
+			set[s] = struct{}{}
+		}
+		f.strEval = func(s string) bool {
+			_, ok := set[s]
+			return ok
+		}
+	case plan.PredIntRange:
+		f.hasBounds, f.lo, f.hi, f.exact = true, p.IntLo, p.IntHi, true
+	case plan.PredDecRange:
+		// The same one-unit-slack storage bounds blockPredFor uses: safe for
+		// disjointness, never for take-all (exact stays false).
+		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+		if !math.IsInf(p.FloatLo, -1) {
+			lo = int64(math.Floor(p.FloatLo/p.Scale)) - 1
+		}
+		if !math.IsInf(p.FloatHi, 1) {
+			hi = int64(math.Ceil(p.FloatHi/p.Scale)) + 1
+		}
+		f.hasBounds, f.lo, f.hi = true, lo, hi
+	case plan.PredIntIn:
+		if len(p.Ints) > 0 {
+			lo, hi := p.Ints[0], p.Ints[0]
+			for _, x := range p.Ints[1:] {
+				if x < lo {
+					lo = x
+				}
+				if x > hi {
+					hi = x
+				}
+			}
+			// Envelope of the membership list: disjoint blocks die, covered
+			// blocks still need the per-row membership probe.
+			f.hasBounds, f.lo, f.hi = true, lo, hi
+		}
+	}
 }
 
 // blockPredFor returns the MinMax block predicate of a conjunct for a
@@ -227,33 +339,39 @@ func floatBoundsTest(p plan.ColPred) func(float64) bool {
 }
 
 func strRangeFilter(p plan.ColPred) filterFn {
+	test := strBoundsTest(p)
+	return func(v *vector.Vec, cand []int32) ([]int32, bool) {
+		xs := v.Strings()
+		return sieve(len(xs), cand, func(i int32) bool { return test(xs[i]) })
+	}
+}
+
+// strBoundsTest builds the scalar bounds check of a string range conjunct;
+// it backs both the row kernel and the per-dictionary-entry evaluation.
+func strBoundsTest(p plan.ColPred) func(string) bool {
 	lo, hi := p.StrLo, p.StrHi
 	hasLo, hasHi := p.HasStrLo, p.HasStrHi
 	loStrict, hiStrict := p.LoStrict, p.HiStrict
-	return func(v *vector.Vec, cand []int32) ([]int32, bool) {
-		xs := v.Strings()
-		return sieve(len(xs), cand, func(i int32) bool {
-			s := xs[i]
-			if hasLo {
-				if loStrict {
-					if !(s > lo) {
-						return false
-					}
-				} else if !(s >= lo) {
+	return func(s string) bool {
+		if hasLo {
+			if loStrict {
+				if !(s > lo) {
 					return false
 				}
+			} else if !(s >= lo) {
+				return false
 			}
-			if hasHi {
-				if hiStrict {
-					if !(s < hi) {
-						return false
-					}
-				} else if !(s <= hi) {
+		}
+		if hasHi {
+			if hiStrict {
+				if !(s < hi) {
 					return false
 				}
+			} else if !(s <= hi) {
+				return false
 			}
-			return true
-		})
+		}
+		return true
 	}
 }
 

@@ -186,7 +186,21 @@ func (t *HashTable) verify(keyCols []*vector.Vec, hs []uint64, sel, cand []int32
 				}
 			}
 		case vector.String:
-			pv, bv := kc.Strings(), t.keys[c].Strings()
+			// Stored keys are always value-space; the probe side may carry
+			// dictionary codes, verified through the dictionary without
+			// materializing the probe vector (the hash kernels guarantee
+			// code-form and value-form hashes agree).
+			bv := t.keys[c].Strings()
+			if kc.IsDict() {
+				codes, vals := kc.DictCodes(), kc.Dict().Values
+				for j, r := range sel {
+					if match[j] && vals[codes[r]] != bv[cand[r]] {
+						match[j] = false
+					}
+				}
+				continue
+			}
+			pv := kc.Strings()
 			for j, r := range sel {
 				if match[j] && pv[r] != bv[cand[r]] {
 					match[j] = false
@@ -221,7 +235,9 @@ func (t *HashTable) rowEq(keyCols []*vector.Vec, r int, id int32) bool {
 				return false
 			}
 		case vector.String:
-			if kc.Strings()[r] != t.keys[c].Strings()[id] {
+			// StrAt reads through a probe-side dictionary without
+			// materializing; stored keys are value-space.
+			if kc.StrAt(r) != t.keys[c].Strings()[id] {
 				return false
 			}
 		case vector.Bool:

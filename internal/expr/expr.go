@@ -384,6 +384,42 @@ func (e *cmpExpr) String() string {
 	return fmt.Sprintf("(%s %s %s)", e.l, [...]string{"<", "<=", ">", ">=", "=", "<>"}[e.op], e.r)
 }
 
+// cmpStrOne applies one comparison to a scalar string pair (the dictionary
+// fast path evaluates it once per dictionary entry).
+func cmpStrOne(op cmpOp, a, b string) bool {
+	switch op {
+	case opLT:
+		return a < b
+	case opLE:
+		return a <= b
+	case opGT:
+		return a > b
+	case opGE:
+		return a >= b
+	case opEQ:
+		return a == b
+	case opNE:
+		return a != b
+	}
+	return false
+}
+
+// dictMap evaluates a scalar string predicate once per dictionary entry of a
+// code vector, then gathers the per-entry verdicts through the codes.
+func dictMap(v *vector.Vec, pred func(string) bool) []bool {
+	vals := v.Dict().Values
+	dm := make([]bool, len(vals))
+	for i, s := range vals {
+		dm[i] = pred(s)
+	}
+	codes := v.DictCodes()
+	out := make([]bool, len(codes))
+	for i, c := range codes {
+		out[i] = dm[c]
+	}
+	return out
+}
+
 func cmpSlice[T int64 | float64 | string](op cmpOp, l, r []T) []bool {
 	out := make([]bool, len(l))
 	switch op {
@@ -426,6 +462,23 @@ func (e *cmpExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
 	}
 	switch {
 	case lv.Kind() == vector.String && rv.Kind() == vector.String:
+		// Dictionary fast path: comparing a code vector against a literal
+		// evaluates the comparison once per dictionary entry, then maps it
+		// over the codes — no string materialization, no per-row compares.
+		if lv.IsDict() {
+			if c, ok := e.r.(*constExpr); ok {
+				return vector.FromBool(dictMap(lv, func(s string) bool {
+					return cmpStrOne(e.op, s, c.val.(string))
+				})), nil
+			}
+		}
+		if rv.IsDict() {
+			if c, ok := e.l.(*constExpr); ok {
+				return vector.FromBool(dictMap(rv, func(s string) bool {
+					return cmpStrOne(e.op, c.val.(string), s)
+				})), nil
+			}
+		}
 		return vector.FromBool(cmpSlice(e.op, lv.Strings(), rv.Strings())), nil
 	case lv.Kind() == vector.Float64 || rv.Kind() == vector.Float64:
 		l, ok1 := asFloat(lv)
@@ -552,6 +605,14 @@ func (e *likeExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
 			pieces = append(pieces, p)
 		}
 	}
+	if v.IsDict() {
+		// LIKE over a code vector: match each dictionary entry once, then
+		// map the verdicts over the codes. For low-cardinality columns this
+		// turns ~1024 substring searches per vector into a handful.
+		return vector.FromBool(dictMap(v, func(s string) bool {
+			return likeMatch(s, pieces, anchoredL, anchoredR) != e.negate
+		})), nil
+	}
 	src := v.Strings()
 	out := make([]bool, len(src))
 	for i, s := range src {
@@ -615,6 +676,9 @@ func (e *inStrExpr) Eval(b *vector.Batch) (*vector.Vec, error) {
 	set := make(map[string]bool, len(e.vals))
 	for _, s := range e.vals {
 		set[s] = true
+	}
+	if v.IsDict() {
+		return vector.FromBool(dictMap(v, func(s string) bool { return set[s] })), nil
 	}
 	src := v.Strings()
 	out := make([]bool, len(src))

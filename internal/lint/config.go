@@ -29,14 +29,19 @@ func isHotPathPkg(pkgPath string) bool {
 
 // isHotPathFile reports whether one file of a package is hot-path code even
 // though its package is not: the MScan inner loop lives in internal/core next
-// to cold catalog code (whose map[string] tables are fine).
+// to cold catalog code (whose map[string] tables are fine), and the
+// code-space accessors of internal/compress (dictionary handles, frame
+// bounds, ranged decode) run per block inside the scan while the encoders
+// around them are load-path code.
 func isHotPathFile(pkgPath, filename string) bool {
-	if !strings.HasSuffix(pkgPath, "internal/core") {
-		return false
-	}
-	switch path.Base(filename) {
-	case "scan.go", "scanpred.go":
-		return true
+	switch {
+	case strings.HasSuffix(pkgPath, "internal/core"):
+		switch path.Base(filename) {
+		case "scan.go", "scanpred.go":
+			return true
+		}
+	case strings.HasSuffix(pkgPath, "internal/compress"):
+		return path.Base(filename) == "codes.go"
 	}
 	return false
 }

@@ -26,10 +26,12 @@ type OpProfile struct {
 	Streams   int           `json:"streams,omitempty"`
 
 	// Scan IO attribution; only set for scan operators.
-	BlocksRead   int64 `json:"blocks_read,omitempty"`
-	BytesDecoded int64 `json:"bytes_decoded,omitempty"`
-	SpansPruned  int64 `json:"spans_pruned,omitempty"`
-	CacheHits    int64 `json:"cache_hits,omitempty"`
+	BlocksRead        int64 `json:"blocks_read,omitempty"`
+	BytesDecoded      int64 `json:"bytes_decoded,omitempty"`
+	SpansPruned       int64 `json:"spans_pruned,omitempty"`
+	CacheHits         int64 `json:"cache_hits,omitempty"`
+	BytesSkipped      int64 `json:"bytes_skipped,omitempty"`
+	BytesMaterialized int64 `json:"bytes_materialized,omitempty"`
 }
 
 // Trace accumulates the phase spans and operator profiles of one query.

@@ -184,6 +184,15 @@ type ScanPredSet struct {
 	// applying them to rows (e.g. to fresh trickle inserts outside the
 	// asserted range) could change results.
 	SkipOnly bool
+
+	// CodeSpace marks the set legal for compressed-domain evaluation: the
+	// rewriter sets it when the conjuncts are genuinely row-filtering (never
+	// for SkipOnly hints) and execution on compressed data is enabled. The
+	// scan then transposes string conjuncts into dictionary-code space (one
+	// dictionary probe per block instead of per-row string compares, with
+	// dictionary-miss block pruning) and verdicts integer conjuncts against
+	// PFOR frame bounds before unpacking.
+	CodeSpace bool
 }
 
 // Clone returns an independent copy of the set.
@@ -191,7 +200,7 @@ func (s *ScanPredSet) Clone() *ScanPredSet {
 	if s == nil {
 		return nil
 	}
-	out := &ScanPredSet{Preds: append([]ColPred(nil), s.Preds...), SkipOnly: s.SkipOnly}
+	out := &ScanPredSet{Preds: append([]ColPred(nil), s.Preds...), SkipOnly: s.SkipOnly, CodeSpace: s.CodeSpace}
 	return out
 }
 

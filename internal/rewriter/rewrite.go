@@ -41,12 +41,22 @@ type Options struct {
 	// Off, conjuncts degrade to skip-only hints and the full Select stays —
 	// the pre-pushdown pipeline, kept as an ablation/validation baseline.
 	PushFilterIntoScan bool
+
+	// ExecOnCompressed marks pushed predicate sets as legal for
+	// compressed-domain evaluation (ScanPredSet.CodeSpace): string conjuncts
+	// transpose into dictionary-code space and integer conjuncts verdict
+	// against frame bounds before the scan unpacks anything. Only genuinely
+	// row-filtering sets are marked — SkipOnly hints never are. Off is the
+	// value-space baseline the compressed-execution parity gate compares
+	// against.
+	ExecOnCompressed bool
 }
 
 // DefaultOptions enables every rewrite rule.
 func DefaultOptions(nodes, threads int) Options {
 	return Options{Nodes: nodes, Threads: threads,
-		LocalJoin: true, ReplicateBuild: true, PartialAgg: true, PushFilterIntoScan: true}
+		LocalJoin: true, ReplicateBuild: true, PartialAgg: true, PushFilterIntoScan: true,
+		ExecOnCompressed: true}
 }
 
 // result carries a physical subtree plus its structural properties — the
@@ -194,7 +204,11 @@ func (c *rewriteCtx) recFilter(n *plan.FilterNode) (result, error) {
 	// int range to the full per-column conjunct set).
 	scan, isScan := child.phys.(*physScan)
 	if isScan && n.SkipSet != nil && scan.pred == nil && c.opts.PushFilterIntoScan && !n.SkipSet.SkipOnly {
-		scan.pred = n.SkipSet
+		// Clone before marking CodeSpace: the logical plan may be cached and
+		// rewritten again under different options.
+		ps := n.SkipSet.Clone()
+		ps.CodeSpace = c.opts.ExecOnCompressed
+		scan.pred = ps
 		child.rows = child.rows/3 + 1
 		if n.Residual == nil {
 			// The scan evaluates every conjunct itself: no Select needed.

@@ -114,6 +114,27 @@ type ProcessStats struct {
 	TotalAllocMB int64 `json:"total_alloc_mb"` // cumulative allocation volume
 }
 
+// ScanInfo is the engine scan-IO block of a stats snapshot: cumulative
+// physical scan work, including the compressed bytes scans never decoded
+// (dictionary-miss and frame-bounds pruning) and the value bytes actually
+// materialized into execution memory.
+type ScanInfo struct {
+	BlocksRead        int64 `json:"blocks_read"`
+	BytesDecoded      int64 `json:"bytes_decoded"`
+	BytesSkipped      int64 `json:"bytes_skipped"`
+	BytesMaterialized int64 `json:"bytes_materialized"`
+	SpansPruned       int64 `json:"spans_pruned"`
+	CacheHits         int64 `json:"cache_hits"`
+}
+
+// TableStorageInfo is one table's compression footprint in a stats snapshot.
+type TableStorageInfo struct {
+	Table        string  `json:"table"`
+	RawBytes     int64   `json:"raw_bytes"`
+	EncodedBytes int64   `json:"encoded_bytes"`
+	Ratio        float64 `json:"ratio"` // raw / encoded; 0 when nothing is flushed
+}
+
 // StatsSnapshot is the serving-layer metrics block returned by OpStats.
 type StatsSnapshot struct {
 	Sessions         int64          `json:"sessions"`
@@ -130,6 +151,9 @@ type StatsSnapshot struct {
 	PlanCache        *PlanCacheInfo `json:"plan_cache,omitempty"`
 	Process          *ProcessStats  `json:"process,omitempty"`
 	SlowQueries      int64          `json:"slow_queries,omitempty"` // slow-log entries written
+
+	Scan    *ScanInfo          `json:"scan,omitempty"`
+	Storage []TableStorageInfo `json:"storage,omitempty"`
 }
 
 // Response is one server frame.

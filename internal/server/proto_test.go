@@ -74,7 +74,7 @@ func TestResponseRoundTrip(t *testing.T) {
 				t.Fatalf("frame %d error: got %+v want %+v", i, got.Err, want.Err)
 			}
 		case RespStats:
-			if got.Stats == nil || *got.Stats != *want.Stats {
+			if got.Stats == nil || !reflect.DeepEqual(*got.Stats, *want.Stats) {
 				t.Fatalf("frame %d stats: got %+v want %+v", i, got.Stats, want.Stats)
 			}
 		case RespRows:

@@ -280,6 +280,15 @@ func (s *Server) beginClose() (ln net.Listener, conns []net.Conn, first bool) {
 // compiled-plan cache counters.
 func (s *Server) Stats() StatsSnapshot {
 	pc := s.db.PlanCacheStats()
+	es := s.db.Stats()
+	var storage []TableStorageInfo
+	for _, ts := range s.db.TableStorage() {
+		info := TableStorageInfo{Table: ts.Table, RawBytes: ts.RawBytes, EncodedBytes: ts.EncodedBytes}
+		if ts.EncodedBytes > 0 {
+			info.Ratio = float64(ts.RawBytes) / float64(ts.EncodedBytes)
+		}
+		storage = append(storage, info)
+	}
 	return StatsSnapshot{
 		Sessions:         s.m.sessions.Load(),
 		TotalSessions:    s.m.totalSessions.Load(),
@@ -301,6 +310,15 @@ func (s *Server) Stats() StatsSnapshot {
 		},
 		Process:     s.processStats(),
 		SlowQueries: s.slow.Logged(),
+		Scan: &ScanInfo{
+			BlocksRead:        es.Scan.BlocksRead,
+			BytesDecoded:      es.Scan.BytesDecoded,
+			BytesSkipped:      es.Scan.BytesSkipped,
+			BytesMaterialized: es.Scan.BytesMaterialized,
+			SpansPruned:       es.Scan.SpansPruned,
+			CacheHits:         es.ScanCacheHit,
+		},
+		Storage: storage,
 	}
 }
 

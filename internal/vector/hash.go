@@ -66,6 +66,16 @@ func HashCol(dst []uint64, v *Vec) {
 			dst[i] = hashMix(hashSeed, math.Float64bits(x))
 		}
 	case String:
+		if v.dict != nil {
+			// Dictionary fast path: hash each distinct value once per block,
+			// then gather by code. Bit-identical to the string path, so
+			// exchange partitioning and joins agree across representations.
+			hs := v.dict.CodeHashes(HashString)
+			for i, c := range v.codes[:v.n] {
+				dst[i] = hashMix(hashSeed, hs[c])
+			}
+			break
+		}
 		for i, s := range v.Strings() {
 			dst[i] = hashMix(hashSeed, HashString(s))
 		}
@@ -99,6 +109,13 @@ func RehashCol(dst []uint64, v *Vec) {
 			dst[i] = hashMix(dst[i], math.Float64bits(x))
 		}
 	case String:
+		if v.dict != nil {
+			hs := v.dict.CodeHashes(HashString)
+			for i, c := range v.codes[:v.n] {
+				dst[i] = hashMix(dst[i], hs[c])
+			}
+			break
+		}
 		for i, s := range v.Strings() {
 			dst[i] = hashMix(dst[i], HashString(s))
 		}

@@ -1,6 +1,10 @@
 package vector
 
-import "fmt"
+import (
+	"fmt"
+
+	"vectorh/internal/compress"
+)
 
 // Vec is a typed column vector holding up to MaxSize values (more is allowed
 // for intermediate buffers, but operators produce at most MaxSize). The zero
@@ -14,6 +18,12 @@ type Vec struct {
 	i64 []int64
 	f64 []float64
 	str []string
+
+	// Dictionary-code form of a String vector (see dict.go): when dict is
+	// non-nil, values are dict.Values[codes[i]] and str is unset until the
+	// vector materializes.
+	codes []uint32
+	dict  *compress.StrDict
 }
 
 // New returns an empty vector of the given kind with capacity for capHint
@@ -71,7 +81,8 @@ func (v *Vec) Kind() Kind { return v.kind }
 // Len returns the number of values.
 func (v *Vec) Len() int { return v.n }
 
-// Reset truncates the vector to zero length, keeping capacity.
+// Reset truncates the vector to zero length, keeping capacity. A
+// dictionary vector resets to a plain (empty) string vector.
 func (v *Vec) Reset() {
 	v.n = 0
 	v.b = v.b[:0]
@@ -79,6 +90,7 @@ func (v *Vec) Reset() {
 	v.i64 = v.i64[:0]
 	v.f64 = v.f64[:0]
 	v.str = v.str[:0]
+	v.codes, v.dict = nil, nil
 }
 
 // Bools returns the backing slice of a Bool vector.
@@ -93,8 +105,16 @@ func (v *Vec) Int64s() []int64 { v.check(Int64); return v.i64[:v.n] }
 // Float64s returns the backing slice of a Float64 vector.
 func (v *Vec) Float64s() []float64 { v.check(Float64); return v.f64[:v.n] }
 
-// Strings returns the backing slice of a String vector.
-func (v *Vec) Strings() []string { v.check(String); return v.str[:v.n] }
+// Strings returns the backing slice of a String vector, materializing a
+// dictionary vector first — the universal fallback for operators that are
+// not code-aware.
+func (v *Vec) Strings() []string {
+	v.check(String)
+	if v.dict != nil {
+		v.materialize()
+	}
+	return v.str[:v.n]
+}
 
 func (v *Vec) check(k Kind) {
 	if v.kind != k {
@@ -114,8 +134,16 @@ func (v *Vec) AppendInt64(x int64) { v.check(Int64); v.i64 = append(v.i64, x); v
 // AppendFloat64 appends to a Float64 vector.
 func (v *Vec) AppendFloat64(x float64) { v.check(Float64); v.f64 = append(v.f64, x); v.n++ }
 
-// AppendString appends to a String vector.
-func (v *Vec) AppendString(x string) { v.check(String); v.str = append(v.str, x); v.n++ }
+// AppendString appends to a String vector (materializing a dictionary
+// vector: appended values have no code in the block dictionary).
+func (v *Vec) AppendString(x string) {
+	v.check(String)
+	if v.dict != nil {
+		v.materialize()
+	}
+	v.str = append(v.str, x)
+	v.n++
+}
 
 // AppendAny appends a dynamically typed value; the value's Go type must match
 // the vector kind.
@@ -148,7 +176,7 @@ func (v *Vec) Get(i int) any {
 	case Float64:
 		return v.f64[i]
 	case String:
-		return v.str[i]
+		return v.StrAt(i)
 	default:
 		panic("vector: Get on invalid vector")
 	}
@@ -166,7 +194,7 @@ func (v *Vec) AppendFrom(src *Vec, i int) {
 	case Float64:
 		v.AppendFloat64(src.f64[i])
 	case String:
-		v.AppendString(src.str[i])
+		v.AppendString(src.StrAt(i))
 	default:
 		panic("vector: AppendFrom on invalid vector")
 	}
@@ -185,7 +213,17 @@ func (v *Vec) AppendRange(src *Vec, lo, hi int) {
 	case Float64:
 		v.f64 = append(v.f64, src.f64[lo:hi]...)
 	case String:
-		v.str = append(v.str, src.str[lo:hi]...)
+		if v.dict != nil {
+			v.materialize()
+		}
+		if src.dict != nil {
+			vals := src.dict.Values
+			for _, c := range src.codes[lo:hi] {
+				v.str = append(v.str, vals[c])
+			}
+		} else {
+			v.str = append(v.str, src.str[lo:hi]...)
+		}
 	default:
 		panic("vector: AppendRange on invalid vector")
 	}
@@ -229,11 +267,25 @@ func (v *Vec) AppendGather(src *Vec, sel []int32) {
 			}
 		}
 	case String:
-		for _, i := range sel {
-			if i < 0 {
-				v.str = append(v.str, "")
-			} else {
-				v.str = append(v.str, src.str[i])
+		if v.dict != nil {
+			v.materialize()
+		}
+		if src.dict != nil {
+			vals, codes := src.dict.Values, src.codes
+			for _, i := range sel {
+				if i < 0 {
+					v.str = append(v.str, "")
+				} else {
+					v.str = append(v.str, vals[codes[i]])
+				}
+			}
+		} else {
+			for _, i := range sel {
+				if i < 0 {
+					v.str = append(v.str, "")
+				} else {
+					v.str = append(v.str, src.str[i])
+				}
 			}
 		}
 	default:
@@ -261,8 +313,22 @@ func (v *Vec) AppendZero() {
 }
 
 // Gather returns a new dense vector with the values at the given positions.
-// A nil sel returns a copy of the first n values.
+// A nil sel returns a copy of the first n values. Gathering a dictionary
+// vector gathers codes and keeps the dictionary handle, so selection and
+// join payload gathers stay in code space.
 func (v *Vec) Gather(sel []int32, n int) *Vec {
+	if v.dict != nil {
+		var codes []uint32
+		if sel == nil {
+			codes = append(make([]uint32, 0, n), v.codes[:n]...)
+		} else {
+			codes = make([]uint32, 0, len(sel))
+			for _, i := range sel {
+				codes = append(codes, v.codes[i])
+			}
+		}
+		return FromDictCodes(codes, v.dict)
+	}
 	out := New(v.kind, n)
 	if sel == nil {
 		switch v.kind {
@@ -309,6 +375,10 @@ func (v *Vec) Gather(sel []int32, n int) *Vec {
 // Slice returns a view of elements [lo, hi) without copying.
 func (v *Vec) Slice(lo, hi int) *Vec {
 	out := &Vec{kind: v.kind, n: hi - lo}
+	if v.dict != nil {
+		out.codes, out.dict = v.codes[lo:hi], v.dict
+		return out
+	}
 	switch v.kind {
 	case Bool:
 		out.b = v.b[lo:hi]
@@ -329,6 +399,11 @@ func (v *Vec) Slice(lo, hi int) *Vec {
 // accounting as Bytes. Negative (padding) indices count as zero values.
 func (v *Vec) GatherBytes(sel []int32) int {
 	if v.kind == String {
+		if v.dict != nil {
+			// Codes stay codes through a gather: 4 bytes per value, the
+			// dictionary is shared and not duplicated by the gather.
+			return len(sel) * 4
+		}
 		total := 0
 		for _, i := range sel {
 			if i >= 0 {
@@ -343,6 +418,9 @@ func (v *Vec) GatherBytes(sel []int32) int {
 // Bytes returns an estimate of the in-memory payload size.
 func (v *Vec) Bytes() int {
 	if v.kind == String {
+		if v.dict != nil {
+			return v.n * 4
+		}
 		total := 0
 		for _, s := range v.str[:v.n] {
 			total += len(s)
